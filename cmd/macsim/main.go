@@ -1,0 +1,399 @@
+// Command macsim regenerates the evaluation of "Unbounded Contention
+// Resolution in Multiple-Access Channels" (PODC 2011) and exposes the
+// repository's simulators on the command line.
+//
+// Usage:
+//
+//	macsim -experiment table1  [-maxexp 7] [-runs 10] [-seed 1]
+//	macsim -experiment figure1 [-maxexp 7] [-runs 10] [-out csv]
+//	macsim -experiment paper   [-maxexp 7] — figure + table + CSV in one sweep
+//	macsim -experiment run -protocol one-fail -k 100000 [-seed 1]
+//	macsim -experiment trace -protocol exp-bb -k 12
+//	macsim -experiment dynamic [-k 500] [-rate 0.1]
+//	macsim -experiment cd [-k 10000] — §2 collision-detection comparison
+//	macsim -experiment ablation-ofa|ablation-ebb|ablation-monotone
+//
+// The paper's full grid (-maxexp 7, -runs 10) takes a few minutes of CPU
+// time; the default -maxexp 5 finishes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/cd"
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "macsim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	experiment string
+	protocol   string
+	k          int
+	maxExp     int
+	runs       int
+	seed       uint64
+	out        string
+	rate       float64
+	quiet      bool
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("macsim", flag.ContinueOnError)
+	var opts options
+	fs.StringVar(&opts.experiment, "experiment", "table1",
+		"experiment to run: table1, figure1, paper, run, trace, dynamic, cd, ablation-ofa, ablation-ebb, ablation-monotone")
+	fs.StringVar(&opts.protocol, "protocol", "one-fail",
+		"protocol for -experiment run/trace: one-fail, exp-bb, log-fails-2, log-fails-10, loglog-iterated, exp-backoff")
+	fs.IntVar(&opts.k, "k", 1000, "number of contenders for run/trace/dynamic")
+	fs.IntVar(&opts.maxExp, "maxexp", 5, "sweep sizes 10..10^maxexp (paper: 7)")
+	fs.IntVar(&opts.runs, "runs", harness.DefaultRuns, "runs averaged per point")
+	fs.Uint64Var(&opts.seed, "seed", 1, "master seed")
+	fs.StringVar(&opts.out, "out", "text", "output format for sweeps: text, csv")
+	fs.Float64Var(&opts.rate, "rate", 0.1, "arrival rate (messages/slot) for -experiment dynamic")
+	fs.BoolVar(&opts.quiet, "quiet", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch opts.experiment {
+	case "table1", "figure1", "paper":
+		return runSweep(opts)
+	case "run":
+		return runSingle(opts)
+	case "trace":
+		return runTrace(opts)
+	case "dynamic":
+		return runDynamic(opts)
+	case "ablation-ofa":
+		return runAblationOFA(opts)
+	case "ablation-ebb":
+		return runAblationEBB(opts)
+	case "ablation-monotone":
+		return runAblationMonotone(opts)
+	case "cd":
+		return runCD(opts)
+	default:
+		return fmt.Errorf("unknown experiment %q", opts.experiment)
+	}
+}
+
+// runCD quantifies the §2 collision-detection comparison: tree splitting
+// (± the Massey skip) and leader election against the paper's no-CD
+// protocols at the same size.
+func runCD(opts options) error {
+	fmt.Printf("collision detection at k=%d (%d runs):\n", opts.k, opts.runs)
+	treeRatio := func(treeOpts ...cd.TreeOption) (float64, error) {
+		var total uint64
+		for r := 0; r < opts.runs; r++ {
+			steps, err := cd.TreeRun(opts.k, rng.NewStream(opts.seed, "cd-tree", fmt.Sprint(r), fmt.Sprint(len(treeOpts))), 0, treeOpts...)
+			if err != nil {
+				return 0, err
+			}
+			total += steps
+		}
+		return float64(total) / float64(opts.runs) / float64(opts.k), nil
+	}
+	basic, err := treeRatio()
+	if err != nil {
+		return err
+	}
+	massey, err := treeRatio(cd.WithMasseySkip())
+	if err != nil {
+		return err
+	}
+	ctrl, err := core.NewOneFailAdaptive(core.DefaultOFADelta)
+	if err != nil {
+		return err
+	}
+	ofaSteps, err := engine.FairRun(opts.k, ctrl, rng.NewStream(opts.seed, "cd-ofa"), 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  tree splitting (CD)        ratio=%.2f\n", basic)
+	fmt.Printf("  tree + Massey skip (CD)    ratio=%.2f\n", massey)
+	fmt.Printf("  One-Fail Adaptive (no CD)  ratio=%.2f\n", float64(ofaSteps)/float64(opts.k))
+	var total uint64
+	const elections = 100
+	for r := 0; r < elections; r++ {
+		steps, err := cd.LeaderRun(opts.k, rng.NewStream(opts.seed, "cd-leader", fmt.Sprint(r)), 0)
+		if err != nil {
+			return err
+		}
+		total += steps
+	}
+	fmt.Printf("  leader election (CD)       mean %.1f slots to a unique leader\n", float64(total)/elections)
+	return nil
+}
+
+func progress(opts options) func(string, int, int, uint64) {
+	if opts.quiet {
+		return nil
+	}
+	return func(system string, k, run int, steps uint64) {
+		fmt.Fprintf(os.Stderr, "done %-28s k=%-9d run=%-3d steps=%d\n", system, k, run, steps)
+	}
+}
+
+func runSweep(opts options) error {
+	sweep := harness.Sweep{
+		Ks:       harness.PaperKs(opts.maxExp),
+		Runs:     opts.runs,
+		Seed:     opts.seed,
+		Progress: progress(opts),
+	}
+	results, err := sweep.Run(harness.PaperSystems())
+	if err != nil {
+		return err
+	}
+	switch {
+	case opts.out == "csv":
+		fmt.Print(harness.CSV(results))
+	case opts.experiment == "table1":
+		fmt.Println("Table 1: ratio steps/nodes as a function of the number of nodes k")
+		fmt.Print(harness.Table1(results))
+	case opts.experiment == "figure1":
+		fmt.Println("Figure 1: number of steps to solve static k-selection, per number of nodes k")
+		fmt.Print(harness.Figure1(results))
+	default: // "paper": everything from one sweep
+		fmt.Println("Figure 1: number of steps to solve static k-selection, per number of nodes k")
+		fmt.Print(harness.Figure1(results))
+		fmt.Println()
+		fmt.Println("Table 1: ratio steps/nodes as a function of the number of nodes k")
+		fmt.Print(harness.Table1(results))
+		fmt.Println()
+		fmt.Println("Raw data (CSV):")
+		fmt.Print(harness.CSV(results))
+	}
+	return nil
+}
+
+// systemByName resolves the -protocol flag.
+func systemByName(name string) (harness.System, error) {
+	switch strings.ToLower(name) {
+	case "one-fail", "ofa":
+		return harness.PaperSystems()[2], nil
+	case "exp-bb", "ebb":
+		return harness.PaperSystems()[3], nil
+	case "log-fails-2", "lfa-2":
+		return harness.PaperSystems()[0], nil
+	case "log-fails-10", "lfa-10":
+		return harness.PaperSystems()[1], nil
+	case "loglog-iterated", "llib":
+		return harness.PaperSystems()[4], nil
+	case "exp-backoff", "beb":
+		return harness.NewWindowSystem("Exponential Backoff (r=2)",
+			func(int) string { return "Θ(k·log k) total" },
+			func(int) (protocol.Schedule, error) { return baseline.NewExponentialBackoff(2) }), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func runSingle(opts options) error {
+	sys, err := systemByName(opts.protocol)
+	if err != nil {
+		return err
+	}
+	src := rng.NewStream(opts.seed, "macsim-run", sys.Name(), fmt.Sprint(opts.k))
+	steps, err := sys.Run(opts.k, src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: k=%d solved in %d slots (ratio %.2f, analysis %s)\n",
+		sys.Name(), opts.k, steps, float64(steps)/float64(opts.k), sys.AnalysisRatio(opts.k))
+	return nil
+}
+
+// runTrace executes a small instance on the exact per-node simulator and
+// prints the slot-by-slot channel history.
+func runTrace(opts options) error {
+	if opts.k > 4096 {
+		return fmt.Errorf("trace uses the exact per-node simulator; use -k ≤ 4096 (got %d)", opts.k)
+	}
+	stations := make([]protocol.Station, opts.k)
+	var build func(i int) (protocol.Station, error)
+	switch strings.ToLower(opts.protocol) {
+	case "one-fail", "ofa":
+		build = func(int) (protocol.Station, error) {
+			ctrl, err := core.NewOneFailAdaptive(core.DefaultOFADelta)
+			if err != nil {
+				return nil, err
+			}
+			return protocol.NewFairStation(ctrl), nil
+		}
+	case "exp-bb", "ebb":
+		build = func(int) (protocol.Station, error) {
+			sched, err := core.NewExpBackonBackoff(core.DefaultEBBDelta)
+			if err != nil {
+				return nil, err
+			}
+			return protocol.NewWindowStation(sched), nil
+		}
+	default:
+		return fmt.Errorf("trace supports protocols one-fail and exp-bb, got %q", opts.protocol)
+	}
+	for i := range stations {
+		st, err := build(i)
+		if err != nil {
+			return err
+		}
+		stations[i] = st
+	}
+	res, err := sim.Run(stations, rng.NewStream(opts.seed, "macsim-trace"), sim.WithTrace(func(r sim.SlotRecord) {
+		marker := ""
+		if r.Outcome == sim.Success {
+			marker = fmt.Sprintf("  <- station %d delivered", r.Deliverer)
+		}
+		fmt.Printf("slot %4d  active=%-4d transmitters=%-4d %-9s%s\n",
+			r.Slot, r.Active, r.Transmitters, r.Outcome, marker)
+	}))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("solved k=%d in %d slots (%d successes, %d collisions, %d silences)\n",
+		opts.k, res.Slots, res.Successes, res.Collisions, res.Silences)
+	return nil
+}
+
+func runDynamic(opts options) error {
+	src := rng.NewStream(opts.seed, "macsim-dynamic", fmt.Sprint(opts.k))
+	w, err := dynamic.PoissonArrivals(opts.k, opts.rate, src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dynamic k-selection: %d messages, Poisson rate %.3g/slot (span %d slots)\n",
+		w.N(), opts.rate, w.Span())
+	resOFA, err := dynamic.RunFair(w, func() (protocol.Controller, error) {
+		return core.NewOneFailAdaptive(core.DefaultOFADelta)
+	}, rng.NewStream(opts.seed, "dyn-ofa"), dynamic.WithClock(dynamic.ClockGlobal))
+	if err != nil {
+		return err
+	}
+	resEBB, err := dynamic.RunWindow(w, func() (protocol.Schedule, error) {
+		return core.NewExpBackonBackoff(core.DefaultEBBDelta)
+	}, rng.NewStream(opts.seed, "dyn-ebb"))
+	if err != nil {
+		return err
+	}
+	report := func(name string, r dynamic.Result) {
+		completion := fmt.Sprint(r.Completion)
+		if !r.Completed {
+			completion = fmt.Sprintf("incomplete (%d/%d)", r.Delivered, w.N())
+		}
+		fmt.Printf("%-22s completion=%-18s mean-latency=%-9.1f p99-latency=%-9.0f max-backlog=%d\n",
+			name, completion, r.Latency.Mean(), r.Latency.Quantile(0.99), r.MaxBacklog)
+	}
+	report("One-Fail Adaptive", resOFA)
+	report("Exp Back-on/Back-off", resEBB)
+	return nil
+}
+
+// runAblationOFA sweeps One-Fail Adaptive's δ across its admissible range.
+func runAblationOFA(opts options) error {
+	fmt.Println("One-Fail Adaptive δ ablation (Theorem 1 constant 2(δ+1)):")
+	for _, delta := range []float64{2.7185, 2.72, 2.8, 2.9, core.OFADeltaMax} {
+		var total uint64
+		for r := 0; r < opts.runs; r++ {
+			ctrl, err := core.NewOneFailAdaptive(delta)
+			if err != nil {
+				return err
+			}
+			steps, err := engine.FairRun(opts.k, ctrl, rng.NewStream(opts.seed, "abl-ofa", fmt.Sprint(delta), fmt.Sprint(r)), 0)
+			if err != nil {
+				return err
+			}
+			total += steps
+		}
+		ratio := float64(total) / float64(opts.runs) / float64(opts.k)
+		fmt.Printf("  δ=%-7.4f ratio=%-7.2f analysis=%.2f\n", delta, ratio, 2*(delta+1))
+	}
+	return nil
+}
+
+// runAblationEBB sweeps Exp Back-on/Back-off's δ and rounding mode.
+func runAblationEBB(opts options) error {
+	fmt.Println("Exp Back-on/Back-off δ ablation (Theorem 2 constant 4(1+1/δ)):")
+	var runner engine.WindowRunner
+	for _, delta := range []float64{0.05, 0.1, 0.2, 0.3, 0.366} {
+		var total uint64
+		for r := 0; r < opts.runs; r++ {
+			sched, err := core.NewExpBackonBackoff(delta)
+			if err != nil {
+				return err
+			}
+			steps, err := runner.Run(opts.k, sched, rng.NewStream(opts.seed, "abl-ebb", fmt.Sprint(delta), fmt.Sprint(r)), 0)
+			if err != nil {
+				return err
+			}
+			total += steps
+		}
+		ratio := float64(total) / float64(opts.runs) / float64(opts.k)
+		fmt.Printf("  δ=%-6.3f ratio=%-7.2f analysis=%.2f\n", delta, ratio, 4*(1+1/delta))
+	}
+	fmt.Println("window rounding ablation at δ=0.366:")
+	for _, mode := range []core.RoundingMode{core.RoundCeil, core.RoundFloor, core.RoundNearest} {
+		var total uint64
+		for r := 0; r < opts.runs; r++ {
+			sched, err := core.NewExpBackonBackoff(core.DefaultEBBDelta, core.WithEBBRounding(mode))
+			if err != nil {
+				return err
+			}
+			steps, err := runner.Run(opts.k, sched, rng.NewStream(opts.seed, "abl-round", mode.String(), fmt.Sprint(r)), 0)
+			if err != nil {
+				return err
+			}
+			total += steps
+		}
+		fmt.Printf("  rounding=%-8s ratio=%.2f\n", mode, float64(total)/float64(opts.runs)/float64(opts.k))
+	}
+	return nil
+}
+
+// runAblationMonotone contrasts the monotone back-off family with the
+// paper's non-monotone protocols (§1: non-monotonicity yields linear time).
+func runAblationMonotone(opts options) error {
+	fmt.Printf("monotone vs non-monotone at k=%d (ratio steps/k, %d runs):\n", opts.k, opts.runs)
+	var runner engine.WindowRunner
+	schedules := []struct {
+		name string
+		make func() (protocol.Schedule, error)
+	}{
+		{name: "binary exponential (monotone)", make: func() (protocol.Schedule, error) { return baseline.NewExponentialBackoff(2) }},
+		{name: "polynomial r=2 (monotone)", make: func() (protocol.Schedule, error) { return baseline.NewPolynomialBackoff(2) }},
+		{name: "log-backoff (monotone)", make: func() (protocol.Schedule, error) { s := baseline.NewLogBackoff(); return s, nil }},
+		{name: "loglog-iterated (monotone)", make: func() (protocol.Schedule, error) { return baseline.NewLoglogIteratedBackoff(2) }},
+		{name: "exp back-on/back-off (sawtooth)", make: func() (protocol.Schedule, error) { return core.NewExpBackonBackoff(core.DefaultEBBDelta) }},
+	}
+	for _, s := range schedules {
+		var total uint64
+		for r := 0; r < opts.runs; r++ {
+			sched, err := s.make()
+			if err != nil {
+				return err
+			}
+			steps, err := runner.Run(opts.k, sched, rng.NewStream(opts.seed, "abl-mono", s.name, fmt.Sprint(r)), 0)
+			if err != nil {
+				return err
+			}
+			total += steps
+		}
+		fmt.Printf("  %-32s ratio=%.2f\n", s.name, float64(total)/float64(opts.runs)/float64(opts.k))
+	}
+	return nil
+}

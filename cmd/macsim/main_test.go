@@ -1,0 +1,132 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+// The pipe is drained concurrently so large outputs cannot deadlock the
+// writer.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := fn()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return <-done, runErr
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if err := run([]string{"-experiment", "run", "-protocol", "nope"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-experiment", "run", "-protocol", "one-fail", "-k", "200", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "One-Fail Adaptive") || !strings.Contains(out, "k=200") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+}
+
+func TestRunTable1Small(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-experiment", "table1", "-maxexp", "2", "-runs", "2", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "One-Fail Adaptive", "Analysis"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceSmall(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-experiment", "trace", "-protocol", "exp-bb", "-k", "3", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "solved k=3") {
+		t.Fatalf("trace output missing summary:\n%s", out)
+	}
+}
+
+func TestRunTraceRejectsLargeK(t *testing.T) {
+	if err := run([]string{"-experiment", "trace", "-k", "100000"}); err == nil {
+		t.Fatal("huge trace accepted")
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-experiment", "table1", "-maxexp", "1", "-runs", "2", "-out", "csv", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "system,k,runs,") {
+		t.Fatalf("CSV output wrong:\n%s", out)
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	for _, exp := range []string{"ablation-ofa", "ablation-ebb", "ablation-monotone"} {
+		out, err := capture(t, func() error {
+			return run([]string{"-experiment", exp, "-k", "300", "-runs", "2", "-quiet"})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(out, "ratio") {
+			t.Fatalf("%s output missing ratios:\n%s", exp, out)
+		}
+	}
+}
+
+func TestRunDynamicSmall(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-experiment", "dynamic", "-k", "50", "-rate", "0.05", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "One-Fail Adaptive") || !strings.Contains(out, "max-backlog") {
+		t.Fatalf("dynamic output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,31 @@
+// Package mac is the public entry point of this repository: a Go
+// reproduction of "Unbounded Contention Resolution in Multiple-Access
+// Channels" (Fernández Anta, Mosteiro, Muñoz; PODC 2011, arXiv:1107.0234).
+//
+// The paper studies static k-selection on a single-hop Radio Network
+// without collision detection: k stations, activated simultaneously, must
+// each deliver one message over a shared slotted channel on which a slot
+// succeeds only when exactly one station transmits. Its two protocols —
+// One-Fail Adaptive and Exp Back-on/Back-off — solve the problem in O(k)
+// slots w.h.p. with no knowledge of k or of the network size.
+//
+// # Quick start
+//
+//	p, err := mac.OneFailAdaptive()       // the paper's novel protocol
+//	if err != nil { ... }
+//	steps, err := p.Solve(1000, 42)       // k = 1000 contenders, seed 42
+//	fmt.Println(float64(steps) / 1000)    // ≈ 7.4, Table 1's OFA ratio
+//
+// # Reproducing the paper's evaluation
+//
+//	res, err := mac.Evaluate(mac.PaperProtocols(), mac.EvalConfig{MaxExp: 5})
+//	fmt.Println(mac.Table1(res))          // the paper's Table 1
+//	fmt.Println(mac.Figure1(res))         // the paper's Figure 1 (ASCII)
+//
+// The cmd/macsim command exposes the same experiments on the command
+// line, and the packages under internal/ provide the full substrate:
+// exact per-node channel simulation (internal/sim), scalable aggregate
+// engines (internal/engine), protocol implementations (internal/core,
+// internal/baseline), the paper's closed-form analysis
+// (internal/analysis) and the experiment harness (internal/harness).
+package mac

@@ -1,0 +1,92 @@
+// Collision-detection comparison: §2 of the paper surveys what becomes
+// possible when the channel reports silence/success/collision instead of
+// the paper's noise-only feedback. This example quantifies the gap on the
+// same workload:
+//
+//   - randomized binary tree splitting (Capetanakis/Hayes/
+//     Tsybakov–Mikhailov) with and without the Massey skip, which needs
+//     collision detection and resolves k contenders in ≈ 2.9k / 2.66k
+//     slots;
+//
+//   - the paper's One-Fail Adaptive and Exp Back-on/Back-off, which need
+//     nothing and pay ≈ 7.4k / ≈ 5–8k;
+//
+//   - Willard-style leader election, the O(log log k) primitive §2 cites
+//     for building the acknowledgement a bare channel lacks.
+//
+//     go run ./examples/cdcompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mac "repro"
+	"repro/internal/cd"
+	"repro/internal/rng"
+)
+
+func main() {
+	const runs = 5
+	ofa, err := mac.OneFailAdaptive()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ebb, err := mac.ExpBackonBackoff()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("steps per contender, with vs without collision detection:")
+	fmt.Printf("%-9s %-18s %-18s %-20s %-20s\n",
+		"k", "tree (CD)", "tree+Massey (CD)", "One-Fail (no CD)", "Exp B-on/B-off (no CD)")
+	for _, k := range []int{100, 1000, 10000, 100000} {
+		tree := treeRatio(k, runs)
+		massey := treeRatio(k, runs, cd.WithMasseySkip())
+		ratioOFA := solveRatio(ofa, k, runs)
+		ratioEBB := solveRatio(ebb, k, runs)
+		fmt.Printf("%-9d %-18.2f %-18.2f %-20.2f %-20.2f\n", k, tree, massey, ratioOFA, ratioEBB)
+	}
+
+	fmt.Println("\nleader election (collision detection, unknown k) — mean slots to a")
+	fmt.Println("unique leader, the ack-infrastructure primitive of §2:")
+	for _, k := range []int{10, 1000, 100000, 10000000} {
+		const elections = 200
+		var total uint64
+		for i := 0; i < elections; i++ {
+			steps, err := cd.LeaderRun(k, rng.NewStream(9, "leader", fmt.Sprint(k), fmt.Sprint(i)), 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += steps
+		}
+		fmt.Printf("  k=%-9d mean %.1f slots\n", k, float64(total)/elections)
+	}
+	fmt.Println("\ncollision detection buys a ~2.6x constant over the paper's optimal")
+	fmt.Println("no-CD protocols — and the paper's point is that its protocols get")
+	fmt.Println("within that constant with no channel feedback at all.")
+}
+
+func treeRatio(k, runs int, opts ...cd.TreeOption) float64 {
+	var total uint64
+	for i := 0; i < runs; i++ {
+		steps, err := cd.TreeRun(k, rng.NewStream(9, "tree", fmt.Sprint(k), fmt.Sprint(i), fmt.Sprint(len(opts))), 0, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += steps
+	}
+	return float64(total) / float64(runs) / float64(k)
+}
+
+func solveRatio(p mac.Protocol, k, runs int) float64 {
+	var total uint64
+	for seed := uint64(0); seed < uint64(runs); seed++ {
+		steps, err := p.Solve(k, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += steps
+	}
+	return float64(total) / float64(runs) / float64(k)
+}

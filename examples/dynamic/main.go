@@ -1,0 +1,92 @@
+// Dynamic arrivals example: the paper's future work (§6) asks how the
+// protocols behave when messages arrive over time instead of in one
+// batch. This example feeds the same Poisson and bursty workloads to
+// One-Fail Adaptive and Exp Back-on/Back-off, with every station running
+// its protocol from its own arrival instant, and reports delivery latency
+// and channel backlog.
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+func main() {
+	const messages = 400
+
+	newOFA := func() (protocol.Controller, error) {
+		return core.NewOneFailAdaptive(core.DefaultOFADelta)
+	}
+	newEBB := func() (protocol.Schedule, error) {
+		return core.NewExpBackonBackoff(core.DefaultEBBDelta)
+	}
+
+	printResult := func(rate float64, name string, r dynamic.Result, n int) {
+		status := fmt.Sprint(r.Completion)
+		if !r.Completed {
+			status = fmt.Sprintf("LIVELOCK (%d/%d)", r.Delivered, n)
+		}
+		fmt.Printf("%-8.2f %-28s %-18s %-14.1f %-14.0f %-12d\n",
+			rate, name, status, r.Latency.Mean(), r.Latency.Quantile(0.99), r.MaxBacklog)
+	}
+
+	fmt.Println("Poisson arrivals (statistical), local per-arrival clocks:")
+	fmt.Printf("%-8s %-28s %-18s %-14s %-14s %-12s\n",
+		"rate", "protocol", "completion", "mean latency", "p99 latency", "max backlog")
+	for _, rate := range []float64{0.02, 0.05, 0.1, 0.2} {
+		w, err := dynamic.PoissonArrivals(messages, rate, rng.NewStream(7, "arrivals", fmt.Sprint(rate)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ofaLocal, err := dynamic.RunFair(w, newOFA, rng.NewStream(7, "ofa", fmt.Sprint(rate)),
+			dynamic.WithMaxSlots(2_000_000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ofaGlobal, err := dynamic.RunFair(w, newOFA, rng.NewStream(7, "ofa-g", fmt.Sprint(rate)),
+			dynamic.WithClock(dynamic.ClockGlobal), dynamic.WithMaxSlots(2_000_000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ebb, err := dynamic.RunWindow(w, newEBB, rng.NewStream(7, "ebb", fmt.Sprint(rate)),
+			dynamic.WithMaxSlots(2_000_000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResult(rate, "One-Fail Adaptive (local)", ofaLocal, w.N())
+		printResult(rate, "One-Fail Adaptive (global)", ofaGlobal, w.N())
+		printResult(rate, "Exp Back-on/Back-off", ebb, w.N())
+	}
+	fmt.Println("\nfinding: with per-arrival local clocks, OFA's BT-step (probability 1")
+	fmt.Println("while σ=0) livelocks once both slot-parity classes hold ≥2 fresh")
+	fmt.Println("stations — the dynamic problem genuinely needs new protocol design,")
+	fmt.Println("as §6 anticipates. A shared global slot clock avoids the hazard.")
+
+	fmt.Println("\nAdversarial bursts (4 bursts of 100, 2000 slots apart):")
+	w, err := dynamic.BurstArrivals(4, 100, 2000, rng.NewStream(8, "bursts"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ofa, err := dynamic.RunFair(w, newOFA, rng.NewStream(8, "ofa"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ebb, err := dynamic.RunWindow(w, newEBB, rng.NewStream(8, "ebb"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s completion=%-8d mean-latency=%-10.1f max-backlog=%d\n",
+		"One-Fail Adaptive", ofa.Completion, ofa.Latency.Mean(), ofa.MaxBacklog)
+	fmt.Printf("%-28s completion=%-8d mean-latency=%-10.1f max-backlog=%d\n",
+		"Exp Back-on/Back-off", ebb.Completion, ebb.Latency.Mean(), ebb.MaxBacklog)
+	fmt.Println("\neach burst is absorbed before the next arrives — the batched analysis")
+	fmt.Println("predicts the per-burst cost, supporting the paper's conjecture that")
+	fmt.Println("non-monotonic strategies help the dynamic problem.")
+}

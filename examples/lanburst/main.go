@@ -1,0 +1,57 @@
+// LAN burst example: the paper's introduction motivates non-monotone
+// contention resolution with bursty (batched) packet arrivals on local
+// area networks, where the ubiquitous binary exponential back-off is
+// provably superlinear (Θ(k log k), [2]) while the paper's sawtooth
+// Exp Back-on/Back-off stays linear.
+//
+// This example sweeps burst sizes and prints the steps/packet ratio of
+// binary exponential back-off, loglog-iterated back-off (the best
+// monotone strategy) and Exp Back-on/Back-off, showing who wins and by
+// what factor as bursts grow.
+//
+//	go run ./examples/lanburst
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mac "repro"
+)
+
+func main() {
+	beb, err := mac.ExponentialBackoff(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	llib, err := mac.LoglogIteratedBackoff()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ebb, err := mac.ExpBackonBackoff()
+	if err != nil {
+		log.Fatal(err)
+	}
+	protocols := []mac.Protocol{beb, llib, ebb}
+
+	const runs = 5
+	fmt.Println("steps per packet for a burst of k packets (lower is better):")
+	fmt.Printf("%-10s %-24s %-24s %-24s\n", "burst k", "binary exponential", "loglog-iterated", "exp back-on/back-off")
+	for _, k := range []int{16, 64, 256, 1024, 4096, 16384, 65536} {
+		ratios := make([]float64, len(protocols))
+		for i, p := range protocols {
+			var total uint64
+			for seed := uint64(0); seed < runs; seed++ {
+				steps, err := p.Solve(k, seed)
+				if err != nil {
+					log.Fatal(err)
+				}
+				total += steps
+			}
+			ratios[i] = float64(total) / runs / float64(k)
+		}
+		fmt.Printf("%-10d %-24.2f %-24.2f %-24.2f\n", k, ratios[0], ratios[1], ratios[2])
+	}
+	fmt.Println("\nbinary exponential back-off degrades with burst size; the paper's")
+	fmt.Println("non-monotone sawtooth stays flat — its advantage grows with the burst.")
+}

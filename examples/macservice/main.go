@@ -1,0 +1,102 @@
+// MAC service example: the deployable surface of this library. A
+// telemetry stream of messages arrives over time; the gated-batch MAC
+// service (internal/maclayer) delivers every message over the shared
+// channel by running the paper's One-Fail Adaptive protocol on each
+// batch. Gating converts the dynamic arrival stream into the static
+// batched instances the protocol is specified for — inheriting the
+// paper's linear-time-per-batch guarantee and avoiding the local-clock
+// livelock that naive per-arrival deployment exhibits (see
+// examples/dynamic).
+//
+//	go run ./examples/macservice
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/maclayer"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// telemetry is the application payload.
+type telemetry struct {
+	sensor  int
+	reading float64
+}
+
+func main() {
+	src := rng.NewStream(31337, "macservice")
+	svc := maclayer.New(func() (protocol.Station, error) {
+		ctrl, err := core.NewOneFailAdaptive(core.DefaultOFADelta)
+		if err != nil {
+			return nil, err
+		}
+		return protocol.NewFairStation(ctrl), nil
+	}, src)
+
+	// Drive 20k slots of channel time with two kinds of traffic: a steady
+	// trickle and a couple of event bursts (a threshold alarm that fires
+	// many sensors at once — the paper's batched-arrival motivation).
+	const horizon = 20000
+	arrivals := rng.NewStream(31337, "arrivals")
+	var latency stats.Summary
+	perBatch := make(map[int]int)
+	enqueued := 0
+	maxBacklog := 0
+
+	for slot := 1; slot <= horizon; slot++ {
+		if arrivals.Bernoulli(0.02) { // steady trickle
+			svc.Enqueue(telemetry{sensor: enqueued, reading: 20 + arrivals.NormFloat64()})
+			enqueued++
+		}
+		if slot == 5000 || slot == 12000 { // alarm: 300 sensors fire together
+			for i := 0; i < 300; i++ {
+				svc.Enqueue(telemetry{sensor: enqueued, reading: 90 + arrivals.NormFloat64()})
+				enqueued++
+			}
+		}
+		d, err := svc.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d != nil {
+			latency.Add(float64(d.Latency()))
+			perBatch[d.Batch]++
+		}
+		if b := svc.Backlog(); b > maxBacklog {
+			maxBacklog = b
+		}
+	}
+	// Drain whatever is still in flight at the horizon.
+	rest, err := svc.RunUntilDrained(horizon + 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range rest {
+		latency.Add(float64(d.Latency()))
+		perBatch[d.Batch]++
+	}
+
+	fmt.Printf("delivered %d/%d messages in %d slots across %d batches\n",
+		svc.Delivered(), enqueued, svc.Slot(), svc.Batch())
+	fmt.Printf("latency: mean %.1f  median %.0f  p99 %.0f  max %.0f slots\n",
+		latency.Mean(), latency.Median(), latency.Quantile(0.99), latency.Max())
+	fmt.Printf("max backlog %d (bursts of 300 + trickle), %d collision slots\n",
+		maxBacklog, svc.Collisions())
+
+	// The two alarm batches should each resolve at the protocol's static
+	// cost: ≈ 7.4 slots per message.
+	big := 0
+	for _, n := range perBatch {
+		if n > big {
+			big = n
+		}
+	}
+	fmt.Printf("largest batch carried %d messages (alarm burst + trickle overlap)\n", big)
+	fmt.Println("\neach burst is resolved as one static k-selection instance — the")
+	fmt.Println("service inherits the paper's 2(δ+1)k w.h.p. guarantee per batch.")
+}

@@ -1,0 +1,149 @@
+// Package analysis encodes the closed-form results of the paper's
+// theorems and lemmas: the running-time constants of Theorems 1 and 2,
+// the threshold quantities τ and M of the One-Fail Adaptive analysis
+// (Lemma 5/6), the balls-in-bins threshold of Lemma 1, and the analysis
+// ratios reported in the last column of Table 1.
+//
+// The experiment harness uses these to print the paper's "Analysis"
+// column next to measured values, and tests use them to confirm the
+// simulated protocols respect their proven bounds.
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// OFARatio returns the leading constant of Theorem 1: One-Fail Adaptive
+// solves static k-selection in 2(δ+1)k + O(log²k) slots, so the
+// steps/nodes ratio converges to 2(δ+1) for large k. For the paper's
+// δ = 2.72 this is 7.44 (reported as 7.4 in Table 1).
+func OFARatio(delta float64) float64 {
+	return 2 * (delta + 1)
+}
+
+// OFASlotBound returns the Theorem 1 running-time bound 2(δ+1)k + c·log₂²k
+// for the given additive constant c (the paper leaves the constant of the
+// O(log²k) term unspecified; tests calibrate c empirically).
+func OFASlotBound(k int, delta, c float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	logK := math.Log2(float64(k) + 1)
+	return 2*(delta+1)*float64(k) + c*logK*logK
+}
+
+// OFASuccessProb returns the Theorem 1 success probability 1 − 2/(1+k).
+func OFASuccessProb(k int) float64 {
+	return 1 - 2/(1+float64(k))
+}
+
+// Tau returns τ = 300·δ·ln(1+k), the round-length parameter of the
+// One-Fail Adaptive analysis (Appendix A: rounds begin when κ̃ crosses
+// multiples of τ).
+func Tau(k int, delta float64) float64 {
+	return 300 * delta * math.Log(1+float64(k))
+}
+
+// Gamma returns γ = (δ−1)(3−δ)/(δ−2), the estimator-gap slack of Lemma 3.
+// It requires δ > 2 (true for the admissible range δ > e).
+func Gamma(delta float64) float64 {
+	return (delta - 1) * (3 - delta) / (delta - 2)
+}
+
+// SubroundSum returns S = 2·Σ_{j=0..4}(5/6)^j·τ, the maximum number of
+// messages delivered across the five sub-rounds of a round in the Lemma 5
+// analysis.
+func SubroundSum(k int, delta float64) float64 {
+	tau := Tau(k, delta)
+	sum := 0.0
+	for j := 0; j < 5; j++ {
+		sum += math.Pow(5.0/6.0, float64(j))
+	}
+	return 2 * sum * tau
+}
+
+// MThreshold returns M, the residual-density threshold of Lemmas 5 and 6:
+// once at most M messages remain, the BT algorithm finishes the protocol.
+//
+//	M = ((δ+1)·lnδ − 1)/(lnδ − 1)·S + ((γ+2τ+1)·lnδ − 1)/(lnδ − 1)
+//
+// M requires ln δ > 1, i.e. δ > e — the same condition as Theorem 1. Note
+// that for δ close to e the denominator lnδ − 1 approaches 0 and M blows
+// up; with the paper's simulated δ = 2.72 (ln δ ≈ 1.00063) M is
+// astronomically large, which is why the O(log²k) additive term is "mainly
+// relevant for moderate values of k" only through its constants (§5).
+func MThreshold(k int, delta float64) (float64, error) {
+	lnD := math.Log(delta)
+	if lnD <= 1 {
+		return 0, fmt.Errorf("analysis: M requires δ > e, got %v", delta)
+	}
+	tau := Tau(k, delta)
+	s := SubroundSum(k, delta)
+	gamma := Gamma(delta)
+	m := ((delta+1)*lnD-1)/(lnD-1)*s + ((gamma+2*tau+1)*lnD-1)/(lnD-1)
+	return m, nil
+}
+
+// EBBRatio returns the leading constant of Theorem 2: Exp Back-on/Back-off
+// solves static k-selection within 4(1+1/δ)k slots w.h.p., so the
+// worst-case ratio is 4(1+1/δ). For the paper's δ = 0.366 this is 14.93
+// (reported as 14.9 in Table 1). The paper observes measured ratios of
+// 4–8, "off by only a small constant factor" from the bound.
+func EBBRatio(delta float64) float64 {
+	return 4 * (1 + 1/delta)
+}
+
+// EBBSlotBound returns the Theorem 2 bound 4(1+1/δ)k.
+func EBBSlotBound(k int, delta float64) float64 {
+	return EBBRatio(delta) * float64(k)
+}
+
+// Lemma1Threshold returns the minimum number of balls
+// m ≥ (2e/(1−eδ)²)(1 + (β+1/2)·ln k) for which Lemma 1 guarantees that
+// throwing m balls into w ≥ m bins yields at least δm singleton bins with
+// probability at least 1 − 1/k^β. Requires 0 < δ < 1/e.
+func Lemma1Threshold(k int, delta, beta float64) (float64, error) {
+	if !(delta > 0 && delta < 1/math.E) {
+		return 0, fmt.Errorf("analysis: Lemma 1 requires 0 < δ < 1/e, got %v", delta)
+	}
+	if beta <= 0 {
+		return 0, fmt.Errorf("analysis: Lemma 1 requires β > 0, got %v", beta)
+	}
+	den := 1 - math.E*delta
+	return (2 * math.E / (den * den)) * (1 + (beta+0.5)*math.Log(float64(k))), nil
+}
+
+// LFARatio returns the analysis ratio of Log-Fails Adaptive from [7]:
+// (e+1+ξδ+ξβ)/(1−ξt). With the paper's parameters ξδ = ξβ = 0.1 this
+// yields 7.84 for ξt = 1/2 and 4.35 for ξt = 1/10 — the values 7.8 and
+// 4.4 reported in Table 1's "Analysis" column.
+func LFARatio(xiDelta, xiBeta, xiT float64) float64 {
+	return (math.E + 1 + xiDelta + xiBeta) / (1 - xiT)
+}
+
+// LLIBRatioAsymptotic returns the asymptotic form of Loglog-Iterated
+// Back-off's makespan ratio, Θ(loglog k / logloglog k), evaluated without
+// a leading constant. Table 1 prints the symbolic form; this function
+// exists for shape checks (the ratio must grow, slowly, with k).
+func LLIBRatioAsymptotic(k int) float64 {
+	if k < 4 {
+		return 1
+	}
+	ll := math.Log2(math.Log2(float64(k)))
+	if ll <= 1 {
+		return 1
+	}
+	lll := math.Log2(ll)
+	if lll < 1 {
+		lll = 1
+	}
+	return ll / lll
+}
+
+// FairOptimalRatio returns e, the best possible steps/nodes ratio for any
+// fair protocol (all nodes using the same transmission probability per
+// slot): the per-slot success probability is at most max_p m·p(1−p)^(m−1)
+// ≈ 1/e, giving at least e·k slots in expectation. §5 uses this to put
+// the measured ratios in perspective.
+func FairOptimalRatio() float64 { return math.E }

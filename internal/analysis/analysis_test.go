@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// newTestRand returns a deterministic generator seeded from the test name.
+func newTestRand(t *testing.T) *rng.Rand {
+	t.Helper()
+	return rng.NewStream(424242, t.Name())
+}
+
+// TestTable1AnalysisColumn pins the "Analysis" column of the paper's
+// Table 1 to the encoded formulas: 7.8 and 4.4 for Log-Fails Adaptive,
+// 7.4 for One-Fail Adaptive, 14.9 for Exp Back-on/Back-off (all at the
+// paper's parameter choices, rounded to one decimal as printed).
+func TestTable1AnalysisColumn(t *testing.T) {
+	t.Parallel()
+	round1 := func(x float64) float64 { return math.Round(x*10) / 10 }
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{name: "LFA xiT=1/2", got: LFARatio(0.1, 0.1, 0.5), want: 7.8},
+		{name: "LFA xiT=1/10", got: LFARatio(0.1, 0.1, 0.1), want: 4.4},
+		{name: "OFA delta=2.72", got: OFARatio(core.DefaultOFADelta), want: 7.4},
+		{name: "EBB delta=0.366", got: EBBRatio(core.DefaultEBBDelta), want: 14.9},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if round1(tt.got) != tt.want {
+				t.Fatalf("analysis ratio = %v (%v rounded), want %v", tt.got, round1(tt.got), tt.want)
+			}
+		})
+	}
+}
+
+func TestOFASlotBoundMonotone(t *testing.T) {
+	t.Parallel()
+	prev := 0.0
+	for _, k := range []int{1, 2, 10, 100, 10000} {
+		b := OFASlotBound(k, core.DefaultOFADelta, 1)
+		if b <= prev {
+			t.Fatalf("bound not increasing at k=%d: %v after %v", k, b, prev)
+		}
+		prev = b
+	}
+	if got := OFASlotBound(0, core.DefaultOFADelta, 1); got != 0 {
+		t.Fatalf("bound at k=0 = %v, want 0", got)
+	}
+}
+
+func TestOFASuccessProb(t *testing.T) {
+	t.Parallel()
+	if got := OFASuccessProb(1); got != 0 {
+		t.Errorf("success prob at k=1 = %v, want 0", got)
+	}
+	if got := OFASuccessProb(999); math.Abs(got-0.998) > 1e-12 {
+		t.Errorf("success prob at k=999 = %v, want 0.998", got)
+	}
+	f := func(kRaw uint16) bool {
+		k := int(kRaw)
+		p := OFASuccessProb(k)
+		return p < 1 && p >= -1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTauGrowsLogarithmically(t *testing.T) {
+	t.Parallel()
+	// τ(k²) ≈ 2·τ(k) for large k.
+	k := 1000
+	r := Tau(k*k, core.DefaultOFADelta) / Tau(k, core.DefaultOFADelta)
+	if math.Abs(r-2) > 0.01 {
+		t.Fatalf("τ(k²)/τ(k) = %v, want ~2", r)
+	}
+}
+
+func TestGamma(t *testing.T) {
+	t.Parallel()
+	// γ must satisfy γ ≥ (δ−1)(3−δ)/(δ−2) ≥ 0 for admissible δ
+	// (e < δ < 3 makes every factor positive).
+	for _, delta := range []float64{2.72, 2.8, 2.99} {
+		if g := Gamma(delta); g < 0 {
+			t.Errorf("γ(%v) = %v, want ≥ 0", delta, g)
+		}
+	}
+}
+
+func TestMThreshold(t *testing.T) {
+	t.Parallel()
+	if _, err := MThreshold(1000, math.E); err == nil {
+		t.Error("δ=e accepted, want error (needs lnδ > 1)")
+	}
+	// For δ comfortably above e, M is positive and grows with k like τ.
+	m1, err := MThreshold(100, 2.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MThreshold(10000, 2.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m2 > m1 && m1 > 0) {
+		t.Fatalf("M(100)=%v, M(10000)=%v, want increasing positive", m1, m2)
+	}
+	// The paper's own δ=2.72 sits just above e: M must still be finite
+	// and positive, just enormous.
+	m3, err := MThreshold(1000, core.DefaultOFADelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m3 > 0 && !math.IsInf(m3, 0)) {
+		t.Fatalf("M at δ=2.72 = %v, want finite positive", m3)
+	}
+}
+
+func TestLemma1Threshold(t *testing.T) {
+	t.Parallel()
+	if _, err := Lemma1Threshold(1000, 0.5, 1); err == nil {
+		t.Error("δ=0.5 ≥ 1/e accepted, want error")
+	}
+	if _, err := Lemma1Threshold(1000, 0.1, 0); err == nil {
+		t.Error("β=0 accepted, want error")
+	}
+	// The threshold grows as δ → 1/e (the (1−eδ)² denominator).
+	loose, err := Lemma1Threshold(1000, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Lemma1Threshold(1000, 0.36, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight <= loose {
+		t.Fatalf("threshold(δ=0.36)=%v ≤ threshold(δ=0.1)=%v, want larger near 1/e", tight, loose)
+	}
+}
+
+// TestLemma1Empirical verifies Lemma 1's conclusion by direct simulation:
+// for m above the threshold and w = m bins, the number of singleton bins
+// is at least δm with probability well above 1 − 1/k^β.
+func TestLemma1Empirical(t *testing.T) {
+	t.Parallel()
+	const delta, beta = 0.25, 1.0
+	k := 300
+	thr, err := Lemma1Threshold(k, delta, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := int(thr) + 1
+	if m > k {
+		k = m // Lemma requires k ≥ m; enlarge k accordingly.
+	}
+	src := newTestRand(t)
+	const trials = 2000
+	bad := 0
+	counts := make([]int, m)
+	for trial := 0; trial < trials; trial++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for b := 0; b < m; b++ {
+			counts[src.Intn(m)]++
+		}
+		singles := 0
+		for _, c := range counts {
+			if c == 1 {
+				singles++
+			}
+		}
+		if float64(singles) < delta*float64(m) {
+			bad++
+		}
+	}
+	allowed := trials/int(math.Pow(float64(k), beta))*5 + 10
+	if bad > allowed {
+		t.Fatalf("δm singleton failures: %d/%d, allowed ~%d", bad, trials, allowed)
+	}
+}
+
+func TestLLIBRatioAsymptoticShape(t *testing.T) {
+	t.Parallel()
+	// Must be weakly increasing over the experiment range and stay small.
+	prev := 0.0
+	for _, k := range []int{10, 100, 10000, 1000000, 100000000} {
+		r := LLIBRatioAsymptotic(k)
+		if r < prev-1e-9 {
+			t.Fatalf("asymptotic ratio decreased at k=%d: %v after %v", k, r, prev)
+		}
+		if r > 4 {
+			t.Fatalf("asymptotic ratio at k=%d = %v, implausibly large", k, r)
+		}
+		prev = r
+	}
+}
+
+func TestFairOptimalRatio(t *testing.T) {
+	t.Parallel()
+	if got := FairOptimalRatio(); got != math.E {
+		t.Fatalf("optimal fair ratio = %v, want e", got)
+	}
+	// Every protocol's analysis ratio must exceed the fair-protocol
+	// optimum (§5: "the smallest ratio expected by any algorithm in which
+	// nodes use the same probability at any step is e").
+	for name, ratio := range map[string]float64{
+		"OFA": OFARatio(core.DefaultOFADelta),
+		"EBB": EBBRatio(core.DefaultEBBDelta),
+		"LFA": LFARatio(0.1, 0.1, 0.1),
+	} {
+		if ratio <= math.E {
+			t.Errorf("%s analysis ratio %v ≤ e", name, ratio)
+		}
+	}
+}

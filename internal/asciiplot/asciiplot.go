@@ -1,0 +1,169 @@
+// Package asciiplot renders log-log line charts as plain text, so the
+// repository can regenerate the paper's Figure 1 in a terminal without
+// external plotting dependencies.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// seriesMarks are assigned to series in order of addition.
+var _seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot is a log-log scatter/line chart. Create one with New, add series,
+// then Render.
+type Plot struct {
+	title  string
+	xLabel string
+	yLabel string
+	series []series
+}
+
+type series struct {
+	name string
+	xs   []float64
+	ys   []float64
+}
+
+// New returns an empty plot with the given title and axis labels.
+func New(title, xLabel, yLabel string) *Plot {
+	return &Plot{title: title, xLabel: xLabel, yLabel: yLabel}
+}
+
+// AddSeries appends a named series; xs and ys must have equal length and
+// positive values (non-positive points are dropped — the chart is
+// logarithmic on both axes).
+func (p *Plot) AddSeries(name string, xs, ys []float64) {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	var fx, fy []float64
+	for i := 0; i < n; i++ {
+		if xs[i] > 0 && ys[i] > 0 {
+			fx = append(fx, xs[i])
+			fy = append(fy, ys[i])
+		}
+	}
+	p.series = append(p.series, series{name: name, xs: fx, ys: fy})
+}
+
+// Render draws the chart into a width×height character canvas (axes and
+// legend add a margin around it) and returns it as a string.
+func (p *Plot) Render(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range p.series {
+		for i := range s.xs {
+			xMin = math.Min(xMin, s.xs[i])
+			xMax = math.Max(xMax, s.xs[i])
+			yMin = math.Min(yMin, s.ys[i])
+			yMax = math.Max(yMax, s.ys[i])
+			points++
+		}
+	}
+	var b strings.Builder
+	if p.title != "" {
+		fmt.Fprintf(&b, "%s\n", p.title)
+	}
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	// Expand degenerate ranges so single points still render.
+	if xMin == xMax {
+		xMin, xMax = xMin/2, xMax*2
+	}
+	if yMin == yMax {
+		yMin, yMax = yMin/2, yMax*2
+	}
+	lxMin, lxMax := math.Log10(xMin), math.Log10(xMax)
+	lyMin, lyMax := math.Log10(yMin), math.Log10(yMax)
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((math.Log10(x) - lxMin) / (lxMax - lxMin) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((math.Log10(y) - lyMin) / (lyMax - lyMin) * float64(height-1)))
+		return clamp(height-1-r, 0, height-1)
+	}
+	for si, s := range p.series {
+		mark := _seriesMarks[si%len(_seriesMarks)]
+		// Connect consecutive points with interpolated steps in log space.
+		for i := range s.xs {
+			grid[row(s.ys[i])][col(s.xs[i])] = mark
+			if i == 0 {
+				continue
+			}
+			const segments = 24
+			x0, y0 := math.Log10(s.xs[i-1]), math.Log10(s.ys[i-1])
+			x1, y1 := math.Log10(s.xs[i]), math.Log10(s.ys[i])
+			for t := 1; t < segments; t++ {
+				f := float64(t) / segments
+				xi := math.Pow(10, x0+(x1-x0)*f)
+				yi := math.Pow(10, y0+(y1-y0)*f)
+				r, c := row(yi), col(xi)
+				if grid[r][c] == ' ' {
+					grid[r][c] = '.'
+				}
+			}
+		}
+	}
+
+	yLo := fmt.Sprintf("%.3g", yMin)
+	yHi := fmt.Sprintf("%.3g", yMax)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	fmt.Fprintf(&b, "%s\n", p.yLabel)
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = pad(yHi, margin)
+		case height - 1:
+			label = pad(yLo, margin)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", margin), width-len(fmt.Sprintf("%.3g", xMax)),
+		fmt.Sprintf("%.3g", xMin), fmt.Sprintf("%.3g", xMax))
+	fmt.Fprintf(&b, "%s  %s (log-log)\n", strings.Repeat(" ", margin), p.xLabel)
+	for si, s := range p.series {
+		fmt.Fprintf(&b, "  %c %s\n", _seriesMarks[si%len(_seriesMarks)], s.name)
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}

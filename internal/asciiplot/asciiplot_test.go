@@ -1,0 +1,95 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderEmpty(t *testing.T) {
+	t.Parallel()
+	p := New("empty", "x", "y")
+	out := p.Render(40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty plot missing placeholder:\n%s", out)
+	}
+}
+
+func TestRenderBasic(t *testing.T) {
+	t.Parallel()
+	p := New("title", "nodes", "steps")
+	p.AddSeries("a", []float64{10, 100, 1000}, []float64{40, 700, 7000})
+	p.AddSeries("b", []float64{10, 100, 1000}, []float64{50, 550, 5500})
+	out := p.Render(60, 16)
+	for _, want := range []string{"title", "nodes", "steps", "a", "b", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered plot missing %q:\n%s", want, out)
+		}
+	}
+	// Axis extremes must appear.
+	if !strings.Contains(out, "10") || !strings.Contains(out, "1e+03") && !strings.Contains(out, "1000") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestRenderDropsNonPositive(t *testing.T) {
+	t.Parallel()
+	p := New("t", "x", "y")
+	p.AddSeries("s", []float64{-1, 0, 10}, []float64{5, 5, 5})
+	out := p.Render(40, 10)
+	if strings.Contains(out, "(no data)") {
+		t.Fatalf("positive point dropped:\n%s", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	t.Parallel()
+	p := New("t", "x", "y")
+	p.AddSeries("s", []float64{100}, []float64{100})
+	out := p.Render(40, 10)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestRenderMismatchedLengths(t *testing.T) {
+	t.Parallel()
+	p := New("t", "x", "y")
+	p.AddSeries("s", []float64{1, 10, 100}, []float64{5, 50})
+	out := p.Render(40, 10)
+	if out == "" {
+		t.Fatal("mismatched series rendered nothing")
+	}
+}
+
+func TestRenderMinimumDimensions(t *testing.T) {
+	t.Parallel()
+	p := New("t", "x", "y")
+	p.AddSeries("s", []float64{1, 1000}, []float64{1, 1000})
+	out := p.Render(1, 1) // clamped internally
+	lines := strings.Split(out, "\n")
+	if len(lines) < 8 {
+		t.Fatalf("clamped render too small:\n%s", out)
+	}
+}
+
+func TestMonotoneSeriesSlopesUpward(t *testing.T) {
+	t.Parallel()
+	// A y = x series on a log-log chart must place the first point on a
+	// lower row than the last point.
+	p := New("", "x", "y")
+	p.AddSeries("s", []float64{1, 1e6}, []float64{1, 1e6})
+	out := p.Render(60, 20)
+	lines := strings.Split(out, "\n")
+	firstMark, lastMark := -1, -1
+	for i, line := range lines {
+		if strings.Contains(line, "*") {
+			if firstMark == -1 {
+				firstMark = i
+			}
+			lastMark = i
+		}
+	}
+	if firstMark == -1 || firstMark == lastMark {
+		t.Fatalf("expected marks on distinct rows:\n%s", out)
+	}
+}

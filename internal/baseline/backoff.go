@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/protocol"
+)
+
+// DefaultLLIBBase is the window growth base the paper's evaluation uses
+// for Loglog-Iterated Back-off ("simulated with parameter r = 2", §5).
+const DefaultLLIBBase = 2.0
+
+// maxWindow caps schedule windows to keep a misconfigured or runaway
+// schedule from overflowing slot arithmetic; it is far beyond the windows
+// any experiment in this repository reaches (k ≤ 10⁷ completes with
+// windows < 2³⁰).
+const maxWindow = 1 << 40
+
+// LoglogIteratedBackoff is a reconstruction of the loglog-iterated
+// back-off protocol of [2]: a monotone windowed back-off whose window
+// sizes grow geometrically with base r, with each window of size w
+// repeated ~log_r log_r w times before growing — the "iterated" schedule
+// that achieves makespan Θ(k·loglog k / logloglog k) w.h.p., optimal for
+// monotone protocols. It implements protocol.Schedule.
+type LoglogIteratedBackoff struct {
+	r    float64
+	i    int     // growth step: current window is round(r^i)
+	w    float64 // current real-valued window size
+	reps int     // repetitions of the current window remaining
+}
+
+// NewLoglogIteratedBackoff returns the schedule with growth base r
+// (the paper evaluates r = 2). Requires r > 1.
+func NewLoglogIteratedBackoff(r float64) (*LoglogIteratedBackoff, error) {
+	if !(r > 1) {
+		return nil, fmt.Errorf("baseline: Loglog-Iterated Back-off requires r > 1, got %v", r)
+	}
+	return &LoglogIteratedBackoff{r: r}, nil
+}
+
+// Base returns the growth base r.
+func (s *LoglogIteratedBackoff) Base() float64 { return s.r }
+
+// NextWindow implements protocol.Schedule.
+func (s *LoglogIteratedBackoff) NextWindow() int {
+	if s.reps == 0 {
+		s.i++
+		s.w = math.Pow(s.r, float64(s.i))
+		if s.w > maxWindow {
+			s.w = maxWindow
+		}
+		// log_r w = i for w = r^i; iterate: repetitions = ⌈log_r(max(r, i))⌉.
+		logr := func(x float64) float64 { return math.Log(x) / math.Log(s.r) }
+		s.reps = int(math.Ceil(logr(math.Max(s.r, float64(s.i)))))
+		if s.reps < 1 {
+			s.reps = 1
+		}
+	}
+	s.reps--
+	w := int(math.Round(s.w))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ExponentialBackoff is the classic monotone r-exponential back-off:
+// window i has size round(r^i). Binary exponential back-off (r = 2) is
+// the ubiquitous practical strategy; [2] shows r-exponential back-off has
+// makespan Θ(k·log_{log r} k) for batched arrivals — superlinear, which
+// is what the paper's non-monotone protocols beat. It implements
+// protocol.Schedule.
+type ExponentialBackoff struct {
+	r float64
+	w float64
+}
+
+// NewExponentialBackoff returns an r-exponential back-off schedule.
+// Requires r > 1.
+func NewExponentialBackoff(r float64) (*ExponentialBackoff, error) {
+	if !(r > 1) {
+		return nil, fmt.Errorf("baseline: exponential back-off requires r > 1, got %v", r)
+	}
+	return &ExponentialBackoff{r: r, w: 1}, nil
+}
+
+// NextWindow implements protocol.Schedule.
+func (s *ExponentialBackoff) NextWindow() int {
+	s.w *= s.r
+	if s.w > maxWindow {
+		s.w = maxWindow
+	}
+	w := int(math.Round(s.w))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// PolynomialBackoff is monotone polynomial back-off: window i has size
+// round(i^r). Analyzed in [2] alongside the exponential family. It
+// implements protocol.Schedule.
+type PolynomialBackoff struct {
+	r float64
+	i int
+}
+
+// NewPolynomialBackoff returns a polynomial back-off schedule with
+// exponent r > 0.
+func NewPolynomialBackoff(r float64) (*PolynomialBackoff, error) {
+	if !(r > 0) {
+		return nil, fmt.Errorf("baseline: polynomial back-off requires r > 0, got %v", r)
+	}
+	return &PolynomialBackoff{r: r}, nil
+}
+
+// NextWindow implements protocol.Schedule.
+func (s *PolynomialBackoff) NextWindow() int {
+	s.i++
+	w := math.Pow(float64(s.i), s.r)
+	if w > maxWindow {
+		w = maxWindow
+	}
+	if w < 1 {
+		return 1
+	}
+	return int(math.Round(w))
+}
+
+// LogBackoff is monotone log-back-off from the family of [2]: windows grow
+// by the slow multiplicative factor (1 + 1/log₂ w). It implements
+// protocol.Schedule.
+type LogBackoff struct {
+	w float64
+}
+
+// NewLogBackoff returns a log-back-off schedule starting at window size 2.
+func NewLogBackoff() *LogBackoff { return &LogBackoff{w: 2} }
+
+// NextWindow implements protocol.Schedule.
+func (s *LogBackoff) NextWindow() int {
+	w := int(math.Round(s.w))
+	if w < 1 {
+		w = 1
+	}
+	grow := 1 + 1/math.Max(1, math.Log2(s.w))
+	s.w *= grow
+	if s.w > maxWindow {
+		s.w = maxWindow
+	}
+	return w
+}
+
+// FixedWindow is the degenerate schedule with constant window size; with
+// w ≈ k it is the genie protocol that knows the number of contenders, a
+// useful experimental control. It implements protocol.Schedule.
+type FixedWindow struct {
+	w int
+}
+
+// NewFixedWindow returns a constant schedule of w-slot windows. Requires
+// w >= 1.
+func NewFixedWindow(w int) (*FixedWindow, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("baseline: fixed window requires w >= 1, got %d", w)
+	}
+	return &FixedWindow{w: w}, nil
+}
+
+// NextWindow implements protocol.Schedule.
+func (s *FixedWindow) NextWindow() int { return s.w }
+
+// Compile-time interface conformance checks.
+var (
+	_ protocol.Schedule = (*LoglogIteratedBackoff)(nil)
+	_ protocol.Schedule = (*ExponentialBackoff)(nil)
+	_ protocol.Schedule = (*PolynomialBackoff)(nil)
+	_ protocol.Schedule = (*LogBackoff)(nil)
+	_ protocol.Schedule = (*FixedWindow)(nil)
+)

@@ -1,0 +1,359 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLogFailsAdaptiveValidation(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name    string
+		epsilon float64
+		xiT     float64
+		opts    []LFAOption
+		wantErr bool
+	}{
+		{name: "paper half", epsilon: 1.0 / 101, xiT: 0.5, wantErr: false},
+		{name: "paper tenth", epsilon: 1.0 / 101, xiT: 0.1, wantErr: false},
+		{name: "epsilon zero", epsilon: 0, xiT: 0.5, wantErr: true},
+		{name: "epsilon one", epsilon: 1, xiT: 0.5, wantErr: true},
+		{name: "epsilon negative", epsilon: -0.1, xiT: 0.5, wantErr: true},
+		{name: "xiT zero", epsilon: 0.01, xiT: 0, wantErr: true},
+		{name: "xiT one", epsilon: 0.01, xiT: 1, wantErr: true},
+		{name: "bad xiDelta", epsilon: 0.01, xiT: 0.5, opts: []LFAOption{WithLFAXiDelta(0)}, wantErr: true},
+		{name: "bad xiBeta", epsilon: 0.01, xiT: 0.5, opts: []LFAOption{WithLFAXiBeta(-1)}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := NewLogFailsAdaptive(tt.epsilon, tt.xiT, tt.opts...)
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Fatalf("NewLogFailsAdaptive(%v, %v) error = %v, wantErr %v", tt.epsilon, tt.xiT, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLFAStepAllotment(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name    string
+		xiT     float64
+		btSlots []uint64 // slots that must be BT-steps
+		atSlots []uint64 // slots that must be AT-steps
+	}{
+		{name: "half", xiT: 0.5, btSlots: []uint64{2, 4, 6, 100}, atSlots: []uint64{1, 3, 5, 99}},
+		{name: "tenth", xiT: 0.1, btSlots: []uint64{10, 20, 100}, atSlots: []uint64{1, 5, 9, 11, 99}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			l, err := NewLogFailsAdaptive(0.01, tt.xiT)
+			if err != nil {
+				t.Fatal(err)
+			}
+			btProb := l.Prob(tt.btSlots[0])
+			for _, s := range tt.btSlots {
+				if got := l.Prob(s); got != btProb {
+					t.Errorf("slot %d: prob %v, want fixed BT prob %v", s, got, btProb)
+				}
+			}
+			atProb := 1 / l.DensityEstimate()
+			for _, s := range tt.atSlots {
+				if got := l.Prob(s); math.Abs(got-atProb) > 1e-12 {
+					t.Errorf("slot %d: prob %v, want AT prob %v", s, got, atProb)
+				}
+			}
+		})
+	}
+}
+
+func TestLFABTProbFixed(t *testing.T) {
+	t.Parallel()
+	l, err := NewLogFailsAdaptive(1.0/101, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (1 + math.Log2(101)/2)
+	before := l.Prob(2)
+	if math.Abs(before-want) > 1e-12 {
+		t.Fatalf("BT prob = %v, want %v", before, want)
+	}
+	// The BT probability must not react to receptions (unlike OFA's).
+	for slot := uint64(1); slot <= 50; slot++ {
+		l.Observe(slot, slot%3 == 0)
+	}
+	if after := l.Prob(52); after != before {
+		t.Fatalf("BT prob changed from %v to %v after receptions", before, after)
+	}
+}
+
+func TestLFALazyGrowth(t *testing.T) {
+	t.Parallel()
+	l, err := NewLogFailsAdaptive(0.5, 0.5, WithLFAPatience(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kappa0 := l.DensityEstimate()
+	// Silent slots below the patience threshold leave κ̃ untouched.
+	for slot := uint64(1); slot <= 9; slot++ {
+		l.Observe(slot, false)
+		if got := l.DensityEstimate(); got != kappa0 {
+			t.Fatalf("κ̃ moved to %v after %d silent slots (patience 10)", got, slot)
+		}
+	}
+	// The 10th silent slot flushes the pending growth, capped at doubling.
+	l.Observe(10, false)
+	if got, want := l.DensityEstimate(), 2*kappa0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("κ̃ after patience flush = %v, want doubled %v", got, want)
+	}
+}
+
+func TestLFAReceptionFlushesAndShrinks(t *testing.T) {
+	t.Parallel()
+	l, err := NewLogFailsAdaptive(0.5, 0.5, WithLFAPatience(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accrue 3 AT-steps of pending growth (slots 1, 3, 5), then receive.
+	for slot := uint64(1); slot <= 5; slot++ {
+		l.Observe(slot, false)
+	}
+	kappa0 := l.DensityEstimate()
+	l.Observe(7, true) // AT-step reception: flush +3, then shrink (1+ξδ)(δ+1)
+	// Pending was 4 AT-steps (slots 1,3,5,7); flush min(4, κ̃)=4, then shrink.
+	want := math.Max(kappa0+4-(1+DefaultLFAXiDelta)*(math.E+1), math.E+1)
+	if got := l.DensityEstimate(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("κ̃ after reception = %v, want %v", got, want)
+	}
+	if got := l.Received(); got != 1 {
+		t.Fatalf("σ = %d, want 1", got)
+	}
+}
+
+// TestLFAEstimatorInvariant property-checks κ̃ ≥ δ+1, prob ∈ (0,1], and
+// geometric growth bounding under arbitrary observation sequences.
+func TestLFAEstimatorInvariant(t *testing.T) {
+	t.Parallel()
+	f := func(events []bool, xiTenth bool) bool {
+		xiT := 0.5
+		if xiTenth {
+			xiT = 0.1
+		}
+		l, err := NewLogFailsAdaptive(0.001, xiT, WithLFAPatience(5))
+		if err != nil {
+			return false
+		}
+		for i, success := range events {
+			slot := uint64(i + 1)
+			p := l.Prob(slot)
+			if p <= 0 || p > 1 {
+				return false
+			}
+			before := l.DensityEstimate()
+			l.Observe(slot, success)
+			after := l.DensityEstimate()
+			if after < math.E+1 {
+				return false
+			}
+			// Growth per observation is bounded by doubling (flush cap).
+			if after > 2*before {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLFAPatienceDerivation(t *testing.T) {
+	t.Parallel()
+	eps := 1.0 / 1001
+	l, err := NewLogFailsAdaptive(eps, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(math.Ceil(lfaPatienceFactor / DefaultLFAXiBeta * math.Log(1/eps)))
+	if got := l.Patience(); got != want {
+		t.Fatalf("derived patience = %d, want %d", got, want)
+	}
+	// Halving ξβ doubles the patience.
+	l2, err := NewLogFailsAdaptive(eps, 0.5, WithLFAXiBeta(DefaultLFAXiBeta/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Patience(); got < 2*want-2 || got > 2*want+2 {
+		t.Fatalf("patience at ξβ/2 = %d, want ~%d", got, 2*want)
+	}
+}
+
+func TestNewLoglogIteratedBackoffValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewLoglogIteratedBackoff(1); err == nil {
+		t.Error("r=1 accepted, want error")
+	}
+	if _, err := NewLoglogIteratedBackoff(0.5); err == nil {
+		t.Error("r=0.5 accepted, want error")
+	}
+	s, err := NewLoglogIteratedBackoff(DefaultLLIBBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Base(); got != DefaultLLIBBase {
+		t.Errorf("Base() = %v, want %v", got, DefaultLLIBBase)
+	}
+}
+
+// TestLLIBWindowSequence checks the first windows of the r=2 schedule:
+// size 2^i repeated ⌈log₂(max(2, i))⌉ times.
+func TestLLIBWindowSequence(t *testing.T) {
+	t.Parallel()
+	s, err := NewLoglogIteratedBackoff(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i=1: 2×1; i=2: 4×1; i=3: 8×⌈log₂3⌉=8×2; i=4: 16×2; i=5: 32×⌈log₂5⌉=32×3.
+	want := []int{2, 4, 8, 8, 16, 16, 32, 32, 32, 64, 64, 64}
+	for i, w := range want {
+		if got := s.NextWindow(); got != w {
+			t.Fatalf("window %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestMonotoneSchedules property-checks that every monotone back-off
+// schedule produces non-decreasing windows ≥ 1.
+func TestMonotoneSchedules(t *testing.T) {
+	t.Parallel()
+	newPoly := func(r float64) func() scheduleIface {
+		return func() scheduleIface { s, _ := NewPolynomialBackoff(r); return s }
+	}
+	tests := []struct {
+		name string
+		make func() scheduleIface
+	}{
+		{name: "llib r=2", make: func() scheduleIface { s, _ := NewLoglogIteratedBackoff(2); return s }},
+		{name: "llib r=3", make: func() scheduleIface { s, _ := NewLoglogIteratedBackoff(3); return s }},
+		{name: "exponential r=2", make: func() scheduleIface { s, _ := NewExponentialBackoff(2); return s }},
+		{name: "exponential r=1.5", make: func() scheduleIface { s, _ := NewExponentialBackoff(1.5); return s }},
+		{name: "polynomial r=2", make: newPoly(2)},
+		{name: "polynomial r=0.5", make: newPoly(0.5)},
+		{name: "log-backoff", make: func() scheduleIface { return NewLogBackoff() }},
+		{name: "fixed", make: func() scheduleIface { s, _ := NewFixedWindow(7); return s }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			s := tt.make()
+			prev := 0
+			for i := 0; i < 500; i++ {
+				w := s.NextWindow()
+				if w < 1 {
+					t.Fatalf("window %d = %d < 1", i, w)
+				}
+				if w < prev {
+					t.Fatalf("window shrank: %d -> %d (monotone schedule)", prev, w)
+				}
+				prev = w
+			}
+		})
+	}
+}
+
+// scheduleIface mirrors protocol.Schedule locally to avoid an import cycle
+// in test helpers.
+type scheduleIface interface{ NextWindow() int }
+
+func TestLLIBRepetitionsGrow(t *testing.T) {
+	t.Parallel()
+	s, err := NewLoglogIteratedBackoff(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := make(map[int]int)
+	for i := 0; i < 400; i++ {
+		reps[s.NextWindow()]++
+	}
+	// Repetition count must be non-decreasing in window size and reach ≥ 4
+	// within the first 400 windows (w = 2^17 has ⌈log₂17⌉ = 5 reps).
+	prevReps := 0
+	maxReps := 0
+	sizes := []int{2, 4, 8, 16, 32, 1 << 10, 1 << 16}
+	for _, w := range sizes {
+		r := reps[w]
+		if r == 0 {
+			continue
+		}
+		if r < prevReps {
+			t.Errorf("window %d repeated %d times, fewer than a smaller window's %d", w, r, prevReps)
+		}
+		prevReps = r
+		if r > maxReps {
+			maxReps = r
+		}
+	}
+	if maxReps < 4 {
+		t.Errorf("max repetitions = %d, want ≥ 4 (loglog growth)", maxReps)
+	}
+}
+
+func TestExponentialBackoffDoubling(t *testing.T) {
+	t.Parallel()
+	s, err := NewExponentialBackoff(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 4, 8, 16, 32, 64}
+	for i, w := range want {
+		if got := s.NextWindow(); got != w {
+			t.Fatalf("window %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPolynomialBackoffSequence(t *testing.T) {
+	t.Parallel()
+	s, err := NewPolynomialBackoff(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 4, 9, 16, 25}
+	for i, w := range want {
+		if got := s.NextWindow(); got != w {
+			t.Fatalf("window %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestFixedWindowValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewFixedWindow(0); err == nil {
+		t.Error("w=0 accepted, want error")
+	}
+	s, err := NewFixedWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := s.NextWindow(); got != 3 {
+			t.Fatalf("window = %d, want 3", got)
+		}
+	}
+}
+
+func TestScheduleWindowCap(t *testing.T) {
+	t.Parallel()
+	s, err := NewExponentialBackoff(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if w := s.NextWindow(); w > maxWindow {
+			t.Fatalf("window %d exceeds cap %d", w, maxWindow)
+		}
+	}
+}

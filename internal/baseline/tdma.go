@@ -1,0 +1,55 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// TDMAStation is the genie control: round-robin time division, which
+// requires exactly the knowledge the paper's setting denies — unique
+// station identifiers 0..n-1 and the value of n. Station id transmits in
+// slots ≡ id+1 (mod n), so a batch of k ≤ n stations drains in at most n
+// slots with zero collisions. Experiments use it as the "if you knew
+// everything" lower reference; no contention-resolution protocol can
+// beat its throughput, and none of the paper's protocols may be compared
+// to it without noting the information gap.
+//
+// It implements protocol.Station.
+type TDMAStation struct {
+	id int
+	n  int
+}
+
+// NewTDMAStation returns the round-robin station with the given identity
+// out of n. Requires 0 ≤ id < n.
+func NewTDMAStation(id, n int) (*TDMAStation, error) {
+	if n < 1 || id < 0 || id >= n {
+		return nil, fmt.Errorf("baseline: TDMA requires 0 ≤ id < n, got id=%d n=%d", id, n)
+	}
+	return &TDMAStation{id: id, n: n}, nil
+}
+
+// WillTransmit implements protocol.Station.
+func (s *TDMAStation) WillTransmit(slot uint64, _ *rng.Rand) bool {
+	return (slot-1)%uint64(s.n) == uint64(s.id)
+}
+
+// Feedback implements protocol.Station; TDMA is oblivious.
+func (s *TDMAStation) Feedback(uint64, bool, bool) {}
+
+var _ protocol.Station = (*TDMAStation)(nil)
+
+// NewTDMAStations returns n round-robin stations covering all identities.
+func NewTDMAStations(n int) ([]protocol.Station, error) {
+	stations := make([]protocol.Station, n)
+	for id := range stations {
+		st, err := NewTDMAStation(id, n)
+		if err != nil {
+			return nil, err
+		}
+		stations[id] = st
+	}
+	return stations, nil
+}

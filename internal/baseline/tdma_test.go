@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestTDMAValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewTDMAStation(-1, 4); err == nil {
+		t.Error("negative id accepted")
+	}
+	if _, err := NewTDMAStation(4, 4); err == nil {
+		t.Error("id == n accepted")
+	}
+	if _, err := NewTDMAStation(0, 0); err == nil {
+		t.Error("n == 0 accepted")
+	}
+}
+
+// TestTDMADrainsInExactlyN: a full batch of n TDMA stations drains in
+// exactly n slots with zero collisions and zero silences — the genie
+// optimum.
+func TestTDMADrainsInExactlyN(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 2, 7, 64, 1000} {
+		stations, err := NewTDMAStations(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(stations, rng.New(uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Slots != uint64(n) {
+			t.Errorf("n=%d drained in %d slots, want exactly n", n, res.Slots)
+		}
+		if res.Collisions != 0 || res.Silences != 0 {
+			t.Errorf("n=%d: %d collisions, %d silences — TDMA must have none",
+				n, res.Collisions, res.Silences)
+		}
+	}
+}
+
+// TestTDMAPartialBatch: k < n active stations still drain within n slots
+// (idle slots where absent ids would have transmitted are silent).
+func TestTDMAPartialBatch(t *testing.T) {
+	t.Parallel()
+	const n = 50
+	ids := []int{3, 17, 42, 49}
+	stations := make([]protocol.Station, 0, len(ids))
+	for _, id := range ids {
+		st, err := NewTDMAStation(id, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stations = append(stations, st)
+	}
+	res, err := sim.Run(stations, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 50 { // the largest id delivers at slot id+1 = 50
+		t.Fatalf("drained at slot %d, want 50", res.Slots)
+	}
+	if res.Collisions != 0 {
+		t.Fatalf("%d collisions, want 0", res.Collisions)
+	}
+}

@@ -1,0 +1,159 @@
+package cd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// maxExponent caps the probe level 2^(-2^j): beyond j = 30 the
+// transmission probability underflows any practical network size.
+const maxExponent = 30
+
+// leaderPhase is the state of the Willard-style search.
+type leaderPhase uint8
+
+const (
+	phaseDoubling leaderPhase = iota
+	phaseBinarySearch
+)
+
+// leaderState is the deterministic part of the leader-election automaton,
+// shared (in value) by every station since it evolves only on the public
+// ternary feedback.
+//
+// The doubling phase probes transmission probabilities 2^(-2^j) for
+// j = 0, 1, 2, …; the first silence at 2^j brackets the workable integer
+// exponent e (the one with k·2^(-e) ≈ 1) inside (2^(j-1), 2^j], which the
+// binary-search phase then locates with O(log log k) additional probes at
+// p = 2^(-e).
+type leaderState struct {
+	phase leaderPhase
+	j     int // doubling phase: probing exponent 2^j
+	lo    int // binary search bounds on the integer exponent e
+	hi    int
+}
+
+// newLeaderState returns the initial state: probe exponent 2^0 = 1.
+func newLeaderState() leaderState {
+	return leaderState{phase: phaseDoubling, j: 0}
+}
+
+// prob returns the transmission probability for the current slot.
+func (s *leaderState) prob() float64 {
+	if s.phase == phaseBinarySearch {
+		return math.Exp2(-float64((s.lo + s.hi) / 2))
+	}
+	return math.Exp2(-math.Exp2(float64(s.j)))
+}
+
+// advance folds one slot outcome into the search state. A Success ends
+// the election (the transmitter is the leader); callers stop before
+// advancing on success.
+func (s *leaderState) advance(outcome sim.Outcome) {
+	switch s.phase {
+	case phaseDoubling:
+		switch outcome {
+		case sim.Collision:
+			// Probability still too high: square it (double the exponent).
+			if s.j < maxExponent {
+				s.j++
+			}
+		case sim.Silence:
+			// Overshot: the workable integer exponent lies in
+			// (2^(j-1), 2^j].
+			if s.j == 0 {
+				// Silence at the densest probe: just retry.
+				return
+			}
+			s.phase = phaseBinarySearch
+			s.lo = int(math.Exp2(float64(s.j-1))) + 1
+			s.hi = int(math.Exp2(float64(s.j)))
+		}
+	case phaseBinarySearch:
+		mid := (s.lo + s.hi) / 2
+		switch outcome {
+		case sim.Collision:
+			s.lo = mid + 1 // too many transmitters: lower the probability
+		case sim.Silence:
+			s.hi = mid - 1 // too few: raise the probability
+		}
+		if s.lo > s.hi {
+			// Search exhausted without a success: restart the doubling.
+			*s = newLeaderState()
+		}
+	}
+}
+
+// LeaderStation is the per-node leader-election automaton; it implements
+// sim.CDStation. The station that transmits in the first successful slot
+// is the leader (and, in the k-selection framing the simulator uses, the
+// one that "delivers").
+type LeaderStation struct {
+	state leaderState
+}
+
+// NewLeaderStation returns a station starting at the initial probe level.
+func NewLeaderStation() *LeaderStation {
+	return &LeaderStation{state: newLeaderState()}
+}
+
+// WillTransmit implements protocol.Station.
+func (s *LeaderStation) WillTransmit(slot uint64, src *rng.Rand) bool {
+	return src.Bernoulli(s.state.prob())
+}
+
+// Feedback implements protocol.Station; leader election requires ternary
+// feedback.
+func (s *LeaderStation) Feedback(slot uint64, transmitted, received bool) {
+	panic("cd: LeaderStation requires a collision-detection channel")
+}
+
+// FeedbackOutcome implements sim.CDStation.
+func (s *LeaderStation) FeedbackOutcome(slot uint64, transmitted bool, outcome sim.Outcome) {
+	s.state.advance(outcome)
+}
+
+var _ sim.CDStation = (*LeaderStation)(nil)
+
+// LeaderRun simulates leader election among k stations with the O(1)/slot
+// aggregate engine and returns the slot at which a unique leader emerged.
+// Expected O(log log k) slots. maxSlots of 0 means 1<<20.
+func LeaderRun(k int, src *rng.Rand, maxSlots uint64) (uint64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("cd: leader election requires k ≥ 1, got %d", k)
+	}
+	if maxSlots == 0 {
+		maxSlots = 1 << 20
+	}
+	state := newLeaderState()
+	for slot := uint64(1); slot <= maxSlots; slot++ {
+		p := state.prob()
+		// Trinomial outcome: silence (1−p)^k, success k·p(1−p)^(k−1),
+		// collision otherwise.
+		pSilence := math.Exp(float64(k) * math.Log1p(-p))
+		pSuccess := float64(k) * p * math.Exp(float64(k-1)*math.Log1p(-p))
+		u := src.Float64()
+		switch {
+		case u < pSuccess:
+			return slot, nil
+		case u < pSuccess+pSilence:
+			state.advance(sim.Silence)
+		default:
+			state.advance(sim.Collision)
+		}
+	}
+	return 0, fmt.Errorf("%w (leader election, limit %d)", ErrSlotLimit, maxSlots)
+}
+
+// NewLeaderStations returns k independent leader-election stations for
+// the exact simulator.
+func NewLeaderStations(k int) []*LeaderStation {
+	stations := make([]*LeaderStation, k)
+	for i := range stations {
+		stations[i] = NewLeaderStation()
+	}
+	return stations
+}

@@ -1,0 +1,59 @@
+package cd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestTreeRunProperties property-checks structural invariants of the
+// aggregate tree engine across random sizes, split probabilities and
+// Massey settings:
+//
+//   - completion needs at least k slots (one success each) and, for
+//     k ≥ 2, at least k+1 (the first slot always collides);
+//   - the run always completes within the budget for sane splits.
+func TestTreeRunProperties(t *testing.T) {
+	t.Parallel()
+	f := func(kRaw uint8, splitRaw uint8, massey bool, seed uint16) bool {
+		k := int(kRaw%200) + 1
+		split := 0.2 + 0.6*float64(splitRaw)/255 // within (0.2, 0.8)
+		opts := []TreeOption{WithSplitProb(split)}
+		if massey {
+			opts = append(opts, WithMasseySkip())
+		}
+		steps, err := TreeRun(k, rng.NewStream(uint64(seed), "prop", fmt.Sprint(k)), 0, opts...)
+		if err != nil {
+			return false
+		}
+		if steps < uint64(k) {
+			return false
+		}
+		if k >= 2 && steps < uint64(k)+1 {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaderRunProperty: leader election always terminates within budget
+// and never needs fewer than one slot.
+func TestLeaderRunProperty(t *testing.T) {
+	t.Parallel()
+	f := func(kRaw uint16, seed uint16) bool {
+		k := int(kRaw%10000) + 1
+		steps, err := LeaderRun(k, rng.NewStream(uint64(seed), "leader-prop", fmt.Sprint(k)), 0)
+		return err == nil && steps >= 1
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

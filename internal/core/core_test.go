@@ -1,0 +1,364 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewOneFailAdaptiveValidation(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name    string
+		delta   float64
+		wantErr bool
+	}{
+		{name: "paper value", delta: DefaultOFADelta, wantErr: false},
+		{name: "upper bound inclusive", delta: OFADeltaMax, wantErr: false},
+		{name: "just above e", delta: math.Nextafter(math.E, 3), wantErr: false},
+		{name: "e excluded", delta: math.E, wantErr: true},
+		{name: "above upper bound", delta: OFADeltaMax + 1e-9, wantErr: true},
+		{name: "zero", delta: 0, wantErr: true},
+		{name: "negative", delta: -1, wantErr: true},
+		{name: "NaN", delta: math.NaN(), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := NewOneFailAdaptive(tt.delta)
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Fatalf("NewOneFailAdaptive(%v) error = %v, wantErr %v", tt.delta, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestOFADeltaMaxValue(t *testing.T) {
+	t.Parallel()
+	// Σ_{j=1..5}(5/6)^j, the upper bound of Theorem 1.
+	sum := 0.0
+	for j := 1; j <= 5; j++ {
+		sum += math.Pow(5.0/6.0, float64(j))
+	}
+	if math.Abs(sum-OFADeltaMax) > 1e-12 {
+		t.Fatalf("OFADeltaMax = %v, want Σ(5/6)^j = %v", OFADeltaMax, sum)
+	}
+	// The paper's default must lie in the admissible range.
+	if !(DefaultOFADelta > math.E && DefaultOFADelta <= OFADeltaMax) {
+		t.Fatalf("DefaultOFADelta %v outside (e, %v]", DefaultOFADelta, OFADeltaMax)
+	}
+}
+
+func TestOFAInitialState(t *testing.T) {
+	t.Parallel()
+	o, err := NewOneFailAdaptive(DefaultOFADelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := o.DensityEstimate(), DefaultOFADelta+1; got != want {
+		t.Errorf("initial κ̃ = %v, want δ+1 = %v", got, want)
+	}
+	if got := o.Received(); got != 0 {
+		t.Errorf("initial σ = %d, want 0", got)
+	}
+	if got := o.Delta(); got != DefaultOFADelta {
+		t.Errorf("Delta() = %v, want %v", got, DefaultOFADelta)
+	}
+}
+
+func TestOFAProbBTSteps(t *testing.T) {
+	t.Parallel()
+	o, err := NewOneFailAdaptive(DefaultOFADelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ = 0: BT probability is 1/(1+log₂(1)) = 1.
+	if got := o.Prob(2); got != 1 {
+		t.Errorf("BT prob at σ=0 = %v, want 1", got)
+	}
+	// After one reception in a BT-step, σ = 1: probability 1/(1+log₂2) = 1/2.
+	o.Observe(2, true)
+	if got, want := o.Prob(4), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("BT prob at σ=1 = %v, want %v", got, want)
+	}
+	// σ = 3: probability 1/(1+log₂4) = 1/3.
+	o.Observe(4, true)
+	o.Observe(6, true)
+	if got, want := o.Prob(8), 1.0/3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("BT prob at σ=3 = %v, want %v", got, want)
+	}
+}
+
+func TestOFAProbATSteps(t *testing.T) {
+	t.Parallel()
+	o, err := NewOneFailAdaptive(DefaultOFADelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (DefaultOFADelta + 1)
+	if got := o.Prob(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AT prob at start = %v, want 1/(δ+1) = %v", got, want)
+	}
+	// A silent AT-step increments κ̃ by one (line 11 of Algorithm 1).
+	o.Observe(1, false)
+	if got, want := o.DensityEstimate(), DefaultOFADelta+2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("κ̃ after silent AT-step = %v, want %v", got, want)
+	}
+	// A silent BT-step leaves κ̃ unchanged.
+	o.Observe(2, false)
+	if got, want := o.DensityEstimate(), DefaultOFADelta+2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("κ̃ after silent BT-step = %v, want %v", got, want)
+	}
+}
+
+func TestOFAObserveDecrements(t *testing.T) {
+	t.Parallel()
+	const delta = DefaultOFADelta
+	t.Run("AT-step reception nets -δ", func(t *testing.T) {
+		t.Parallel()
+		o, _ := NewOneFailAdaptive(delta)
+		// Grow κ̃ well above the floor with silent AT-steps first.
+		for s := uint64(1); s < 21; s += 2 {
+			o.Observe(s, false)
+		}
+		before := o.DensityEstimate()
+		o.Observe(21, true) // AT-step: +1 then −(δ+1)
+		if got, want := o.DensityEstimate(), before-delta; math.Abs(got-want) > 1e-9 {
+			t.Errorf("κ̃ after AT reception = %v, want %v", got, want)
+		}
+	})
+	t.Run("BT-step reception nets -δ", func(t *testing.T) {
+		t.Parallel()
+		o, _ := NewOneFailAdaptive(delta)
+		for s := uint64(1); s < 21; s += 2 {
+			o.Observe(s, false)
+		}
+		before := o.DensityEstimate()
+		o.Observe(22, true) // BT-step: −δ, no increment
+		if got, want := o.DensityEstimate(), before-delta; math.Abs(got-want) > 1e-9 {
+			t.Errorf("κ̃ after BT reception = %v, want %v", got, want)
+		}
+	})
+	t.Run("floor at δ+1", func(t *testing.T) {
+		t.Parallel()
+		o, _ := NewOneFailAdaptive(delta)
+		for s := uint64(2); s < 100; s += 2 {
+			o.Observe(s, true) // repeated BT receptions push κ̃ to the floor
+		}
+		if got, want := o.DensityEstimate(), delta+1; got != want {
+			t.Errorf("κ̃ floor = %v, want δ+1 = %v", got, want)
+		}
+	})
+}
+
+// TestOFAEstimatorInvariant property-checks κ̃ ≥ δ+1 and σ monotone under
+// arbitrary observation sequences.
+func TestOFAEstimatorInvariant(t *testing.T) {
+	t.Parallel()
+	f := func(events []bool) bool {
+		o, err := NewOneFailAdaptive(DefaultOFADelta)
+		if err != nil {
+			return false
+		}
+		var prevSigma uint64
+		for i, success := range events {
+			slot := uint64(i + 1)
+			p := o.Prob(slot)
+			if p <= 0 || p > 1 {
+				return false
+			}
+			o.Observe(slot, success)
+			if o.DensityEstimate() < DefaultOFADelta+1 {
+				return false
+			}
+			if o.Received() < prevSigma {
+				return false
+			}
+			prevSigma = o.Received()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOFABookkeepingIdentity verifies the analysis identity
+// κ̃_t = κ̃_1 − δσ + a − σ (Lemma 4), where a counts AT-steps, as long as
+// the floor is never hit.
+func TestOFABookkeepingIdentity(t *testing.T) {
+	t.Parallel()
+	o, _ := NewOneFailAdaptive(DefaultOFADelta)
+	kappa1 := o.DensityEstimate()
+	atSteps, sigma := 0, 0
+	// Alternate silent steps with occasional receptions on AT-steps only
+	// (the identity accounts receptions at the AT rate −(δ+1); BT
+	// receptions cost −δ), keeping receptions rare enough that κ̃ stays
+	// above the floor.
+	for slot := uint64(1); slot <= 1000; slot++ {
+		success := slot%18 == 9
+		if slot%2 == 1 {
+			atSteps++
+		}
+		o.Observe(slot, success)
+		if success {
+			sigma++
+		}
+	}
+	want := kappa1 - DefaultOFADelta*float64(sigma) + float64(atSteps) - float64(sigma)
+	if got := o.DensityEstimate(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("κ̃ = %v, want bookkeeping value %v", got, want)
+	}
+}
+
+func TestNewExpBackonBackoffValidation(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name    string
+		delta   float64
+		wantErr bool
+	}{
+		{name: "paper value", delta: DefaultEBBDelta, wantErr: false},
+		{name: "small", delta: 0.01, wantErr: false},
+		{name: "zero", delta: 0, wantErr: true},
+		{name: "1/e excluded", delta: EBBDeltaMax, wantErr: true},
+		{name: "above 1/e", delta: 0.5, wantErr: true},
+		{name: "negative", delta: -0.1, wantErr: true},
+		{name: "NaN", delta: math.NaN(), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := NewExpBackonBackoff(tt.delta)
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Fatalf("NewExpBackonBackoff(%v) error = %v, wantErr %v", tt.delta, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestEBBWindowSequence checks the sawtooth against hand-computed windows
+// for δ = 0.366 with ceil rounding: phase i starts at w = 2^i and shrinks
+// by factor 0.634 while w ≥ 1.
+func TestEBBWindowSequence(t *testing.T) {
+	t.Parallel()
+	e, err := NewExpBackonBackoff(DefaultEBBDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: 2, ⌈1.268⌉=2 (then 0.804 < 1 ends the phase).
+	// Phase 2: 4, ⌈2.536⌉=3, ⌈1.608⌉=2, ⌈1.019⌉=2 (then 0.646 < 1).
+	// Phase 3: 8, ⌈5.072⌉=6, ⌈3.216⌉=4, ⌈2.039⌉=3, ⌈1.293⌉=2 (then 0.820 < 1).
+	want := []int{2, 2, 4, 3, 2, 2, 8, 6, 4, 3, 2}
+	for i, w := range want {
+		if got := e.NextWindow(); got != w {
+			t.Fatalf("window %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := e.Phase(); got != 3 {
+		t.Fatalf("phase = %d, want 3", got)
+	}
+}
+
+func TestEBBRoundingModes(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		mode RoundingMode
+		want []int // first four windows for δ = 0.366
+	}{
+		{mode: RoundCeil, want: []int{2, 2, 4, 3}},
+		{mode: RoundFloor, want: []int{2, 1, 4, 2}},
+		{mode: RoundNearest, want: []int{2, 1, 4, 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.mode.String(), func(t *testing.T) {
+			t.Parallel()
+			e, err := NewExpBackonBackoff(DefaultEBBDelta, WithEBBRounding(tt.mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, w := range tt.want {
+				if got := e.NextWindow(); got != w {
+					t.Fatalf("window %d = %d, want %d", i, got, w)
+				}
+			}
+		})
+	}
+}
+
+// TestEBBSawtoothShape property-checks the schedule invariants across
+// admissible δ: windows are ≥ 1; within a phase windows never grow; each
+// phase starts at 2^i.
+func TestEBBSawtoothShape(t *testing.T) {
+	t.Parallel()
+	deltas := []float64{0.01, 0.1, 0.2, DefaultEBBDelta, 0.3678}
+	for _, delta := range deltas {
+		e, err := NewExpBackonBackoff(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 0
+		prevPhase := 0
+		for i := 0; i < 2000; i++ {
+			w := e.NextWindow()
+			if w < 1 {
+				t.Fatalf("δ=%v: window %d = %d < 1", delta, i, w)
+			}
+			phase := e.Phase()
+			if phase < prevPhase {
+				t.Fatalf("δ=%v: phase went backwards: %d -> %d", delta, prevPhase, phase)
+			}
+			if phase == prevPhase && prev > 0 && w > prev {
+				t.Fatalf("δ=%v: window grew within phase %d: %d -> %d", delta, phase, prev, w)
+			}
+			if phase != prevPhase {
+				if want := int(math.Exp2(float64(phase))); w != want {
+					t.Fatalf("δ=%v: phase %d starts with window %d, want 2^i = %d", delta, phase, w, want)
+				}
+			}
+			prev, prevPhase = w, phase
+		}
+	}
+}
+
+// TestEBBTelescopedLength verifies the analysis' telescoped bound: the
+// total number of slots in phases 1..i is at most 2^(i+1)/δ (the paper's
+// telescoping ΣΣ2^i(1−δ)^j), with ceil rounding adding at most one slot
+// per window.
+func TestEBBTelescopedLength(t *testing.T) {
+	t.Parallel()
+	const delta = DefaultEBBDelta
+	e, err := NewExpBackonBackoff(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	windows := 0
+	for e.Phase() < 15 {
+		total += float64(e.NextWindow())
+		windows++
+	}
+	// Strip the first window of phase 15 that ended the loop.
+	bound := math.Exp2(16)/delta + float64(windows)
+	if total > bound {
+		t.Fatalf("total slots through phase 14 = %v, want ≤ %v", total, bound)
+	}
+}
+
+func BenchmarkOFAController(b *testing.B) {
+	o, _ := NewOneFailAdaptive(DefaultOFADelta)
+	for i := 0; i < b.N; i++ {
+		slot := uint64(i + 1)
+		_ = o.Prob(slot)
+		o.Observe(slot, i%7 == 0)
+	}
+}
+
+func BenchmarkEBBSchedule(b *testing.B) {
+	e, _ := NewExpBackonBackoff(DefaultEBBDelta)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += e.NextWindow()
+	}
+	_ = sink
+}

@@ -1,0 +1,230 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+func newOFACtrl() (protocol.Controller, error) {
+	return core.NewOneFailAdaptive(core.DefaultOFADelta)
+}
+
+func newEBBSched() (protocol.Schedule, error) {
+	return core.NewExpBackonBackoff(core.DefaultEBBDelta)
+}
+
+func TestBatchWorkload(t *testing.T) {
+	t.Parallel()
+	w := Batch(5)
+	if w.N() != 5 || w.Span() != 1 {
+		t.Fatalf("Batch(5) = %+v, want 5 messages at slot 1", w)
+	}
+}
+
+func TestPoissonArrivalsShape(t *testing.T) {
+	t.Parallel()
+	if _, err := PoissonArrivals(10, 0, rng.New(1)); err == nil {
+		t.Fatal("rate 0 accepted, want error")
+	}
+	const n, rate = 2000, 0.25
+	w, err := PoissonArrivals(n, rate, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != n {
+		t.Fatalf("n = %d, want %d", w.N(), n)
+	}
+	// Arrival slots must be non-decreasing and start at ≥ 1.
+	for i := 1; i < n; i++ {
+		if w.Arrivals[i] < w.Arrivals[i-1] {
+			t.Fatalf("arrivals not sorted at %d: %d < %d", i, w.Arrivals[i], w.Arrivals[i-1])
+		}
+	}
+	if w.Arrivals[0] < 1 {
+		t.Fatalf("first arrival %d < 1", w.Arrivals[0])
+	}
+	// The span should be about n/rate slots.
+	want := float64(n) / rate
+	if got := float64(w.Span()); math.Abs(got-want) > want/4 {
+		t.Fatalf("span = %v, want ~%v", got, want)
+	}
+}
+
+func TestBurstArrivals(t *testing.T) {
+	t.Parallel()
+	if _, err := BurstArrivals(0, 5, 10, rng.New(1)); err == nil {
+		t.Fatal("0 bursts accepted, want error")
+	}
+	w, err := BurstArrivals(3, 4, 100, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != 12 {
+		t.Fatalf("n = %d, want 12", w.N())
+	}
+	if w.Arrivals[0] != 1 || w.Arrivals[4] != 101 || w.Arrivals[8] != 201 {
+		t.Fatalf("burst boundaries wrong: %v", w.Arrivals)
+	}
+}
+
+func TestRunFairBatchMatchesStatic(t *testing.T) {
+	t.Parallel()
+	// A batch workload under RunFair is exactly the static problem; OFA
+	// must complete with sane latency stats.
+	res, err := RunFair(Batch(50), newOFACtrl, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.N() != 50 {
+		t.Fatalf("latencies recorded = %d, want 50", res.Latency.N())
+	}
+	if res.MaxBacklog != 50 {
+		t.Fatalf("max backlog = %d, want 50", res.MaxBacklog)
+	}
+	if res.Completion == 0 || uint64(res.Latency.Max()) != res.Completion {
+		t.Fatalf("completion %d inconsistent with max latency %v", res.Completion, res.Latency.Max())
+	}
+}
+
+func TestRunWindowBatch(t *testing.T) {
+	t.Parallel()
+	res, err := RunWindow(Batch(50), newEBBSched, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.N() != 50 || res.Completion == 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestRunFairPoissonBacklogStaysLow(t *testing.T) {
+	t.Parallel()
+	// At a gentle arrival rate, the protocol keeps the backlog far below
+	// the total number of messages (stability in the dynamic setting).
+	const n = 400
+	w, err := PoissonArrivals(n, 0.05, rng.New(5)) // one message every 20 slots
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFair(w, newOFACtrl, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxBacklog > n/4 {
+		t.Fatalf("max backlog %d of %d messages at gentle rate, want far below", res.MaxBacklog, n)
+	}
+	if res.Latency.N() != n {
+		t.Fatalf("latencies = %d, want %d", res.Latency.N(), n)
+	}
+}
+
+func TestRunWindowBurstsComplete(t *testing.T) {
+	t.Parallel()
+	w, err := BurstArrivals(4, 32, 600, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWindow(w, newEBBSched, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.N() != w.N() {
+		t.Fatalf("delivered %d of %d", res.Latency.N(), w.N())
+	}
+	// Burst spacing 600 ≫ expected per-burst completion, so the backlog
+	// should stay near one burst's size.
+	if res.MaxBacklog > 2*32 {
+		t.Fatalf("max backlog %d, want ≤ 64", res.MaxBacklog)
+	}
+}
+
+// TestLocalClockLivelock pins the hazard documented in the package
+// comment: with local clocks, two stations arriving at slot 1 and two at
+// slot 2 livelock One-Fail Adaptive unless the very first slot delivers
+// (probability ≈ 0.39). Over 20 seeds both outcomes must occur, and
+// every incomplete run must show zero successes after slot 1 — the
+// guaranteed-collision signature.
+func TestLocalClockLivelock(t *testing.T) {
+	t.Parallel()
+	w := Workload{Arrivals: []uint64{1, 1, 2, 2}}
+	completed, livelocked := 0, 0
+	for seed := uint64(0); seed < 20; seed++ {
+		res, err := RunFair(w, newOFACtrl, rng.New(seed), WithMaxSlots(5000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed {
+			completed++
+			continue
+		}
+		livelocked++
+		// In a livelocked run the only possible delivery was slot 1.
+		if res.Delivered > 1 {
+			t.Fatalf("seed %d: incomplete run delivered %d messages, want ≤ 1", seed, res.Delivered)
+		}
+	}
+	if completed == 0 || livelocked == 0 {
+		t.Fatalf("completed=%d livelocked=%d over 20 seeds, want both outcomes", completed, livelocked)
+	}
+}
+
+// TestGlobalClockAvoidsLivelock: the same workload completes under the
+// global clock for every seed, because all stations share BT-step parity.
+func TestGlobalClockAvoidsLivelock(t *testing.T) {
+	t.Parallel()
+	w := Workload{Arrivals: []uint64{1, 1, 2, 2}}
+	for seed := uint64(0); seed < 20; seed++ {
+		res, err := RunFair(w, newOFACtrl, rng.New(seed), WithClock(ClockGlobal), WithMaxSlots(5000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: global clock run did not complete (%d/%d delivered)", seed, res.Delivered, w.N())
+		}
+	}
+}
+
+// TestGlobalClockWindowFastForward: a windowed station arriving long
+// after slot 1 on the global clock must fast-forward its schedule and
+// still deliver.
+func TestGlobalClockWindowFastForward(t *testing.T) {
+	t.Parallel()
+	w := Workload{Arrivals: []uint64{1000}}
+	res, err := RunWindow(w, newEBBSched, rng.New(3), WithClock(ClockGlobal), WithMaxSlots(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("late window arrival never delivered under global clock")
+	}
+	if res.Completion < 1000 {
+		t.Fatalf("completion %d before arrival slot 1000", res.Completion)
+	}
+}
+
+func TestLocalClockParity(t *testing.T) {
+	t.Parallel()
+	// A station arriving at slot 5 must see its first BT-step (probability
+	// 1 at σ=0) at global slot 6 (local step 2). With a single station the
+	// delivery therefore happens at global slot 5 or 6.
+	ctrl, err := newOFACtrl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &localClockStation{inner: protocol.NewFairStation(ctrl), arrival: 5}
+	res, err := RunFair(Workload{Arrivals: []uint64{5}}, newOFACtrl, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st
+	if res.Completion < 5 || res.Completion > 6 {
+		t.Fatalf("single late arrival completed at %d, want 5 or 6", res.Completion)
+	}
+	if res.Latency.Max() > 2 {
+		t.Fatalf("latency %v, want ≤ 2", res.Latency.Max())
+	}
+}

@@ -1,0 +1,20 @@
+package engine
+
+import (
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// exactRun drives the per-node simulator and adapts its result and
+// options to this package's conventions.
+func exactRun(stations []protocol.Station, src *rng.Rand, maxSlots uint64) (uint64, error) {
+	if maxSlots == 0 {
+		maxSlots = DefaultMaxSlots
+	}
+	res, err := sim.Run(stations, src, sim.WithMaxSlots(maxSlots))
+	if err != nil {
+		return 0, err
+	}
+	return res.Slots, nil
+}

@@ -1,0 +1,259 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+func TestPaperSystems(t *testing.T) {
+	t.Parallel()
+	systems := PaperSystems()
+	wantNames := []string{
+		"Log-Fails Adaptive (2)",
+		"Log-Fails Adaptive (10)",
+		"One-Fail Adaptive",
+		"Exp Back-on/Back-off",
+		"Loglog-Iterated Backoff",
+	}
+	if len(systems) != len(wantNames) {
+		t.Fatalf("got %d systems, want %d", len(systems), len(wantNames))
+	}
+	for i, sys := range systems {
+		if sys.Name() != wantNames[i] {
+			t.Errorf("system %d = %q, want %q", i, sys.Name(), wantNames[i])
+		}
+	}
+}
+
+func TestPaperSystemsAnalysisColumn(t *testing.T) {
+	t.Parallel()
+	want := map[string]string{
+		"Log-Fails Adaptive (2)":  "7.8",
+		"Log-Fails Adaptive (10)": "4.4",
+		"One-Fail Adaptive":       "7.4",
+		"Exp Back-on/Back-off":    "14.9",
+		"Loglog-Iterated Backoff": "Θ(loglog k/logloglog k)",
+	}
+	for _, sys := range PaperSystems() {
+		if got := sys.AnalysisRatio(10_000_000); got != want[sys.Name()] {
+			t.Errorf("%s analysis = %q, want %q", sys.Name(), got, want[sys.Name()])
+		}
+	}
+}
+
+func TestPaperKs(t *testing.T) {
+	t.Parallel()
+	got := PaperKs(7)
+	want := []int{10, 100, 1000, 10000, 100000, 1000000, 10000000}
+	if len(got) != len(want) {
+		t.Fatalf("PaperKs(7) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PaperKs(7) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSweepRunSmall(t *testing.T) {
+	t.Parallel()
+	s := Sweep{Ks: []int{4, 16}, Runs: 5, Seed: 1}
+	results, err := s.Run(PaperSystems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d series, want 5", len(results))
+	}
+	for _, r := range results {
+		if len(r.Cells) != 2 {
+			t.Fatalf("%s: %d cells, want 2", r.System.Name(), len(r.Cells))
+		}
+		for _, c := range r.Cells {
+			if c.Steps.N() != 5 {
+				t.Errorf("%s k=%d: %d runs, want 5", r.System.Name(), c.K, c.Steps.N())
+			}
+			if c.Steps.Mean() < float64(c.K) {
+				t.Errorf("%s k=%d: mean steps %v below k (impossible)", r.System.Name(), c.K, c.Steps.Mean())
+			}
+			if c.Ratio() < 1 {
+				t.Errorf("%s k=%d: ratio %v < 1", r.System.Name(), c.K, c.Ratio())
+			}
+		}
+	}
+}
+
+// TestSweepDeterministic: the same sweep executed twice (with different
+// parallelism) produces identical statistics, because every run's stream
+// is derived from its coordinates.
+func TestSweepDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func(par int) []SeriesResult {
+		s := Sweep{Ks: []int{8, 32}, Runs: 4, Seed: 7, Parallelism: par}
+		res, err := s.Run(PaperSystems())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		for j := range a[i].Cells {
+			if a[i].Cells[j].Steps.Mean() != b[i].Cells[j].Steps.Mean() {
+				t.Fatalf("%s k=%d: mean %v (par=1) vs %v (par=8)",
+					a[i].System.Name(), a[i].Cells[j].K,
+					a[i].Cells[j].Steps.Mean(), b[i].Cells[j].Steps.Mean())
+			}
+		}
+	}
+}
+
+func TestSweepProgressCallback(t *testing.T) {
+	t.Parallel()
+	var mu sync.Mutex
+	calls := 0
+	s := Sweep{Ks: []int{4}, Runs: 3, Seed: 1, Progress: func(string, int, int, uint64) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+	}}
+	if _, err := s.Run(PaperSystems()[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 { // 2 systems × 1 k × 3 runs
+		t.Fatalf("progress called %d times, want 6", calls)
+	}
+}
+
+func TestSweepPropagatesError(t *testing.T) {
+	t.Parallel()
+	wantErr := errors.New("boom")
+	bad := NewFairSystem("bad", fixedRatio(1), func(int) (protocol.Controller, error) {
+		return nil, wantErr
+	})
+	s := Sweep{Ks: []int{4}, Runs: 2, Seed: 1}
+	if _, err := s.Run([]System{bad}); !errors.Is(err, wantErr) {
+		t.Fatalf("error = %v, want %v", err, wantErr)
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	t.Parallel()
+	s := Sweep{Ks: []int{4, 16}, Runs: 2, Seed: 3}
+	results, err := s.Run(PaperSystems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table1(results)
+	for _, want := range []string{"One-Fail Adaptive", "7.4", "14.9", "| 4 |", "| 16 |", "Analysis"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+5 { // header + separator + 5 systems
+		t.Errorf("Table1 has %d lines, want 7:\n%s", len(lines), out)
+	}
+}
+
+func TestFigure1Render(t *testing.T) {
+	t.Parallel()
+	s := Sweep{Ks: []int{4, 16, 64}, Runs: 2, Seed: 3}
+	results, err := s.Run(PaperSystems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Figure1(results)
+	for _, want := range []string{"k-selection", "nodes k", "steps", "Loglog-Iterated Backoff", "±"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVRender(t *testing.T) {
+	t.Parallel()
+	s := Sweep{Ks: []int{4}, Runs: 2, Seed: 3}
+	results, err := s.Run(PaperSystems()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := CSV(results)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "system,k,runs,") {
+		t.Fatalf("CSV header wrong: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"Log-Fails Adaptive (2)",4,2,`) {
+		t.Fatalf("CSV record wrong: %s", lines[1])
+	}
+}
+
+func TestFormatK(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		k    int
+		want string
+	}{
+		{k: 10, want: "10"},
+		{k: 100, want: "100"},
+		{k: 1000, want: "10^3"},
+		{k: 10000000, want: "10^7"},
+		{k: 5000, want: "5000"},
+		{k: 7, want: "7"},
+	}
+	for _, tt := range tests {
+		if got := formatK(tt.k); got != tt.want {
+			t.Errorf("formatK(%d) = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestGeometricKs(t *testing.T) {
+	t.Parallel()
+	ks := GeometricKs(10, 10000, 7)
+	if ks[0] != 10 || ks[len(ks)-1] != 10000 {
+		t.Fatalf("GeometricKs endpoints wrong: %v", ks)
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] <= ks[i-1] {
+			t.Fatalf("GeometricKs not strictly increasing: %v", ks)
+		}
+	}
+	if got := GeometricKs(5, 4, 3); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("degenerate GeometricKs = %v, want [5]", got)
+	}
+}
+
+// TestRunStreamIsolation: a system's Run must depend only on its own
+// stream, not on shared mutable state (pooled runners must be reset).
+func TestRunStreamIsolation(t *testing.T) {
+	t.Parallel()
+	sys := PaperSystems()[3] // Exp Back-on/Back-off (pooled WindowRunner)
+	src1 := rng.NewStream(11, "iso")
+	a, err := sys.Run(100, src1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave other runs, then repeat with an identical stream.
+	for i := 0; i < 5; i++ {
+		if _, err := sys.Run(50, rng.NewStream(12, "other")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src2 := rng.NewStream(11, "iso")
+	b, err := sys.Run(100, src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("identical streams gave %d and %d steps", a, b)
+	}
+}

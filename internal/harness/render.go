@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/asciiplot"
+)
+
+// formatK renders a network size like the paper's column heads (10, 10²,
+// …) in plain ASCII: 10, 100, ..., 1e+06 style is avoided in favor of
+// powers of ten when exact.
+func formatK(k int) string {
+	if k >= 1000 && isPowerOfTen(k) {
+		exp := 0
+		for v := k; v > 1; v /= 10 {
+			exp++
+		}
+		return fmt.Sprintf("10^%d", exp)
+	}
+	return strconv.Itoa(k)
+}
+
+func isPowerOfTen(k int) bool {
+	for k > 1 {
+		if k%10 != 0 {
+			return false
+		}
+		k /= 10
+	}
+	return k == 1
+}
+
+// Table1 renders the sweep as the paper's Table 1: the steps/nodes ratio
+// per system and network size, with the analysis column last. The output
+// is GitHub-flavored Markdown.
+func Table1(results []SeriesResult) string {
+	var b strings.Builder
+	b.WriteString("| k |")
+	if len(results) == 0 {
+		return "| k |\n"
+	}
+	for _, c := range results[0].Cells {
+		fmt.Fprintf(&b, " %s |", formatK(c.K))
+	}
+	b.WriteString(" Analysis |\n|---|")
+	for range results[0].Cells {
+		b.WriteString("---|")
+	}
+	b.WriteString("---|\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "| %s |", r.System.Name())
+		maxK := 0
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, " %s |", formatRatio(c.Ratio()))
+			if c.K > maxK {
+				maxK = c.K
+			}
+		}
+		fmt.Fprintf(&b, " %s |\n", r.System.AnalysisRatio(maxK))
+	}
+	return b.String()
+}
+
+// formatRatio matches the paper's one-decimal table style, with adaptive
+// precision for very large ratios.
+func formatRatio(r float64) string {
+	if r >= 10000 {
+		return fmt.Sprintf("%.3g", r)
+	}
+	return fmt.Sprintf("%.1f", r)
+}
+
+// Figure1 renders the sweep as the paper's Figure 1: average number of
+// steps per network size, one log-log series per system, as an ASCII
+// chart followed by the underlying numbers.
+func Figure1(results []SeriesResult) string {
+	plot := asciiplot.New("Steps to solve static k-selection", "nodes k", "steps")
+	for _, r := range results {
+		var xs, ys []float64
+		for _, c := range r.Cells {
+			if c.Steps.N() == 0 {
+				continue
+			}
+			xs = append(xs, float64(c.K))
+			ys = append(ys, c.Steps.Mean())
+		}
+		plot.AddSeries(r.System.Name(), xs, ys)
+	}
+	var b strings.Builder
+	b.WriteString(plot.Render(78, 24))
+	b.WriteString("\n")
+	b.WriteString(stepsTable(results))
+	return b.String()
+}
+
+// stepsTable renders the Figure 1 raw data (mean ± stddev steps).
+func stepsTable(results []SeriesResult) string {
+	var b strings.Builder
+	b.WriteString("| k |")
+	if len(results) == 0 {
+		return "| k |\n"
+	}
+	for _, c := range results[0].Cells {
+		fmt.Fprintf(&b, " %s |", formatK(c.K))
+	}
+	b.WriteString("\n|---|")
+	for range results[0].Cells {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "| %s |", r.System.Name())
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, " %.4g ± %.2g |", c.Steps.Mean(), c.Steps.StdDev())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the sweep as tidy comma-separated records:
+// system,k,runs,mean_steps,stddev_steps,min,max,ratio.
+func CSV(results []SeriesResult) string {
+	var b strings.Builder
+	b.WriteString("system,k,runs,mean_steps,stddev_steps,min_steps,max_steps,ratio\n")
+	for _, r := range results {
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, "%q,%d,%d,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+				r.System.Name(), c.K, c.Steps.N(), c.Steps.Mean(), c.Steps.StdDev(),
+				c.Steps.Min(), c.Steps.Max(), c.Ratio())
+		}
+	}
+	return b.String()
+}

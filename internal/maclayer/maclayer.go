@@ -1,0 +1,185 @@
+// Package maclayer provides the deployable service API on top of the
+// contention-resolution protocols: a slot-driven MAC service that accepts
+// messages over time and delivers each of them over the shared channel.
+//
+// The service uses gated batching: messages that arrive while a batch is
+// being resolved wait in the gate queue; when the channel goes quiet (the
+// current batch has fully delivered), the gate opens and all waiting
+// messages form the next batch, started on fresh, synchronized protocol
+// state. This reduces the paper's §6 dynamic problem to a sequence of
+// static k-selection instances — exactly the problem the paper's
+// protocols solve in linear time w.h.p. — so the service inherits a
+// per-batch guarantee. It also side-steps the local-clock livelock that
+// naive per-arrival deployment of One-Fail Adaptive exhibits (see
+// internal/dynamic): every batch restarts all stations in lockstep.
+//
+// In a real network the gate signal is the base station's beacon (§2's
+// acknowledgement infrastructure); here the service itself detects batch
+// completion.
+package maclayer
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// Delivery reports one delivered message.
+type Delivery struct {
+	// Payload is the enqueued message payload.
+	Payload any
+	// Arrival is the slot at which Enqueue was called (the first slot is 1).
+	Arrival uint64
+	// Delivered is the slot of the successful transmission.
+	Delivered uint64
+	// Batch is the index (from 1) of the batch that carried the message.
+	Batch int
+}
+
+// Latency returns the delivery latency in slots, counting the arrival
+// slot itself.
+func (d Delivery) Latency() uint64 { return d.Delivered - d.Arrival + 1 }
+
+// Service is a slot-driven MAC service. Create one with New, enqueue
+// messages at any time, and call Step once per slot. Not safe for
+// concurrent use.
+type Service struct {
+	newStation func() (protocol.Station, error)
+	src        *rng.Rand
+
+	slot       uint64
+	batch      int
+	batchStart uint64 // global slot at which the current batch opened
+
+	// gate holds messages waiting for the next batch.
+	gate []*pending
+	// active holds the stations of the current batch, aligned with their
+	// messages.
+	active []*pending
+
+	transmitters []int // scratch
+
+	// Stats.
+	delivered  uint64
+	collisions uint64
+}
+
+// pending is one undelivered message and, once batched, its station.
+type pending struct {
+	payload any
+	arrival uint64
+	station protocol.Station
+}
+
+// New returns a service that resolves each batch with stations built by
+// newStation (one per message; fresh state per batch, as in "upon message
+// arrival" of Algorithm 1 with the arrival being the gate opening).
+func New(newStation func() (protocol.Station, error), src *rng.Rand) *Service {
+	return &Service{newStation: newStation, src: src}
+}
+
+// Slot returns the number of slots stepped so far.
+func (s *Service) Slot() uint64 { return s.slot }
+
+// Batch returns the index of the current batch (0 before the first).
+func (s *Service) Batch() int { return s.batch }
+
+// Backlog returns the number of undelivered messages (gated + in flight).
+func (s *Service) Backlog() int { return len(s.gate) + len(s.active) }
+
+// InFlight returns the number of messages in the current batch.
+func (s *Service) InFlight() int { return len(s.active) }
+
+// Delivered returns the total number of delivered messages.
+func (s *Service) Delivered() uint64 { return s.delivered }
+
+// Collisions returns the total number of collision slots so far.
+func (s *Service) Collisions() uint64 { return s.collisions }
+
+// Enqueue adds a message to the gate queue. It will join the next batch.
+func (s *Service) Enqueue(payload any) {
+	s.gate = append(s.gate, &pending{payload: payload, arrival: s.slot + 1})
+}
+
+// Step advances the channel by one slot and returns the delivery made in
+// that slot, if any. An idle channel (no backlog) still consumes a slot.
+func (s *Service) Step() (*Delivery, error) {
+	s.slot++
+	// Open the gate when the channel is quiet.
+	if len(s.active) == 0 && len(s.gate) > 0 {
+		for _, p := range s.gate {
+			st, err := s.newStation()
+			if err != nil {
+				return nil, fmt.Errorf("maclayer: batch %d: %w", s.batch+1, err)
+			}
+			p.station = st
+		}
+		s.active = s.gate
+		s.gate = nil
+		s.batch++
+		s.batchStart = s.slot
+	}
+	if len(s.active) == 0 {
+		return nil, nil // idle slot
+	}
+
+	// One slot of the paper's channel: local step numbering per batch so
+	// the protocols see the batched-arrival model they are specified for.
+	localSlot := s.slot - s.batchStart + 1
+	s.transmitters = s.transmitters[:0]
+	for i, p := range s.active {
+		if p.station.WillTransmit(localSlot, s.src) {
+			s.transmitters = append(s.transmitters, i)
+		}
+	}
+	var delivery *Delivery
+	if len(s.transmitters) == 1 {
+		winner := s.transmitters[0]
+		p := s.active[winner]
+		delivery = &Delivery{
+			Payload:   p.payload,
+			Arrival:   p.arrival,
+			Delivered: s.slot,
+			Batch:     s.batch,
+		}
+		s.active = append(s.active[:winner], s.active[winner+1:]...)
+		for _, q := range s.active {
+			q.station.Feedback(localSlot, false, true)
+		}
+		s.delivered++
+		return delivery, nil
+	}
+	if len(s.transmitters) > 1 {
+		s.collisions++
+	}
+	j := 0
+	for i, p := range s.active {
+		transmitted := j < len(s.transmitters) && s.transmitters[j] == i
+		if transmitted {
+			j++
+		}
+		p.station.Feedback(localSlot, transmitted, false)
+	}
+	return nil, nil
+}
+
+// RunUntilDrained steps the service until the backlog empties or the
+// budget is exhausted, collecting deliveries. It is a convenience for
+// tests and batch-style use.
+func (s *Service) RunUntilDrained(maxSlots uint64) ([]Delivery, error) {
+	var out []Delivery
+	for s.Backlog() > 0 {
+		if maxSlots > 0 && s.slot >= maxSlots {
+			return out, fmt.Errorf("maclayer: %d messages undelivered after %d slots", s.Backlog(), s.slot)
+		}
+		d, err := s.Step()
+		if err != nil {
+			return out, err
+		}
+		if d != nil {
+			out = append(out, *d)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,253 @@
+package maclayer
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+func newOFAStation() (protocol.Station, error) {
+	ctrl, err := core.NewOneFailAdaptive(core.DefaultOFADelta)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.NewFairStation(ctrl), nil
+}
+
+func newEBBStation() (protocol.Station, error) {
+	sched, err := core.NewExpBackonBackoff(core.DefaultEBBDelta)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.NewWindowStation(sched), nil
+}
+
+func TestServiceIdle(t *testing.T) {
+	t.Parallel()
+	s := New(newOFAStation, rng.New(1))
+	for i := 0; i < 10; i++ {
+		d, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			t.Fatal("idle service delivered something")
+		}
+	}
+	if s.Slot() != 10 || s.Batch() != 0 || s.Backlog() != 0 {
+		t.Fatalf("idle service state wrong: slot=%d batch=%d backlog=%d", s.Slot(), s.Batch(), s.Backlog())
+	}
+}
+
+func TestServiceSingleMessage(t *testing.T) {
+	t.Parallel()
+	s := New(newOFAStation, rng.New(2))
+	s.Enqueue("hello")
+	deliveries, err := s.RunUntilDrained(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(deliveries))
+	}
+	d := deliveries[0]
+	if d.Payload != "hello" || d.Batch != 1 || d.Arrival != 1 {
+		t.Fatalf("bad delivery: %+v", d)
+	}
+	// A lone OFA station delivers by its second (local) slot.
+	if d.Latency() > 2 {
+		t.Fatalf("latency %d, want ≤ 2", d.Latency())
+	}
+}
+
+func TestServiceBatchDrain(t *testing.T) {
+	t.Parallel()
+	const k = 100
+	s := New(newOFAStation, rng.New(3))
+	for i := 0; i < k; i++ {
+		s.Enqueue(i)
+	}
+	deliveries, err := s.RunUntilDrained(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries) != k {
+		t.Fatalf("delivered %d, want %d", len(deliveries), k)
+	}
+	// All in one batch; payloads all distinct.
+	seen := make(map[any]bool, k)
+	for _, d := range deliveries {
+		if d.Batch != 1 {
+			t.Fatalf("message in batch %d, want 1", d.Batch)
+		}
+		if seen[d.Payload] {
+			t.Fatalf("payload %v delivered twice", d.Payload)
+		}
+		seen[d.Payload] = true
+	}
+	// The batch should resolve at roughly the protocol's static cost.
+	if got := float64(s.Slot()) / k; got > 12 {
+		t.Fatalf("batch cost ratio %v, want near 7.4", got)
+	}
+}
+
+func TestServiceGating(t *testing.T) {
+	t.Parallel()
+	s := New(newOFAStation, rng.New(4))
+	s.Enqueue("a")
+	s.Enqueue("b")
+	// Step once: batch 1 opens with exactly {a, b}; enqueue c afterwards —
+	// it must wait for batch 2.
+	d, err := s.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInFlight := 2
+	if d != nil { // slot 1 may already deliver one of the two
+		wantInFlight = 1
+	}
+	if s.Batch() != 1 || s.InFlight() != wantInFlight {
+		t.Fatalf("batch=%d inflight=%d, want 1/%d", s.Batch(), s.InFlight(), wantInFlight)
+	}
+	s.Enqueue("c")
+	if s.InFlight() != wantInFlight {
+		t.Fatal("late arrival joined the open batch")
+	}
+	deliveries, err := s.RunUntilDrained(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		deliveries = append(deliveries, *d) // count the manual first step
+	}
+	if len(deliveries) != 3 {
+		t.Fatalf("delivered %d, want 3", len(deliveries))
+	}
+	batchOf := make(map[any]int, 3)
+	for _, dv := range deliveries {
+		batchOf[dv.Payload] = dv.Batch
+	}
+	if batchOf["a"] != 1 || batchOf["b"] != 1 {
+		t.Fatalf("a/b batches = %v, want both 1", batchOf)
+	}
+	if batchOf["c"] != 2 {
+		t.Fatalf("c batch = %d, want 2", batchOf["c"])
+	}
+}
+
+// TestServiceAvoidsLocalClockLivelock: the arrival pattern that livelocks
+// naive per-arrival One-Fail Adaptive (two stations per slot-parity
+// class; see internal/dynamic) drains fine under gated batching, for
+// every seed.
+func TestServiceAvoidsLocalClockLivelock(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(0); seed < 30; seed++ {
+		s := New(newOFAStation, rng.New(seed))
+		s.Enqueue(1)
+		s.Enqueue(2)
+		if _, err := s.Step(); err != nil { // opens batch 1 at slot 1
+			t.Fatal(err)
+		}
+		s.Enqueue(3) // arrive at slot 2: the pattern {1,1,2,2}
+		s.Enqueue(4)
+		if _, err := s.RunUntilDrained(100000); err != nil {
+			t.Fatalf("seed %d: gated batching failed to drain: %v", seed, err)
+		}
+	}
+}
+
+// TestServicePoissonStability: under a sustained Poisson load well below
+// channel capacity (~1/7.4 messages/slot for OFA), the backlog stays
+// bounded and every message is delivered.
+func TestServicePoissonStability(t *testing.T) {
+	t.Parallel()
+	const horizon = 60000
+	const rate = 0.05 // well under capacity
+	arrivals := rng.New(7)
+	s := New(newOFAStation, rng.New(8))
+	enqueued, delivered := 0, 0
+	maxBacklog := 0
+	for i := 0; i < horizon; i++ {
+		if arrivals.Bernoulli(rate) {
+			s.Enqueue(i)
+			enqueued++
+		}
+		d, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			delivered++
+		}
+		if b := s.Backlog(); b > maxBacklog {
+			maxBacklog = b
+		}
+	}
+	if _, err := s.RunUntilDrained(horizon + 100000); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(s.Delivered()); got != enqueued {
+		t.Fatalf("delivered %d of %d", got, enqueued)
+	}
+	if maxBacklog > 100 {
+		t.Fatalf("max backlog %d under gentle load, want bounded", maxBacklog)
+	}
+}
+
+// TestServiceWindowProtocol runs the service over Exp Back-on/Back-off
+// stations to confirm protocol-family independence.
+func TestServiceWindowProtocol(t *testing.T) {
+	t.Parallel()
+	s := New(newEBBStation, rng.New(9))
+	for i := 0; i < 64; i++ {
+		s.Enqueue(i)
+	}
+	deliveries, err := s.RunUntilDrained(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries) != 64 {
+		t.Fatalf("delivered %d, want 64", len(deliveries))
+	}
+}
+
+// TestServiceBatchSlotAccounting: arrival and delivery slots must be
+// consistent (arrival ≤ delivered, latency ≥ 1) and collision counts sane.
+func TestServiceBatchSlotAccounting(t *testing.T) {
+	t.Parallel()
+	s := New(newOFAStation, rng.New(10))
+	for i := 0; i < 32; i++ {
+		s.Enqueue(i)
+	}
+	deliveries, err := s.RunUntilDrained(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deliveries {
+		if d.Delivered < d.Arrival {
+			t.Fatalf("delivered %d before arrival %d", d.Delivered, d.Arrival)
+		}
+		if d.Latency() < 1 {
+			t.Fatalf("latency %d < 1", d.Latency())
+		}
+	}
+	if s.Collisions() == 0 {
+		t.Fatal("32-station batch saw no collisions — implausible")
+	}
+	if s.Collisions() >= s.Slot() {
+		t.Fatalf("collisions %d ≥ slots %d", s.Collisions(), s.Slot())
+	}
+}
+
+func TestServiceConstructorError(t *testing.T) {
+	t.Parallel()
+	bad := func() (protocol.Station, error) { return nil, fmt.Errorf("boom") }
+	s := New(bad, rng.New(11))
+	s.Enqueue(1)
+	if _, err := s.Step(); err == nil {
+		t.Fatal("constructor error not propagated")
+	}
+}

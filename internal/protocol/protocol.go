@@ -1,0 +1,131 @@
+// Package protocol defines the abstractions shared by every contention-
+// resolution protocol in this repository, and adapters that turn them into
+// per-node automata for the exact channel simulator.
+//
+// The paper's four protocols fall into two families:
+//
+//   - Fair probability-based protocols (One-Fail Adaptive, Log-Fails
+//     Adaptive): in every slot, every active station transmits with the
+//     same probability, and the state that determines that probability is
+//     updated only on globally observable events (a reception, i.e. some
+//     other station's successful delivery). Such protocols are modeled by
+//     a Controller.
+//
+//   - Windowed (back-on/back-off) protocols (Exp Back-on/Back-off,
+//     Loglog-Iterated Back-off and the monotone back-off family): time is
+//     partitioned into windows by a deterministic schedule shared by all
+//     stations, and each active station transmits in one uniformly chosen
+//     slot of each window. Such protocols are modeled by a Schedule.
+//
+// Because all stations of a fair protocol observe the same events (§2 of
+// the paper: a success is received by every non-transmitting station, and
+// in a successful slot every still-active station was a non-transmitter),
+// all active stations hold identical controller state at all times. The
+// aggregate engines in internal/engine exploit this for O(1)-per-slot and
+// O(min(m,w))-per-window simulation; the adapters in this package realize
+// the same protocols as individual stations for the exact per-node
+// simulator in internal/sim. Statistical agreement of the two realizations
+// is enforced by tests in internal/engine.
+package protocol
+
+import "repro/internal/rng"
+
+// Controller is the shared state machine of a fair protocol. A Controller
+// is stateful and single-use: create a fresh one per simulated execution.
+type Controller interface {
+	// Prob returns the transmission probability every active station uses
+	// in the given slot. Slots are numbered from 1.
+	Prob(slot uint64) float64
+	// Observe advances the state after the slot resolves. success reports
+	// whether the slot carried a successful delivery (the only event
+	// distinguishable on a channel without collision detection).
+	Observe(slot uint64, success bool)
+}
+
+// Schedule enumerates the window lengths of a windowed protocol. A
+// Schedule is stateful and single-use: create a fresh one per execution.
+// All stations of an execution follow identical schedules, so windows are
+// synchronized (all messages arrive in a single batch; §2).
+type Schedule interface {
+	// NextWindow returns the length in slots of the next window. It must
+	// always return a value >= 1.
+	NextWindow() int
+}
+
+// Station is a per-node protocol automaton driven by the exact simulator.
+type Station interface {
+	// WillTransmit reports whether the station transmits in slot. src is
+	// the station's source of randomness for this decision.
+	WillTransmit(slot uint64, src *rng.Rand) bool
+	// Feedback delivers the station's view of the slot outcome:
+	// transmitted is what WillTransmit returned, received reports whether
+	// the station received a message (some other station delivered).
+	// A station that has delivered its own message is removed by the
+	// simulator and receives no further callbacks.
+	Feedback(slot uint64, transmitted, received bool)
+}
+
+// FairStation adapts a Controller into a Station. Each station owns a
+// private Controller instance; all instances evolve identically because
+// they observe identical events.
+type FairStation struct {
+	ctrl Controller
+}
+
+// NewFairStation returns a Station running the fair protocol ctrl.
+func NewFairStation(ctrl Controller) *FairStation {
+	return &FairStation{ctrl: ctrl}
+}
+
+// WillTransmit implements Station.
+func (s *FairStation) WillTransmit(slot uint64, src *rng.Rand) bool {
+	return src.Bernoulli(s.ctrl.Prob(slot))
+}
+
+// Feedback implements Station. For a station that is still active after
+// the slot, receiving a message is equivalent to the slot being successful.
+func (s *FairStation) Feedback(slot uint64, transmitted, received bool) {
+	s.ctrl.Observe(slot, received)
+}
+
+// WindowStation adapts a Schedule into a Station: at the start of each
+// window it draws a uniform slot of the window and transmits only there.
+type WindowStation struct {
+	sched      Schedule
+	windowEnd  uint64 // last slot of the current window; 0 before the first
+	chosenSlot uint64
+}
+
+// NewWindowStation returns a Station running the windowed protocol sched.
+// Each station must receive its own Schedule instance (schedules are
+// stateful); instances must produce identical sequences.
+func NewWindowStation(sched Schedule) *WindowStation {
+	return &WindowStation{sched: sched}
+}
+
+// WillTransmit implements Station. A station that was inactive past one
+// or more window boundaries (dynamic arrivals on a global clock)
+// fast-forwards through the missed windows; a window whose chosen slot
+// already passed is simply missed.
+func (s *WindowStation) WillTransmit(slot uint64, src *rng.Rand) bool {
+	for slot > s.windowEnd {
+		w := s.sched.NextWindow()
+		if w < 1 {
+			panic("protocol: Schedule returned window < 1")
+		}
+		start := s.windowEnd + 1
+		s.windowEnd += uint64(w)
+		s.chosenSlot = start + uint64(src.Intn(w))
+	}
+	return slot == s.chosenSlot
+}
+
+// Feedback implements Station. Windowed protocols are oblivious to channel
+// feedback other than their own delivery ack, so this is a no-op.
+func (s *WindowStation) Feedback(slot uint64, transmitted, received bool) {}
+
+// Compile-time interface conformance checks.
+var (
+	_ Station = (*FairStation)(nil)
+	_ Station = (*WindowStation)(nil)
+)

@@ -1,0 +1,157 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// countController transmits with a fixed probability and records calls.
+type countController struct {
+	p        float64
+	observes []bool
+}
+
+func (c *countController) Prob(slot uint64) float64 { return c.p }
+func (c *countController) Observe(slot uint64, success bool) {
+	c.observes = append(c.observes, success)
+}
+
+func TestFairStationTransmitsAtControllerRate(t *testing.T) {
+	t.Parallel()
+	ctrl := &countController{p: 0.3}
+	st := NewFairStation(ctrl)
+	src := rng.New(1)
+	const slots = 200000
+	tx := 0
+	for s := uint64(1); s <= slots; s++ {
+		if st.WillTransmit(s, src) {
+			tx++
+		}
+	}
+	got := float64(tx) / slots
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("transmit rate = %v, want ~0.3", got)
+	}
+}
+
+func TestFairStationFeedbackForwardsReception(t *testing.T) {
+	t.Parallel()
+	ctrl := &countController{p: 0.5}
+	st := NewFairStation(ctrl)
+	st.Feedback(1, false, true)
+	st.Feedback(2, true, false)
+	st.Feedback(3, false, false)
+	want := []bool{true, false, false}
+	if len(ctrl.observes) != len(want) {
+		t.Fatalf("observes = %v, want %v", ctrl.observes, want)
+	}
+	for i := range want {
+		if ctrl.observes[i] != want[i] {
+			t.Fatalf("observes = %v, want %v", ctrl.observes, want)
+		}
+	}
+}
+
+// fixedSchedule emits a constant window size.
+type fixedSchedule struct{ w int }
+
+func (s fixedSchedule) NextWindow() int { return s.w }
+
+func TestWindowStationOneTransmissionPerWindow(t *testing.T) {
+	t.Parallel()
+	st := NewWindowStation(fixedSchedule{w: 8})
+	src := rng.New(2)
+	for window := 0; window < 100; window++ {
+		tx := 0
+		for i := 0; i < 8; i++ {
+			slot := uint64(window*8 + i + 1)
+			if st.WillTransmit(slot, src) {
+				tx++
+			}
+		}
+		if tx != 1 {
+			t.Fatalf("window %d: %d transmissions, want exactly 1", window, tx)
+		}
+	}
+}
+
+func TestWindowStationUniformSlotChoice(t *testing.T) {
+	t.Parallel()
+	const w, windows = 4, 200000
+	st := NewWindowStation(fixedSchedule{w: w})
+	src := rng.New(3)
+	var counts [w]int
+	for window := 0; window < windows; window++ {
+		for i := 0; i < w; i++ {
+			slot := uint64(window*w + i + 1)
+			if st.WillTransmit(slot, src) {
+				counts[i]++
+			}
+		}
+	}
+	want := float64(windows) / w
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("slot offset %d chosen %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestWindowStationFastForward(t *testing.T) {
+	t.Parallel()
+	// First queried at slot 100 with windows of 8: the station must
+	// fast-forward to the window containing slot 100 (slots 97..104) and
+	// then behave normally.
+	st := NewWindowStation(fixedSchedule{w: 8})
+	src := rng.New(4)
+	tx := 0
+	for slot := uint64(100); slot <= 104; slot++ {
+		if st.WillTransmit(slot, src) {
+			tx++
+		}
+	}
+	if tx > 1 {
+		t.Fatalf("%d transmissions in one window after fast-forward, want ≤ 1", tx)
+	}
+	// The next full window must again have exactly one transmission.
+	tx = 0
+	for slot := uint64(105); slot <= 112; slot++ {
+		if st.WillTransmit(slot, src) {
+			tx++
+		}
+	}
+	if tx != 1 {
+		t.Fatalf("window after fast-forward had %d transmissions, want 1", tx)
+	}
+}
+
+func TestWindowStationPanicsOnBadSchedule(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("window < 1 did not panic")
+		}
+	}()
+	st := NewWindowStation(fixedSchedule{w: 0})
+	st.WillTransmit(1, rng.New(1))
+}
+
+func TestWindowStationFeedbackIgnored(t *testing.T) {
+	t.Parallel()
+	st := NewWindowStation(fixedSchedule{w: 4})
+	src := rng.New(5)
+	// Interleaving feedback must not change the already-chosen slot.
+	first := -1
+	for i := 0; i < 4; i++ {
+		slot := uint64(i + 1)
+		if st.WillTransmit(slot, src) {
+			first = i
+		}
+		st.Feedback(slot, false, true)
+	}
+	if first == -1 {
+		t.Fatal("no transmission in first window")
+	}
+}

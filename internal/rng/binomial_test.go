@@ -1,0 +1,173 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialEdgeCases(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		n    int
+		p    float64
+		want int
+	}{
+		{name: "n=0", n: 0, p: 0.5, want: 0},
+		{name: "p=0", n: 100, p: 0, want: 0},
+		{name: "p=1", n: 100, p: 1, want: 100},
+		{name: "p negative", n: 100, p: -0.2, want: 0},
+		{name: "p above one", n: 100, p: 1.3, want: 100},
+	}
+	r := New(1)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for i := 0; i < 100; i++ {
+				if got := r.Binomial(tt.n, tt.p); got != tt.want {
+					t.Fatalf("Binomial(%d,%v) = %d, want %d", tt.n, tt.p, got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestBinomialBounds(t *testing.T) {
+	t.Parallel()
+	r := New(2)
+	f := func(nRaw uint16, pRaw uint16) bool {
+		n := int(nRaw % 5000)
+		p := float64(pRaw) / math.MaxUint16
+		v := r.Binomial(n, p)
+		return v >= 0 && v <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinomialMoments checks mean and variance across both sampler regimes
+// (inversion for small n*p, BTRS for large n*p) and across the p>1/2
+// symmetry reflection.
+func TestBinomialMoments(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		n int
+		p float64
+	}{
+		{n: 10, p: 0.3},       // inversion
+		{n: 50, p: 0.02},      // inversion, small p
+		{n: 1000, p: 0.001},   // inversion, tiny mean
+		{n: 1000, p: 0.5},     // BTRS
+		{n: 1000, p: 0.9},     // BTRS via symmetry
+		{n: 100000, p: 0.001}, // BTRS, large n small p (engine regime)
+		{n: 1000000, p: 0.2},  // BTRS, large n
+		{n: 37, p: 0.49},      // inversion near boundary
+	}
+	for _, tt := range tests {
+		r := New(uint64(tt.n)*31 + uint64(tt.p*1e6))
+		const draws = 60000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			v := float64(r.Binomial(tt.n, tt.p))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / draws
+		variance := sumSq/draws - mean*mean
+		wantMean := float64(tt.n) * tt.p
+		wantVar := wantMean * (1 - tt.p)
+		meanTol := 6 * math.Sqrt(wantVar/draws)
+		if wantVar == 0 {
+			meanTol = 1e-9
+		}
+		if math.Abs(mean-wantMean) > meanTol {
+			t.Errorf("Binomial(%d,%v): mean %v, want %v +/- %v", tt.n, tt.p, mean, wantMean, meanTol)
+		}
+		// Variance of the sample variance is ~2*var^2/draws for near-normal
+		// summands; allow a broad 10% + absolute slack band.
+		if math.Abs(variance-wantVar) > 0.1*wantVar+6*wantVar/math.Sqrt(draws)+1e-6 {
+			t.Errorf("Binomial(%d,%v): variance %v, want ~%v", tt.n, tt.p, variance, wantVar)
+		}
+	}
+}
+
+// TestBinomialDistributionSmall compares the empirical PMF of the sampler
+// against exact binomial probabilities with a chi-square-style bound.
+func TestBinomialDistributionSmall(t *testing.T) {
+	t.Parallel()
+	const n, p, draws = 8, 0.37, 400000
+	r := New(77)
+	var counts [n + 1]int
+	for i := 0; i < draws; i++ {
+		counts[r.Binomial(n, p)]++
+	}
+	for k := 0; k <= n; k++ {
+		exact := math.Exp(lfact(n)-lfact(float64(k))-lfact(float64(n-k))) *
+			math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+		want := exact * draws
+		if want < 20 {
+			continue // too rare for a tight frequency check
+		}
+		tol := 6 * math.Sqrt(want)
+		if math.Abs(float64(counts[k])-want) > tol {
+			t.Errorf("P(X=%d): observed %d, want %.0f +/- %.0f", k, counts[k], want, tol)
+		}
+	}
+}
+
+// TestBinomialRegimesAgree verifies the two samplers agree in distribution
+// at a parameter point where both are usable, by comparing empirical CDFs.
+func TestBinomialRegimesAgree(t *testing.T) {
+	t.Parallel()
+	const n, p, draws = 200, 0.2, 200000 // n*p = 40: BTRS by default
+	rInv, rBTRS := New(101), New(202)
+	cdfA := make([]float64, n+2)
+	cdfB := make([]float64, n+2)
+	for i := 0; i < draws; i++ {
+		cdfA[rInv.binomialInversion(n, p)]++
+		cdfB[rBTRS.binomialBTRS(n, p)]++
+	}
+	maxGap := 0.0
+	accA, accB := 0.0, 0.0
+	for k := 0; k <= n; k++ {
+		accA += cdfA[k] / draws
+		accB += cdfB[k] / draws
+		if gap := math.Abs(accA - accB); gap > maxGap {
+			maxGap = gap
+		}
+	}
+	// Two-sample Kolmogorov-Smirnov 99.9% critical value.
+	crit := 1.95 * math.Sqrt(2.0/draws)
+	if maxGap > crit {
+		t.Fatalf("inversion and BTRS disagree: KS distance %v > %v", maxGap, crit)
+	}
+}
+
+func TestBinomialPanicsOnNegativeN(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Binomial(-1, 0.5) did not panic")
+		}
+	}()
+	New(1).Binomial(-1, 0.5)
+}
+
+func BenchmarkBinomialInversion(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Binomial(1000, 0.005) // n*p = 5
+	}
+	_ = sink
+}
+
+func BenchmarkBinomialBTRS(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Binomial(1000000, 0.1)
+	}
+	_ = sink
+}

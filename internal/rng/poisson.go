@@ -1,0 +1,62 @@
+package rng
+
+import "math"
+
+// _ptrsCutoff is the mean above which the transformed-rejection Poisson
+// sampler replaces Knuth multiplication, whose cost grows linearly in the
+// mean.
+const _ptrsCutoff = 12
+
+// Poisson returns a draw from the Poisson distribution with the given mean.
+// It is used by the dynamic-arrival workload generator (message arrivals
+// per slot) and by statistical tests. Exact for all means.
+func (r *Rand) Poisson(mean float64) int {
+	switch {
+	case mean <= 0:
+		return 0
+	case mean < _ptrsCutoff:
+		return r.poissonKnuth(mean)
+	default:
+		return r.poissonPTRS(mean)
+	}
+}
+
+// poissonKnuth draws Poisson(mean) by multiplying uniforms until the
+// product drops below exp(-mean). Expected cost O(mean).
+func (r *Rand) poissonKnuth(mean float64) int {
+	limit := math.Exp(-mean)
+	prod := r.Float64()
+	k := 0
+	for prod > limit {
+		prod *= r.Float64()
+		k++
+	}
+	return k
+}
+
+// poissonPTRS draws Poisson(mean) using Hörmann's PTRS transformed
+// rejection ("The transformed rejection method for generating Poisson
+// random variables", 1993). O(1) expected time, valid for mean >= 10.
+func (r *Rand) poissonPTRS(mean float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMean := math.Log(mean)
+
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		kf := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(kf)
+		}
+		if kf < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= kf*logMean-mean-lfact(kf) {
+			return int(kf)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoissonEdgeCases(t *testing.T) {
+	t.Parallel()
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if got := r.Poisson(0); got != 0 {
+			t.Fatalf("Poisson(0) = %d, want 0", got)
+		}
+		if got := r.Poisson(-3); got != 0 {
+			t.Fatalf("Poisson(-3) = %d, want 0", got)
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	t.Parallel()
+	means := []float64{0.1, 1, 5, 11.9, 12.1, 50, 1000}
+	for _, mean := range means {
+		r := New(uint64(mean * 1e3))
+		const draws = 200000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			v := float64(r.Poisson(mean))
+			if v < 0 {
+				t.Fatalf("Poisson(%v) returned negative %v", mean, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		got := sum / draws
+		variance := sumSq/draws - got*got
+		tol := 6 * math.Sqrt(mean/draws)
+		if math.Abs(got-mean) > tol {
+			t.Errorf("Poisson(%v) mean = %v, want within %v", mean, got, tol)
+		}
+		if math.Abs(variance-mean) > 0.05*mean+6*mean/math.Sqrt(draws) {
+			t.Errorf("Poisson(%v) variance = %v, want ~%v", mean, variance, mean)
+		}
+	}
+}
+
+// TestPoissonDistributionSmall checks the empirical PMF for a small mean
+// against exact Poisson probabilities.
+func TestPoissonDistributionSmall(t *testing.T) {
+	t.Parallel()
+	const mean, draws = 3.5, 400000
+	r := New(55)
+	counts := make(map[int]int)
+	for i := 0; i < draws; i++ {
+		counts[r.Poisson(mean)]++
+	}
+	for k := 0; k <= 12; k++ {
+		exact := math.Exp(float64(k)*math.Log(mean) - mean - lfact(float64(k)))
+		want := exact * draws
+		if want < 20 {
+			continue
+		}
+		tol := 6 * math.Sqrt(want)
+		if math.Abs(float64(counts[k])-want) > tol {
+			t.Errorf("P(X=%d): observed %d, want %.0f +/- %.0f", k, counts[k], want, tol)
+		}
+	}
+}
+
+// TestPoissonRegimesAgree compares the Knuth and PTRS samplers on either
+// side of the cutoff via a KS test at a common mean.
+func TestPoissonRegimesAgree(t *testing.T) {
+	t.Parallel()
+	const mean, draws = 20.0, 200000
+	rKnuth, rPTRS := New(301), New(302)
+	const maxK = 100
+	var cdfA, cdfB [maxK + 1]float64
+	for i := 0; i < draws; i++ {
+		a := rKnuth.poissonKnuth(mean)
+		b := rPTRS.poissonPTRS(mean)
+		if a > maxK {
+			a = maxK
+		}
+		if b > maxK {
+			b = maxK
+		}
+		cdfA[a]++
+		cdfB[b]++
+	}
+	maxGap, accA, accB := 0.0, 0.0, 0.0
+	for k := 0; k <= maxK; k++ {
+		accA += cdfA[k] / draws
+		accB += cdfB[k] / draws
+		if gap := math.Abs(accA - accB); gap > maxGap {
+			maxGap = gap
+		}
+	}
+	crit := 1.95 * math.Sqrt(2.0/draws)
+	if maxGap > crit {
+		t.Fatalf("Knuth and PTRS disagree: KS distance %v > %v", maxGap, crit)
+	}
+}
+
+func BenchmarkPoissonSmallMean(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Poisson(4)
+	}
+	_ = sink
+}
+
+func BenchmarkPoissonLargeMean(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Poisson(5000)
+	}
+	_ = sink
+}

@@ -1,0 +1,307 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	t.Parallel()
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: generators with equal seeds diverged: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestSeedsProduceDistinctStreams(t *testing.T) {
+	t.Parallel()
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestReseedRestartsSequence(t *testing.T) {
+	t.Parallel()
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("draw %d after Reseed: got %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestNewStreamLabels(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name     string
+		labelsA  []string
+		labelsB  []string
+		wantSame bool
+	}{
+		{name: "identical labels", labelsA: []string{"ofa", "10"}, labelsB: []string{"ofa", "10"}, wantSame: true},
+		{name: "different protocol", labelsA: []string{"ofa", "10"}, labelsB: []string{"ebb", "10"}, wantSame: false},
+		{name: "different k", labelsA: []string{"ofa", "10"}, labelsB: []string{"ofa", "100"}, wantSame: false},
+		{name: "label boundary shift", labelsA: []string{"ab", "c"}, labelsB: []string{"a", "bc"}, wantSame: false},
+		{name: "empty vs none", labelsA: []string{""}, labelsB: nil, wantSame: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			a := NewStream(99, tt.labelsA...)
+			b := NewStream(99, tt.labelsB...)
+			same := a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64()
+			if same != tt.wantSame {
+				t.Fatalf("streams %v vs %v: same=%v, want %v", tt.labelsA, tt.labelsB, same, tt.wantSame)
+			}
+		})
+	}
+}
+
+func TestStreamIDDistinct(t *testing.T) {
+	t.Parallel()
+	seen := make(map[uint64]bool)
+	for k := uint64(0); k < 100; k++ {
+		for run := uint64(0); run < 100; run++ {
+			id := StreamID(5, k, run)
+			if seen[id] {
+				t.Fatalf("StreamID collision at k=%d run=%d", k, run)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	t.Parallel()
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64OpenRange(t *testing.T) {
+	t.Parallel()
+	r := New(4)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64Open()
+		if f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	t.Parallel()
+	r := New(5)
+	const n = 1 << 20
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.003 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	t.Parallel()
+	r := New(6)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	t.Parallel()
+	r := New(8)
+	const n, draws = 10, 1000000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d drawn %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulliEdge(t *testing.T) {
+	t.Parallel()
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	t.Parallel()
+	tests := []float64{0.01, 0.1, 0.5, 0.9}
+	for _, p := range tests {
+		r := New(uint64(math.Float64bits(p)))
+		const n = 500000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		tol := 5 * math.Sqrt(p*(1-p)/n)
+		if math.Abs(got-p) > tol {
+			t.Errorf("Bernoulli(%v) frequency %v, want within %v", p, got, tol)
+		}
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	t.Parallel()
+	r := New(11)
+	const n = 1 << 19
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64 returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.01 {
+		t.Fatalf("ExpFloat64 mean = %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	t.Parallel()
+	r := New(12)
+	const n = 1 << 19
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("NormFloat64 mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("NormFloat64 variance = %v, want ~1", variance)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	t.Parallel()
+	r := New(13)
+	const n = 100
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("shuffle produced invalid permutation: %v", perm)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleUniformFirstElement(t *testing.T) {
+	t.Parallel()
+	r := New(14)
+	const n, draws = 5, 200000
+	var counts [n]int
+	arr := make([]int, n)
+	for d := 0; d < draws; d++ {
+		for i := range arr {
+			arr[i] = i
+		}
+		r.Shuffle(n, func(i, j int) { arr[i], arr[j] = arr[j], arr[i] })
+		counts[arr[0]]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("element %d first %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64n(1000003)
+	}
+	_ = sink
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+func newOFAStations(t *testing.T, k int) []protocol.Station {
+	t.Helper()
+	stations := make([]protocol.Station, k)
+	for i := range stations {
+		ctrl, err := core.NewOneFailAdaptive(core.DefaultOFADelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stations[i] = protocol.NewFairStation(ctrl)
+	}
+	return stations
+}
+
+func TestJammerBlocksDelivery(t *testing.T) {
+	t.Parallel()
+	// A jammer covering every slot makes delivery impossible.
+	_, err := Run(newOFAStations(t, 4), rng.New(1),
+		allJammed(), WithMaxSlots(2000))
+	if err == nil {
+		t.Fatal("fully jammed channel completed")
+	}
+}
+
+// allJammed jams every slot.
+func allJammed() Option {
+	return WithJammer(func(uint64) bool { return true })
+}
+
+func TestJammerOutcomeIsCollision(t *testing.T) {
+	t.Parallel()
+	// A single station transmitting alone in a jammed slot must collide.
+	st := &scriptStation{script: map[uint64]bool{1: true, 2: true}}
+	var outcomes []Outcome
+	res, err := Run([]protocol.Station{st}, rng.New(1),
+		WithJammer(func(slot uint64) bool { return slot == 1 }),
+		WithTrace(func(r SlotRecord) { outcomes = append(outcomes, r.Outcome) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[0] != Collision {
+		t.Fatalf("jammed slot outcome = %v, want collision", outcomes[0])
+	}
+	if res.Slots != 2 {
+		t.Fatalf("completion at %d, want 2 (slot 1 was jammed)", res.Slots)
+	}
+}
+
+// TestOFASurvivesPartialJamming is the failure-injection experiment: with
+// 30% of slots jammed, One-Fail Adaptive still completes, paying roughly
+// the proportional slowdown.
+func TestOFASurvivesPartialJamming(t *testing.T) {
+	t.Parallel()
+	const k = 200
+	jam := rng.New(99)
+	clean, err := Run(newOFAStations(t, k), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jammed, err := Run(newOFAStations(t, k), rng.New(7),
+		WithJammer(func(uint64) bool { return jam.Bernoulli(0.3) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jammed.Slots <= clean.Slots {
+		t.Fatalf("jammed run (%d) not slower than clean run (%d)", jammed.Slots, clean.Slots)
+	}
+	// The slowdown should be bounded: well under 4x for 30% jamming.
+	if float64(jammed.Slots) > 4*float64(clean.Slots) {
+		t.Fatalf("jammed run %d slots vs clean %d — more than 4x degradation", jammed.Slots, clean.Slots)
+	}
+}
+
+func TestStopAfterDeliveries(t *testing.T) {
+	t.Parallel()
+	const k = 50
+	res, err := Run(newOFAStations(t, k), rng.New(3), WithStopAfterDeliveries(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 5 {
+		t.Fatalf("delivered %d, want exactly 5", res.Delivered)
+	}
+	full, err := Run(newOFAStations(t, k), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots >= full.Slots {
+		t.Fatalf("first-5 stop (%d) not earlier than full run (%d)", res.Slots, full.Slots)
+	}
+}
+
+// TestTimeToFirstDelivery measures the §2 quantity behind the
+// Kushilevitz–Mansour Ω(log n) lower bound: without collision detection,
+// even the first delivery takes logarithmic time for some k. For OFA the
+// mean first-delivery slot must grow (slowly) with k but stay far below
+// completion time.
+func TestTimeToFirstDelivery(t *testing.T) {
+	t.Parallel()
+	mean := func(k int) float64 {
+		const runs = 60
+		var total uint64
+		for i := 0; i < runs; i++ {
+			res, err := Run(newOFAStations(t, k), rng.NewStream(11, "first", string(rune(k)), string(rune(i))),
+				WithStopAfterDeliveries(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Slots
+		}
+		return float64(total) / runs
+	}
+	small, large := mean(4), mean(512)
+	if large <= small {
+		t.Fatalf("first delivery at k=512 (%v) not slower than k=4 (%v)", large, small)
+	}
+	if large > 40*math.Log2(512) {
+		t.Fatalf("first delivery at k=512 = %v slots, implausibly slow", large)
+	}
+}

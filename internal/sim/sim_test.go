@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// scriptStation transmits exactly at the slots listed in its script and
+// records the feedback it receives.
+type scriptStation struct {
+	script   map[uint64]bool
+	feedback []SlotRecord // reuses SlotRecord fields loosely for assertions
+	received []uint64     // slots at which a message was received
+}
+
+func (s *scriptStation) WillTransmit(slot uint64, _ *rng.Rand) bool {
+	return s.script[slot]
+}
+
+func (s *scriptStation) Feedback(slot uint64, transmitted, received bool) {
+	if received {
+		s.received = append(s.received, slot)
+	}
+}
+
+var _ protocol.Station = (*scriptStation)(nil)
+
+func TestRunEmpty(t *testing.T) {
+	t.Parallel()
+	res, err := Run(nil, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 0 || res.Delivered != 0 {
+		t.Fatalf("empty run = %+v, want zero result", res)
+	}
+}
+
+func TestRunScriptedOutcomes(t *testing.T) {
+	t.Parallel()
+	// Slot 1: silence. Slot 2: collision (a, b). Slot 3: a alone delivers.
+	// Slot 4: silence for b... then slot 5: b delivers.
+	a := &scriptStation{script: map[uint64]bool{2: true, 3: true}}
+	b := &scriptStation{script: map[uint64]bool{2: true, 5: true}}
+	var trace []SlotRecord
+	res, err := Run([]protocol.Station{a, b}, rng.New(1), WithTrace(func(r SlotRecord) {
+		trace = append(trace, r)
+	}), WithDeliveryOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 5 {
+		t.Fatalf("completion slot = %d, want 5", res.Slots)
+	}
+	if res.Delivered != 2 || res.Successes != 2 || res.Collisions != 1 || res.Silences != 2 {
+		t.Fatalf("unexpected counts: %+v", res)
+	}
+	wantOrder := []int{0, 1}
+	for i, v := range wantOrder {
+		if res.DeliveryOrder[i] != v {
+			t.Fatalf("delivery order = %v, want %v", res.DeliveryOrder, wantOrder)
+		}
+	}
+	wantOutcomes := []Outcome{Silence, Collision, Success, Silence, Success}
+	for i, r := range trace {
+		if r.Outcome != wantOutcomes[i] {
+			t.Fatalf("slot %d outcome = %v, want %v", r.Slot, r.Outcome, wantOutcomes[i])
+		}
+	}
+	// b must have received a's message at slot 3; a must never receive
+	// (it was gone before b transmitted).
+	if len(b.received) != 1 || b.received[0] != 3 {
+		t.Fatalf("b received at %v, want [3]", b.received)
+	}
+	if len(a.received) != 0 {
+		t.Fatalf("a received at %v, want none", a.received)
+	}
+}
+
+func TestRunCollisionNotReceived(t *testing.T) {
+	t.Parallel()
+	// Three stations: two collide at slot 1 while the third listens; nobody
+	// may receive anything. Then they deliver one by one.
+	a := &scriptStation{script: map[uint64]bool{1: true, 2: true}}
+	b := &scriptStation{script: map[uint64]bool{1: true, 3: true}}
+	c := &scriptStation{script: map[uint64]bool{4: true}}
+	res, err := Run([]protocol.Station{a, b, c}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 4 {
+		t.Fatalf("completion slot = %d, want 4", res.Slots)
+	}
+	// c heard the two successes (slots 2, 3); a and b heard each other's
+	// deliveries after their own collision: a hears slot 3? No — a
+	// delivered at slot 2 and left, so a hears nothing; b hears slot 2.
+	if len(a.received) != 0 {
+		t.Fatalf("a received %v, want none", a.received)
+	}
+	if len(b.received) != 1 || b.received[0] != 2 {
+		t.Fatalf("b received %v, want [2]", b.received)
+	}
+	if len(c.received) != 2 || c.received[0] != 2 || c.received[1] != 3 {
+		t.Fatalf("c received %v, want [2 3]", c.received)
+	}
+}
+
+func TestRunSlotLimit(t *testing.T) {
+	t.Parallel()
+	// Two stations that always transmit: permanent collision.
+	a := &alwaysStation{}
+	b := &alwaysStation{}
+	_, err := Run([]protocol.Station{a, b}, rng.New(1), WithMaxSlots(100))
+	if !errors.Is(err, ErrSlotLimit) {
+		t.Fatalf("error = %v, want ErrSlotLimit", err)
+	}
+}
+
+type alwaysStation struct{}
+
+func (*alwaysStation) WillTransmit(uint64, *rng.Rand) bool { return true }
+func (*alwaysStation) Feedback(uint64, bool, bool)         {}
+
+func TestRunArrivalsValidation(t *testing.T) {
+	t.Parallel()
+	_, err := Run([]protocol.Station{&alwaysStation{}}, rng.New(1), WithArrivals([]uint64{1, 2}))
+	if err == nil {
+		t.Fatal("mismatched arrivals accepted, want error")
+	}
+}
+
+func TestRunStaggeredArrivals(t *testing.T) {
+	t.Parallel()
+	// Station 0 arrives at slot 1 and transmits every slot it is active;
+	// station 1 arrives at slot 3. Station 0 delivers alone at slot 1;
+	// station 1 delivers at slot 3.
+	a := &scriptStation{script: map[uint64]bool{1: true, 2: true, 3: true}}
+	b := &scriptStation{script: map[uint64]bool{3: true}}
+	res, err := Run([]protocol.Station{a, b}, rng.New(1), WithArrivals([]uint64{1, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 3 || res.Successes != 2 {
+		t.Fatalf("result = %+v, want completion at slot 3 with 2 successes", res)
+	}
+}
+
+// TestSingleStationOFA: with k = 1, One-Fail Adaptive must deliver by slot
+// 2 at the latest (the first BT-step has σ = 0, so transmission
+// probability 1).
+func TestSingleStationOFA(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(0); seed < 200; seed++ {
+		ctrl, err := core.NewOneFailAdaptive(core.DefaultOFADelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run([]protocol.Station{protocol.NewFairStation(ctrl)}, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Slots > 2 {
+			t.Fatalf("seed %d: k=1 OFA completed at slot %d, want ≤ 2", seed, res.Slots)
+		}
+	}
+}
+
+// TestSingleStationEBB: with k = 1, Exp Back-on/Back-off delivers within
+// the first window (2 slots).
+func TestSingleStationEBB(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(0); seed < 200; seed++ {
+		sched, err := core.NewExpBackonBackoff(core.DefaultEBBDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run([]protocol.Station{protocol.NewWindowStation(sched)}, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Slots > 2 {
+			t.Fatalf("seed %d: k=1 EBB completed at slot %d, want ≤ 2", seed, res.Slots)
+		}
+	}
+}
+
+// TestRunInvariants checks structural invariants on a real protocol run:
+// one delivery per success slot, delivered ≤ k, counts add up, active
+// counts weakly decrease.
+func TestRunInvariants(t *testing.T) {
+	t.Parallel()
+	const k = 64
+	stations := make([]protocol.Station, k)
+	for i := range stations {
+		ctrl, err := core.NewOneFailAdaptive(core.DefaultOFADelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stations[i] = protocol.NewFairStation(ctrl)
+	}
+	delivered := 0
+	prevActive := k + 1
+	var lastSlot uint64
+	res, err := Run(stations, rng.New(42), WithTrace(func(r SlotRecord) {
+		if r.Slot != lastSlot+1 {
+			t.Fatalf("non-consecutive slots: %d after %d", r.Slot, lastSlot)
+		}
+		lastSlot = r.Slot
+		if r.Active > prevActive {
+			t.Fatalf("active count grew: %d -> %d", prevActive, r.Active)
+		}
+		prevActive = r.Active
+		switch r.Outcome {
+		case Success:
+			if r.Transmitters != 1 || r.Deliverer < 0 || r.Deliverer >= k {
+				t.Fatalf("bad success record: %+v", r)
+			}
+			delivered++
+		case Collision:
+			if r.Transmitters < 2 {
+				t.Fatalf("collision with %d transmitters", r.Transmitters)
+			}
+		case Silence:
+			if r.Transmitters != 0 {
+				t.Fatalf("silence with %d transmitters", r.Transmitters)
+			}
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != k || res.Delivered != k {
+		t.Fatalf("delivered %d/%d, want %d", delivered, res.Delivered, k)
+	}
+	if res.Successes+res.Collisions+res.Silences != res.Slots {
+		t.Fatalf("outcome counts %d+%d+%d don't sum to %d slots",
+			res.Successes, res.Collisions, res.Silences, res.Slots)
+	}
+}
+
+// TestDeterminism: identical seeds and stations yield identical executions.
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	run := func() Result {
+		const k = 32
+		stations := make([]protocol.Station, k)
+		for i := range stations {
+			ctrl, _ := core.NewOneFailAdaptive(core.DefaultOFADelta)
+			stations[i] = protocol.NewFairStation(ctrl)
+		}
+		res, err := Run(stations, rng.New(7), WithDeliveryOrder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Slots != b.Slots || a.Collisions != b.Collisions {
+		t.Fatalf("executions diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.DeliveryOrder {
+		if a.DeliveryOrder[i] != b.DeliveryOrder[i] {
+			t.Fatalf("delivery orders diverged at %d", i)
+		}
+	}
+}
+
+// TestOFACompletesSmall exercises the full protocol end to end for several
+// small k and verifies completion within a generous multiple of the
+// Theorem 1 bound.
+func TestOFACompletesSmall(t *testing.T) {
+	t.Parallel()
+	for _, k := range []int{1, 2, 3, 5, 8, 16, 50, 128} {
+		stations := make([]protocol.Station, k)
+		for i := range stations {
+			ctrl, _ := core.NewOneFailAdaptive(core.DefaultOFADelta)
+			stations[i] = protocol.NewFairStation(ctrl)
+		}
+		res, err := Run(stations, rng.New(uint64(k)))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		logK := math.Log2(float64(k) + 1)
+		bound := uint64(10*2*(core.DefaultOFADelta+1)*float64(k) + 200*logK*logK + 100)
+		if res.Slots > bound {
+			t.Errorf("k=%d: completed in %d slots, want ≤ %d", k, res.Slots, bound)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		o    Outcome
+		want string
+	}{
+		{o: Silence, want: "silence"},
+		{o: Success, want: "success"},
+		{o: Collision, want: "collision"},
+		{o: Outcome(9), want: "Outcome(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", tt.o, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: streaming moment accumulation (Welford), quantiles,
+// and normal-approximation confidence intervals for reporting repeated
+// simulation runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates observations in a single pass (Welford's algorithm
+// for mean and variance) while retaining the raw values for quantiles.
+// The zero value is an empty summary ready for use.
+type Summary struct {
+	n      int
+	mean   float64
+	m2     float64
+	min    float64
+	max    float64
+	values []float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		s.min = math.Min(s.min, x)
+		s.max = math.Max(s.max, x)
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	s.values = append(s.values, x)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 for an empty summary).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty summary).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean.
+func (s *Summary) CI95() float64 { return 1.96 * s.StdErr() }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the observations using
+// linear interpolation between order statistics. It returns 0 for an
+// empty summary.
+func (s *Summary) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(s.values))
+	copy(sorted, s.values)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func (s *Summary) Median() float64 { return s.Quantile(0.5) }
+
+// String implements fmt.Stringer with a compact mean ± stderr rendering.
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.StdErr(), s.n)
+}
+
+// Merge folds other into s, as if all of other's observations had been
+// added to s directly.
+func (s *Summary) Merge(other *Summary) {
+	for _, v := range other.values {
+		s.Add(v)
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	t.Parallel()
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Fatalf("empty quantile = %v, want 0", s.Quantile(0.5))
+	}
+}
+
+func TestSummaryKnownValues(t *testing.T) {
+	t.Parallel()
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	// Unbiased sample variance of the classic dataset is 32/7.
+	if got, want := s.Variance(), 32.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("variance = %v, want %v", got, want)
+	}
+	if got := s.Min(); got != 2 {
+		t.Errorf("min = %v, want 2", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Errorf("max = %v, want 9", got)
+	}
+	if got := s.Median(); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("median = %v, want 4.5", got)
+	}
+	if got := s.N(); got != 8 {
+		t.Errorf("n = %v, want 8", got)
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	t.Parallel()
+	var s Summary
+	s.Add(42)
+	if s.Mean() != 42 || s.Variance() != 0 || s.Min() != 42 || s.Max() != 42 {
+		t.Fatalf("single-value summary wrong: %+v", s)
+	}
+	if s.Quantile(0) != 42 || s.Quantile(1) != 42 || s.Median() != 42 {
+		t.Fatal("single-value quantiles wrong")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	t.Parallel()
+	var s Summary
+	for _, v := range []float64{10, 20, 30, 40} {
+		s.Add(v)
+	}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0, want: 10},
+		{q: 1, want: 40},
+		{q: 0.5, want: 25},
+		{q: 1.0 / 3, want: 20},
+		{q: 0.25, want: 17.5},
+		{q: -1, want: 10},
+		{q: 2, want: 40},
+	}
+	for _, tt := range tests {
+		if got := s.Quantile(tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+// TestWelfordMatchesNaive property-checks the streaming moments against a
+// two-pass computation.
+func TestWelfordMatchesNaive(t *testing.T) {
+	t.Parallel()
+	f := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Summary
+		sum := 0.0
+		for _, v := range raw {
+			s.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		varSum := 0.0
+		for _, v := range raw {
+			varSum += (float64(v) - mean) * (float64(v) - mean)
+		}
+		variance := varSum / float64(len(raw)-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Variance()-variance) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	t.Parallel()
+	// The 95% CI must cover the true mean in roughly 95% of experiments.
+	src := rng.New(99)
+	const experiments, samples = 2000, 50
+	covered := 0
+	for e := 0; e < experiments; e++ {
+		var s Summary
+		for i := 0; i < samples; i++ {
+			s.Add(src.NormFloat64()*3 + 10)
+		}
+		if math.Abs(s.Mean()-10) <= s.CI95() {
+			covered++
+		}
+	}
+	rate := float64(covered) / experiments
+	if rate < 0.90 || rate > 0.99 {
+		t.Fatalf("CI95 coverage = %v, want ~0.95", rate)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	t.Parallel()
+	var a, b, all Summary
+	for i := 0; i < 100; i++ {
+		v := float64(i * i % 37)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		all.Add(v)
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged n = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Fatalf("merged mean = %v, want %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-6 {
+		t.Fatalf("merged variance = %v, want %v", a.Variance(), all.Variance())
+	}
+	if a.Median() != all.Median() {
+		t.Fatalf("merged median = %v, want %v", a.Median(), all.Median())
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	t.Parallel()
+	var s Summary
+	s.Add(1)
+	s.Add(3)
+	got := s.String()
+	if got == "" {
+		t.Fatal("String() empty")
+	}
+}

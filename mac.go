@@ -1,0 +1,188 @@
+package mac
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// Protocol is a contention-resolution protocol configuration ready to
+// solve static k-selection instances.
+type Protocol struct {
+	sys harness.System
+}
+
+// Name returns the protocol's display name.
+func (p Protocol) Name() string { return p.sys.Name() }
+
+// AnalysisRatio returns the steps/k ratio the protocol's published
+// analysis predicts at network size k (symbolic forms verbatim).
+func (p Protocol) AnalysisRatio(k int) string { return p.sys.AnalysisRatio(k) }
+
+// Solve simulates one static k-selection execution with k contenders and
+// the given seed, returning the number of slots until every message was
+// delivered. Identical (k, seed) always reproduce the identical result.
+func (p Protocol) Solve(k int, seed uint64) (uint64, error) {
+	if k < 0 {
+		return 0, fmt.Errorf("mac: negative k %d", k)
+	}
+	return p.sys.Run(k, rng.NewStream(seed, "mac.Solve", p.Name(), fmt.Sprint(k)))
+}
+
+// OneFailAdaptive returns the paper's novel protocol (Algorithm 1) with
+// the evaluation's δ = 2.72; pass a delta to override. Theorem 1: solves
+// static k-selection in 2(δ+1)k + O(log²k) slots w.p. ≥ 1 − 2/(1+k),
+// with no knowledge of k or n.
+func OneFailAdaptive(delta ...float64) (Protocol, error) {
+	d := core.DefaultOFADelta
+	if len(delta) > 0 {
+		d = delta[0]
+	}
+	if _, err := core.NewOneFailAdaptive(d); err != nil {
+		return Protocol{}, err
+	}
+	name := "One-Fail Adaptive"
+	if d != core.DefaultOFADelta {
+		name = fmt.Sprintf("One-Fail Adaptive (δ=%v)", d)
+	}
+	return Protocol{sys: harness.NewFairSystem(name,
+		func(int) string { return fmt.Sprintf("%.1f", analysis.OFARatio(d)) },
+		func(int) (protocol.Controller, error) { return core.NewOneFailAdaptive(d) },
+	)}, nil
+}
+
+// ExpBackonBackoff returns the paper's sawtooth window protocol
+// (Algorithm 2) with the evaluation's δ = 0.366; pass a delta to
+// override. Theorem 2: solves static k-selection within 4(1+1/δ)k slots
+// w.h.p. for big enough k.
+func ExpBackonBackoff(delta ...float64) (Protocol, error) {
+	d := core.DefaultEBBDelta
+	if len(delta) > 0 {
+		d = delta[0]
+	}
+	if _, err := core.NewExpBackonBackoff(d); err != nil {
+		return Protocol{}, err
+	}
+	name := "Exp Back-on/Back-off"
+	if d != core.DefaultEBBDelta {
+		name = fmt.Sprintf("Exp Back-on/Back-off (δ=%v)", d)
+	}
+	return Protocol{sys: harness.NewWindowSystem(name,
+		func(int) string { return fmt.Sprintf("%.1f", analysis.EBBRatio(d)) },
+		func(int) (protocol.Schedule, error) { return core.NewExpBackonBackoff(d) },
+	)}, nil
+}
+
+// LogFailsAdaptive returns the baseline of reference [7] (reconstructed;
+// see DESIGN.md) with ε = 1/(k+1) derived per instance and the given
+// BT-step fraction ξt (the paper evaluates 1/2 and 1/10). Unlike the
+// paper's own protocols it needs a bound on the network size.
+func LogFailsAdaptive(xiT float64) (Protocol, error) {
+	if _, err := baseline.NewLogFailsAdaptive(0.5, xiT); err != nil {
+		return Protocol{}, err
+	}
+	denom := int(1 / xiT)
+	return Protocol{sys: harness.NewFairSystem(fmt.Sprintf("Log-Fails Adaptive (%d)", denom),
+		func(int) string {
+			return fmt.Sprintf("%.1f", analysis.LFARatio(baseline.DefaultLFAXiDelta, baseline.DefaultLFAXiBeta, xiT))
+		},
+		func(k int) (protocol.Controller, error) {
+			return baseline.NewLogFailsAdaptive(1/(float64(k)+1), xiT)
+		},
+	)}, nil
+}
+
+// LoglogIteratedBackoff returns the monotone baseline of reference [2]
+// (reconstructed; see DESIGN.md) with growth base r = 2; pass a base to
+// override. Makespan Θ(k·loglog k/logloglog k) w.h.p.
+func LoglogIteratedBackoff(base ...float64) (Protocol, error) {
+	r := baseline.DefaultLLIBBase
+	if len(base) > 0 {
+		r = base[0]
+	}
+	if _, err := baseline.NewLoglogIteratedBackoff(r); err != nil {
+		return Protocol{}, err
+	}
+	return Protocol{sys: harness.NewWindowSystem("Loglog-Iterated Backoff",
+		func(int) string { return "Θ(loglog k/logloglog k)" },
+		func(int) (protocol.Schedule, error) { return baseline.NewLoglogIteratedBackoff(r) },
+	)}, nil
+}
+
+// ExponentialBackoff returns classic monotone r-exponential back-off
+// (binary for r = 2), the practical strategy whose superlinear makespan
+// Θ(k·log_{log r}k) motivates the paper's protocols.
+func ExponentialBackoff(r float64) (Protocol, error) {
+	if _, err := baseline.NewExponentialBackoff(r); err != nil {
+		return Protocol{}, err
+	}
+	return Protocol{sys: harness.NewWindowSystem(fmt.Sprintf("Exponential Backoff (r=%v)", r),
+		func(int) string { return "Θ(k·log k) total" },
+		func(int) (protocol.Schedule, error) { return baseline.NewExponentialBackoff(r) },
+	)}, nil
+}
+
+// PaperProtocols returns the five configurations of the paper's
+// evaluation (§5), in Table 1 row order.
+func PaperProtocols() []Protocol {
+	systems := harness.PaperSystems()
+	out := make([]Protocol, len(systems))
+	for i, s := range systems {
+		out[i] = Protocol{sys: s}
+	}
+	return out
+}
+
+// EvalConfig parameterizes Evaluate.
+type EvalConfig struct {
+	// MaxExp selects network sizes 10, 10², …, 10^MaxExp (default 5; the
+	// paper uses 7 — minutes of CPU time).
+	MaxExp int
+	// Ks overrides the network sizes entirely when non-empty.
+	Ks []int
+	// Runs is the number of averaged runs per point (default 10, as in
+	// the paper).
+	Runs int
+	// Seed is the master seed (default 1).
+	Seed uint64
+}
+
+// Result is one protocol's sweep outcome.
+type Result = harness.SeriesResult
+
+// Evaluate reruns the paper's evaluation for the given protocols and
+// returns one series per protocol.
+func Evaluate(protocols []Protocol, cfg EvalConfig) ([]Result, error) {
+	if cfg.MaxExp <= 0 {
+		cfg.MaxExp = 5
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	ks := cfg.Ks
+	if len(ks) == 0 {
+		ks = harness.PaperKs(cfg.MaxExp)
+	}
+	systems := make([]harness.System, len(protocols))
+	for i, p := range protocols {
+		systems[i] = p.sys
+	}
+	sweep := harness.Sweep{Ks: ks, Runs: cfg.Runs, Seed: cfg.Seed}
+	return sweep.Run(systems)
+}
+
+// Table1 renders sweep results as the paper's Table 1 (steps/nodes ratio
+// per size, with the analysis column) in Markdown.
+func Table1(results []Result) string { return harness.Table1(results) }
+
+// Figure1 renders sweep results as the paper's Figure 1 (average steps
+// per size, log-log) as ASCII art plus the raw numbers.
+func Figure1(results []Result) string { return harness.Figure1(results) }
+
+// CSV renders sweep results as tidy comma-separated records.
+func CSV(results []Result) string { return harness.CSV(results) }

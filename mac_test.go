@@ -1,0 +1,181 @@
+package mac
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestOneFailAdaptiveSolve(t *testing.T) {
+	t.Parallel()
+	p, err := OneFailAdaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := p.Solve(1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(steps) / 1000
+	if ratio < 2 || ratio > 12 {
+		t.Fatalf("OFA ratio at k=1000 = %v, want near 7.4", ratio)
+	}
+	// Determinism through the façade.
+	again, err := p.Solve(1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != again {
+		t.Fatalf("same seed gave %d then %d", steps, again)
+	}
+	other, err := p.Solve(1000, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps == other {
+		t.Fatalf("different seeds both gave %d", steps)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	t.Parallel()
+	p, err := ExpBackonBackoff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Solve(-1, 1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	steps, err := p.Solve(0, 1)
+	if err != nil || steps != 0 {
+		t.Fatalf("k=0: (%d, %v), want (0, nil)", steps, err)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := OneFailAdaptive(1.0); err == nil {
+		t.Error("OFA δ=1 accepted")
+	}
+	if _, err := ExpBackonBackoff(0.9); err == nil {
+		t.Error("EBB δ=0.9 accepted")
+	}
+	if _, err := LogFailsAdaptive(0); err == nil {
+		t.Error("LFA ξt=0 accepted")
+	}
+	if _, err := LoglogIteratedBackoff(1.0); err == nil {
+		t.Error("LLIB r=1 accepted")
+	}
+	if _, err := ExponentialBackoff(0.5); err == nil {
+		t.Error("exp backoff r=0.5 accepted")
+	}
+}
+
+func TestPaperProtocolsOrder(t *testing.T) {
+	t.Parallel()
+	ps := PaperProtocols()
+	if len(ps) != 5 {
+		t.Fatalf("got %d protocols, want 5", len(ps))
+	}
+	if ps[2].Name() != "One-Fail Adaptive" {
+		t.Fatalf("third protocol = %q, want One-Fail Adaptive", ps[2].Name())
+	}
+}
+
+func TestEvaluateAndRender(t *testing.T) {
+	t.Parallel()
+	ps := PaperProtocols()
+	res, err := Evaluate(ps, EvalConfig{Ks: []int{8, 32}, Runs: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(ps) {
+		t.Fatalf("got %d series, want %d", len(res), len(ps))
+	}
+	tbl := Table1(res)
+	if !strings.Contains(tbl, "One-Fail Adaptive") || !strings.Contains(tbl, "Analysis") {
+		t.Fatalf("Table1 incomplete:\n%s", tbl)
+	}
+	fig := Figure1(res)
+	if !strings.Contains(fig, "k-selection") {
+		t.Fatalf("Figure1 incomplete:\n%s", fig)
+	}
+	csv := CSV(res)
+	if !strings.HasPrefix(csv, "system,k,runs,") {
+		t.Fatalf("CSV incomplete:\n%s", csv)
+	}
+}
+
+// TestFacadeRatioSanity runs each paper protocol once at a moderate size
+// and confirms the measured ratio is within a factor two of either the
+// analysis constant or (for the baselines at moderate k) within the
+// paper's observed band.
+func TestFacadeRatioSanity(t *testing.T) {
+	t.Parallel()
+	const k = 2000
+	ofa, err := OneFailAdaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebb, err := ExpBackonBackoff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	llib, err := LoglogIteratedBackoff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		p      Protocol
+		lo, hi float64
+	}{
+		{p: ofa, lo: 5, hi: 10},  // analysis 7.44
+		{p: ebb, lo: 3, hi: 15},  // observed 4–8, bound 14.9
+		{p: llib, lo: 3, hi: 14}, // observed 5.6–10.5
+	}
+	for _, tt := range tests {
+		var total uint64
+		const runs = 5
+		for seed := uint64(0); seed < runs; seed++ {
+			s, err := tt.p.Solve(k, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += s
+		}
+		ratio := float64(total) / runs / k
+		if ratio < tt.lo || ratio > tt.hi {
+			t.Errorf("%s ratio at k=%d = %v, want in [%v, %v]", tt.p.Name(), k, ratio, tt.lo, tt.hi)
+		}
+	}
+}
+
+// TestExponentialBackoffSuperlinear confirms the motivating contrast of
+// the paper: binary exponential back-off's ratio grows with k while the
+// paper's protocols stay flat.
+func TestExponentialBackoffSuperlinear(t *testing.T) {
+	t.Parallel()
+	beb, err := ExponentialBackoff(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := func(k int) float64 {
+		var total uint64
+		const runs = 3
+		for seed := uint64(0); seed < runs; seed++ {
+			s, err := beb.Solve(k, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += s
+		}
+		return float64(total) / runs / float64(k)
+	}
+	small, large := ratio(100), ratio(10000)
+	if large <= small {
+		t.Fatalf("binary exponential back-off ratio did not grow: %v at k=100 vs %v at k=10⁴", small, large)
+	}
+	if math.Abs(large-small) < 1 {
+		t.Fatalf("growth too small to be superlinear: %v -> %v", small, large)
+	}
+}

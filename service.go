@@ -1,0 +1,64 @@
+package mac
+
+import (
+	"fmt"
+
+	"repro/internal/cd"
+	"repro/internal/core"
+	"repro/internal/maclayer"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// Delivery re-exports maclayer.Delivery: one delivered message with its
+// arrival/delivery slots and batch index.
+type Delivery = maclayer.Delivery
+
+// Service is a slot-driven MAC service over the shared channel: enqueue
+// messages at any time, call Step once per slot, receive deliveries. It
+// resolves traffic in gated batches, each batch a static k-selection
+// instance solved by the configured protocol (so each batch inherits the
+// paper's linear-time w.h.p. guarantee). See internal/maclayer for the
+// full semantics.
+type Service = maclayer.Service
+
+// NewService returns a Service resolving each batch with One-Fail
+// Adaptive at the paper's δ = 2.72 — the recommended default: its batch
+// cost is the most predictable of the protocols (Table 1). The seed
+// determines all channel randomness.
+func NewService(seed uint64) *Service {
+	return maclayer.New(func() (protocol.Station, error) {
+		ctrl, err := core.NewOneFailAdaptive(core.DefaultOFADelta)
+		if err != nil {
+			return nil, err
+		}
+		return protocol.NewFairStation(ctrl), nil
+	}, rng.NewStream(seed, "mac.Service"))
+}
+
+// TreeSplittingSolve resolves a batch of k contenders on a channel WITH
+// collision detection using randomized binary tree splitting (≈2.9k
+// slots; ≈2.66k with massey), the §2 related-work comparator for what
+// the ternary feedback would buy over the paper's model.
+func TreeSplittingSolve(k int, seed uint64, massey bool) (uint64, error) {
+	var opts []cd.TreeOption
+	if massey {
+		opts = append(opts, cd.WithMasseySkip())
+	}
+	return cd.TreeRun(k, rng.NewStream(seed, "mac.Tree", boolLabel(massey)), 0, opts...)
+}
+
+// ElectLeader runs Willard-style leader election among k stations on a
+// channel with collision detection and returns the slot at which a
+// unique leader emerged (expected O(log log k) slots) — the primitive §2
+// cites for building delivery acknowledgements.
+func ElectLeader(k int, seed uint64) (uint64, error) {
+	return cd.LeaderRun(k, rng.NewStream(seed, "mac.Leader", fmt.Sprint(k)), 0)
+}
+
+func boolLabel(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

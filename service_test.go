@@ -1,0 +1,87 @@
+package mac
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewServiceDeliversStream(t *testing.T) {
+	t.Parallel()
+	svc := NewService(5)
+	const n = 120
+	for i := 0; i < n; i++ {
+		svc.Enqueue(i)
+	}
+	deliveries, err := svc.RunUntilDrained(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries) != n {
+		t.Fatalf("delivered %d of %d", len(deliveries), n)
+	}
+	if ratio := float64(svc.Slot()) / n; ratio > 12 {
+		t.Fatalf("batch ratio %v, want near 7.4", ratio)
+	}
+}
+
+func TestNewServiceDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func() uint64 {
+		svc := NewService(9)
+		for i := 0; i < 50; i++ {
+			svc.Enqueue(i)
+		}
+		if _, err := svc.RunUntilDrained(100000); err != nil {
+			t.Fatal(err)
+		}
+		return svc.Slot()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed drained in %d and %d slots", a, b)
+	}
+}
+
+func TestTreeSplittingSolve(t *testing.T) {
+	t.Parallel()
+	const k = 3000
+	var basic, massey uint64
+	const runs = 5
+	for seed := uint64(0); seed < runs; seed++ {
+		b, err := TreeSplittingSolve(k, seed, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := TreeSplittingSolve(k, seed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		basic += b
+		massey += m
+	}
+	rBasic := float64(basic) / runs / k
+	rMassey := float64(massey) / runs / k
+	if math.Abs(rBasic-2.885) > 0.2 {
+		t.Errorf("tree ratio %v, want ≈ 2.89", rBasic)
+	}
+	if rMassey >= rBasic {
+		t.Errorf("Massey ratio %v not below basic %v", rMassey, rBasic)
+	}
+}
+
+func TestElectLeader(t *testing.T) {
+	t.Parallel()
+	for _, k := range []int{1, 100, 100000} {
+		var total uint64
+		const runs = 50
+		for seed := uint64(0); seed < runs; seed++ {
+			slots, err := ElectLeader(k, seed)
+			if err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+			total += slots
+		}
+		if mean := float64(total) / runs; mean > 30 {
+			t.Errorf("k=%d: mean election %v slots, want loglog-small", k, mean)
+		}
+	}
+}

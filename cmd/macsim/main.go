@@ -10,8 +10,13 @@
 //	macsim -experiment run -protocol one-fail -k 100000 [-seed 1]
 //	macsim -experiment trace -protocol exp-bb -k 12
 //	macsim -experiment dynamic [-k 500] [-rate 0.1]
+//	macsim -experiment throughput [-lambdas 0.05,0.1,0.2] [-messages 2000] [-shape poisson|bursty|onoff] [-out csv|plot]
 //	macsim -experiment cd [-k 10000] — §2 collision-detection comparison
 //	macsim -experiment ablation-ofa|ablation-ebb|ablation-monotone
+//
+// The experiment name may also be given as a subcommand:
+//
+//	macsim throughput -lambdas 0.1,0.2 -shape bursty
 //
 // The paper's full grid (-maxexp 7, -runs 10) takes a few minutes of CPU
 // time; the default -maxexp 5 finishes in seconds.
@@ -21,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/baseline"
@@ -32,6 +38,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/throughput"
 )
 
 func main() {
@@ -50,25 +57,39 @@ type options struct {
 	seed       uint64
 	out        string
 	rate       float64
+	lambdas    string
+	messages   int
+	shape      string
 	quiet      bool
 }
 
 func run(args []string) error {
+	// Accept the experiment name as a leading subcommand
+	// (`macsim throughput -messages 1000`) as well as via -experiment.
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		args = append([]string{"-experiment", args[0]}, args[1:]...)
+	}
 	fs := flag.NewFlagSet("macsim", flag.ContinueOnError)
 	var opts options
 	fs.StringVar(&opts.experiment, "experiment", "table1",
-		"experiment to run: table1, figure1, paper, run, trace, dynamic, cd, ablation-ofa, ablation-ebb, ablation-monotone")
+		"experiment to run: table1, figure1, paper, run, trace, dynamic, throughput, cd, ablation-ofa, ablation-ebb, ablation-monotone")
 	fs.StringVar(&opts.protocol, "protocol", "one-fail",
 		"protocol for -experiment run/trace: one-fail, exp-bb, log-fails-2, log-fails-10, loglog-iterated, exp-backoff")
 	fs.IntVar(&opts.k, "k", 1000, "number of contenders for run/trace/dynamic")
 	fs.IntVar(&opts.maxExp, "maxexp", 5, "sweep sizes 10..10^maxexp (paper: 7)")
 	fs.IntVar(&opts.runs, "runs", harness.DefaultRuns, "runs averaged per point")
 	fs.Uint64Var(&opts.seed, "seed", 1, "master seed")
-	fs.StringVar(&opts.out, "out", "text", "output format for sweeps: text, csv")
+	fs.StringVar(&opts.out, "out", "text", "output format for sweeps: text, csv (throughput also: plot)")
 	fs.Float64Var(&opts.rate, "rate", 0.1, "arrival rate (messages/slot) for -experiment dynamic")
+	fs.StringVar(&opts.lambdas, "lambdas", "", "comma-separated offered loads for -experiment throughput (default 0.02..0.4 grid)")
+	fs.IntVar(&opts.messages, "messages", 2000, "messages per execution for -experiment throughput")
+	fs.StringVar(&opts.shape, "shape", "poisson", "arrival shape for -experiment throughput: poisson, bursty, onoff")
 	fs.BoolVar(&opts.quiet, "quiet", false, "suppress progress output")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q (only flags may follow the experiment name; list values are comma-separated)", fs.Args())
 	}
 
 	switch opts.experiment {
@@ -80,6 +101,8 @@ func run(args []string) error {
 		return runTrace(opts)
 	case "dynamic":
 		return runDynamic(opts)
+	case "throughput":
+		return runThroughput(opts)
 	case "ablation-ofa":
 		return runAblationOFA(opts)
 	case "ablation-ebb":
@@ -301,6 +324,62 @@ func runDynamic(opts options) error {
 	}
 	report("One-Fail Adaptive", resOFA)
 	report("Exp Back-on/Back-off", resEBB)
+	return nil
+}
+
+// runThroughput sweeps offered load λ over the dynamic-arrival protocol
+// lineup and reports sustained throughput, latency quantiles and peak
+// backlog per (protocol, λ).
+func runThroughput(opts options) error {
+	shape, err := throughput.ParseShape(opts.shape)
+	if err != nil {
+		return err
+	}
+	if opts.messages <= 0 {
+		return fmt.Errorf("-messages must be > 0, got %d", opts.messages)
+	}
+	var lambdas []float64
+	if opts.lambdas != "" {
+		for _, field := range strings.Split(opts.lambdas, ",") {
+			l, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return fmt.Errorf("bad -lambdas entry %q: %w", field, err)
+			}
+			lambdas = append(lambdas, l)
+		}
+	}
+	cfg := throughput.Config{
+		Lambdas:  lambdas,
+		Messages: opts.messages,
+		Runs:     opts.runs,
+		Seed:     opts.seed,
+		Shape:    shape,
+	}
+	if !opts.quiet {
+		cfg.Progress = func(name string, lambda float64, run int, r dynamic.Result) {
+			status := "drained"
+			if !r.Completed {
+				status = fmt.Sprintf("saturated (%d delivered)", r.Delivered)
+			}
+			fmt.Fprintf(os.Stderr, "done %-28s λ=%-6.3g run=%-3d %s\n", name, lambda, run, status)
+		}
+	}
+	series, err := throughput.Run(throughput.DefaultProtocols(), cfg)
+	if err != nil {
+		return err
+	}
+	switch opts.out {
+	case "csv":
+		fmt.Print(throughput.CSV(series))
+	case "plot":
+		fmt.Print(throughput.Plot(series))
+	default:
+		fmt.Printf("λ-sweep: %d messages per run, %s arrivals (* = not drained within budget)\n",
+			cfg.Messages, shape)
+		fmt.Print(throughput.Table(series))
+		fmt.Println()
+		fmt.Print(throughput.Plot(series))
+	}
 	return nil
 }
 

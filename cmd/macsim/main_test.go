@@ -130,3 +130,40 @@ func TestRunDynamicSmall(t *testing.T) {
 		t.Fatalf("dynamic output wrong:\n%s", out)
 	}
 }
+
+func TestRunThroughputSmall(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-experiment", "throughput", "-lambdas", "0.05,0.1",
+			"-messages", "200", "-runs", "1", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"p99 lat", "Exp Back-on/Back-off", "One-Fail Adaptive", "Sustained throughput"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("throughput output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunThroughputSubcommandForm(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"throughput", "-lambdas", "0.05", "-messages", "150",
+			"-runs", "1", "-shape", "bursty", "-out", "csv", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "protocol,lambda,") {
+		t.Fatalf("throughput CSV output wrong:\n%s", out)
+	}
+}
+
+func TestRunThroughputRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"throughput", "-shape", "uniform", "-quiet"}); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+	if err := run([]string{"throughput", "-lambdas", "0.1,zap", "-quiet"}); err == nil {
+		t.Fatal("malformed -lambdas accepted")
+	}
+}

@@ -22,10 +22,21 @@
 //	fmt.Println(mac.Table1(res))          // the paper's Table 1
 //	fmt.Println(mac.Figure1(res))         // the paper's Figure 1 (ASCII)
 //
+// # Dynamic arrivals (§6 future work)
+//
+//	dyn, err := mac.EvaluateDynamic(nil, mac.DynamicConfig{Messages: 10000})
+//	fmt.Println(mac.ThroughputTable(dyn))  // sustained throughput per offered load λ
+//
+// EvaluateDynamic sweeps the offered load across each protocol's
+// saturation point under Poisson, bursty or on/off arrivals; windowed
+// protocols run on an event-driven engine that scales to millions of
+// messages per execution.
+//
 // The cmd/macsim command exposes the same experiments on the command
 // line, and the packages under internal/ provide the full substrate:
 // exact per-node channel simulation (internal/sim), scalable aggregate
-// engines (internal/engine), protocol implementations (internal/core,
-// internal/baseline), the paper's closed-form analysis
-// (internal/analysis) and the experiment harness (internal/harness).
+// engines (internal/engine, internal/dynamic), protocol implementations
+// (internal/core, internal/baseline), the paper's closed-form analysis
+// (internal/analysis), the experiment harness (internal/harness) and the
+// dynamic saturation experiments (internal/throughput).
 package mac

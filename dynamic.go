@@ -1,0 +1,62 @@
+package mac
+
+import (
+	"repro/internal/throughput"
+)
+
+// DynamicProtocol is one protocol configuration under dynamic-arrival
+// saturation test; build custom ones from a controller or schedule
+// constructor, or start from DynamicProtocols().
+type DynamicProtocol = throughput.Protocol
+
+// DynamicConfig parameterizes EvaluateDynamic: offered loads, messages
+// per execution, runs per point, arrival shape, seed.
+type DynamicConfig = throughput.Config
+
+// DynamicResult is one protocol's λ-sweep outcome.
+type DynamicResult = throughput.Series
+
+// ArrivalShape selects the arrival pattern of a dynamic evaluation.
+type ArrivalShape = throughput.Shape
+
+// Arrival shapes for DynamicConfig.Shape.
+const (
+	// ArrivalsPoisson is a memoryless arrival process at rate λ.
+	ArrivalsPoisson ArrivalShape = throughput.Poisson
+	// ArrivalsBursty delivers adversarial batches at long-run load λ.
+	ArrivalsBursty ArrivalShape = throughput.Bursty
+	// ArrivalsOnOff alternates double-rate on-phases with silent
+	// off-phases at long-run load λ.
+	ArrivalsOnOff ArrivalShape = throughput.OnOff
+)
+
+// DynamicProtocols returns the standard saturation lineup: Exp
+// Back-on/Back-off, Loglog-Iterated Backoff and binary exponential
+// backoff on the event-driven engine, plus One-Fail Adaptive (global
+// clock) on the exact simulator.
+func DynamicProtocols() []DynamicProtocol { return throughput.DefaultProtocols() }
+
+// EvaluateDynamic measures sustained throughput, delivery-latency
+// quantiles and peak backlog for each protocol across a sweep of offered
+// loads — the dynamic (§6 future work) counterpart of Evaluate. A nil or
+// empty protocols slice evaluates DynamicProtocols(). Windowed protocols
+// run on the event-driven engine and scale to millions of messages per
+// execution.
+func EvaluateDynamic(protocols []DynamicProtocol, cfg DynamicConfig) ([]DynamicResult, error) {
+	if len(protocols) == 0 {
+		protocols = throughput.DefaultProtocols()
+	}
+	return throughput.Run(protocols, cfg)
+}
+
+// ThroughputTable renders a dynamic evaluation as a Markdown table with
+// one row per (protocol, λ).
+func ThroughputTable(results []DynamicResult) string { return throughput.Table(results) }
+
+// ThroughputCSV renders a dynamic evaluation as tidy comma-separated
+// records.
+func ThroughputCSV(results []DynamicResult) string { return throughput.CSV(results) }
+
+// ThroughputPlot renders sustained throughput against offered load as a
+// log-log ASCII chart.
+func ThroughputPlot(results []DynamicResult) string { return throughput.Plot(results) }

@@ -70,7 +70,7 @@ func main() {
 	fmt.Println("as §6 anticipates. A shared global slot clock avoids the hazard.")
 
 	fmt.Println("\nAdversarial bursts (4 bursts of 100, 2000 slots apart):")
-	w, err := dynamic.BurstArrivals(4, 100, 2000, rng.NewStream(8, "bursts"))
+	w, err := dynamic.BurstArrivals(4, 100, 2000)
 	if err != nil {
 		log.Fatal(err)
 	}

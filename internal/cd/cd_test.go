@@ -3,12 +3,12 @@ package cd
 import (
 	"fmt"
 	"math"
-	"sort"
 	"testing"
 
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 func TestTreeConfigValidation(t *testing.T) {
@@ -116,37 +116,6 @@ func runTreeExact(t *testing.T, k int, src *rng.Rand, opts ...TreeOption) uint64
 	return res.Slots
 }
 
-// ksDistance computes the two-sample Kolmogorov–Smirnov statistic with
-// full tie handling.
-func ksDistance(a, b []float64) float64 {
-	sort.Float64s(a)
-	sort.Float64s(b)
-	i, j := 0, 0
-	maxGap := 0.0
-	for i < len(a) || j < len(b) {
-		var v float64
-		switch {
-		case i >= len(a):
-			v = b[j]
-		case j >= len(b):
-			v = a[i]
-		default:
-			v = math.Min(a[i], b[j])
-		}
-		for i < len(a) && a[i] == v {
-			i++
-		}
-		for j < len(b) && b[j] == v {
-			j++
-		}
-		gap := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
-		if gap > maxGap {
-			maxGap = gap
-		}
-	}
-	return maxGap
-}
-
 // TestTreeAggregateMatchesExact holds the aggregate group-stack engine to
 // the per-node automata, with and without the Massey skip.
 func TestTreeAggregateMatchesExact(t *testing.T) {
@@ -171,7 +140,7 @@ func TestTreeAggregateMatchesExact(t *testing.T) {
 				exact[i] = float64(runTreeExact(t, k, rng.NewStream(3, "exact", fmt.Sprint(massey), fmt.Sprint(i)), opts...))
 			}
 			crit := 1.95 * math.Sqrt(2.0/draws)
-			if d := ksDistance(agg, exact); d > crit {
+			if d := stats.KSDistance(agg, exact); d > crit {
 				t.Fatalf("aggregate vs exact: KS distance %v > %v", d, crit)
 			}
 		})
@@ -274,7 +243,7 @@ func TestLeaderExactMatchesAggregate(t *testing.T) {
 		exact[i] = float64(res.Slots)
 	}
 	crit := 1.95 * math.Sqrt(2.0/draws)
-	if d := ksDistance(agg, exact); d > crit {
+	if d := stats.KSDistance(agg, exact); d > crit {
 		t.Fatalf("aggregate vs exact: KS distance %v > %v", d, crit)
 	}
 }

@@ -19,9 +19,14 @@
 //     (as in a TDMA deployment), which keeps the AT/BT step parity
 //     network-wide and avoids the cross-parity livelock.
 //
-// Stations are no longer state-synchronized either way, so this package
-// uses the exact per-node simulator — there is no aggregate shortcut —
-// and is meant for moderate sizes.
+// Stations are no longer state-synchronized either way, so the adaptive
+// (fair) protocols run on the exact per-node simulator and are meant for
+// moderate sizes. Windowed (back-off) protocols are oblivious to the
+// channel between their own transmissions, which admits an event-driven
+// fast path (RunWindowEvent): transmissions are scheduled into a min-heap
+// keyed by slot and the engine jumps between occupied slots in O(log n)
+// per event, scaling dynamic workloads to millions of messages while
+// remaining exact in distribution (see event.go).
 package dynamic
 
 import (
@@ -94,13 +99,14 @@ func PoissonArrivals(n int, rate float64, src *rng.Rand) (Workload, error) {
 
 // BurstArrivals returns an adversarial bursty workload: bursts batches of
 // size messages each, with consecutive batches gap slots apart (the
-// worst-case pattern §1 cites as frequent in practice).
-func BurstArrivals(bursts, size int, gap uint64, src *rng.Rand) (Workload, error) {
+// worst-case pattern §1 cites as frequent in practice). The pattern is
+// deterministic; gap must be ≥ 1.
+func BurstArrivals(bursts, size int, gap uint64) (Workload, error) {
 	if bursts < 1 || size < 1 {
 		return Workload{}, fmt.Errorf("dynamic: bursts and size must be ≥ 1, got %d, %d", bursts, size)
 	}
 	if gap == 0 {
-		gap = 1
+		return Workload{}, fmt.Errorf("dynamic: burst gap must be ≥ 1, got 0")
 	}
 	arrivals := make([]uint64, 0, bursts*size)
 	slot := uint64(1)

@@ -56,10 +56,16 @@ func TestPoissonArrivalsShape(t *testing.T) {
 
 func TestBurstArrivals(t *testing.T) {
 	t.Parallel()
-	if _, err := BurstArrivals(0, 5, 10, rng.New(1)); err == nil {
+	if _, err := BurstArrivals(0, 5, 10); err == nil {
 		t.Fatal("0 bursts accepted, want error")
 	}
-	w, err := BurstArrivals(3, 4, 100, rng.New(1))
+	if _, err := BurstArrivals(3, 0, 10); err == nil {
+		t.Fatal("0 size accepted, want error")
+	}
+	if _, err := BurstArrivals(3, 5, 0); err == nil {
+		t.Fatal("0 gap accepted, want error")
+	}
+	w, err := BurstArrivals(3, 4, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,6 +74,45 @@ func TestBurstArrivals(t *testing.T) {
 	}
 	if w.Arrivals[0] != 1 || w.Arrivals[4] != 101 || w.Arrivals[8] != 201 {
 		t.Fatalf("burst boundaries wrong: %v", w.Arrivals)
+	}
+	// Every burst must hold exactly size copies of the same slot, bursts
+	// exactly gap apart.
+	for b := 0; b < 3; b++ {
+		want := uint64(1 + b*100)
+		for i := 0; i < 4; i++ {
+			if got := w.Arrivals[b*4+i]; got != want {
+				t.Fatalf("burst %d message %d arrives at %d, want %d", b, i, got, want)
+			}
+		}
+	}
+	if w.Span() != 201 {
+		t.Fatalf("span = %d, want 201", w.Span())
+	}
+}
+
+func TestPoissonArrivalsErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := PoissonArrivals(10, -0.5, rng.New(1)); err == nil {
+		t.Fatal("negative rate accepted, want error")
+	}
+	w, err := PoissonArrivals(0, 0.5, rng.New(1))
+	if err != nil || w.N() != 0 || w.Span() != 0 {
+		t.Fatalf("empty workload: %+v, %v", w, err)
+	}
+}
+
+func TestPoissonArrivalsMeanGap(t *testing.T) {
+	t.Parallel()
+	// The mean inter-arrival gap must be ≈ 1/rate.
+	const n, rate = 5000, 0.2
+	w, err := PoissonArrivals(n, rate, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(w.Span()) / n
+	want := 1 / rate
+	if math.Abs(got-want) > want/5 {
+		t.Fatalf("mean gap = %v, want ~%v", got, want)
 	}
 }
 
@@ -124,7 +169,7 @@ func TestRunFairPoissonBacklogStaysLow(t *testing.T) {
 
 func TestRunWindowBurstsComplete(t *testing.T) {
 	t.Parallel()
-	w, err := BurstArrivals(4, 32, 600, rng.New(7))
+	w, err := BurstArrivals(4, 32, 600)
 	if err != nil {
 		t.Fatal(err)
 	}

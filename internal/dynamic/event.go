@@ -1,0 +1,213 @@
+package dynamic
+
+import (
+	"sort"
+
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// This file implements the event-driven fast path for windowed
+// (back-on/back-off) protocols under dynamic arrivals.
+//
+// Windowed stations are oblivious to the channel: protocol.WindowStation
+// ignores all feedback, and a station leaves only when its own
+// transmission succeeds. Each station's transmission slots therefore form
+// an independent stochastic process — one uniformly chosen slot per
+// window of its private schedule — and the channel matters only at slots
+// where at least one station transmits. Instead of driving every active
+// station through every slot (O(active) per slot, as internal/sim does),
+// the engine keeps every station's next transmission slot in a min-heap
+// and jumps from occupied slot to occupied slot in O(log n) per event.
+// Silent slots are never visited, which is what makes million-message
+// Poisson workloads feasible.
+//
+// The jump is exact in distribution: a success happens exactly when a
+// popped slot carries one transmitter, a collision reschedules each
+// collider into its next window, and no other information flows between
+// stations. Statistical agreement with the per-node simulator is enforced
+// by Kolmogorov–Smirnov tests in event_test.go, mirroring how
+// internal/engine validates its aggregate engines.
+
+// windowCursor tracks one station's position in its private window
+// schedule, in global slot coordinates.
+type windowCursor struct {
+	sched protocol.Schedule
+	// windowEnd is the last slot of the most recently drawn window (0
+	// before the first draw).
+	windowEnd uint64
+}
+
+// advance draws the next window and returns the station's uniformly
+// chosen transmission slot within it, via the same protocol.DrawWindow
+// primitive WindowStation uses.
+func (c *windowCursor) advance(src *rng.Rand) (uint64, error) {
+	end, chosen, err := protocol.DrawWindow(c.sched, c.windowEnd, src)
+	if err != nil {
+		return 0, err
+	}
+	c.windowEnd = end
+	return chosen, nil
+}
+
+// txEvent is one scheduled transmission: station id transmits at slot.
+type txEvent struct {
+	slot uint64
+	id   int
+}
+
+// txHeap is a binary min-heap of transmissions keyed by slot. It is
+// hand-rolled rather than container/heap to keep the per-event constant
+// small at million-station scale.
+type txHeap []txEvent
+
+func (h txHeap) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h[r].slot < h[l].slot {
+			m = r
+		}
+		if h[i].slot <= h[m].slot {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h txHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *txHeap) push(e txEvent) {
+	s := append(*h, e)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].slot <= s[i].slot {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *txHeap) popMin() txEvent {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	s[:last].siftDown(0)
+	return top
+}
+
+// RunWindowEvent executes a dynamic workload under a windowed protocol on
+// the event-driven engine; newSched builds one private schedule per
+// station. It accepts the same options and produces results distributed
+// identically to RunWindow, but costs O(log n) per transmission event
+// instead of O(active) per slot, scaling dynamic workloads to millions of
+// messages.
+func RunWindowEvent(w Workload, newSched func() (protocol.Schedule, error), src *rng.Rand, opts ...Option) (Result, error) {
+	cfg := newConfig(opts)
+	n := w.N()
+	var res Result
+	if n == 0 {
+		res.Completed = true
+		return res, nil
+	}
+
+	// Seed every station's first transmission. As in the per-node
+	// simulator, a station on the local clock opens its first window at
+	// its arrival slot; on the global clock it fast-forwards through the
+	// windows that elapsed before its arrival and misses a chosen slot
+	// already in the past.
+	cursors := make([]windowCursor, n)
+	heap := make(txHeap, 0, n)
+	for i := 0; i < n; i++ {
+		sched, err := newSched()
+		if err != nil {
+			return Result{}, err
+		}
+		arrival := w.Arrivals[i]
+		if arrival < 1 {
+			arrival = 1
+		}
+		c := &cursors[i]
+		c.sched = sched
+		var next uint64
+		if cfg.clock == ClockLocal {
+			c.windowEnd = arrival - 1
+			next, err = c.advance(src)
+		} else {
+			for {
+				next, err = c.advance(src)
+				if err != nil || (c.windowEnd >= arrival && next >= arrival) {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		heap = append(heap, txEvent{slot: next, id: i})
+	}
+	heap.init()
+
+	// Backlog bookkeeping: the backlog changes only at arrivals and
+	// deliveries, so its maximum is reached right after admitting every
+	// arrival up to the current event slot.
+	sorted := make([]uint64, n)
+	copy(sorted, w.Arrivals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	arrived, departed := 0, 0
+	admit := func(upTo uint64) {
+		for arrived < n && sorted[arrived] <= upTo {
+			arrived++
+		}
+		if b := arrived - departed; b > res.MaxBacklog {
+			res.MaxBacklog = b
+		}
+	}
+
+	group := make([]int, 0, 16)
+	for len(heap) > 0 {
+		slot := heap[0].slot
+		if slot > cfg.maxSlots {
+			// Budget exhausted: report partial results, as RunWindow does.
+			admit(cfg.maxSlots)
+			res.Completion = 0
+			return res, nil
+		}
+		group = group[:0]
+		for len(heap) > 0 && heap[0].slot == slot {
+			group = append(group, heap.popMin().id)
+		}
+		admit(slot)
+		if len(group) == 1 {
+			id := group[0]
+			res.Delivered++
+			departed++
+			res.Completion = slot
+			res.Latency.Add(float64(slot - w.Arrivals[id] + 1))
+			continue
+		}
+		res.Collisions++
+		for _, id := range group {
+			next, err := cursors[id].advance(src)
+			if err != nil {
+				return Result{}, err
+			}
+			heap.push(txEvent{slot: next, id: id})
+		}
+	}
+	res.Completed = true
+	return res, nil
+}

@@ -4,13 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"testing"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/protocol"
 	"repro/internal/rng"
+	"repro/internal/stats"
 )
 
 func newOFA(t testing.TB) protocol.Controller {
@@ -232,39 +232,6 @@ func TestBallsInBinsLastSlot(t *testing.T) {
 	}
 }
 
-// ksDistance computes the two-sample Kolmogorov–Smirnov statistic. Ties
-// are consumed in full before the CDF gap is measured — completion times
-// are integers, so tie groups are large and a naive two-pointer merge
-// would overstate the distance.
-func ksDistance(a, b []float64) float64 {
-	sort.Float64s(a)
-	sort.Float64s(b)
-	i, j := 0, 0
-	maxGap := 0.0
-	for i < len(a) || j < len(b) {
-		var v float64
-		switch {
-		case i >= len(a):
-			v = b[j]
-		case j >= len(b):
-			v = a[i]
-		default:
-			v = math.Min(a[i], b[j])
-		}
-		for i < len(a) && a[i] == v {
-			i++
-		}
-		for j < len(b) && b[j] == v {
-			j++
-		}
-		gap := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
-		if gap > maxGap {
-			maxGap = gap
-		}
-	}
-	return maxGap
-}
-
 // TestFairEngineMatchesExact is the central validity check for the O(1)/slot
 // engine: the completion-time distribution of the aggregate simulation
 // must match the per-node simulation (two-sample KS test at ~99.9%).
@@ -291,7 +258,7 @@ func TestFairEngineMatchesExact(t *testing.T) {
 				exact[i] = float64(s2)
 			}
 			crit := 1.95 * math.Sqrt(2.0/draws)
-			if d := ksDistance(agg, exact); d > crit {
+			if d := stats.KSDistance(agg, exact); d > crit {
 				t.Fatalf("aggregate vs exact completion time: KS distance %v > %v", d, crit)
 			}
 		})
@@ -324,7 +291,7 @@ func TestWindowEngineMatchesExact(t *testing.T) {
 				exact[i] = float64(s2)
 			}
 			crit := 1.95 * math.Sqrt(2.0/draws)
-			if d := ksDistance(agg, exact); d > crit {
+			if d := stats.KSDistance(agg, exact); d > crit {
 				t.Fatalf("aggregate vs exact completion time: KS distance %v > %v", d, crit)
 			}
 		})
@@ -359,7 +326,7 @@ func TestLFAEngineMatchesExact(t *testing.T) {
 		exact[i] = float64(s2)
 	}
 	crit := 1.95 * math.Sqrt(2.0/draws)
-	if d := ksDistance(agg, exact); d > crit {
+	if d := stats.KSDistance(agg, exact); d > crit {
 		t.Fatalf("aggregate vs exact completion time: KS distance %v > %v", d, crit)
 	}
 }

@@ -177,7 +177,9 @@ type Sweep struct {
 	Seed uint64
 	// Parallelism bounds concurrent runs; defaults to GOMAXPROCS.
 	Parallelism int
-	// Progress, if non-nil, is invoked after each completed run.
+	// Progress, if non-nil, is invoked after each completed run. It may
+	// be called concurrently from multiple workers and must be safe for
+	// concurrent use.
 	Progress func(system string, k int, run int, steps uint64)
 }
 
@@ -243,18 +245,22 @@ func (s Sweep) Run(systems []System) ([]SeriesResult, error) {
 				k := results[j.sys].Cells[j.kIdx].K
 				src := rng.NewStream(s.Seed, sys.Name(), fmt.Sprint(k), fmt.Sprint(j.run))
 				steps, err := sys.Run(k, src)
+				// Record under the lock, but invoke the user's Progress
+				// callback outside it: a slow callback must not serialize
+				// the workers, and a re-entrant one must not deadlock.
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
 						firstErr = err
 					}
-				} else {
-					results[j.sys].Cells[j.kIdx].Steps.Add(float64(steps))
-					if s.Progress != nil {
-						s.Progress(sys.Name(), k, j.run, steps)
-					}
+					mu.Unlock()
+					continue
 				}
+				results[j.sys].Cells[j.kIdx].Steps.Add(float64(steps))
 				mu.Unlock()
+				if s.Progress != nil {
+					s.Progress(sys.Name(), k, j.run, steps)
+				}
 			}
 		}()
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/protocol"
 	"repro/internal/rng"
@@ -255,5 +256,43 @@ func TestRunStreamIsolation(t *testing.T) {
 	}
 	if a != b {
 		t.Fatalf("identical streams gave %d and %d steps", a, b)
+	}
+}
+
+// TestProgressNotSerialized pins the locking discipline of Sweep.Run: the
+// Progress callback must run outside the results mutex. Each of the four
+// callbacks blocks on a barrier that opens only when all four are in
+// flight at once — under a callback-holds-the-lock regression at most one
+// callback can be in flight and the sweep deadlocks.
+func TestProgressNotSerialized(t *testing.T) {
+	t.Parallel()
+	const par = 4
+	var barrier sync.WaitGroup
+	barrier.Add(par)
+	sweep := Sweep{
+		Ks:          []int{1},
+		Runs:        par,
+		Seed:        1,
+		Parallelism: par,
+		Progress: func(string, int, int, uint64) {
+			barrier.Done()
+			barrier.Wait()
+		},
+	}
+	done := make(chan error, 1)
+	go func() {
+		results, err := sweep.Run(PaperSystems()[2:3]) // One-Fail Adaptive
+		if err == nil && results[0].Cells[0].Steps.N() != par {
+			err = errors.New("wrong number of recorded runs")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Sweep.Run deadlocked: Progress callbacks are serialized under the results mutex")
 	}
 }

@@ -28,7 +28,11 @@
 // is enforced by tests in internal/engine.
 package protocol
 
-import "repro/internal/rng"
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
 
 // Controller is the shared state machine of a fair protocol. A Controller
 // is stateful and single-use: create a fresh one per simulated execution.
@@ -103,19 +107,34 @@ func NewWindowStation(sched Schedule) *WindowStation {
 	return &WindowStation{sched: sched}
 }
 
+// DrawWindow advances a windowed station's schedule by one window: it
+// draws the next window length and the station's uniformly chosen
+// transmission slot within it. windowEnd is the last slot of the previous
+// window (0 before the first). It is the single definition of the
+// windowed transmission process, shared by WindowStation and the
+// event-driven engine in internal/dynamic so the two realizations cannot
+// drift apart.
+func DrawWindow(sched Schedule, windowEnd uint64, src *rng.Rand) (newEnd, chosen uint64, err error) {
+	w := sched.NextWindow()
+	if w < 1 {
+		return 0, 0, fmt.Errorf("protocol: schedule %T returned window %d < 1", sched, w)
+	}
+	start := windowEnd + 1
+	return windowEnd + uint64(w), start + uint64(src.Intn(w)), nil
+}
+
 // WillTransmit implements Station. A station that was inactive past one
 // or more window boundaries (dynamic arrivals on a global clock)
 // fast-forwards through the missed windows; a window whose chosen slot
 // already passed is simply missed.
 func (s *WindowStation) WillTransmit(slot uint64, src *rng.Rand) bool {
 	for slot > s.windowEnd {
-		w := s.sched.NextWindow()
-		if w < 1 {
-			panic("protocol: Schedule returned window < 1")
+		end, chosen, err := DrawWindow(s.sched, s.windowEnd, src)
+		if err != nil {
+			panic(err.Error())
 		}
-		start := s.windowEnd + 1
-		s.windowEnd += uint64(w)
-		s.chosenSlot = start + uint64(src.Intn(w))
+		s.windowEnd = end
+		s.chosenSlot = chosen
 	}
 	return slot == s.chosenSlot
 }

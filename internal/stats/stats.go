@@ -114,3 +114,57 @@ func (s *Summary) Merge(other *Summary) {
 		s.Add(v)
 	}
 }
+
+// KSDistance computes the two-sample Kolmogorov–Smirnov statistic between
+// a and b (both are sorted in place). Tie groups are consumed in full
+// before the CDF gap is measured: simulation completion times are
+// integers, so ties are common and a naive two-pointer merge would
+// overstate the distance. It is the agreement metric the engine-validation
+// tests use (internal/engine, internal/dynamic).
+func KSDistance(a, b []float64) float64 {
+	sort.Float64s(a)
+	sort.Float64s(b)
+	i, j := 0, 0
+	maxGap := 0.0
+	for i < len(a) || j < len(b) {
+		var v float64
+		switch {
+		case i >= len(a):
+			v = b[j]
+		case j >= len(b):
+			v = a[i]
+		default:
+			v = math.Min(a[i], b[j])
+		}
+		for i < len(a) && a[i] == v {
+			i++
+		}
+		for j < len(b) && b[j] == v {
+			j++
+		}
+		gap := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	return maxGap
+}
+
+// Sampled returns at most max observations taken at a fixed stride across
+// the insertion order (all of them when n ≤ max). It lets aggregators
+// bound their memory when pooling very large summaries while keeping
+// quantile estimates representative.
+func (s *Summary) Sampled(max int) []float64 {
+	if max <= 0 || s.n == 0 {
+		return nil
+	}
+	if s.n <= max {
+		return append([]float64(nil), s.values...)
+	}
+	stride := (s.n + max - 1) / max
+	out := make([]float64, 0, max)
+	for i := 0; i < s.n; i += stride {
+		out = append(out, s.values[i])
+	}
+	return out
+}

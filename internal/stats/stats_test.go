@@ -168,3 +168,60 @@ func TestStringFormat(t *testing.T) {
 		t.Fatal("String() empty")
 	}
 }
+
+func TestSampled(t *testing.T) {
+	t.Parallel()
+	var s Summary
+	if got := s.Sampled(10); got != nil {
+		t.Fatalf("empty summary sampled = %v, want nil", got)
+	}
+	for i := 1; i <= 5; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Sampled(0); got != nil {
+		t.Fatalf("max=0 sampled = %v, want nil", got)
+	}
+	// Below the cap: every observation, in insertion order.
+	got := s.Sampled(10)
+	if len(got) != 5 || got[0] != 1 || got[4] != 5 {
+		t.Fatalf("under-cap sample = %v, want all 5 values", got)
+	}
+	// Mutating the returned slice must not corrupt the summary.
+	got[0] = 99
+	if s.Quantile(0) != 1 {
+		t.Fatal("Sampled aliases the summary's internal values")
+	}
+	// Above the cap: at most max values, spread across the range.
+	var big Summary
+	const n = 100001
+	for i := 0; i < n; i++ {
+		big.Add(float64(i))
+	}
+	sample := big.Sampled(1000)
+	if len(sample) > 1000 || len(sample) < 900 {
+		t.Fatalf("over-cap sample size = %d, want ~1000", len(sample))
+	}
+	if sample[0] != 0 || sample[len(sample)-1] < n-200 {
+		t.Fatalf("sample does not span the range: first %v last %v", sample[0], sample[len(sample)-1])
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	t.Parallel()
+	// Identical samples: distance 0, even with heavy ties.
+	a := []float64{1, 1, 2, 2, 2, 3}
+	b := []float64{3, 2, 1, 2, 1, 2}
+	if d := KSDistance(a, b); d != 0 {
+		t.Fatalf("identical multisets: distance %v, want 0", d)
+	}
+	// Disjoint supports: distance 1.
+	if d := KSDistance([]float64{1, 2}, []float64{10, 11, 12}); d != 1 {
+		t.Fatalf("disjoint samples: distance %v, want 1", d)
+	}
+	// Tie handling: {1,1,2} vs {1,2,2} — after consuming value 1 the CDFs
+	// are 2/3 vs 1/3, so the distance is 1/3 (a naive merge would report
+	// a larger gap mid-tie).
+	if d := KSDistance([]float64{1, 1, 2}, []float64{1, 2, 2}); math.Abs(d-1.0/3) > 1e-12 {
+		t.Fatalf("tied samples: distance %v, want 1/3", d)
+	}
+}

@@ -1,0 +1,68 @@
+package throughput
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asciiplot"
+)
+
+// Table renders a sweep as a GitHub-flavored Markdown table in long
+// format: one row per (protocol, λ) with throughput, latency quantiles,
+// peak backlog and drain status. Saturated points (runs that failed to
+// drain within budget) are marked with an asterisk on the throughput.
+func Table(series []Series) string {
+	var b strings.Builder
+	b.WriteString("| protocol | λ | throughput | mean lat | p50 lat | p99 lat | max backlog | drained |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, s := range series {
+		for i := range s.Points {
+			p := &s.Points[i]
+			mark := ""
+			if p.Saturated() {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "| %s | %.3g | %.3g%s | %.1f | %.0f | %.0f | %.0f | %d/%d |\n",
+				s.Protocol.Name, p.Lambda, p.Throughput.Mean(), mark,
+				p.Latency.Mean(), p.Latency.Quantile(0.5), p.Latency.Quantile(0.99),
+				p.Backlog.Max(), p.Completed, p.Runs)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders a sweep as tidy comma-separated records.
+func CSV(series []Series) string {
+	var b strings.Builder
+	b.WriteString("protocol,lambda,runs,completed,throughput,latency_mean,latency_p50,latency_p99,latency_max,max_backlog,collisions\n")
+	for _, s := range series {
+		for i := range s.Points {
+			p := &s.Points[i]
+			fmt.Fprintf(&b, "%q,%.6g,%d,%d,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+				s.Protocol.Name, p.Lambda, p.Runs, p.Completed, p.Throughput.Mean(),
+				p.Latency.Mean(), p.Latency.Quantile(0.5), p.Latency.Quantile(0.99),
+				p.Latency.Max(), p.Backlog.Max(), p.Collisions.Mean())
+		}
+	}
+	return b.String()
+}
+
+// Plot renders sustained throughput against offered load as a log-log
+// ASCII chart, one series per protocol. The saturation knee shows as the
+// point where a series departs from the throughput = λ diagonal.
+func Plot(series []Series) string {
+	plot := asciiplot.New("Sustained throughput vs offered load", "offered λ (msgs/slot)", "throughput")
+	for _, s := range series {
+		var xs, ys []float64
+		for i := range s.Points {
+			p := &s.Points[i]
+			if p.Throughput.N() == 0 {
+				continue
+			}
+			xs = append(xs, p.Lambda)
+			ys = append(ys, p.Throughput.Mean())
+		}
+		plot.AddSeries(s.Protocol.Name, xs, ys)
+	}
+	return plot.Render(78, 24)
+}

@@ -1,0 +1,453 @@
+// Package throughput measures how the repository's contention-resolution
+// protocols behave as sustained traffic approaches saturation — the
+// throughput-vs-arrival-rate question the dynamic extension of the paper
+// (§6 future work) poses, and the framing of the adversarial-arrival
+// literature (Bender & Kuszmaul 2020; the adversarial contention-
+// resolution survey of 2024).
+//
+// A sweep offers each protocol the same workloads at increasing offered
+// load λ (messages per slot) and records, per (protocol, λ): sustained
+// throughput (delivered messages per channel slot), delivery-latency
+// quantiles, the peak backlog of simultaneously active stations, and
+// whether the run drained within its slot budget. Below the protocol's
+// saturation point throughput tracks λ and latency stays flat; above it
+// the backlog diverges and latency explodes — the sweep table makes the
+// knee visible per protocol.
+//
+// Windowed (back-off) protocols run on the event-driven engine
+// (dynamic.RunWindowEvent) and scale to millions of messages; adaptive
+// fair protocols run on the exact per-node simulator and are practical at
+// moderate sizes.
+package throughput
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Shape selects the arrival pattern of a sweep's workloads.
+type Shape uint8
+
+// Arrival shapes.
+const (
+	// Poisson is a memoryless arrival process at rate λ (statistical
+	// arrivals).
+	Poisson Shape = iota
+	// Bursty delivers batches of BurstSize simultaneous messages spaced
+	// so the long-run offered load is λ (the batched worst case §1 of the
+	// paper cites as frequent in practice). With n ≤ BurstSize messages
+	// the shape degenerates to a single batch at slot 1 — the paper's
+	// static problem.
+	Bursty
+	// OnOff alternates Poisson arrivals at rate 2λ during on-phases of
+	// OnOffPhase slots with silent off-phases of equal length: the
+	// long-run offered load is λ but the instantaneous load is doubled,
+	// an adversarial duty-cycle pattern.
+	OnOff
+)
+
+// BurstSize is the batch size of the Bursty shape.
+const BurstSize = 64
+
+// OnOffPhase is the phase length, in slots, of the OnOff shape.
+const OnOffPhase = 1024
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	case OnOff:
+		return "onoff"
+	default:
+		return fmt.Sprintf("Shape(%d)", uint8(s))
+	}
+}
+
+// ParseShape resolves a shape name as used by the macsim CLI.
+func ParseShape(name string) (Shape, error) {
+	switch strings.ToLower(name) {
+	case "poisson":
+		return Poisson, nil
+	case "bursty", "burst", "bursts":
+		return Bursty, nil
+	case "onoff", "on-off":
+		return OnOff, nil
+	default:
+		return 0, fmt.Errorf("throughput: unknown arrival shape %q (want poisson, bursty or onoff)", name)
+	}
+}
+
+// Generate materializes n messages at offered load lambda (a finite
+// value > 0).
+func (s Shape) Generate(n int, lambda float64, src *rng.Rand) (dynamic.Workload, error) {
+	if !(lambda > 0) || math.IsInf(lambda, 0) {
+		return dynamic.Workload{}, fmt.Errorf("throughput: offered load must be a finite value > 0, got %v", lambda)
+	}
+	// A vanishing load would need a workload span beyond what uint64 slot
+	// arithmetic can hold; reject rather than overflow (applies to every
+	// shape — the expected span is ~n/λ slots).
+	if float64(n)/lambda > 1e15 {
+		return dynamic.Workload{}, fmt.Errorf("throughput: offered load %v is too low for %d messages (span would exceed 10^15 slots)", lambda, n)
+	}
+	switch s {
+	case Poisson:
+		return dynamic.PoissonArrivals(n, lambda, src)
+	case Bursty:
+		size := BurstSize
+		if n < size {
+			size = n
+		}
+		if size == 0 {
+			return dynamic.Workload{}, nil
+		}
+		// Bursts are at least one slot apart, so the shape cannot offer
+		// more than size messages per slot; reject rather than mislabel.
+		if lambda > float64(size) {
+			return dynamic.Workload{}, fmt.Errorf("throughput: offered load %v exceeds the bursty shape's maximum of %d msgs/slot", lambda, size)
+		}
+		bursts := (n + size - 1) / size
+		// Integer gaps can only realize loads of size/gap; pick the gap
+		// whose realized load is nearest the requested λ (floor vs ceil
+		// compared in load space — gap space would skew badly for λ near
+		// size, e.g. λ=43 is closer to 64/2=32 than to 64/1=64).
+		gap := uint64(float64(size) / lambda) // ≥ 1 since lambda ≤ size
+		if lambda-float64(size)/float64(gap+1) < float64(size)/float64(gap)-lambda {
+			gap++
+		}
+		w, err := dynamic.BurstArrivals(bursts, size, gap)
+		if err != nil {
+			return dynamic.Workload{}, err
+		}
+		w.Arrivals = w.Arrivals[:n] // drop the last burst's overshoot
+		return w, nil
+	case OnOff:
+		// Poisson at double rate on the "on-time" axis, then stretch that
+		// axis by inserting one silent off-phase after each completed
+		// on-phase.
+		w, err := dynamic.PoissonArrivals(n, 2*lambda, src)
+		if err != nil {
+			return dynamic.Workload{}, err
+		}
+		for i, a := range w.Arrivals {
+			on := a - 1
+			w.Arrivals[i] = on + (on/OnOffPhase)*OnOffPhase + 1
+		}
+		return w, nil
+	default:
+		return dynamic.Workload{}, fmt.Errorf("throughput: unknown shape %v", s)
+	}
+}
+
+// Protocol is one protocol configuration under saturation test. Exactly
+// one of NewController and NewSchedule must be set.
+type Protocol struct {
+	// Name is the display name.
+	Name string
+	// NewController builds a fresh fair-protocol controller per
+	// execution; fair protocols run on the exact per-node simulator.
+	NewController func() (protocol.Controller, error)
+	// NewSchedule builds a fresh windowed-protocol schedule per
+	// execution; windowed protocols run on the event-driven engine.
+	NewSchedule func() (protocol.Schedule, error)
+	// Clock selects the station clock mode. Fair protocols should use
+	// dynamic.ClockGlobal: under local clocks One-Fail Adaptive's BT step
+	// livelocks across arrival parities (see internal/dynamic).
+	Clock dynamic.Clock
+}
+
+// run executes one workload under the protocol's engine.
+func (p Protocol) run(w dynamic.Workload, src *rng.Rand, maxSlots uint64) (dynamic.Result, error) {
+	opts := []dynamic.Option{dynamic.WithClock(p.Clock), dynamic.WithMaxSlots(maxSlots)}
+	switch {
+	case p.NewSchedule != nil:
+		return dynamic.RunWindowEvent(w, p.NewSchedule, src, opts...)
+	case p.NewController != nil:
+		return dynamic.RunFair(w, p.NewController, src, opts...)
+	default:
+		return dynamic.Result{}, fmt.Errorf("throughput: protocol %q has no constructor", p.Name)
+	}
+}
+
+// DefaultProtocols returns the standard saturation lineup: the paper's
+// windowed protocol, the two monotone back-off baselines, and the paper's
+// adaptive protocol on a global clock.
+func DefaultProtocols() []Protocol {
+	return []Protocol{
+		{Name: "Exp Back-on/Back-off", NewSchedule: func() (protocol.Schedule, error) {
+			return core.NewExpBackonBackoff(core.DefaultEBBDelta)
+		}},
+		{Name: "Loglog-Iterated Backoff", NewSchedule: func() (protocol.Schedule, error) {
+			return baseline.NewLoglogIteratedBackoff(baseline.DefaultLLIBBase)
+		}},
+		{Name: "Binary Exp Backoff", NewSchedule: func() (protocol.Schedule, error) {
+			return baseline.NewExponentialBackoff(2)
+		}},
+		{Name: "One-Fail Adaptive", NewController: func() (protocol.Controller, error) {
+			return core.NewOneFailAdaptive(core.DefaultOFADelta)
+		}, Clock: dynamic.ClockGlobal},
+	}
+}
+
+// WindowedProtocols returns only the windowed members of
+// DefaultProtocols — the set that runs on the event-driven engine and
+// scales to millions of messages.
+func WindowedProtocols() []Protocol {
+	all := DefaultProtocols()
+	out := all[:0]
+	for _, p := range all {
+		if p.NewSchedule != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DefaultLambdas is the default offered-load grid, bracketing every
+// protocol's saturation point.
+func DefaultLambdas() []float64 {
+	return []float64{0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4}
+}
+
+// Config parameterizes Run.
+type Config struct {
+	// Lambdas lists the offered loads; defaults to DefaultLambdas().
+	// The sweep sorts them ascending, and every Series' Points follow
+	// that ascending order, not the input order.
+	Lambdas []float64
+	// Messages is the number of messages per execution (default 2000).
+	Messages int
+	// Runs is the number of executions per (protocol, λ) (default 3).
+	Runs int
+	// Seed is the master seed (default 1). Workload randomness is keyed
+	// by (Seed, shape, λ, run) only, so every protocol faces identical
+	// workloads — a matched-pairs comparison.
+	Seed uint64
+	// Shape selects the arrival pattern (default Poisson).
+	Shape Shape
+	// MaxSlots is the per-execution slot budget; 0 derives a budget of
+	// span + 64·Messages + 10⁴ slots, enough for any stable protocol to
+	// drain while terminating saturated runs.
+	MaxSlots uint64
+	// Parallelism bounds concurrent executions; defaults to GOMAXPROCS.
+	Parallelism int
+	// Progress, if non-nil, is invoked after each completed execution,
+	// outside any internal lock. It may be called concurrently from
+	// multiple workers and must be safe for concurrent use.
+	Progress func(protocol string, lambda float64, run int, r dynamic.Result)
+}
+
+// LatencySampleCap bounds how many per-message latencies one execution
+// contributes to Point.Latency.
+const LatencySampleCap = 4096
+
+// Point is one (protocol, λ) aggregate.
+type Point struct {
+	// Lambda is the offered load in messages per slot.
+	Lambda float64
+	// Throughput summarizes, per run, delivered messages per channel slot
+	// measured to completion (or to the budget for saturated runs).
+	Throughput stats.Summary
+	// Latency pools per-message delivery latencies (slots) across runs.
+	// To keep memory independent of Messages, each run contributes a
+	// stride-sample of at most LatencySampleCap latencies; statistics are
+	// exact below the cap and representative estimates above it.
+	Latency stats.Summary
+	// Backlog summarizes the peak number of simultaneously active
+	// stations per run.
+	Backlog stats.Summary
+	// Collisions summarizes collision slots per run.
+	Collisions stats.Summary
+	// Completed counts runs that delivered every message within budget.
+	Completed int
+	// Runs is the number of executions behind this point.
+	Runs int
+}
+
+// Saturated reports whether any run failed to drain within its budget.
+func (p *Point) Saturated() bool { return p.Completed < p.Runs }
+
+// Series is one protocol's sweep outcome across all λ.
+type Series struct {
+	Protocol Protocol
+	Points   []Point // ascending λ, aligned with the sweep's Lambdas
+}
+
+// Run executes the λ-sweep over the given protocols and returns one
+// Series per protocol, in input order. Executions run in parallel across
+// a worker pool; every run draws its randomness from a stream derived
+// from (Seed, protocol, λ, run), so results are reproducible regardless
+// of scheduling.
+func Run(protocols []Protocol, cfg Config) ([]Series, error) {
+	lambdas := cfg.Lambdas
+	if len(lambdas) == 0 {
+		lambdas = DefaultLambdas()
+	}
+	lambdas = append([]float64(nil), lambdas...)
+	sort.Float64s(lambdas)
+	for _, l := range lambdas {
+		if !(l > 0) || math.IsInf(l, 0) {
+			return nil, fmt.Errorf("throughput: offered load must be a finite value > 0, got %v", l)
+		}
+	}
+	messages := cfg.Messages
+	if messages <= 0 {
+		messages = 2000
+	}
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = 3
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	results := make([]Series, len(protocols))
+	for i, p := range protocols {
+		results[i] = Series{Protocol: p, Points: make([]Point, len(lambdas))}
+		for j, l := range lambdas {
+			results[i].Points[j].Lambda = l
+			results[i].Points[j].Runs = runs
+		}
+	}
+
+	// Each λ's workloads are generated once, just before its jobs are
+	// enqueued, and released when its last job completes: every protocol
+	// faces the identical arrival sequence (the workload stream ignores
+	// the protocol — a matched-pairs comparison without redundant
+	// generation), and peak memory holds only the in-flight λs rather
+	// than the whole grid at million-message scale.
+	workloads := make([][]dynamic.Workload, len(lambdas))
+	jobsPerLambda := make([]int64, len(lambdas))
+	for lIdx := range lambdas {
+		jobsPerLambda[lIdx] = int64(len(protocols) * runs)
+	}
+
+	type job struct{ proto, lIdx, run int }
+	jobs := make(chan job)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	// release drops a λ's workloads once its last job has finished with
+	// them. Every job reads its workload before calling release, so the
+	// final decrementer is the only goroutine that can touch the slice.
+	release := func(lIdx int) {
+		if atomic.AddInt64(&jobsPerLambda[lIdx], -1) == 0 {
+			workloads[lIdx] = nil
+		}
+	}
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				// After the first error, drain the remaining jobs without
+				// burning their (potentially minutes-long) budgets.
+				mu.Lock()
+				abort := firstErr != nil
+				mu.Unlock()
+				if abort {
+					release(j.lIdx)
+					continue
+				}
+				p := protocols[j.proto]
+				lambda := lambdas[j.lIdx]
+				wl := workloads[j.lIdx][j.run]
+				budget := cfg.MaxSlots
+				if budget == 0 {
+					budget = wl.Span() + 64*uint64(messages) + 10_000
+				}
+				res, err := p.run(wl,
+					rng.NewStream(seed, "throughput-run", p.Name, fmt.Sprint(lambda), fmt.Sprint(j.run)), budget)
+				release(j.lIdx)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				slots := res.Completion
+				if !res.Completed {
+					slots = budget
+				}
+				sample := res.Latency.Sampled(LatencySampleCap)
+				mu.Lock()
+				pt := &results[j.proto].Points[j.lIdx]
+				if slots > 0 {
+					pt.Throughput.Add(float64(res.Delivered) / float64(slots))
+				}
+				for _, v := range sample {
+					pt.Latency.Add(v)
+				}
+				pt.Backlog.Add(float64(res.MaxBacklog))
+				pt.Collisions.Add(float64(res.Collisions))
+				if res.Completed {
+					pt.Completed++
+				}
+				mu.Unlock()
+				if cfg.Progress != nil {
+					cfg.Progress(p.Name, lambda, j.run, res)
+				}
+			}
+		}()
+	}
+	// Schedule the highest loads first: saturated runs burn their whole
+	// budget and must not be left for last. The channel send orders each
+	// workload write before any worker's read of it.
+	for lIdx := len(lambdas) - 1; lIdx >= 0; lIdx-- {
+		wls := make([]dynamic.Workload, runs)
+		for run := 0; run < runs; run++ {
+			wl, err := cfg.Shape.Generate(messages, lambdas[lIdx],
+				rng.NewStream(seed, "throughput-workload", cfg.Shape.String(), fmt.Sprint(lambdas[lIdx]), fmt.Sprint(run)))
+			if err != nil {
+				fail(err)
+				break
+			}
+			wls[run] = wl
+		}
+		mu.Lock()
+		abort := firstErr != nil
+		mu.Unlock()
+		if abort {
+			break
+		}
+		workloads[lIdx] = wls
+		for protoIdx := range protocols {
+			for run := 0; run < runs; run++ {
+				jobs <- job{proto: protoIdx, lIdx: lIdx, run: run}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

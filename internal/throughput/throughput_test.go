@@ -1,0 +1,229 @@
+package throughput
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/rng"
+)
+
+func TestParseShape(t *testing.T) {
+	t.Parallel()
+	for name, want := range map[string]Shape{
+		"poisson": Poisson, "bursty": Bursty, "burst": Bursty, "onoff": OnOff, "On-Off": OnOff,
+	} {
+		got, err := ParseShape(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseShape(%q) = %v, %v; want %v", name, got, err, want)
+		}
+		if got.String() == "" {
+			t.Fatalf("shape %v has empty name", got)
+		}
+	}
+	if _, err := ParseShape("uniform"); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+}
+
+func TestGenerateRejectsBadLoad(t *testing.T) {
+	t.Parallel()
+	for _, shape := range []Shape{Poisson, Bursty, OnOff} {
+		if _, err := shape.Generate(10, 0, rng.New(1)); err == nil {
+			t.Fatalf("%v: λ=0 accepted", shape)
+		}
+		if _, err := shape.Generate(10, -1, rng.New(1)); err == nil {
+			t.Fatalf("%v: λ=-1 accepted", shape)
+		}
+	}
+	if _, err := Shape(99).Generate(10, 0.5, rng.New(1)); err == nil {
+		t.Fatal("unknown shape generated a workload")
+	}
+	// A vanishing λ would overflow uint64 slot arithmetic in any shape.
+	for _, shape := range []Shape{Poisson, Bursty, OnOff} {
+		if _, err := shape.Generate(200, 1e-18, rng.New(1)); err == nil {
+			t.Fatalf("%v: λ below the representable span accepted", shape)
+		}
+	}
+}
+
+// TestGenerateShapes verifies the structural invariants of each arrival
+// shape: exact message count, non-decreasing slots ≥ 1, and a realized
+// offered load near λ.
+func TestGenerateShapes(t *testing.T) {
+	t.Parallel()
+	const n, lambda = 4096, 0.25
+	for _, shape := range []Shape{Poisson, Bursty, OnOff} {
+		shape := shape
+		t.Run(shape.String(), func(t *testing.T) {
+			t.Parallel()
+			w, err := shape.Generate(n, lambda, rng.New(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.N() != n {
+				t.Fatalf("n = %d, want %d", w.N(), n)
+			}
+			if w.Arrivals[0] < 1 {
+				t.Fatalf("first arrival %d < 1", w.Arrivals[0])
+			}
+			for i := 1; i < n; i++ {
+				if w.Arrivals[i] < w.Arrivals[i-1] {
+					t.Fatalf("arrivals not monotone at %d: %d < %d", i, w.Arrivals[i], w.Arrivals[i-1])
+				}
+			}
+			got := float64(n) / float64(w.Span())
+			if math.Abs(got-lambda) > lambda/3 {
+				t.Fatalf("realized load %.3f, want ~%.3f", got, lambda)
+			}
+		})
+	}
+}
+
+func TestGenerateBursty(t *testing.T) {
+	t.Parallel()
+	// 200 messages in bursts of 64: 64+64+64+8, gaps of 64/0.5 = 128.
+	w, err := Bursty.Generate(200, 0.5, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != 200 {
+		t.Fatalf("n = %d, want 200", w.N())
+	}
+	for i, a := range w.Arrivals {
+		want := uint64(1 + (i/BurstSize)*128)
+		if a != want {
+			t.Fatalf("message %d arrives at %d, want %d", i, a, want)
+		}
+	}
+}
+
+func TestGenerateOnOffRespectsPhases(t *testing.T) {
+	t.Parallel()
+	w, err := OnOff.Generate(3000, 0.3, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range w.Arrivals {
+		// Arrival slots are 1-based; phase index of slot s is (s-1)/P,
+		// and odd phases are silent.
+		if ((a-1)/OnOffPhase)%2 != 0 {
+			t.Fatalf("message %d arrives at %d inside an off-phase", i, a)
+		}
+	}
+}
+
+// TestRunSweepStructure runs a small two-protocol sweep end to end and
+// checks the aggregate structure: stable points track λ, the table, CSV
+// and plot render every protocol, and workloads are matched across
+// protocols by construction.
+func TestRunSweepStructure(t *testing.T) {
+	t.Parallel()
+	protos := []Protocol{DefaultProtocols()[0], DefaultProtocols()[3]} // EBB (window), OFA (fair)
+	var calls atomic.Int64
+	cfg := Config{
+		Lambdas:  []float64{0.05, 0.1},
+		Messages: 400,
+		Runs:     2,
+		Seed:     3,
+		Progress: func(string, float64, int, dynamic.Result) { calls.Add(1) },
+	}
+	series, err := Run(protos, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	if got := calls.Load(); got != 2*2*2 {
+		t.Fatalf("progress calls = %d, want 8", got)
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s: points = %d, want 2", s.Protocol.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Completed != p.Runs {
+				t.Fatalf("%s λ=%v: %d/%d drained at a gentle load", s.Protocol.Name, p.Lambda, p.Completed, p.Runs)
+			}
+			// At loads far below saturation, throughput ≈ λ.
+			if got := p.Throughput.Mean(); math.Abs(got-p.Lambda) > p.Lambda/3 {
+				t.Fatalf("%s λ=%v: throughput %.3f, want ~λ", s.Protocol.Name, p.Lambda, got)
+			}
+			if p.Latency.N() != cfg.Messages*cfg.Runs {
+				t.Fatalf("%s λ=%v: %d latencies, want %d", s.Protocol.Name, p.Lambda, p.Latency.N(), cfg.Messages*cfg.Runs)
+			}
+		}
+	}
+	for _, render := range []string{Table(series), CSV(series), Plot(series)} {
+		for _, p := range protos {
+			if !strings.Contains(render, p.Name) {
+				t.Fatalf("rendering misses %q:\n%s", p.Name, render)
+			}
+		}
+	}
+	if !strings.HasPrefix(CSV(series), "protocol,lambda,") {
+		t.Fatalf("CSV header wrong:\n%s", CSV(series))
+	}
+}
+
+// TestRunSaturationKnee: at an offered load beyond Exp Back-on/Back-off's
+// saturation point the sweep must report degraded throughput, while the
+// same load is sustained by binary exponential backoff — the ranking the
+// dynamic-arrival literature predicts for gentle loads vs batched work.
+func TestRunSaturationKnee(t *testing.T) {
+	t.Parallel()
+	protos := WindowedProtocols() // EBB, LLIB, BEB
+	series, err := Run(protos, Config{
+		Lambdas:  []float64{0.3},
+		Messages: 6000,
+		Runs:     2,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebb, beb := series[0].Points[0], series[2].Points[0]
+	if ebb.Throughput.Mean() > 0.15 {
+		t.Fatalf("EBB at λ=0.3 sustained %.3f msgs/slot, expected saturation well below 0.15", ebb.Throughput.Mean())
+	}
+	// The short run's drain tail shaves the measured rate below λ even
+	// for a stable protocol; 0.22 still cleanly separates the two.
+	if beb.Throughput.Mean() < 0.22 || beb.Throughput.Mean() < 2*ebb.Throughput.Mean() {
+		t.Fatalf("binary exp backoff at λ=0.3 sustained only %.3f msgs/slot (EBB: %.3f)",
+			beb.Throughput.Mean(), ebb.Throughput.Mean())
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(DefaultProtocols()[:1], Config{Lambdas: []float64{-0.1}, Messages: 10}); err == nil {
+		t.Fatal("negative λ accepted")
+	}
+	bad := []Protocol{{Name: "empty"}}
+	if _, err := Run(bad, Config{Lambdas: []float64{0.1}, Messages: 10, Runs: 1}); err == nil {
+		t.Fatal("protocol without constructor accepted")
+	}
+}
+
+func TestGenerateBurstyRejectsExcessiveLoad(t *testing.T) {
+	t.Parallel()
+	// The shape cannot offer more than BurstSize messages per slot and
+	// must say so rather than silently cap and mislabel the load.
+	if _, err := Bursty.Generate(200, 200, rng.New(1)); err == nil {
+		t.Fatal("λ beyond the bursty shape's capacity accepted")
+	}
+	if _, err := Bursty.Generate(200, float64(BurstSize)+0.5, rng.New(1)); err == nil {
+		t.Fatal("λ just above the bursty shape's capacity accepted")
+	}
+	// λ = BurstSize is exactly representable (gap 1, a burst every slot).
+	w, err := Bursty.Generate(200, float64(BurstSize), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != 200 {
+		t.Fatalf("n = %d, want 200", w.N())
+	}
+}

@@ -179,3 +179,39 @@ func TestExponentialBackoffSuperlinear(t *testing.T) {
 		t.Fatalf("growth too small to be superlinear: %v -> %v", small, large)
 	}
 }
+
+// TestEvaluateDynamic exercises the public dynamic-arrivals entry point:
+// a small λ-sweep over the default lineup must produce one series per
+// protocol with stable points tracking the offered load, and render to
+// every output format.
+func TestEvaluateDynamic(t *testing.T) {
+	t.Parallel()
+	protos := DynamicProtocols()
+	results, err := EvaluateDynamic(nil, DynamicConfig{
+		Lambdas:  []float64{0.05},
+		Messages: 300,
+		Runs:     2,
+		Seed:     7,
+		Shape:    ArrivalsPoisson,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(protos) {
+		t.Fatalf("series = %d, want %d", len(results), len(protos))
+	}
+	for _, r := range results {
+		p := r.Points[0]
+		if p.Completed != p.Runs {
+			t.Fatalf("%s: %d/%d drained at λ=0.05", r.Protocol.Name, p.Completed, p.Runs)
+		}
+		if got := p.Throughput.Mean(); math.Abs(got-0.05) > 0.02 {
+			t.Fatalf("%s: throughput %.3f, want ~0.05", r.Protocol.Name, got)
+		}
+	}
+	for _, render := range []string{ThroughputTable(results), ThroughputCSV(results), ThroughputPlot(results)} {
+		if !strings.Contains(render, "One-Fail Adaptive") {
+			t.Fatalf("rendering misses protocol name:\n%s", render)
+		}
+	}
+}

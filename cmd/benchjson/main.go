@@ -1,0 +1,154 @@
+// Command benchjson converts the text output of `go test -bench` into a
+// JSON document, so CI can archive each run's numbers as a machine-
+// readable artifact and the repository accumulates a performance
+// trajectory over pull requests.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x ./... | benchjson -o BENCH_PR.json
+//	benchjson -o BENCH_PR.json bench.txt
+//
+// The converter understands the standard benchmark line format — name,
+// iteration count, then (value, unit) pairs such as ns/op, B/op and
+// allocs/op — plus the goos/goarch/pkg/cpu context lines. Unknown lines
+// (PASS, ok, test chatter) are ignored, so the raw `go test` stream can
+// be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Pkg is the import path the benchmark ran in (from the preceding
+	// "pkg:" context line).
+	Pkg string `json:"pkg,omitempty"`
+	// Name is the benchmark name with any -N GOMAXPROCS suffix removed.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 if the name carried none).
+	Procs int `json:"procs"`
+	// Iterations is the measured iteration count (b.N).
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every (value, unit) pair on the
+	// line, e.g. "ns/op", "B/op", "allocs/op".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the full converted document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// convert parses a `go test -bench` text stream.
+func convert(r io.Reader) (Report, error) {
+	rep := Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "Name N value unit [value unit ...]"; anything
+		// shorter (e.g. a benchmark's own log output) is not a result.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Pkg: pkg, Name: fields[0], Procs: 1, Iterations: iters, Metrics: map[string]float64{}}
+		if dash := strings.LastIndex(b.Name, "-"); dash >= 0 {
+			if procs, err := strconv.Atoi(b.Name[dash+1:]); err == nil && procs > 0 {
+				b.Name, b.Procs = b.Name[:dash], procs
+			}
+		}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: at most one input file, got %q\n", flag.Args())
+		os.Exit(1)
+	}
+
+	rep, err := convert(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

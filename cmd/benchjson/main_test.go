@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkThroughput/Exp_Back-on/Back-off-8         	       1	  52341876 ns/op
+BenchmarkSolve/k=1000-8   	     100	    123456 ns/op	    2048 B/op	      12 allocs/op
+some benchmark log line
+BenchmarkNoProcsSuffix 	      10	      99.5 ns/op
+PASS
+ok  	repro	1.234s
+pkg: repro/internal/engine
+BenchmarkExact-8  	       5	   7777 ns/op
+PASS
+`
+
+func TestConvert(t *testing.T) {
+	rep, err := convert(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("context wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	first := rep.Benchmarks[0]
+	if first.Name != "BenchmarkThroughput/Exp_Back-on/Back-off" || first.Procs != 8 {
+		t.Fatalf("name/procs wrong: %+v", first)
+	}
+	if first.Pkg != "repro" || first.Iterations != 1 || first.Metrics["ns/op"] != 52341876 {
+		t.Fatalf("first benchmark wrong: %+v", first)
+	}
+	second := rep.Benchmarks[1]
+	if second.Metrics["B/op"] != 2048 || second.Metrics["allocs/op"] != 12 || second.Metrics["ns/op"] != 123456 {
+		t.Fatalf("multi-metric parse wrong: %+v", second)
+	}
+	third := rep.Benchmarks[2]
+	if third.Name != "BenchmarkNoProcsSuffix" || third.Procs != 1 || third.Metrics["ns/op"] != 99.5 {
+		t.Fatalf("suffix-free benchmark wrong: %+v", third)
+	}
+	// The pkg context line applies to subsequent results only.
+	if rep.Benchmarks[3].Pkg != "repro/internal/engine" {
+		t.Fatalf("pkg tracking wrong: %+v", rep.Benchmarks[3])
+	}
+
+	// The document round-trips as JSON with the expected shape.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"goos":"linux"`, `"benchmarks":[`, `"ns/op":123456`, `"allocs/op":12`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, data)
+		}
+	}
+}
+
+func TestConvertEmptyInput(t *testing.T) {
+	rep, err := convert(strings.NewReader("PASS\nok \trepro\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No results still yields a valid document with an empty (not null)
+	// benchmark list, so downstream consumers can index it blindly.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"benchmarks":[]`) {
+		t.Fatalf("empty report marshals wrong:\n%s", data)
+	}
+}

@@ -11,6 +11,7 @@
 //	macsim -experiment trace -protocol exp-bb -k 12
 //	macsim -experiment dynamic [-k 500] [-rate 0.1]
 //	macsim -experiment throughput [-lambdas 0.05,0.1,0.2] [-messages 2000] [-shape poisson|bursty|onoff] [-out csv|plot]
+//	macsim -experiment scenario [-scenario all|poisson|bursty|onoff|rho|herd|adaptive|jammed|mixed] [-lambdas 0.1,0.2,0.3] [-out csv|plot]
 //	macsim -experiment cd [-k 10000] — §2 collision-detection comparison
 //	macsim -experiment ablation-ofa|ablation-ebb|ablation-monotone
 //
@@ -37,6 +38,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/protocol"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/throughput"
 )
@@ -60,7 +62,63 @@ type options struct {
 	lambdas    string
 	messages   int
 	shape      string
+	scenario   string
 	quiet      bool
+}
+
+// experiments is the single table behind -experiment dispatch, the flag
+// help text and the unknown-name error, so the three cannot drift.
+var experiments = []struct {
+	name string
+	run  func(options) error
+}{
+	{"table1", runSweep},
+	{"figure1", runSweep},
+	{"paper", runSweep},
+	{"run", runSingle},
+	{"trace", runTrace},
+	{"dynamic", runDynamic},
+	{"throughput", runThroughput},
+	{"scenario", runScenario},
+	{"cd", runCD},
+	{"ablation-ofa", runAblationOFA},
+	{"ablation-ebb", runAblationEBB},
+	{"ablation-monotone", runAblationMonotone},
+}
+
+func experimentNames() []string {
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
+	}
+	return names
+}
+
+// protocols is the single table behind -protocol resolution, its help
+// text and the unknown-name error. Each entry carries a canonical name
+// and a short alias.
+var protocols = []struct {
+	name, alias string
+	sys         func() harness.System
+}{
+	{"one-fail", "ofa", func() harness.System { return harness.PaperSystems()[2] }},
+	{"exp-bb", "ebb", func() harness.System { return harness.PaperSystems()[3] }},
+	{"log-fails-2", "lfa-2", func() harness.System { return harness.PaperSystems()[0] }},
+	{"log-fails-10", "lfa-10", func() harness.System { return harness.PaperSystems()[1] }},
+	{"loglog-iterated", "llib", func() harness.System { return harness.PaperSystems()[4] }},
+	{"exp-backoff", "beb", func() harness.System {
+		return harness.NewWindowSystem("Exponential Backoff (r=2)",
+			func(int) string { return "Θ(k·log k) total" },
+			func(int) (protocol.Schedule, error) { return baseline.NewExponentialBackoff(2) })
+	}},
+}
+
+func protocolNames() []string {
+	names := make([]string, len(protocols))
+	for i, p := range protocols {
+		names[i] = p.name
+	}
+	return names
 }
 
 func run(args []string) error {
@@ -72,9 +130,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("macsim", flag.ContinueOnError)
 	var opts options
 	fs.StringVar(&opts.experiment, "experiment", "table1",
-		"experiment to run: table1, figure1, paper, run, trace, dynamic, throughput, cd, ablation-ofa, ablation-ebb, ablation-monotone")
+		"experiment to run: "+strings.Join(experimentNames(), ", "))
 	fs.StringVar(&opts.protocol, "protocol", "one-fail",
-		"protocol for -experiment run/trace: one-fail, exp-bb, log-fails-2, log-fails-10, loglog-iterated, exp-backoff")
+		"protocol for -experiment run/trace: "+strings.Join(protocolNames(), ", "))
 	fs.IntVar(&opts.k, "k", 1000, "number of contenders for run/trace/dynamic")
 	fs.IntVar(&opts.maxExp, "maxexp", 5, "sweep sizes 10..10^maxexp (paper: 7)")
 	fs.IntVar(&opts.runs, "runs", harness.DefaultRuns, "runs averaged per point")
@@ -84,6 +142,8 @@ func run(args []string) error {
 	fs.StringVar(&opts.lambdas, "lambdas", "", "comma-separated offered loads for -experiment throughput (default 0.02..0.4 grid)")
 	fs.IntVar(&opts.messages, "messages", 2000, "messages per execution for -experiment throughput")
 	fs.StringVar(&opts.shape, "shape", "poisson", "arrival shape for -experiment throughput: poisson, bursty, onoff")
+	fs.StringVar(&opts.scenario, "scenario", "all",
+		"workload for -experiment scenario: all, "+strings.Join(scenario.Names(), ", "))
 	fs.BoolVar(&opts.quiet, "quiet", false, "suppress progress output")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,28 +152,12 @@ func run(args []string) error {
 		return fmt.Errorf("unexpected arguments %q (only flags may follow the experiment name; list values are comma-separated)", fs.Args())
 	}
 
-	switch opts.experiment {
-	case "table1", "figure1", "paper":
-		return runSweep(opts)
-	case "run":
-		return runSingle(opts)
-	case "trace":
-		return runTrace(opts)
-	case "dynamic":
-		return runDynamic(opts)
-	case "throughput":
-		return runThroughput(opts)
-	case "ablation-ofa":
-		return runAblationOFA(opts)
-	case "ablation-ebb":
-		return runAblationEBB(opts)
-	case "ablation-monotone":
-		return runAblationMonotone(opts)
-	case "cd":
-		return runCD(opts)
-	default:
-		return fmt.Errorf("unknown experiment %q", opts.experiment)
+	for _, e := range experiments {
+		if e.name == opts.experiment {
+			return e.run(opts)
+		}
 	}
+	return fmt.Errorf("unknown experiment %q (valid: %s)", opts.experiment, strings.Join(experimentNames(), ", "))
 }
 
 // runCD quantifies the §2 collision-detection comparison: tree splitting
@@ -206,26 +250,15 @@ func runSweep(opts options) error {
 	return nil
 }
 
-// systemByName resolves the -protocol flag.
+// systemByName resolves the -protocol flag by canonical name or alias.
 func systemByName(name string) (harness.System, error) {
-	switch strings.ToLower(name) {
-	case "one-fail", "ofa":
-		return harness.PaperSystems()[2], nil
-	case "exp-bb", "ebb":
-		return harness.PaperSystems()[3], nil
-	case "log-fails-2", "lfa-2":
-		return harness.PaperSystems()[0], nil
-	case "log-fails-10", "lfa-10":
-		return harness.PaperSystems()[1], nil
-	case "loglog-iterated", "llib":
-		return harness.PaperSystems()[4], nil
-	case "exp-backoff", "beb":
-		return harness.NewWindowSystem("Exponential Backoff (r=2)",
-			func(int) string { return "Θ(k·log k) total" },
-			func(int) (protocol.Schedule, error) { return baseline.NewExponentialBackoff(2) }), nil
-	default:
-		return nil, fmt.Errorf("unknown protocol %q", name)
+	lower := strings.ToLower(name)
+	for _, p := range protocols {
+		if lower == p.name || lower == p.alias {
+			return p.sys(), nil
+		}
 	}
+	return nil, fmt.Errorf("unknown protocol %q (valid: %s)", name, strings.Join(protocolNames(), ", "))
 }
 
 func runSingle(opts options) error {
@@ -327,6 +360,23 @@ func runDynamic(opts options) error {
 	return nil
 }
 
+// parseLambdas parses the -lambdas flag (empty means the caller's
+// default grid).
+func parseLambdas(flagValue string) ([]float64, error) {
+	if flagValue == "" {
+		return nil, nil
+	}
+	var lambdas []float64
+	for _, field := range strings.Split(flagValue, ",") {
+		l, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -lambdas entry %q: %w", field, err)
+		}
+		lambdas = append(lambdas, l)
+	}
+	return lambdas, nil
+}
+
 // runThroughput sweeps offered load λ over the dynamic-arrival protocol
 // lineup and reports sustained throughput, latency quantiles and peak
 // backlog per (protocol, λ).
@@ -338,15 +388,9 @@ func runThroughput(opts options) error {
 	if opts.messages <= 0 {
 		return fmt.Errorf("-messages must be > 0, got %d", opts.messages)
 	}
-	var lambdas []float64
-	if opts.lambdas != "" {
-		for _, field := range strings.Split(opts.lambdas, ",") {
-			l, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
-			if err != nil {
-				return fmt.Errorf("bad -lambdas entry %q: %w", field, err)
-			}
-			lambdas = append(lambdas, l)
-		}
+	lambdas, err := parseLambdas(opts.lambdas)
+	if err != nil {
+		return err
 	}
 	cfg := throughput.Config{
 		Lambdas:  lambdas,
@@ -379,6 +423,75 @@ func runThroughput(opts options) error {
 		fmt.Print(throughput.Table(series))
 		fmt.Println()
 		fmt.Print(throughput.Plot(series))
+	}
+	return nil
+}
+
+// runScenario sweeps offered load under the named workload scenarios —
+// the adversarial (ρ-bounded, thundering herd, adaptive), impaired
+// (jammed) and heterogeneous (mixed-population) workloads of
+// internal/scenario, alongside the benign shapes. `-scenario all` runs
+// the whole catalog in a fixed order; output is deterministic under a
+// fixed seed (progress chatter goes to stderr).
+func runScenario(opts options) error {
+	var scns []scenario.Workload
+	if strings.EqualFold(opts.scenario, "all") {
+		scns = scenario.Catalog()
+	} else {
+		scn, err := scenario.ByName(opts.scenario)
+		if err != nil {
+			return err
+		}
+		scns = []scenario.Workload{scn}
+	}
+	if opts.messages <= 0 {
+		return fmt.Errorf("-messages must be > 0, got %d", opts.messages)
+	}
+	lambdas, err := parseLambdas(opts.lambdas)
+	if err != nil {
+		return err
+	}
+	if lambdas == nil {
+		// A compact default grid bracketing the windowed protocols'
+		// saturation knees; the full throughput grid would multiply the
+		// catalog's cost for little extra shape.
+		lambdas = []float64{0.1, 0.2, 0.3}
+	}
+	for i, scn := range scns {
+		cfg := throughput.Config{
+			Lambdas:  lambdas,
+			Messages: opts.messages,
+			Runs:     opts.runs,
+			Seed:     opts.seed,
+			Scenario: scn,
+		}
+		if !opts.quiet {
+			cfg.Progress = func(name string, lambda float64, run int, r dynamic.Result) {
+				status := "drained"
+				if !r.Completed {
+					status = fmt.Sprintf("saturated (%d delivered)", r.Delivered)
+				}
+				fmt.Fprintf(os.Stderr, "done %-10s %-28s λ=%-6.3g run=%-3d %s\n", scn.Name, name, lambda, run, status)
+			}
+		}
+		series, err := throughput.Run(throughput.DefaultProtocols(), cfg)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", scn.Name, err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		switch opts.out {
+		case "csv":
+			fmt.Printf("# scenario: %s\n", scn.Name)
+			fmt.Print(throughput.CSV(series))
+		case "plot":
+			fmt.Printf("scenario: %s\n", scn.Name)
+			fmt.Print(throughput.Plot(series))
+		default:
+			fmt.Printf("scenario: %s (%d messages per run, * = not drained within budget)\n", scn.Name, opts.messages)
+			fmt.Print(throughput.Table(series))
+		}
 	}
 	return nil
 }

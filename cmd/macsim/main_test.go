@@ -32,14 +32,40 @@ func capture(t *testing.T, fn func() error) (string, error) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-experiment", "nope"}); err == nil {
+	err := run([]string{"-experiment", "nope"})
+	if err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+	// The error must teach the valid names, not just reject (they used to
+	// live only in the flag help text).
+	for _, want := range []string{"table1", "throughput", "scenario", "ablation-monotone"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("experiment error does not list %q: %v", want, err)
+		}
 	}
 }
 
 func TestRunUnknownProtocol(t *testing.T) {
-	if err := run([]string{"-experiment", "run", "-protocol", "nope"}); err == nil {
+	err := run([]string{"-experiment", "run", "-protocol", "nope"})
+	if err == nil {
 		t.Fatal("unknown protocol accepted")
+	}
+	for _, want := range []string{"one-fail", "exp-bb", "log-fails-10", "exp-backoff"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("protocol error does not list %q: %v", want, err)
+		}
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	err := run([]string{"scenario", "-scenario", "nope", "-quiet"})
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	for _, want := range []string{"rho", "herd", "adaptive", "jammed", "mixed"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("scenario error does not list %q: %v", want, err)
+		}
 	}
 }
 
@@ -156,6 +182,70 @@ func TestRunThroughputSubcommandForm(t *testing.T) {
 	}
 	if !strings.HasPrefix(out, "protocol,lambda,") {
 		t.Fatalf("throughput CSV output wrong:\n%s", out)
+	}
+}
+
+// scenarioGoldenArgs is the fixed invocation behind the determinism and
+// golden checks: small enough for CI, yet running every catalog
+// scenario over the full protocol lineup.
+var scenarioGoldenArgs = []string{"scenario", "-messages", "120", "-runs", "1",
+	"-lambdas", "0.1", "-seed", "9", "-quiet"}
+
+// TestRunScenarioDeterministic: two invocations with the same flags must
+// produce byte-identical output (the acceptance bar for the scenario
+// subsystem — workload generation, jam masks, population draws and
+// aggregation are all keyed by the seed alone).
+func TestRunScenarioDeterministic(t *testing.T) {
+	first, err := capture(t, func() error { return run(scenarioGoldenArgs) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := capture(t, func() error { return run(scenarioGoldenArgs) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("scenario output not byte-identical across invocations:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+	// Every catalog scenario and protocol appears.
+	for _, want := range []string{"poisson", "bursty", "onoff", "rho", "herd", "adaptive", "jammed", "mixed",
+		"Exp Back-on/Back-off", "One-Fail Adaptive"} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("scenario output missing %q:\n%s", want, first)
+		}
+	}
+}
+
+// TestRunScenarioGolden pins the scenario subcommand's output to the
+// checked-in golden file, so accidental changes to workload generation,
+// rng streams or rendering are caught as diffs.
+func TestRunScenarioGolden(t *testing.T) {
+	out, err := capture(t, func() error { return run(scenarioGoldenArgs) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/scenario_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatalf("scenario output diverges from testdata/scenario_golden.txt:\n%s", out)
+	}
+}
+
+func TestRunScenarioSingleCSV(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"scenario", "-scenario", "rho", "-messages", "100", "-runs", "1",
+			"-lambdas", "0.1", "-out", "csv", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "# scenario: rho\nprotocol,lambda,") {
+		t.Fatalf("scenario CSV output wrong:\n%s", out)
+	}
+	if strings.Contains(out, "poisson") {
+		t.Fatalf("single-scenario run leaked other scenarios:\n%s", out)
 	}
 }
 

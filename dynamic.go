@@ -1,6 +1,8 @@
 package mac
 
 import (
+	"repro/internal/protocol"
+	"repro/internal/scenario"
 	"repro/internal/throughput"
 )
 
@@ -29,6 +31,56 @@ const (
 	// off-phases at long-run load λ.
 	ArrivalsOnOff ArrivalShape = throughput.OnOff
 )
+
+// Scenario is a composable workload description — arrival schedule,
+// channel impairments (jamming), and heterogeneous station populations —
+// consumed via DynamicConfig.Scenario. Build custom ones from the
+// ingredients in internal/scenario surfaced here, or start from
+// Scenarios().
+type Scenario = scenario.Workload
+
+// ScenarioPopulation mixes a background station kind into a scenario's
+// runs (Scenario.Population).
+type ScenarioPopulation = scenario.Population
+
+// Scenario channel impairments for Scenario.Channel.
+type (
+	// JamRandom jams each slot independently with the given rate.
+	JamRandom = scenario.JamRandom
+	// JamPeriodic jams the first Burst slots of every Period slots.
+	JamPeriodic = scenario.JamPeriodic
+)
+
+// Scenario arrival generators for Scenario.Arrivals.
+type (
+	// ScenarioPoisson is the memoryless benign arrival process.
+	ScenarioPoisson = scenario.Poisson
+	// ScenarioBursty delivers periodic batches at long-run load λ.
+	ScenarioBursty = scenario.Bursty
+	// ScenarioOnOff alternates double-rate on-phases with silence.
+	ScenarioOnOff = scenario.OnOff
+	// ScenarioRhoBounded is the greedy ρ-bounded injection adversary.
+	ScenarioRhoBounded = scenario.RhoBounded
+	// ScenarioHerd is the thundering-herd adversary that times batches
+	// to land mid-resolution.
+	ScenarioHerd = scenario.Herd
+	// ScenarioAdaptive is the greedy adaptive adversary that injects
+	// where a pilot execution's backlog peaks.
+	ScenarioAdaptive = scenario.Adaptive
+)
+
+// NewBackgroundBackoff builds binary-exponential-backoff stations, the
+// standard background crowd for mixed-population scenarios.
+func NewBackgroundBackoff() (protocol.Station, error) { return scenario.NewBackgroundBackoff() }
+
+// Scenarios returns the named scenario catalog: the benign shapes
+// (poisson, bursty, onoff) plus the adversarial and heterogeneous
+// workloads (rho, herd, adaptive, jammed, mixed).
+func Scenarios() []Scenario { return scenario.Catalog() }
+
+// ScenarioByName resolves a catalog scenario by name, as used by the
+// `macsim scenario` subcommand; unknown names list the valid ones.
+func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
 
 // DynamicProtocols returns the standard saturation lineup: Exp
 // Back-on/Back-off, Loglog-Iterated Backoff and binary exponential

@@ -71,6 +71,15 @@ func (w Workload) Span() uint64 {
 	return max
 }
 
+// DrainBudget returns the standard slot budget for draining the
+// workload: its arrival span plus 64 slots per message plus fixed
+// slack — enough for any stable protocol to finish while terminating
+// saturated runs. The throughput sweep and the adaptive adversary's
+// pilot executions share this heuristic.
+func (w Workload) DrainBudget() uint64 {
+	return w.Span() + 64*uint64(w.N()) + 10_000
+}
+
 // Batch returns the paper's static workload: n messages all arriving at
 // slot 1.
 func Batch(n int) Workload {
@@ -156,7 +165,14 @@ type Result struct {
 	Latency stats.Summary
 	// MaxBacklog is the largest number of simultaneously active stations.
 	MaxBacklog int
-	// Collisions counts collision slots.
+	// PeakBacklogSlot is the slot at which MaxBacklog was first reached
+	// (0 for an empty workload). Adaptive adversaries in
+	// internal/scenario read it off pilot executions.
+	PeakBacklogSlot uint64
+	// Collisions counts slots on which at least one transmission was
+	// lost: two or more stations transmitted, or a lone transmission was
+	// destroyed by a jammer. Jammed slots nobody occupied are not
+	// counted (the event engine never visits them).
 	Collisions uint64
 }
 
@@ -164,6 +180,7 @@ type Result struct {
 type config struct {
 	clock    Clock
 	maxSlots uint64
+	jammed   func(slot uint64) bool
 }
 
 // Option configures RunFair and RunWindow.
@@ -179,6 +196,16 @@ func WithClock(c Clock) Option {
 // 20 million slots.
 func WithMaxSlots(n uint64) Option {
 	return func(cfg *config) { cfg.maxSlots = n }
+}
+
+// WithJammer injects channel impairment: any slot for which jammed
+// returns true carries adversarial noise, so even a lone transmitter
+// collides and delivers nothing. The predicate must be pure (same slot,
+// same answer) — the event-driven engine visits only occupied slots, the
+// per-node simulator visits all of them, and both must see the same
+// mask. A nil predicate leaves the channel clean.
+func WithJammer(jammed func(slot uint64) bool) Option {
+	return func(cfg *config) { cfg.jammed = jammed }
 }
 
 // wrap applies the configured clock to a station with the given arrival.
@@ -219,6 +246,25 @@ func RunWindow(w Workload, newSched func() (protocol.Schedule, error), src *rng.
 	return run(w, stations, src, cfg)
 }
 
+// RunMixed executes a dynamic workload over a heterogeneous station
+// population: newStation builds the station carrying message i, so
+// windowed and fair stations can share one channel (the mixed-population
+// scenarios of internal/scenario). Heterogeneous runs use the exact
+// per-node simulator — no aggregate shortcut applies when station kinds
+// differ — and are practical at moderate sizes.
+func RunMixed(w Workload, newStation func(i int) (protocol.Station, error), src *rng.Rand, opts ...Option) (Result, error) {
+	cfg := newConfig(opts)
+	stations := make([]protocol.Station, w.N())
+	for i := range stations {
+		st, err := newStation(i)
+		if err != nil {
+			return Result{}, err
+		}
+		stations[i] = cfg.wrap(st, w.Arrivals[i])
+	}
+	return run(w, stations, src, cfg)
+}
+
 func newConfig(opts []Option) *config {
 	cfg := &config{maxSlots: 20_000_000}
 	for _, opt := range opts {
@@ -229,20 +275,32 @@ func newConfig(opts []Option) *config {
 
 func run(w Workload, stations []protocol.Station, src *rng.Rand, cfg *config) (Result, error) {
 	var res Result
-	simRes, err := sim.Run(stations, src,
+	simOpts := []sim.Option{
 		sim.WithArrivals(w.Arrivals),
 		sim.WithMaxSlots(cfg.maxSlots),
 		sim.WithTrace(func(r sim.SlotRecord) {
 			if r.Active > res.MaxBacklog {
 				res.MaxBacklog = r.Active
+				res.PeakBacklogSlot = r.Slot
 			}
-			if r.Outcome == sim.Collision {
+			// Count slots on which at least one transmission was lost: a
+			// genuine collision, or any transmission destroyed by the
+			// jammer. Empty jammed slots are excluded — the simulator's
+			// omniscient view calls them collisions, but the event engine
+			// never visits them, and the two engines must agree.
+			if r.Outcome == sim.Collision && (r.Transmitters > 1 ||
+				(r.Transmitters == 1 && cfg.jammed != nil && cfg.jammed(r.Slot))) {
 				res.Collisions++
 			}
 			if r.Outcome == sim.Success {
 				res.Latency.Add(float64(r.Slot - w.Arrivals[r.Deliverer] + 1))
 			}
-		}))
+		}),
+	}
+	if cfg.jammed != nil {
+		simOpts = append(simOpts, sim.WithJammer(cfg.jammed))
+	}
+	simRes, err := sim.Run(stations, src, simOpts...)
 	res.Delivered = simRes.Delivered
 	switch {
 	case err == nil:

@@ -171,9 +171,12 @@ func RunWindowEvent(w Workload, newSched func() (protocol.Schedule, error), src 
 	admit := func(upTo uint64) {
 		for arrived < n && sorted[arrived] <= upTo {
 			arrived++
-		}
-		if b := arrived - departed; b > res.MaxBacklog {
-			res.MaxBacklog = b
+			// Departures only shrink the backlog between admits, so each
+			// new maximum is reached exactly at the admitted arrival.
+			if b := arrived - departed; b > res.MaxBacklog {
+				res.MaxBacklog = b
+				res.PeakBacklogSlot = sorted[arrived-1]
+			}
 		}
 	}
 
@@ -191,7 +194,11 @@ func RunWindowEvent(w Workload, newSched func() (protocol.Schedule, error), src 
 			group = append(group, heap.popMin().id)
 		}
 		admit(slot)
-		if len(group) == 1 {
+		// A jammed slot destroys even a lone transmission (adversarial
+		// noise); the transmitters perceive a collision and reschedule.
+		// Jammed slots nobody occupies are never visited, which is sound:
+		// windowed stations are oblivious to feedback they don't cause.
+		if len(group) == 1 && !(cfg.jammed != nil && cfg.jammed(slot)) {
 			id := group[0]
 			res.Delivered++
 			departed++

@@ -1,0 +1,189 @@
+package dynamic
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// jamFirst returns a pure mask that jams every slot up to and including
+// n.
+func jamFirst(n uint64) func(uint64) bool {
+	return func(slot uint64) bool { return slot <= n }
+}
+
+// TestJammerDelaysCompletion: with the opening of the channel jammed, no
+// delivery can precede the mask's end, on either windowed engine.
+func TestJammerDelaysCompletion(t *testing.T) {
+	t.Parallel()
+	w := Batch(4)
+	const quiet = 200
+	for name, run := range map[string]func() (Result, error){
+		"event": func() (Result, error) {
+			return RunWindowEvent(w, newEBBSched, rng.New(7), WithJammer(jamFirst(quiet)))
+		},
+		"exact": func() (Result, error) {
+			return RunWindow(w, newEBBSched, rng.New(7), WithJammer(jamFirst(quiet)))
+		},
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s: incomplete under a finite jam window", name)
+		}
+		if res.Completion <= quiet {
+			t.Fatalf("%s: completed at slot %d inside the jammed window", name, res.Completion)
+		}
+		if res.Latency.Min() <= quiet {
+			t.Fatalf("%s: a delivery at latency %v beat the jammer", name, res.Latency.Min())
+		}
+	}
+}
+
+// TestJammerEventMatchesExact extends the engines' distributional
+// agreement to an impaired channel: under a shared periodic jam mask the
+// completion-time distributions must still match (two-sample KS test).
+func TestJammerEventMatchesExact(t *testing.T) {
+	t.Parallel()
+	w, err := PoissonArrivals(24, 0.15, rng.New(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := func(slot uint64) bool { return (slot-1)%7 < 2 }
+	const draws = 1200
+	event := make([]float64, draws)
+	exact := make([]float64, draws)
+	eventCol := make([]float64, draws)
+	exactCol := make([]float64, draws)
+	for i := 0; i < draws; i++ {
+		re, err := RunWindowEvent(w, newEBBSched, rng.NewStream(52, "event", fmt.Sprint(i)), WithJammer(mask))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := RunWindow(w, newEBBSched, rng.NewStream(52, "exact", fmt.Sprint(i)), WithJammer(mask))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !re.Completed || !rx.Completed {
+			t.Fatalf("draw %d incomplete (event %v, exact %v)", i, re.Completed, rx.Completed)
+		}
+		event[i] = float64(re.Completion)
+		exact[i] = float64(rx.Completion)
+		eventCol[i] = float64(re.Collisions)
+		exactCol[i] = float64(rx.Collisions)
+	}
+	crit := 1.95 * math.Sqrt(2.0/draws)
+	if d := stats.KSDistance(event, exact); d > crit {
+		t.Fatalf("jammed event vs exact completion time: KS distance %v > %v", d, crit)
+	}
+	// Collision accounting must agree too: both engines count lost
+	// transmissions, not the simulator's omniscient view of empty jammed
+	// slots.
+	if d := stats.KSDistance(eventCol, exactCol); d > crit {
+		t.Fatalf("jammed event vs exact collisions: KS distance %v > %v", d, crit)
+	}
+}
+
+// TestJammerStarvesChannel: a fully jammed channel delivers nothing and
+// reports the budget exhaustion rather than spinning.
+func TestJammerStarvesChannel(t *testing.T) {
+	t.Parallel()
+	always := func(uint64) bool { return true }
+	for name, run := range map[string]func() (Result, error){
+		"event": func() (Result, error) {
+			return RunWindowEvent(Batch(3), newEBBSched, rng.New(9), WithJammer(always), WithMaxSlots(5000))
+		},
+		"exact": func() (Result, error) {
+			return RunWindow(Batch(3), newEBBSched, rng.New(9), WithJammer(always), WithMaxSlots(5000))
+		},
+		"fair": func() (Result, error) {
+			return RunFair(Batch(3), newOFACtrl, rng.New(9), WithJammer(always), WithMaxSlots(5000))
+		},
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Completed || res.Delivered != 0 {
+			t.Fatalf("%s: delivered %d through a fully jammed channel", name, res.Delivered)
+		}
+	}
+}
+
+// TestRunMixed drives a heterogeneous population — half windowed
+// back-off stations, half fair One-Fail Adaptive stations on a global
+// clock — through one batch and checks it drains.
+func TestRunMixed(t *testing.T) {
+	t.Parallel()
+	const n = 40
+	build := func(i int) (protocol.Station, error) {
+		if i%2 == 0 {
+			sched, err := baseline.NewExponentialBackoff(2)
+			if err != nil {
+				return nil, err
+			}
+			return protocol.NewWindowStation(sched), nil
+		}
+		ctrl, err := newOFACtrl()
+		if err != nil {
+			return nil, err
+		}
+		return protocol.NewFairStation(ctrl), nil
+	}
+	res, err := RunMixed(Batch(n), build, rng.New(13), WithClock(ClockGlobal), WithMaxSlots(200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Delivered != n {
+		t.Fatalf("mixed batch incomplete: %d/%d in %d slots", res.Delivered, n, res.Completion)
+	}
+	if res.MaxBacklog != n {
+		t.Fatalf("max backlog %d, want %d", res.MaxBacklog, n)
+	}
+	// Constructor errors surface.
+	bad := func(int) (protocol.Station, error) { return nil, fmt.Errorf("boom") }
+	if _, err := RunMixed(Batch(2), bad, rng.New(1)); err == nil {
+		t.Fatal("constructor error swallowed")
+	}
+}
+
+// TestPeakBacklogSlot: the peak is reached at the last arrival that
+// pushes the backlog to its maximum, on both engines.
+func TestPeakBacklogSlot(t *testing.T) {
+	t.Parallel()
+	// A batch peaks at slot 1.
+	res, err := RunWindowEvent(Batch(16), newEBBSched, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakBacklogSlot != 1 || res.MaxBacklog != 16 {
+		t.Fatalf("batch peak = (%d, %d), want (16, 1)", res.MaxBacklog, res.PeakBacklogSlot)
+	}
+	rx, err := RunWindow(Batch(16), newEBBSched, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rx.PeakBacklogSlot != 1 {
+		t.Fatalf("exact engine batch peak slot = %d, want 1", rx.PeakBacklogSlot)
+	}
+	// Two bursts far apart: the backlog cannot exceed one burst (the
+	// first has long drained), so the peak is at the first burst's slot.
+	w, err := BurstArrivals(2, 8, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = RunWindowEvent(w, newEBBSched, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxBacklog != 8 || res.PeakBacklogSlot != 1 {
+		t.Fatalf("spread bursts peak = (%d, %d), want (8, 1)", res.MaxBacklog, res.PeakBacklogSlot)
+	}
+}

@@ -1,0 +1,332 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/dynamic"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// Arrivals generates the arrival schedule of a scenario: n messages at
+// long-run offered load lambda (messages per slot). Implementations must
+// be deterministic given (n, lambda, src) so that every protocol in a
+// sweep can be offered the identical schedule.
+type Arrivals interface {
+	// Generate materializes n messages at offered load lambda (a finite
+	// value > 0).
+	Generate(n int, lambda float64, src *rng.Rand) (dynamic.Workload, error)
+}
+
+// Default shape parameters.
+const (
+	// DefaultBurstSize is the batch size of the Bursty generator.
+	DefaultBurstSize = 64
+	// DefaultOnOffPhase is the phase length, in slots, of the OnOff
+	// generator.
+	DefaultOnOffPhase = 1024
+	// DefaultAdversaryBurst is the bucket size b of the ρ-bounded
+	// adversaries.
+	DefaultAdversaryBurst = 128
+	// DefaultHerdBatch is the herd size of the thundering-herd adversary.
+	DefaultHerdBatch = 256
+	// DefaultHerdDrainCost is the thundering-herd adversary's assumed
+	// drain cost in slots per message, bracketed by the paper's Table 1
+	// ratios (2.7 for Exp Back-on/Back-off, 7.4 for One-Fail Adaptive).
+	DefaultHerdDrainCost = 3.0
+	// DefaultAdaptiveChunks is the number of injection decisions the
+	// greedy adaptive adversary makes.
+	DefaultAdaptiveChunks = 8
+)
+
+// checkLoad validates an offered load against a message count. A
+// vanishing load would need a workload span beyond what uint64 slot
+// arithmetic can hold (the expected span is ~n/λ slots).
+func checkLoad(n int, lambda float64) error {
+	if !(lambda > 0) || math.IsInf(lambda, 0) {
+		return fmt.Errorf("scenario: offered load must be a finite value > 0, got %v", lambda)
+	}
+	if float64(n)/lambda > 1e15 {
+		return fmt.Errorf("scenario: offered load %v is too low for %d messages (span would exceed 10^15 slots)", lambda, n)
+	}
+	return nil
+}
+
+// Poisson is a memoryless arrival process at rate λ (statistical
+// arrivals) — the benign baseline shape.
+type Poisson struct{}
+
+// Generate implements Arrivals.
+func (Poisson) Generate(n int, lambda float64, src *rng.Rand) (dynamic.Workload, error) {
+	if err := checkLoad(n, lambda); err != nil {
+		return dynamic.Workload{}, err
+	}
+	return dynamic.PoissonArrivals(n, lambda, src)
+}
+
+// Bursty delivers batches of Size simultaneous messages spaced so the
+// long-run offered load is λ (the batched worst case §1 of the paper
+// cites as frequent in practice). With n ≤ Size messages the shape
+// degenerates to a single batch at slot 1 — the paper's static problem.
+type Bursty struct {
+	// Size is the batch size (default DefaultBurstSize).
+	Size int
+}
+
+// Generate implements Arrivals.
+func (g Bursty) Generate(n int, lambda float64, src *rng.Rand) (dynamic.Workload, error) {
+	if err := checkLoad(n, lambda); err != nil {
+		return dynamic.Workload{}, err
+	}
+	size := g.Size
+	if size <= 0 {
+		size = DefaultBurstSize
+	}
+	if n < size {
+		size = n
+	}
+	if size == 0 {
+		return dynamic.Workload{}, nil
+	}
+	// Bursts are at least one slot apart, so the shape cannot offer more
+	// than size messages per slot; reject rather than mislabel.
+	if lambda > float64(size) {
+		return dynamic.Workload{}, fmt.Errorf("scenario: offered load %v exceeds the bursty shape's maximum of %d msgs/slot", lambda, size)
+	}
+	bursts := (n + size - 1) / size
+	// Integer gaps can only realize loads of size/gap; pick the gap whose
+	// realized load is nearest the requested λ (floor vs ceil compared in
+	// load space — gap space would skew badly for λ near size, e.g. λ=43
+	// is closer to 64/2=32 than to 64/1=64).
+	gap := uint64(float64(size) / lambda) // ≥ 1 since lambda ≤ size
+	if lambda-float64(size)/float64(gap+1) < float64(size)/float64(gap)-lambda {
+		gap++
+	}
+	w, err := dynamic.BurstArrivals(bursts, size, gap)
+	if err != nil {
+		return dynamic.Workload{}, err
+	}
+	w.Arrivals = w.Arrivals[:n] // drop the last burst's overshoot
+	return w, nil
+}
+
+// OnOff alternates Poisson arrivals at rate 2λ during on-phases of Phase
+// slots with silent off-phases of equal length: the long-run offered load
+// is λ but the instantaneous load is doubled, an adversarial duty-cycle
+// pattern.
+type OnOff struct {
+	// Phase is the phase length in slots (default DefaultOnOffPhase).
+	Phase uint64
+}
+
+// Generate implements Arrivals.
+func (g OnOff) Generate(n int, lambda float64, src *rng.Rand) (dynamic.Workload, error) {
+	if err := checkLoad(n, lambda); err != nil {
+		return dynamic.Workload{}, err
+	}
+	phase := g.Phase
+	if phase == 0 {
+		phase = DefaultOnOffPhase
+	}
+	// Poisson at double rate on the "on-time" axis, then stretch that axis
+	// by inserting one silent off-phase after each completed on-phase.
+	w, err := dynamic.PoissonArrivals(n, 2*lambda, src)
+	if err != nil {
+		return dynamic.Workload{}, err
+	}
+	for i, a := range w.Arrivals {
+		on := a - 1
+		w.Arrivals[i] = on + (on/phase)*phase + 1
+	}
+	return w, nil
+}
+
+// RhoBounded is the ρ-bounded injection adversary of the adversarial
+// queueing model (Bender & Kuszmaul 2020; the adversarial contention-
+// resolution survey of 2024): in every prefix [1, t] the adversary may
+// inject at most ρ·t + Burst messages, with ρ = λ. The generator is the
+// greedy instance of that model — every message arrives at the earliest
+// slot the bound admits — which front-loads an initial burst of Burst
+// simultaneous messages and then sustains the full rate ρ with zero
+// slack, the workload a protocol must drain while already backlogged.
+type RhoBounded struct {
+	// Burst is the bucket size b (default DefaultAdversaryBurst).
+	Burst int
+}
+
+// Generate implements Arrivals.
+func (g RhoBounded) Generate(n int, lambda float64, src *rng.Rand) (dynamic.Workload, error) {
+	if err := checkLoad(n, lambda); err != nil {
+		return dynamic.Workload{}, err
+	}
+	burst := g.Burst
+	if burst <= 0 {
+		burst = DefaultAdversaryBurst
+	}
+	arrivals := make([]uint64, n)
+	for i := range arrivals {
+		if i < burst {
+			arrivals[i] = 1
+			continue
+		}
+		// Earliest t with i+1 ≤ ρ·t + b.
+		arrivals[i] = uint64(math.Ceil(float64(i+1-burst) / lambda))
+	}
+	return dynamic.Workload{Arrivals: arrivals}, nil
+}
+
+// Herd is the batched "thundering herd" adversary: like Bursty it
+// delivers its load in periodic batches, but it splits each herd in two
+// and times the second half to land mid-resolution of the first — at the
+// moment a batch-oriented protocol has backed off to its largest windows
+// and is least prepared for fresh contenders. The timing model assumes
+// the protocol drains DrainCost slots per message (the paper's Table 1
+// ratios are 2.7–7.4), so the second half arrives DrainCost·Batch/4
+// slots into the period, when roughly half of the first half has
+// delivered.
+type Herd struct {
+	// Batch is the full herd size (default DefaultHerdBatch).
+	Batch int
+	// DrainCost is the assumed drain cost in slots per message (default
+	// DefaultHerdDrainCost).
+	DrainCost float64
+}
+
+// Generate implements Arrivals.
+func (g Herd) Generate(n int, lambda float64, src *rng.Rand) (dynamic.Workload, error) {
+	if err := checkLoad(n, lambda); err != nil {
+		return dynamic.Workload{}, err
+	}
+	batch := g.Batch
+	if batch <= 0 {
+		batch = DefaultHerdBatch
+	}
+	if n < batch {
+		batch = n
+	}
+	if batch == 0 {
+		return dynamic.Workload{}, nil
+	}
+	cost := g.DrainCost
+	if cost <= 0 {
+		cost = DefaultHerdDrainCost
+	}
+	// A period carries one herd of batch messages, so the shape cannot
+	// offer more than batch/2 msgs/slot (the split needs a period ≥ 2).
+	if lambda > float64(batch)/2 {
+		return dynamic.Workload{}, fmt.Errorf("scenario: offered load %v exceeds the herd shape's maximum of %g msgs/slot", lambda, float64(batch)/2)
+	}
+	period := uint64(math.Round(float64(batch) / lambda))
+	if period < 2 {
+		period = 2
+	}
+	offset := uint64(math.Round(cost * float64(batch) / 4))
+	if offset < 1 {
+		offset = 1
+	}
+	if offset > period-1 {
+		offset = period - 1
+	}
+	first := (batch + 1) / 2
+	arrivals := make([]uint64, n)
+	for i := range arrivals {
+		start := uint64(1) + uint64(i/batch)*period
+		if i%batch < first {
+			arrivals[i] = start
+		} else {
+			arrivals[i] = start + offset
+		}
+	}
+	return dynamic.Workload{Arrivals: arrivals}, nil
+}
+
+// Adaptive is a greedy adaptive adversary in the ρ-bounded model: it
+// watches the backlog of a pilot execution of a reference protocol
+// (binary exponential back-off on the event-driven engine) and releases
+// each chunk of its message budget at the slot where the backlog so far
+// peaked, subject to the injection bound ρ·t + Burst with ρ = λ. The
+// resulting schedule is adaptive against the reference execution but
+// fixed thereafter, so a sweep can replay the identical schedule against
+// every protocol under test (a matched-pairs comparison) and two
+// generations under the same seed are byte-identical.
+type Adaptive struct {
+	// Chunks is the number of injection decisions (default
+	// DefaultAdaptiveChunks).
+	Chunks int
+	// Burst is the bucket size b of the injection bound (default: one
+	// chunk).
+	Burst int
+}
+
+// Generate implements Arrivals.
+func (g Adaptive) Generate(n int, lambda float64, src *rng.Rand) (dynamic.Workload, error) {
+	if err := checkLoad(n, lambda); err != nil {
+		return dynamic.Workload{}, err
+	}
+	if n == 0 {
+		return dynamic.Workload{}, nil
+	}
+	chunks := g.Chunks
+	if chunks <= 0 {
+		chunks = DefaultAdaptiveChunks
+	}
+	if chunks > n {
+		chunks = n
+	}
+	burst := g.Burst
+	if burst <= 0 {
+		burst = (n + chunks - 1) / chunks
+	}
+	newRef := func() (protocol.Schedule, error) { return baseline.NewExponentialBackoff(2) }
+	pilotSeed := src.Uint64()
+	arrivals := make([]uint64, 0, n)
+	prev := uint64(1)
+	for c := 0; c < chunks; c++ {
+		// Chunk sizes differ by at most one across the schedule.
+		size := n/chunks + boolToInt(c < n%chunks)
+		peak := uint64(1)
+		if len(arrivals) > 0 {
+			// Pilot-run the schedule so far and read off where the
+			// reference protocol's backlog peaked.
+			pilot := dynamic.Workload{Arrivals: arrivals}
+			res, err := dynamic.RunWindowEvent(pilot, newRef,
+				rng.NewStream(pilotSeed, "adaptive-pilot", fmt.Sprint(c)),
+				dynamic.WithMaxSlots(pilot.DrainBudget()))
+			if err != nil {
+				return dynamic.Workload{}, err
+			}
+			peak = res.PeakBacklogSlot
+			if peak < 1 {
+				peak = 1
+			}
+		}
+		// Earliest slot the ρ-bound admits for the chunk's last message,
+		// never revising the past (the adversary is online).
+		placed := len(arrivals) + size
+		earliest := uint64(1)
+		if placed > burst {
+			earliest = uint64(math.Ceil(float64(placed-burst) / lambda))
+		}
+		slot := prev
+		if earliest > slot {
+			slot = earliest
+		}
+		if peak > slot {
+			slot = peak
+		}
+		for i := 0; i < size; i++ {
+			arrivals = append(arrivals, slot)
+		}
+		prev = slot
+	}
+	return dynamic.Workload{Arrivals: arrivals}, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

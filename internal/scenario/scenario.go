@@ -1,0 +1,264 @@
+// Package scenario describes dynamic-arrival workloads beyond the benign
+// statistical shapes: adversarial injection schedules, channel
+// impairments, and heterogeneous station populations. It is the
+// composable workload axis the adversarial contention-resolution
+// literature studies (Bender & Kuszmaul, "Contention Resolution Without
+// Collision Detection"; the 2024 survey on adversarial contention
+// resolution) layered over the paper's dynamic (§6 future work)
+// extension.
+//
+// A Workload composes three orthogonal ingredients:
+//
+//   - Arrivals: who arrives when — the benign Poisson/Bursty/OnOff
+//     shapes, a ρ-bounded greedy injection adversary, a batched
+//     "thundering herd" adversary that times bursts to land
+//     mid-resolution, and a greedy adaptive adversary that injects where
+//     a pilot execution's backlog peaks.
+//
+//   - Channel: whether slots can be destroyed — random or periodic
+//     jamming that turns any transmission into noise, so even a lone
+//     transmitter fails.
+//
+//   - Population: who else is on the channel — a fraction of stations
+//     running a fixed background protocol, so the protocol under test
+//     must coexist with strangers instead of its own kind.
+//
+// Instantiate resolves a Workload into one concrete, immutable Instance
+// (arrival slots, jam mask, population assignment). Every derived
+// function is deterministic in the generation source, so a sweep can
+// offer the identical instance to every protocol (matched pairs) and two
+// runs under one seed are byte-identical. internal/throughput consumes
+// Instances for its λ-sweep; mac.EvaluateDynamic and `macsim scenario`
+// surface the catalog.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/dynamic"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// Channel models slot impairments: a jam mask over the channel's slots.
+// An implementation must be stateless given its key so that the
+// slot-skipping event engine and the per-slot simulator observe the
+// identical mask regardless of which slots they visit.
+type Channel interface {
+	// Mask returns the execution's jam predicate, seeded by key. The
+	// predicate must be pure: the same slot always yields the same
+	// answer, independent of call order.
+	Mask(key uint64) func(slot uint64) bool
+}
+
+// slotHash mixes a mask key and a slot index through the SplitMix64
+// finalizer — a stateless hash, so masks are call-order independent.
+func slotHash(key, slot uint64) uint64 {
+	x := key + slot*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// probThreshold maps a probability to the uint64 threshold below which a
+// uniform slotHash value is a hit. The product saturates: for p within
+// one ulp of 1 the float rounds to exactly 2⁶⁴, whose uint64 conversion
+// is implementation-specific per the Go spec.
+func probThreshold(p float64) uint64 {
+	const span = float64(1<<63) * 2 // 2⁶⁴
+	f := p * span
+	if f >= span {
+		return ^uint64(0)
+	}
+	return uint64(f)
+}
+
+// JamRandom jams each slot independently with probability Rate ∈ [0, 1):
+// a memoryless noise process under which any transmission in a jammed
+// slot is destroyed.
+type JamRandom struct {
+	Rate float64
+}
+
+// Mask implements Channel.
+func (j JamRandom) Mask(key uint64) func(slot uint64) bool {
+	thresh := probThreshold(j.Rate)
+	return func(slot uint64) bool { return slotHash(key, slot) < thresh }
+}
+
+// validate rejects rates that jam nothing or everything.
+func (j JamRandom) validate() error {
+	if !(j.Rate > 0 && j.Rate < 1) {
+		return fmt.Errorf("scenario: jam rate must be in (0, 1), got %v", j.Rate)
+	}
+	return nil
+}
+
+// JamPeriodic jams the first Burst slots of every Period slots — a
+// deterministic duty-cycle jammer (e.g. a co-channel beacon).
+type JamPeriodic struct {
+	Period, Burst uint64
+}
+
+// Mask implements Channel.
+func (j JamPeriodic) Mask(uint64) func(slot uint64) bool {
+	return func(slot uint64) bool { return (slot-1)%j.Period < j.Burst }
+}
+
+// validate rejects degenerate periods.
+func (j JamPeriodic) validate() error {
+	if j.Period < 2 || j.Burst < 1 || j.Burst >= j.Period {
+		return fmt.Errorf("scenario: periodic jam needs 1 ≤ burst < period and period ≥ 2, got burst %d, period %d", j.Burst, j.Period)
+	}
+	return nil
+}
+
+// Population mixes a second station kind into the run: each message's
+// station is drawn from the background kind with probability Fraction,
+// so the protocol under test shares the channel with a fixed crowd
+// instead of its own kind — the heterogeneous-deployment question no
+// batched analysis covers.
+type Population struct {
+	// Fraction ∈ (0, 1) of stations drawn from the background kind.
+	Fraction float64
+	// Background names the background kind for display.
+	Background string
+	// NewBackground builds one background station per assigned message.
+	// It must be safe for concurrent use (executions run in parallel).
+	NewBackground func() (protocol.Station, error)
+}
+
+// validate rejects fractions that mix nothing or everything.
+func (p *Population) validate() error {
+	if !(p.Fraction > 0 && p.Fraction < 1) {
+		return fmt.Errorf("scenario: population fraction must be in (0, 1), got %v", p.Fraction)
+	}
+	if p.NewBackground == nil {
+		return fmt.Errorf("scenario: population %q has no background station constructor", p.Background)
+	}
+	return nil
+}
+
+// Workload is a composable scenario description: an arrival schedule
+// plus optional channel impairments and a heterogeneous population.
+type Workload struct {
+	// Name identifies the scenario on the CLI and in rng stream labels.
+	Name string
+	// Arrivals generates the arrival schedule (required).
+	Arrivals Arrivals
+	// Channel, if non-nil, impairs slots with a jam mask.
+	Channel Channel
+	// Population, if non-nil, mixes background stations into the run.
+	Population *Population
+}
+
+// Instance is one concrete realization of a Workload: the materialized
+// arrival slots plus the execution's jam mask and population assignment.
+// Nil function fields mean a clean channel / homogeneous population.
+type Instance struct {
+	// Arrivals is the materialized arrival schedule.
+	Arrivals dynamic.Workload
+	// Jammed reports whether the adversary jams a slot (nil = clean).
+	Jammed func(slot uint64) bool
+	// Background reports whether message i's station is drawn from the
+	// background population (nil = homogeneous).
+	Background func(i int) bool
+	// NewBackground builds one background station (set iff Background
+	// is).
+	NewBackground func() (protocol.Station, error)
+}
+
+// Instantiate resolves the workload into a concrete Instance of n
+// messages at offered load lambda, drawing all randomness from src.
+// Identical (workload, n, lambda, src state) yield identical instances.
+func (w Workload) Instantiate(n int, lambda float64, src *rng.Rand) (Instance, error) {
+	if w.Arrivals == nil {
+		return Instance{}, fmt.Errorf("scenario: workload %q has no arrival generator", w.Name)
+	}
+	var inst Instance
+	if w.Channel != nil {
+		if v, ok := w.Channel.(interface{ validate() error }); ok {
+			if err := v.validate(); err != nil {
+				return Instance{}, err
+			}
+		}
+	}
+	if w.Population != nil {
+		if err := w.Population.validate(); err != nil {
+			return Instance{}, err
+		}
+	}
+	// Generate arrivals before drawing the mask and population keys, so
+	// adding impairments to a scenario leaves its arrival schedule
+	// unchanged: a clean-vs-jammed comparison is matched on arrivals, and
+	// the benign shapes consume exactly the stream they always did.
+	arr, err := w.Arrivals.Generate(n, lambda, src)
+	if err != nil {
+		return Instance{}, err
+	}
+	inst.Arrivals = arr
+	if w.Channel != nil {
+		inst.Jammed = w.Channel.Mask(src.Uint64())
+	}
+	if w.Population != nil {
+		key := src.Uint64()
+		thresh := probThreshold(w.Population.Fraction)
+		inst.Background = func(i int) bool { return slotHash(key, uint64(i)) < thresh }
+		inst.NewBackground = w.Population.NewBackground
+	}
+	return inst, nil
+}
+
+// NewBackgroundBackoff builds binary-exponential-backoff stations, the
+// standard background crowd of the mixed-population scenario.
+func NewBackgroundBackoff() (protocol.Station, error) {
+	sched, err := baseline.NewExponentialBackoff(2)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.NewWindowStation(sched), nil
+}
+
+// Catalog returns the named scenario lineup: the benign shapes of the
+// throughput sweep plus the adversarial and heterogeneous workloads this
+// package adds. The returned slice is freshly allocated.
+func Catalog() []Workload {
+	return []Workload{
+		{Name: "poisson", Arrivals: Poisson{}},
+		{Name: "bursty", Arrivals: Bursty{}},
+		{Name: "onoff", Arrivals: OnOff{}},
+		{Name: "rho", Arrivals: RhoBounded{}},
+		{Name: "herd", Arrivals: Herd{}},
+		{Name: "adaptive", Arrivals: Adaptive{}},
+		{Name: "jammed", Arrivals: Poisson{}, Channel: JamRandom{Rate: 0.1}},
+		{Name: "mixed", Arrivals: Poisson{}, Population: &Population{
+			Fraction:      0.5,
+			Background:    "Binary Exp Backoff",
+			NewBackground: NewBackgroundBackoff,
+		}},
+	}
+}
+
+// Names returns the catalog's scenario names, sorted.
+func Names() []string {
+	cat := Catalog()
+	names := make([]string, len(cat))
+	for i, w := range cat {
+		names[i] = w.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName resolves a catalog scenario by name, as used by the macsim CLI.
+func ByName(name string) (Workload, error) {
+	for _, w := range Catalog() {
+		if strings.EqualFold(name, w.Name) {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("scenario: unknown scenario %q (valid: %s)", name, strings.Join(Names(), ", "))
+}

@@ -1,0 +1,335 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestGeneratorInvariants checks every catalog arrival generator for the
+// structural contract of an arrival schedule: exact message count,
+// non-decreasing slots ≥ 1, and determinism under a fixed stream.
+func TestGeneratorInvariants(t *testing.T) {
+	t.Parallel()
+	const n, lambda = 2048, 0.2
+	for _, w := range Catalog() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			a, err := w.Arrivals.Generate(n, lambda, rng.New(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.N() != n {
+				t.Fatalf("n = %d, want %d", a.N(), n)
+			}
+			if a.Arrivals[0] < 1 {
+				t.Fatalf("first arrival %d < 1", a.Arrivals[0])
+			}
+			for i := 1; i < n; i++ {
+				if a.Arrivals[i] < a.Arrivals[i-1] {
+					t.Fatalf("arrivals not monotone at %d: %d < %d", i, a.Arrivals[i], a.Arrivals[i-1])
+				}
+			}
+			b, err := w.Arrivals.Generate(n, lambda, rng.New(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a.Arrivals {
+				if a.Arrivals[i] != b.Arrivals[i] {
+					t.Fatalf("generation not deterministic at %d: %d vs %d", i, a.Arrivals[i], b.Arrivals[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratorsRejectBadLoad mirrors the load validation the legacy
+// shapes enforced.
+func TestGeneratorsRejectBadLoad(t *testing.T) {
+	t.Parallel()
+	for _, w := range Catalog() {
+		for _, bad := range []float64{0, -1, math.Inf(1)} {
+			if _, err := w.Arrivals.Generate(10, bad, rng.New(1)); err == nil {
+				t.Fatalf("%s: λ=%v accepted", w.Name, bad)
+			}
+		}
+		if _, err := w.Arrivals.Generate(200, 1e-18, rng.New(1)); err == nil {
+			t.Fatalf("%s: λ below the representable span accepted", w.Name)
+		}
+	}
+}
+
+// injectionBound verifies the ρ-bounded adversary's defining property:
+// in every prefix [1, t] at most ρ·t + burst messages are injected.
+func injectionBound(t *testing.T, arrivals []uint64, rho float64, burst int) {
+	t.Helper()
+	count := 0
+	for i, a := range arrivals {
+		count++
+		// Check the bound at each arrival slot: later slots only relax it.
+		if i+1 < len(arrivals) && arrivals[i+1] == a {
+			continue // evaluate a slot once, after its last arrival
+		}
+		if float64(count) > rho*float64(a)+float64(burst)+1e-9 {
+			t.Fatalf("injection bound violated at slot %d: %d > %v·%d + %d", a, count, rho, a, burst)
+		}
+	}
+}
+
+func TestRhoBoundedRespectsBound(t *testing.T) {
+	t.Parallel()
+	const n, lambda, burst = 4096, 0.3, 64
+	w, err := RhoBounded{Burst: burst}.Generate(n, lambda, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	injectionBound(t, w.Arrivals, lambda, burst)
+	// The greedy adversary front-loads: exactly burst messages at slot 1.
+	for i := 0; i < burst; i++ {
+		if w.Arrivals[i] != 1 {
+			t.Fatalf("message %d of the initial burst arrives at %d, want 1", i, w.Arrivals[i])
+		}
+	}
+	if w.Arrivals[burst] == 1 {
+		t.Fatal("initial burst exceeds the bucket size")
+	}
+	// Zero slack: the realized load matches ρ.
+	if got := float64(n) / float64(w.Span()); math.Abs(got-lambda) > lambda/10 {
+		t.Fatalf("realized load %.3f, want ~%.3f", got, lambda)
+	}
+}
+
+func TestHerdSplitsBatches(t *testing.T) {
+	t.Parallel()
+	const n, lambda, batch = 1024, 0.25, 128
+	w, err := Herd{Batch: batch}.Generate(n, lambda, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each herd occupies exactly two distinct slots: the period start and
+	// the mid-resolution strike.
+	for h := 0; h < n/batch; h++ {
+		grp := w.Arrivals[h*batch : (h+1)*batch]
+		first, second := grp[0], grp[batch-1]
+		if first == second {
+			t.Fatalf("herd %d not split", h)
+		}
+		for i, a := range grp {
+			if a != first && a != second {
+				t.Fatalf("herd %d message %d at slot %d, want %d or %d", h, i, a, first, second)
+			}
+		}
+		if second-first != uint64(math.Round(DefaultHerdDrainCost*batch/4)) {
+			t.Fatalf("herd %d strike offset %d, want %v", h, second-first, math.Round(DefaultHerdDrainCost*batch/4))
+		}
+	}
+	if got := float64(n) / float64(w.Span()); math.Abs(got-lambda) > lambda/3 {
+		t.Fatalf("realized load %.3f, want ~%.3f", got, lambda)
+	}
+	// The split needs a period of at least two slots.
+	if _, err := (Herd{Batch: batch}).Generate(n, batch, rng.New(5)); err == nil {
+		t.Fatal("λ beyond the herd shape's capacity accepted")
+	}
+}
+
+func TestAdaptiveRespectsBoundAndAdapts(t *testing.T) {
+	t.Parallel()
+	const n, lambda = 1024, 0.2
+	a := Adaptive{Chunks: 8, Burst: 128}
+	w, err := a.Generate(n, lambda, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	injectionBound(t, w.Arrivals, lambda, 128)
+	// Eight injection decisions → at most eight distinct arrival slots.
+	distinct := map[uint64]bool{}
+	for _, s := range w.Arrivals {
+		distinct[s] = true
+	}
+	if len(distinct) > 8 {
+		t.Fatalf("%d distinct injection slots, want ≤ 8", len(distinct))
+	}
+	if len(distinct) < 2 {
+		t.Fatal("adversary never spread its injections")
+	}
+	// The schedule is a function of the stream: same seed, same schedule.
+	w2, err := a.Generate(n, lambda, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Arrivals {
+		if w.Arrivals[i] != w2.Arrivals[i] {
+			t.Fatalf("adaptive schedule not deterministic at %d", i)
+		}
+	}
+}
+
+// TestJamRandomMask checks rate, determinism and call-order independence
+// of the memoryless jammer.
+func TestJamRandomMask(t *testing.T) {
+	t.Parallel()
+	mask := JamRandom{Rate: 0.2}.Mask(99)
+	const slots = 200_000
+	jammed := 0
+	for s := uint64(1); s <= slots; s++ {
+		if mask(s) {
+			jammed++
+		}
+	}
+	if got := float64(jammed) / slots; math.Abs(got-0.2) > 0.01 {
+		t.Fatalf("empirical jam rate %.4f, want ~0.2", got)
+	}
+	// Pure predicate: revisiting slots in any order gives the same answers.
+	again := JamRandom{Rate: 0.2}.Mask(99)
+	for s := slots; s >= 1; s -= 37 {
+		if mask(uint64(s)) != again(uint64(s)) {
+			t.Fatalf("mask not pure at slot %d", s)
+		}
+	}
+	// A different key yields a different mask.
+	other := JamRandom{Rate: 0.2}.Mask(100)
+	differs := false
+	for s := uint64(1); s <= 1000; s++ {
+		if mask(s) != other(s) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("masks with different keys agree on 1000 slots — key is ignored")
+	}
+}
+
+// TestProbThresholdSaturates: probabilities within one float64 ulp of 1
+// must saturate the threshold instead of overflowing the uint64
+// conversion (which is implementation-specific at exactly 2⁶⁴).
+func TestProbThresholdSaturates(t *testing.T) {
+	t.Parallel()
+	if got := probThreshold(1); got != ^uint64(0) {
+		t.Fatalf("probThreshold(1) = %d, want saturation", got)
+	}
+	if got := probThreshold(math.Nextafter(1, 0)); got < ^uint64(0)-(1<<12) {
+		t.Fatalf("probThreshold(1-ulp) = %d, want within 2^12 of 2^64", got)
+	}
+	if got := probThreshold(0.5); got != 1<<63 {
+		t.Fatalf("probThreshold(0.5) = %d, want 2^63", got)
+	}
+	// A near-1 jam rate must jam (nearly) everything, not nothing.
+	mask := JamRandom{Rate: math.Nextafter(1, 0)}.Mask(7)
+	for s := uint64(1); s <= 1000; s++ {
+		if !mask(s) {
+			t.Fatalf("slot %d unjammed at rate 1-ulp", s)
+		}
+	}
+}
+
+func TestJamPeriodicMask(t *testing.T) {
+	t.Parallel()
+	mask := JamPeriodic{Period: 10, Burst: 3}.Mask(0)
+	for s := uint64(1); s <= 40; s++ {
+		want := (s-1)%10 < 3
+		if mask(s) != want {
+			t.Fatalf("slot %d: jammed=%v, want %v", s, mask(s), want)
+		}
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	t.Parallel()
+	jammedScn := Workload{Name: "j", Arrivals: Poisson{}, Channel: JamRandom{Rate: 0.1}}
+	mixedScn := Workload{Name: "m", Arrivals: Poisson{}, Population: &Population{
+		Fraction: 0.5, Background: "beb", NewBackground: NewBackgroundBackoff,
+	}}
+	const n = 4000
+	ji, err := jammedScn.Instantiate(n, 0.1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ji.Jammed == nil || ji.Background != nil {
+		t.Fatal("jammed instance has wrong impairments")
+	}
+	// Impairments must not shift the arrival stream: clean and jammed
+	// variants of one shape are matched on arrivals under the same seed.
+	clean, err := (Workload{Name: "c", Arrivals: Poisson{}}).Instantiate(n, 0.1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean.Arrivals.Arrivals {
+		if clean.Arrivals.Arrivals[i] != ji.Arrivals.Arrivals[i] {
+			t.Fatalf("adding a channel shifted arrivals at %d", i)
+		}
+	}
+	mi, err := mixedScn.Instantiate(n, 0.1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.Jammed != nil || mi.Background == nil || mi.NewBackground == nil {
+		t.Fatal("mixed instance has wrong impairments")
+	}
+	bg := 0
+	for i := 0; i < n; i++ {
+		if mi.Background(i) {
+			bg++
+		}
+	}
+	if got := float64(bg) / n; math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("background fraction %.3f, want ~0.5", got)
+	}
+	if st, err := mi.NewBackground(); err != nil || st == nil {
+		t.Fatalf("background constructor: %v, %v", st, err)
+	}
+	// Identical stream state, identical instance.
+	mi2, err := mixedScn.Instantiate(n, 0.1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mi.Arrivals.Arrivals {
+		if mi.Arrivals.Arrivals[i] != mi2.Arrivals.Arrivals[i] {
+			t.Fatalf("arrivals differ at %d", i)
+		}
+		if mi.Background(i) != mi2.Background(i) {
+			t.Fatalf("population assignment differs at %d", i)
+		}
+	}
+}
+
+func TestInstantiateRejectsBadScenarios(t *testing.T) {
+	t.Parallel()
+	cases := []Workload{
+		{Name: "no-arrivals"},
+		{Name: "bad-rate", Arrivals: Poisson{}, Channel: JamRandom{Rate: 1.5}},
+		{Name: "bad-period", Arrivals: Poisson{}, Channel: JamPeriodic{Period: 3, Burst: 3}},
+		{Name: "bad-fraction", Arrivals: Poisson{}, Population: &Population{Fraction: 1.0, NewBackground: NewBackgroundBackoff}},
+		{Name: "no-background", Arrivals: Poisson{}, Population: &Population{Fraction: 0.5}},
+	}
+	for _, w := range cases {
+		if _, err := w.Instantiate(100, 0.1, rng.New(1)); err == nil {
+			t.Fatalf("%s: accepted", w.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	t.Parallel()
+	for _, name := range Names() {
+		w, err := ByName(name)
+		if err != nil || w.Name != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, w.Name, err)
+		}
+	}
+	if _, err := ByName("POISSON"); err != nil {
+		t.Fatalf("case-insensitive lookup failed: %v", err)
+	}
+	_, err := ByName("nope")
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	for _, name := range []string{"rho", "herd", "adaptive", "jammed", "mixed"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error does not list %q: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package throughput
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeSeries builds a two-protocol, two-λ sweep result by hand: one
+// protocol stable at both loads, the other saturated at the higher one.
+func fakeSeries() []Series {
+	mkPoint := func(lambda, tp float64, completed, runs int, lats ...float64) Point {
+		p := Point{Lambda: lambda, Completed: completed, Runs: runs}
+		p.Throughput.Add(tp)
+		for _, l := range lats {
+			p.Latency.Add(l)
+		}
+		p.Backlog.Add(7)
+		p.Collisions.Add(3)
+		return p
+	}
+	return []Series{
+		{
+			Protocol: Protocol{Name: "Stable"},
+			Points: []Point{
+				mkPoint(0.1, 0.1, 2, 2, 3, 5, 9),
+				mkPoint(0.2, 0.2, 2, 2, 4, 6, 11),
+			},
+		},
+		{
+			Protocol: Protocol{Name: "Saturating"},
+			Points: []Point{
+				mkPoint(0.1, 0.1, 2, 2, 8, 12, 20),
+				mkPoint(0.2, 0.05, 0, 2, 900, 1500, 4000),
+			},
+		},
+	}
+}
+
+func TestTableRendersPointsAndSaturationMark(t *testing.T) {
+	t.Parallel()
+	table := Table(fakeSeries())
+	if !strings.HasPrefix(table, "| protocol | λ |") {
+		t.Fatalf("table header wrong:\n%s", table)
+	}
+	for _, want := range []string{"Stable", "Saturating", "| 2/2 |", "| 0/2 |"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	// The saturated point's throughput carries the asterisk; stable
+	// points carry none.
+	if !strings.Contains(table, "0.05*") {
+		t.Fatalf("saturated point not marked:\n%s", table)
+	}
+	if strings.Count(table, "*") != 1 {
+		t.Fatalf("want exactly one saturation mark:\n%s", table)
+	}
+	// One header, one separator, one row per (protocol, λ).
+	if lines := strings.Count(strings.TrimSpace(table), "\n") + 1; lines != 2+4 {
+		t.Fatalf("table has %d lines, want 6:\n%s", lines, table)
+	}
+}
+
+func TestCSVRendersAllFields(t *testing.T) {
+	t.Parallel()
+	csv := CSV(fakeSeries())
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "protocol,lambda,runs,completed,throughput,latency_mean,latency_p50,latency_p99,latency_max,max_backlog,collisions" {
+		t.Fatalf("CSV header wrong: %s", lines[0])
+	}
+	if len(lines) != 1+4 {
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), csv)
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != 10 {
+			t.Fatalf("CSV row has %d commas, want 10: %s", got, line)
+		}
+	}
+	// Protocol names are quoted so future names with commas stay one field.
+	if !strings.Contains(csv, `"Stable",0.1,2,2,0.1,`) {
+		t.Fatalf("CSV row content wrong:\n%s", csv)
+	}
+	// The saturated point reports its degraded throughput and 0 completions.
+	if !strings.Contains(csv, `"Saturating",0.2,2,0,0.05,`) {
+		t.Fatalf("saturated CSV row wrong:\n%s", csv)
+	}
+}
+
+func TestPlotRendersEverySeries(t *testing.T) {
+	t.Parallel()
+	plot := Plot(fakeSeries())
+	for _, want := range []string{"Sustained throughput vs offered load", "offered λ (msgs/slot)", "Stable", "Saturating"} {
+		if !strings.Contains(plot, want) {
+			t.Fatalf("plot missing %q:\n%s", want, plot)
+		}
+	}
+	// Points with no throughput observations are skipped, not plotted as
+	// zeros: a series of only empty summaries degrades to the no-data
+	// chart instead of a flat line at 0.
+	empty := []Series{{Protocol: Protocol{Name: "Empty"}, Points: []Point{{Lambda: 0.1}}}}
+	if out := Plot(empty); !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty summaries plotted as data:\n%s", out)
+	}
+}

@@ -14,10 +14,15 @@
 // the backlog diverges and latency explodes — the sweep table makes the
 // knee visible per protocol.
 //
+// Workloads are described by internal/scenario: the sweep instantiates a
+// scenario.Workload per (λ, run) — arrival schedule, jam mask and
+// population mix — and offers the identical instance to every protocol.
+// The legacy Shape selector maps onto the benign scenarios.
+//
 // Windowed (back-off) protocols run on the event-driven engine
 // (dynamic.RunWindowEvent) and scale to millions of messages; adaptive
-// fair protocols run on the exact per-node simulator and are practical at
-// moderate sizes.
+// fair protocols, and any run with a mixed station population, run on
+// the exact per-node simulator and are practical at moderate sizes.
 package throughput
 
 import (
@@ -34,6 +39,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/protocol"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -59,10 +65,10 @@ const (
 )
 
 // BurstSize is the batch size of the Bursty shape.
-const BurstSize = 64
+const BurstSize = scenario.DefaultBurstSize
 
 // OnOffPhase is the phase length, in slots, of the OnOff shape.
-const OnOffPhase = 1024
+const OnOffPhase = scenario.DefaultOnOffPhase
 
 // String implements fmt.Stringer.
 func (s Shape) String() string {
@@ -92,65 +98,30 @@ func ParseShape(name string) (Shape, error) {
 	}
 }
 
-// Generate materializes n messages at offered load lambda (a finite
-// value > 0).
-func (s Shape) Generate(n int, lambda float64, src *rng.Rand) (dynamic.Workload, error) {
-	if !(lambda > 0) || math.IsInf(lambda, 0) {
-		return dynamic.Workload{}, fmt.Errorf("throughput: offered load must be a finite value > 0, got %v", lambda)
-	}
-	// A vanishing load would need a workload span beyond what uint64 slot
-	// arithmetic can hold; reject rather than overflow (applies to every
-	// shape — the expected span is ~n/λ slots).
-	if float64(n)/lambda > 1e15 {
-		return dynamic.Workload{}, fmt.Errorf("throughput: offered load %v is too low for %d messages (span would exceed 10^15 slots)", lambda, n)
-	}
+// Scenario returns the shape's equivalent workload scenario — the
+// extension point internal/scenario generalizes: the benign shapes are
+// just the impairment-free members of the catalog.
+func (s Shape) Scenario() (scenario.Workload, error) {
 	switch s {
 	case Poisson:
-		return dynamic.PoissonArrivals(n, lambda, src)
+		return scenario.Workload{Name: "poisson", Arrivals: scenario.Poisson{}}, nil
 	case Bursty:
-		size := BurstSize
-		if n < size {
-			size = n
-		}
-		if size == 0 {
-			return dynamic.Workload{}, nil
-		}
-		// Bursts are at least one slot apart, so the shape cannot offer
-		// more than size messages per slot; reject rather than mislabel.
-		if lambda > float64(size) {
-			return dynamic.Workload{}, fmt.Errorf("throughput: offered load %v exceeds the bursty shape's maximum of %d msgs/slot", lambda, size)
-		}
-		bursts := (n + size - 1) / size
-		// Integer gaps can only realize loads of size/gap; pick the gap
-		// whose realized load is nearest the requested λ (floor vs ceil
-		// compared in load space — gap space would skew badly for λ near
-		// size, e.g. λ=43 is closer to 64/2=32 than to 64/1=64).
-		gap := uint64(float64(size) / lambda) // ≥ 1 since lambda ≤ size
-		if lambda-float64(size)/float64(gap+1) < float64(size)/float64(gap)-lambda {
-			gap++
-		}
-		w, err := dynamic.BurstArrivals(bursts, size, gap)
-		if err != nil {
-			return dynamic.Workload{}, err
-		}
-		w.Arrivals = w.Arrivals[:n] // drop the last burst's overshoot
-		return w, nil
+		return scenario.Workload{Name: "bursty", Arrivals: scenario.Bursty{Size: BurstSize}}, nil
 	case OnOff:
-		// Poisson at double rate on the "on-time" axis, then stretch that
-		// axis by inserting one silent off-phase after each completed
-		// on-phase.
-		w, err := dynamic.PoissonArrivals(n, 2*lambda, src)
-		if err != nil {
-			return dynamic.Workload{}, err
-		}
-		for i, a := range w.Arrivals {
-			on := a - 1
-			w.Arrivals[i] = on + (on/OnOffPhase)*OnOffPhase + 1
-		}
-		return w, nil
+		return scenario.Workload{Name: "onoff", Arrivals: scenario.OnOff{Phase: OnOffPhase}}, nil
 	default:
-		return dynamic.Workload{}, fmt.Errorf("throughput: unknown shape %v", s)
+		return scenario.Workload{}, fmt.Errorf("throughput: unknown shape %v", s)
 	}
+}
+
+// Generate materializes n messages at offered load lambda (a finite
+// value > 0) under the shape's scenario.
+func (s Shape) Generate(n int, lambda float64, src *rng.Rand) (dynamic.Workload, error) {
+	scn, err := s.Scenario()
+	if err != nil {
+		return dynamic.Workload{}, err
+	}
+	return scn.Arrivals.Generate(n, lambda, src)
 }
 
 // Protocol is one protocol configuration under saturation test. Exactly
@@ -170,14 +141,48 @@ type Protocol struct {
 	Clock dynamic.Clock
 }
 
-// run executes one workload under the protocol's engine.
-func (p Protocol) run(w dynamic.Workload, src *rng.Rand, maxSlots uint64) (dynamic.Result, error) {
-	opts := []dynamic.Option{dynamic.WithClock(p.Clock), dynamic.WithMaxSlots(maxSlots)}
+// newStation builds one station of the protocol under test, for runs
+// that need explicit per-node stations (mixed populations).
+func (p Protocol) newStation() (protocol.Station, error) {
 	switch {
 	case p.NewSchedule != nil:
-		return dynamic.RunWindowEvent(w, p.NewSchedule, src, opts...)
+		sched, err := p.NewSchedule()
+		if err != nil {
+			return nil, err
+		}
+		return protocol.NewWindowStation(sched), nil
 	case p.NewController != nil:
-		return dynamic.RunFair(w, p.NewController, src, opts...)
+		ctrl, err := p.NewController()
+		if err != nil {
+			return nil, err
+		}
+		return protocol.NewFairStation(ctrl), nil
+	default:
+		return nil, fmt.Errorf("throughput: protocol %q has no constructor", p.Name)
+	}
+}
+
+// run executes one scenario instance under the protocol's engine: the
+// event-driven engine for homogeneous windowed runs, the exact per-node
+// simulator for fair protocols and for any mixed station population.
+func (p Protocol) run(inst scenario.Instance, src *rng.Rand, maxSlots uint64) (dynamic.Result, error) {
+	opts := []dynamic.Option{dynamic.WithClock(p.Clock), dynamic.WithMaxSlots(maxSlots)}
+	if inst.Jammed != nil {
+		opts = append(opts, dynamic.WithJammer(inst.Jammed))
+	}
+	if inst.Background != nil {
+		return dynamic.RunMixed(inst.Arrivals, func(i int) (protocol.Station, error) {
+			if inst.Background(i) {
+				return inst.NewBackground()
+			}
+			return p.newStation()
+		}, src, opts...)
+	}
+	switch {
+	case p.NewSchedule != nil:
+		return dynamic.RunWindowEvent(inst.Arrivals, p.NewSchedule, src, opts...)
+	case p.NewController != nil:
+		return dynamic.RunFair(inst.Arrivals, p.NewController, src, opts...)
 	default:
 		return dynamic.Result{}, fmt.Errorf("throughput: protocol %q has no constructor", p.Name)
 	}
@@ -234,14 +239,19 @@ type Config struct {
 	// Runs is the number of executions per (protocol, λ) (default 3).
 	Runs int
 	// Seed is the master seed (default 1). Workload randomness is keyed
-	// by (Seed, shape, λ, run) only, so every protocol faces identical
+	// by (Seed, scenario, λ, run) only, so every protocol faces identical
 	// workloads — a matched-pairs comparison.
 	Seed uint64
-	// Shape selects the arrival pattern (default Poisson).
+	// Shape selects a benign arrival pattern (default Poisson). It is
+	// ignored when Scenario is set.
 	Shape Shape
-	// MaxSlots is the per-execution slot budget; 0 derives a budget of
-	// span + 64·Messages + 10⁴ slots, enough for any stable protocol to
-	// drain while terminating saturated runs.
+	// Scenario selects the full workload description — arrival schedule,
+	// channel impairments, station population mix (internal/scenario).
+	// The zero value derives the scenario from Shape.
+	Scenario scenario.Workload
+	// MaxSlots is the per-execution slot budget; 0 derives the
+	// workload's dynamic.Workload.DrainBudget, enough for any stable
+	// protocol to drain while terminating saturated runs.
 	MaxSlots uint64
 	// Parallelism bounds concurrent executions; defaults to GOMAXPROCS.
 	Parallelism int
@@ -287,11 +297,25 @@ type Series struct {
 	Points   []Point // ascending λ, aligned with the sweep's Lambdas
 }
 
+// outcome is one execution's aggregation-ready extract: scalars plus a
+// bounded latency sample, so holding every run of a sweep stays cheap
+// even at million-message scale.
+type outcome struct {
+	done       bool // the execution ran (vs. aborted after an error)
+	throughput float64
+	hasRate    bool // slots > 0, so throughput is defined
+	latency    []float64
+	backlog    float64
+	collisions float64
+	completed  bool
+}
+
 // Run executes the λ-sweep over the given protocols and returns one
 // Series per protocol, in input order. Executions run in parallel across
 // a worker pool; every run draws its randomness from a stream derived
-// from (Seed, protocol, λ, run), so results are reproducible regardless
-// of scheduling.
+// from (Seed, protocol, λ, run), and per-run outcomes are folded into
+// the aggregates in a fixed order after all workers finish, so results
+// are bit-for-bit reproducible regardless of scheduling.
 func Run(protocols []Protocol, cfg Config) ([]Series, error) {
 	lambdas := cfg.Lambdas
 	if len(lambdas) == 0 {
@@ -303,6 +327,23 @@ func Run(protocols []Protocol, cfg Config) ([]Series, error) {
 		if !(l > 0) || math.IsInf(l, 0) {
 			return nil, fmt.Errorf("throughput: offered load must be a finite value > 0, got %v", l)
 		}
+	}
+	scn := cfg.Scenario
+	if scn.Arrivals == nil {
+		// Only the zero value falls back to Shape: a partially built
+		// scenario (a jam mask or population without arrivals) is a
+		// configuration bug, and silently swapping in the benign shape
+		// would report clean-channel results as the requested ones.
+		if scn.Name != "" || scn.Channel != nil || scn.Population != nil {
+			return nil, fmt.Errorf("throughput: scenario %q has no arrival generator", scn.Name)
+		}
+		var err error
+		if scn, err = cfg.Shape.Scenario(); err != nil {
+			return nil, err
+		}
+	}
+	if scn.Name == "" {
+		scn.Name = "custom"
 	}
 	messages := cfg.Messages
 	if messages <= 0 {
@@ -321,25 +362,23 @@ func Run(protocols []Protocol, cfg Config) ([]Series, error) {
 		par = runtime.GOMAXPROCS(0)
 	}
 
-	results := make([]Series, len(protocols))
-	for i, p := range protocols {
-		results[i] = Series{Protocol: p, Points: make([]Point, len(lambdas))}
-		for j, l := range lambdas {
-			results[i].Points[j].Lambda = l
-			results[i].Points[j].Runs = runs
-		}
-	}
-
-	// Each λ's workloads are generated once, just before its jobs are
-	// enqueued, and released when its last job completes: every protocol
-	// faces the identical arrival sequence (the workload stream ignores
-	// the protocol — a matched-pairs comparison without redundant
-	// generation), and peak memory holds only the in-flight λs rather
-	// than the whole grid at million-message scale.
-	workloads := make([][]dynamic.Workload, len(lambdas))
+	// Each λ's instances are materialized once, just before its jobs are
+	// enqueued: every protocol faces the identical arrival sequence, jam
+	// mask and population assignment (the instance stream ignores the
+	// protocol — a matched-pairs comparison without redundant
+	// generation). Instances are retained until aggregation only through
+	// their jobs' outcomes, which are bounded extracts.
+	instances := make([][]scenario.Instance, len(lambdas))
 	jobsPerLambda := make([]int64, len(lambdas))
 	for lIdx := range lambdas {
 		jobsPerLambda[lIdx] = int64(len(protocols) * runs)
+	}
+	outcomes := make([][][]outcome, len(protocols))
+	for protoIdx := range protocols {
+		outcomes[protoIdx] = make([][]outcome, len(lambdas))
+		for lIdx := range lambdas {
+			outcomes[protoIdx][lIdx] = make([]outcome, runs)
+		}
 	}
 
 	type job struct{ proto, lIdx, run int }
@@ -356,12 +395,14 @@ func Run(protocols []Protocol, cfg Config) ([]Series, error) {
 		}
 		mu.Unlock()
 	}
-	// release drops a λ's workloads once its last job has finished with
-	// them. Every job reads its workload before calling release, so the
-	// final decrementer is the only goroutine that can touch the slice.
+	// release drops a λ's instances once its last job has finished with
+	// them — outcomes are bounded extracts, so peak memory holds only the
+	// in-flight λs rather than the whole grid at million-message scale.
+	// Every job reads its instance before calling release, so the final
+	// decrementer is the only goroutine that can touch the slice.
 	release := func(lIdx int) {
 		if atomic.AddInt64(&jobsPerLambda[lIdx], -1) == 0 {
-			workloads[lIdx] = nil
+			instances[lIdx] = nil
 		}
 	}
 	for w := 0; w < par; w++ {
@@ -380,12 +421,12 @@ func Run(protocols []Protocol, cfg Config) ([]Series, error) {
 				}
 				p := protocols[j.proto]
 				lambda := lambdas[j.lIdx]
-				wl := workloads[j.lIdx][j.run]
+				inst := instances[j.lIdx][j.run]
 				budget := cfg.MaxSlots
 				if budget == 0 {
-					budget = wl.Span() + 64*uint64(messages) + 10_000
+					budget = inst.Arrivals.DrainBudget()
 				}
-				res, err := p.run(wl,
+				res, err := p.run(inst,
 					rng.NewStream(seed, "throughput-run", p.Name, fmt.Sprint(lambda), fmt.Sprint(j.run)), budget)
 				release(j.lIdx)
 				if err != nil {
@@ -396,21 +437,16 @@ func Run(protocols []Protocol, cfg Config) ([]Series, error) {
 				if !res.Completed {
 					slots = budget
 				}
-				sample := res.Latency.Sampled(LatencySampleCap)
-				mu.Lock()
-				pt := &results[j.proto].Points[j.lIdx]
+				out := &outcomes[j.proto][j.lIdx][j.run]
+				out.done = true
 				if slots > 0 {
-					pt.Throughput.Add(float64(res.Delivered) / float64(slots))
+					out.hasRate = true
+					out.throughput = float64(res.Delivered) / float64(slots)
 				}
-				for _, v := range sample {
-					pt.Latency.Add(v)
-				}
-				pt.Backlog.Add(float64(res.MaxBacklog))
-				pt.Collisions.Add(float64(res.Collisions))
-				if res.Completed {
-					pt.Completed++
-				}
-				mu.Unlock()
+				out.latency = res.Latency.Sampled(LatencySampleCap)
+				out.backlog = float64(res.MaxBacklog)
+				out.collisions = float64(res.Collisions)
+				out.completed = res.Completed
 				if cfg.Progress != nil {
 					cfg.Progress(p.Name, lambda, j.run, res)
 				}
@@ -419,17 +455,17 @@ func Run(protocols []Protocol, cfg Config) ([]Series, error) {
 	}
 	// Schedule the highest loads first: saturated runs burn their whole
 	// budget and must not be left for last. The channel send orders each
-	// workload write before any worker's read of it.
+	// instance write before any worker's read of it.
 	for lIdx := len(lambdas) - 1; lIdx >= 0; lIdx-- {
-		wls := make([]dynamic.Workload, runs)
+		insts := make([]scenario.Instance, runs)
 		for run := 0; run < runs; run++ {
-			wl, err := cfg.Shape.Generate(messages, lambdas[lIdx],
-				rng.NewStream(seed, "throughput-workload", cfg.Shape.String(), fmt.Sprint(lambdas[lIdx]), fmt.Sprint(run)))
+			inst, err := scn.Instantiate(messages, lambdas[lIdx],
+				rng.NewStream(seed, "throughput-workload", scn.Name, fmt.Sprint(lambdas[lIdx]), fmt.Sprint(run)))
 			if err != nil {
 				fail(err)
 				break
 			}
-			wls[run] = wl
+			insts[run] = inst
 		}
 		mu.Lock()
 		abort := firstErr != nil
@@ -437,7 +473,7 @@ func Run(protocols []Protocol, cfg Config) ([]Series, error) {
 		if abort {
 			break
 		}
-		workloads[lIdx] = wls
+		instances[lIdx] = insts
 		for protoIdx := range protocols {
 			for run := 0; run < runs; run++ {
 				jobs <- job{proto: protoIdx, lIdx: lIdx, run: run}
@@ -448,6 +484,35 @@ func Run(protocols []Protocol, cfg Config) ([]Series, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+
+	// Fold outcomes in (protocol, λ, run) order — the fixed order that
+	// makes floating-point accumulation independent of scheduling.
+	results := make([]Series, len(protocols))
+	for protoIdx, p := range protocols {
+		results[protoIdx] = Series{Protocol: p, Points: make([]Point, len(lambdas))}
+		for lIdx, l := range lambdas {
+			pt := &results[protoIdx].Points[lIdx]
+			pt.Lambda = l
+			pt.Runs = runs
+			for run := 0; run < runs; run++ {
+				out := &outcomes[protoIdx][lIdx][run]
+				if !out.done {
+					return nil, fmt.Errorf("throughput: %s λ=%v run %d never executed", p.Name, l, run)
+				}
+				if out.hasRate {
+					pt.Throughput.Add(out.throughput)
+				}
+				for _, v := range out.latency {
+					pt.Latency.Add(v)
+				}
+				pt.Backlog.Add(out.backlog)
+				pt.Collisions.Add(out.collisions)
+				if out.completed {
+					pt.Completed++
+				}
+			}
+		}
 	}
 	return results, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dynamic"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 )
 
 func TestParseShape(t *testing.T) {
@@ -206,6 +207,13 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	if _, err := Run(bad, Config{Lambdas: []float64{0.1}, Messages: 10, Runs: 1}); err == nil {
 		t.Fatal("protocol without constructor accepted")
 	}
+	// A partially built scenario (impairments but no arrivals) must error
+	// rather than silently fall back to the benign shape.
+	half := Config{Lambdas: []float64{0.1}, Messages: 10, Runs: 1,
+		Scenario: scenario.Workload{Name: "half", Channel: scenario.JamRandom{Rate: 0.1}}}
+	if _, err := Run(DefaultProtocols()[:1], half); err == nil {
+		t.Fatal("scenario without arrivals accepted")
+	}
 }
 
 func TestGenerateBurstyRejectsExcessiveLoad(t *testing.T) {
@@ -225,5 +233,122 @@ func TestGenerateBurstyRejectsExcessiveLoad(t *testing.T) {
 	}
 	if w.N() != 200 {
 		t.Fatalf("n = %d, want 200", w.N())
+	}
+}
+
+// TestRunScenarioImpairments drives the sweep through the catalog's
+// impaired scenarios: a jammed channel must cost throughput or latency
+// relative to the clean run of the identical shape, and a mixed
+// population must still drain at a gentle load.
+func TestRunScenarioImpairments(t *testing.T) {
+	t.Parallel()
+	protos := []Protocol{DefaultProtocols()[2]} // binary exponential backoff
+	base := Config{Lambdas: []float64{0.05}, Messages: 300, Runs: 2, Seed: 11}
+
+	clean, err := Run(protos, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jammedCfg := base
+	jammedCfg.Scenario = scenario.Workload{
+		Name:     "jammed",
+		Arrivals: scenario.Poisson{},
+		Channel:  scenario.JamRandom{Rate: 0.3},
+	}
+	jammed, err := Run(protos, jammedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, jp := clean[0].Points[0], jammed[0].Points[0]
+	if jp.Completed != jp.Runs {
+		t.Fatalf("jammed runs did not drain: %d/%d", jp.Completed, jp.Runs)
+	}
+	if jp.Latency.Mean() <= cp.Latency.Mean() {
+		t.Fatalf("jamming did not cost latency: %.1f ≤ %.1f", jp.Latency.Mean(), cp.Latency.Mean())
+	}
+	if jp.Collisions.Mean() <= cp.Collisions.Mean() {
+		t.Fatalf("jamming did not cost collisions: %.1f ≤ %.1f", jp.Collisions.Mean(), cp.Collisions.Mean())
+	}
+
+	mixedCfg := base
+	mixedCfg.Scenario = scenario.Workload{
+		Name:     "mixed",
+		Arrivals: scenario.Poisson{},
+		Population: &scenario.Population{
+			Fraction:      0.5,
+			Background:    "Binary Exp Backoff",
+			NewBackground: scenario.NewBackgroundBackoff,
+		},
+	}
+	mixed, err := Run(protos, mixedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := mixed[0].Points[0]
+	if mp.Completed != mp.Runs {
+		t.Fatalf("mixed-population runs did not drain: %d/%d", mp.Completed, mp.Runs)
+	}
+	if mp.Latency.N() != base.Messages*base.Runs {
+		t.Fatalf("mixed run recorded %d latencies, want %d", mp.Latency.N(), base.Messages*base.Runs)
+	}
+}
+
+// TestRunDeterministic: two sweeps with the same configuration must be
+// bit-for-bit identical regardless of worker scheduling — the property
+// the `macsim scenario` golden output relies on.
+func TestRunDeterministic(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Lambdas:  []float64{0.05, 0.15},
+		Messages: 250,
+		Runs:     3,
+		Seed:     7,
+		Scenario: scenario.Workload{
+			Name:     "jammed",
+			Arrivals: scenario.RhoBounded{},
+			Channel:  scenario.JamRandom{Rate: 0.1},
+		},
+	}
+	protos := WindowedProtocols()
+	one, err := Run(protos, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 1 // maximally different scheduling
+	two, err := Run(protos, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CSV(one) != CSV(two) {
+		t.Fatalf("sweep not deterministic:\n%s\nvs\n%s", CSV(one), CSV(two))
+	}
+	if Table(one) != Table(two) {
+		t.Fatal("table rendering not deterministic")
+	}
+}
+
+// TestRunAdversarialScenarios smoke-runs each adversarial arrival
+// generator through the full sweep machinery.
+func TestRunAdversarialScenarios(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"rho", "herd", "adaptive"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			scn, err := scenario.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			series, err := Run(WindowedProtocols()[:1], Config{
+				Lambdas: []float64{0.1}, Messages: 300, Runs: 1, Seed: 3, Scenario: scn,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := series[0].Points[0]
+			if p.Latency.N() == 0 {
+				t.Fatal("no latencies recorded")
+			}
+		})
 	}
 }

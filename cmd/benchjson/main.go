@@ -7,12 +7,21 @@
 //
 //	go test -run='^$' -bench=. -benchtime=1x ./... | benchjson -o BENCH_PR.json
 //	benchjson -o BENCH_PR.json bench.txt
+//	benchjson -diff BENCH_BASE.json [-threshold 25] BENCH_PR.json
 //
 // The converter understands the standard benchmark line format — name,
 // iteration count, then (value, unit) pairs such as ns/op, B/op and
 // allocs/op — plus the goos/goarch/pkg/cpu context lines. Unknown lines
 // (PASS, ok, test chatter) are ignored, so the raw `go test` stream can
 // be piped in unfiltered.
+//
+// With -diff the input is a previously converted JSON report (not bench
+// text) and benchjson becomes a regression gate: every benchmark named
+// in the baseline — the committed BENCH_BASE.json defines the tier-1
+// set — is compared by ns/op, and the exit status is 1 when any of them
+// regressed by more than -threshold percent. Benchmarks missing from
+// the input and benchmarks only in the input are reported but do not
+// fail the gate.
 package main
 
 import (
@@ -109,9 +118,105 @@ func convert(r io.Reader) (Report, error) {
 	return rep, nil
 }
 
+// benchKey identifies one benchmark across reports. The GOMAXPROCS
+// suffix is deliberately not part of the identity: the baseline and the
+// PR run land on machines with different core counts, and keying on
+// procs would silently turn every comparison into a non-failing
+// MISSING/NEW pair — a vacuous gate.
+type benchKey struct {
+	Pkg  string
+	Name string
+}
+
+// diffReports compares pr against base by ns/op, writing a line per
+// baseline benchmark to w. It returns the benchmarks that regressed by
+// more than thresholdPct percent.
+func diffReports(w io.Writer, base, pr Report, thresholdPct float64) []string {
+	prIdx := make(map[benchKey]Benchmark, len(pr.Benchmarks))
+	for _, b := range pr.Benchmarks {
+		prIdx[benchKey{b.Pkg, b.Name}] = b
+	}
+	var regressed []string
+	baseSeen := make(map[benchKey]bool, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		key := benchKey{b.Pkg, b.Name}
+		baseSeen[key] = true
+		baseNs, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		cur, ok := prIdx[key]
+		if !ok {
+			fmt.Fprintf(w, "MISSING  %-60s (in baseline, not in input)\n", b.Pkg+"."+b.Name)
+			continue
+		}
+		curNs, ok := cur.Metrics["ns/op"]
+		if !ok {
+			fmt.Fprintf(w, "MISSING  %-60s (no ns/op in input)\n", b.Pkg+"."+b.Name)
+			continue
+		}
+		delta := 0.0
+		if baseNs > 0 {
+			delta = (curNs - baseNs) / baseNs * 100
+		}
+		verdict := "ok"
+		if delta > thresholdPct {
+			verdict = "REGRESSED"
+			regressed = append(regressed, b.Pkg+"."+b.Name)
+		}
+		fmt.Fprintf(w, "%-9s %-60s base=%.0fns/op pr=%.0fns/op delta=%+.1f%%\n",
+			verdict, b.Pkg+"."+b.Name, baseNs, curNs, delta)
+	}
+	for _, b := range pr.Benchmarks {
+		if !baseSeen[benchKey{b.Pkg, b.Name}] {
+			fmt.Fprintf(w, "NEW       %-60s (not in baseline)\n", b.Pkg+"."+b.Name)
+		}
+	}
+	return regressed
+}
+
+// readReport loads a converted JSON report.
+func readReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	diff := flag.String("diff", "", "baseline JSON report: compare the input JSON report against it instead of converting")
+	threshold := flag.Float64("threshold", 25, "with -diff, fail when ns/op regresses by more than this percent")
 	flag.Parse()
+
+	if *diff != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintf(os.Stderr, "benchjson: -diff needs exactly one input report, got %q\n", flag.Args())
+			os.Exit(1)
+		}
+		base, err := readReport(*diff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		pr, err := readReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		regressed := diffReports(os.Stdout, base, pr, *threshold)
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed by more than %.0f%% ns/op: %s\n",
+				len(regressed), *threshold, strings.Join(regressed, ", "))
+			os.Exit(1)
+		}
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	switch flag.NArg() {

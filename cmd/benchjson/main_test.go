@@ -64,6 +64,66 @@ func TestConvert(t *testing.T) {
 	}
 }
 
+// bench builds a one-metric benchmark for the diff tests.
+func bench(pkg, name string, nsPerOp float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, Procs: 8, Iterations: 1,
+		Metrics: map[string]float64{"ns/op": nsPerOp}}
+}
+
+func TestDiffReports(t *testing.T) {
+	base := Report{Benchmarks: []Benchmark{
+		bench("repro", "BenchmarkA", 1000),
+		bench("repro", "BenchmarkB", 1000),
+		bench("repro", "BenchmarkGone", 1000),
+	}}
+	pr := Report{Benchmarks: []Benchmark{
+		bench("repro", "BenchmarkA", 1200),  // +20% — within a 25% gate
+		bench("repro", "BenchmarkB", 1400),  // +40% — regression
+		bench("repro", "BenchmarkNew", 500), // not in baseline
+	}}
+	var out strings.Builder
+	regressed := diffReports(&out, base, pr, 25)
+	if len(regressed) != 1 || regressed[0] != "repro.BenchmarkB" {
+		t.Fatalf("regressed = %v, want [repro.BenchmarkB]", regressed)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"ok        repro.BenchmarkA",
+		"REGRESSED repro.BenchmarkB",
+		"delta=+40.0%",
+		"MISSING  repro.BenchmarkGone",
+		"NEW       repro.BenchmarkNew",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, text)
+		}
+	}
+
+	// An improvement or identical numbers never fail the gate.
+	if got := diffReports(&strings.Builder{}, base, Report{Benchmarks: []Benchmark{
+		bench("repro", "BenchmarkA", 800),
+		bench("repro", "BenchmarkB", 1000),
+		bench("repro", "BenchmarkGone", 1000),
+	}}, 25); len(got) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", got)
+	}
+}
+
+// TestDiffIgnoresProcs: the baseline is recorded on whatever core count
+// the committer's machine had, CI runners have another — the same name
+// must still compare (a procs-keyed match would make the gate vacuous).
+func TestDiffIgnoresProcs(t *testing.T) {
+	b := bench("repro", "BenchmarkA", 1000)
+	b.Procs = 4
+	base := Report{Benchmarks: []Benchmark{b}}
+	pr := Report{Benchmarks: []Benchmark{bench("repro", "BenchmarkA", 5000)}} // procs 8
+	var out strings.Builder
+	got := diffReports(&out, base, pr, 25)
+	if len(got) != 1 || got[0] != "repro.BenchmarkA" {
+		t.Fatalf("cross-procs regression not caught: %v\n%s", got, out.String())
+	}
+}
+
 func TestConvertEmptyInput(t *testing.T) {
 	rep, err := convert(strings.NewReader("PASS\nok \trepro\t0.1s\n"))
 	if err != nil {

@@ -1,0 +1,286 @@
+// Command macload is a closed-loop load generator for macsimd: it warms
+// the daemon's result cache with one simulation, then hammers the same
+// canonical request from many concurrent workers and reports sustained
+// request rate, client-observed latency quantiles and cache hit rate.
+// Because every simulation is deterministic in (endpoint, params, seed),
+// the steady state measures the serving plane — routing, canonical
+// hashing, the sharded cache — with zero simulation time per request,
+// i.e. the capacity that makes interactive traffic plausible.
+//
+// Usage:
+//
+//	macload [-url http://127.0.0.1:8080] [-endpoint evaluate] [-body JSON]
+//	        [-c 32] [-duration 5s] [-warm] [-bench] [-min-rate 0]
+//
+// With -bench the summary is followed by a `go test -bench`-format
+// result line, so CI can append it to the benchmark stream that
+// cmd/benchjson converts into BENCH_PR.json:
+//
+//	BenchmarkMacloadCached/evaluate  61234  408163 ns/op  12246 req/s  0.9999 hit-rate
+//
+// A non-zero -min-rate turns the run into a gate: the exit status is 1
+// when the sustained rate falls short.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "macload:", err)
+		os.Exit(1)
+	}
+}
+
+// defaultBodies are the canonical cached queries per endpoint: small
+// enough to warm in seconds, representative of an interactive sweep.
+var defaultBodies = map[string]string{
+	"solve":      `{"protocol":"one-fail","k":100000,"seed":42}`,
+	"evaluate":   `{"ks":[10,100,1000],"runs":3,"seed":1}`,
+	"throughput": `{"lambdas":[0.1,0.2],"messages":500,"runs":1,"seed":1}`,
+	"scenario":   `{"scenario":"herd","lambdas":[0.1],"messages":300,"runs":1,"seed":1}`,
+}
+
+type options struct {
+	url      string
+	endpoint string
+	body     string
+	workers  int
+	duration time.Duration
+	warm     bool
+	bench    bool
+	minRate  float64
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("macload", flag.ContinueOnError)
+	var opts options
+	fs.StringVar(&opts.url, "url", "http://127.0.0.1:8080", "macsimd base URL")
+	fs.StringVar(&opts.endpoint, "endpoint", "evaluate", "submit endpoint: solve, evaluate, throughput, scenario")
+	fs.StringVar(&opts.body, "body", "", "request body (default: a small canonical query per endpoint)")
+	fs.IntVar(&opts.workers, "c", 32, "concurrent closed-loop workers")
+	fs.DurationVar(&opts.duration, "duration", 5*time.Second, "measurement duration")
+	fs.BoolVar(&opts.warm, "warm", true, "prime the cache (submit once and wait) before measuring")
+	fs.BoolVar(&opts.bench, "bench", false, "append a `go test -bench`-format result line")
+	fs.Float64Var(&opts.minRate, "min-rate", 0, "fail unless the sustained rate reaches this many requests/sec")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if _, ok := defaultBodies[opts.endpoint]; !ok {
+		return fmt.Errorf("unknown endpoint %q (valid: solve, evaluate, throughput, scenario)", opts.endpoint)
+	}
+	if opts.body == "" {
+		opts.body = defaultBodies[opts.endpoint]
+	}
+	if opts.workers < 1 {
+		return fmt.Errorf("-c must be ≥ 1, got %d", opts.workers)
+	}
+	if opts.duration <= 0 {
+		return fmt.Errorf("-duration must be > 0, got %v", opts.duration)
+	}
+	return drive(opts, stdout)
+}
+
+// result aggregates one worker's closed loop.
+type workerResult struct {
+	requests int64
+	hits     int64
+	queued   int64 // 202 responses (cache not warm for this key yet)
+	rejected int64 // 429 backpressure responses
+	latency  stats.Summary
+}
+
+func drive(opts options, stdout io.Writer) error {
+	submitURL := strings.TrimRight(opts.url, "/") + "/v1/" + opts.endpoint
+	// The default transport keeps only two idle connections per host;
+	// a closed loop with dozens of workers would churn through TCP
+	// handshakes and measure the dialer instead of the server.
+	client := &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * opts.workers,
+			MaxIdleConnsPerHost: 2 * opts.workers,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+
+	if opts.warm {
+		if err := warm(client, opts.url, submitURL, opts.body); err != nil {
+			return fmt.Errorf("warming %s: %w", submitURL, err)
+		}
+	}
+
+	var stop atomic.Bool
+	results := make([]workerResult, opts.workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	time.AfterFunc(opts.duration, func() { stop.Store(true) })
+	for w := 0; w < opts.workers; w++ {
+		wg.Add(1)
+		go func(res *workerResult) {
+			defer wg.Done()
+			for !stop.Load() {
+				t0 := time.Now()
+				resp, err := client.Post(submitURL, "application/json", strings.NewReader(opts.body))
+				if err != nil {
+					continue // the server may be mid-drain; keep looping until stop
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				res.requests++
+				res.latency.Add(float64(time.Since(t0).Nanoseconds()))
+				switch {
+				case resp.Header.Get("X-Cache") == "hit":
+					res.hits++
+				case resp.StatusCode == http.StatusAccepted:
+					res.queued++
+				case resp.StatusCode == http.StatusTooManyRequests:
+					res.rejected++
+				}
+			}
+		}(&results[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total workerResult
+	for i := range results {
+		total.requests += results[i].requests
+		total.hits += results[i].hits
+		total.queued += results[i].queued
+		total.rejected += results[i].rejected
+		total.latency.Merge(&results[i].latency)
+	}
+	if total.requests == 0 {
+		return fmt.Errorf("no request completed within %v", opts.duration)
+	}
+	rate := float64(total.requests) / elapsed.Seconds()
+	hitRate := float64(total.hits) / float64(total.requests)
+
+	fmt.Fprintf(stdout, "macload: %d requests in %.2fs from %d workers against %s → %.0f req/s\n",
+		total.requests, elapsed.Seconds(), opts.workers, submitURL, rate)
+	fmt.Fprintf(stdout, "latency: p50 %.2fms  p99 %.2fms  max %.2fms\n",
+		total.latency.Quantile(0.5)/1e6, total.latency.Quantile(0.99)/1e6, total.latency.Max()/1e6)
+	fmt.Fprintf(stdout, "cache: %.4f hit rate client-side (%d hits, %d queued, %d rejected)\n",
+		hitRate, total.hits, total.queued, total.rejected)
+	if line, err := scrapeServer(client, opts.url); err == nil {
+		fmt.Fprintf(stdout, "server: %s\n", line)
+	}
+	if opts.bench {
+		// The standard benchmark line format, parseable by cmd/benchjson:
+		// iterations = requests, ns/op = wall time per request.
+		fmt.Fprintf(stdout, "BenchmarkMacloadCached/%s \t%8d\t%12.0f ns/op\t%12.1f req/s\t%8.4f hit-rate\n",
+			opts.endpoint, total.requests, float64(elapsed.Nanoseconds())/float64(total.requests), rate, hitRate)
+	}
+	if opts.minRate > 0 && rate < opts.minRate {
+		return fmt.Errorf("sustained %.0f req/s, below the -min-rate gate of %.0f", rate, opts.minRate)
+	}
+	return nil
+}
+
+// warm submits the canonical request once and waits until the job
+// reaches a terminal state, so the measurement phase runs against a
+// primed cache.
+func warm(client *http.Client, baseURL, submitURL, body string) error {
+	resp, err := client.Post(submitURL, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil // already cached
+	case http.StatusAccepted:
+	default:
+		return fmt.Errorf("submit answered %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	id, err := extractJSONString(data, "id")
+	if err != nil {
+		return err
+	}
+	pollURL := strings.TrimRight(baseURL, "/") + "/v1/jobs/" + id
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(pollURL)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		status, err := extractJSONString(data, "status")
+		if err != nil {
+			return err
+		}
+		switch status {
+		case "done":
+			return nil
+		case "failed":
+			return fmt.Errorf("warm job failed: %s", strings.TrimSpace(string(data)))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("warm job did not finish in time")
+}
+
+// extractJSONString pulls a top-level string field out of a JSON
+// object.
+func extractJSONString(data []byte, field string) (string, error) {
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return "", fmt.Errorf("decoding response %s: %w", strings.TrimSpace(string(data)), err)
+	}
+	raw, ok := obj[field]
+	if !ok {
+		return "", fmt.Errorf("response missing %q: %s", field, strings.TrimSpace(string(data)))
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return "", err
+	}
+	return s, nil
+}
+
+// scrapeServer summarizes the daemon's own view from /metrics.
+func scrapeServer(client *http.Client, baseURL string) (string, error) {
+	resp, err := client.Get(strings.TrimRight(baseURL, "/") + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	var picked []string
+	for _, name := range []string{"macsimd_cache_hit_rate", "macsimd_queue_depth", "macsimd_slots_simulated_total"} {
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				picked = append(picked, strings.ReplaceAll(line, " ", "="))
+				break
+			}
+		}
+	}
+	return strings.Join(picked, " "), nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// startServer boots a real serving subsystem behind httptest.
+func startServer(t *testing.T) string {
+	t.Helper()
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts.URL
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-endpoint", "nope"}, &out); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+	if err := run([]string{"-c", "0"}, &out); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if err := run([]string{"-duration", "0s"}, &out); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if err := run([]string{"stray"}, &out); err == nil {
+		t.Fatal("stray argument accepted")
+	}
+}
+
+// benchLine matches the `go test -bench` result format macload emits:
+// name, iterations, then (value, unit) pairs.
+var benchLine = regexp.MustCompile(`^BenchmarkMacloadCached/solve \s*\d+\s+\d+ ns/op\s+[\d.]+ req/s\s+[\d.]+ hit-rate$`)
+
+func TestClosedLoopAgainstLiveServer(t *testing.T) {
+	url := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", url,
+		"-endpoint", "solve",
+		"-body", `{"k":300,"seed":5}`,
+		"-c", "4",
+		"-duration", "300ms",
+		"-bench",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"req/s", "latency:", "hit rate", "macsimd_cache_hit_rate"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		if benchLine.MatchString(line) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no parseable benchmark line in:\n%s", text)
+	}
+}
+
+func TestMinRateGate(t *testing.T) {
+	url := startServer(t)
+	var out bytes.Buffer
+	// An impossible gate must fail the run (after a valid measurement).
+	err := run([]string{
+		"-url", url,
+		"-endpoint", "solve",
+		"-body", `{"k":100,"seed":8}`,
+		"-c", "2",
+		"-duration", "200ms",
+		"-min-rate", "1e12",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "below the -min-rate gate") {
+		t.Fatalf("err = %v, want a min-rate failure", err)
+	}
+}

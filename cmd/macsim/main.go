@@ -43,6 +43,10 @@ import (
 	"repro/internal/throughput"
 )
 
+// version identifies the build; the CI build stamps it with the commit
+// SHA via -ldflags "-X main.version=...".
+var version = "dev"
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "macsim:", err)
@@ -64,6 +68,7 @@ type options struct {
 	shape      string
 	scenario   string
 	quiet      bool
+	version    bool
 }
 
 // experiments is the single table behind -experiment dispatch, the flag
@@ -94,32 +99,9 @@ func experimentNames() []string {
 	return names
 }
 
-// protocols is the single table behind -protocol resolution, its help
-// text and the unknown-name error. Each entry carries a canonical name
-// and a short alias.
-var protocols = []struct {
-	name, alias string
-	sys         func() harness.System
-}{
-	{"one-fail", "ofa", func() harness.System { return harness.PaperSystems()[2] }},
-	{"exp-bb", "ebb", func() harness.System { return harness.PaperSystems()[3] }},
-	{"log-fails-2", "lfa-2", func() harness.System { return harness.PaperSystems()[0] }},
-	{"log-fails-10", "lfa-10", func() harness.System { return harness.PaperSystems()[1] }},
-	{"loglog-iterated", "llib", func() harness.System { return harness.PaperSystems()[4] }},
-	{"exp-backoff", "beb", func() harness.System {
-		return harness.NewWindowSystem("Exponential Backoff (r=2)",
-			func(int) string { return "Θ(k·log k) total" },
-			func(int) (protocol.Schedule, error) { return baseline.NewExponentialBackoff(2) })
-	}},
-}
-
-func protocolNames() []string {
-	names := make([]string, len(protocols))
-	for i, p := range protocols {
-		names[i] = p.name
-	}
-	return names
-}
+// protocolNames lists the -protocol registry (internal/harness's named
+// registry, shared with the macsimd serving API).
+func protocolNames() []string { return harness.SystemNames() }
 
 func run(args []string) error {
 	// Accept the experiment name as a leading subcommand
@@ -145,8 +127,13 @@ func run(args []string) error {
 	fs.StringVar(&opts.scenario, "scenario", "all",
 		"workload for -experiment scenario: all, "+strings.Join(scenario.Names(), ", "))
 	fs.BoolVar(&opts.quiet, "quiet", false, "suppress progress output")
+	fs.BoolVar(&opts.version, "version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if opts.version {
+		fmt.Printf("macsim %s\n", version)
+		return nil
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %q (only flags may follow the experiment name; list values are comma-separated)", fs.Args())
@@ -250,19 +237,8 @@ func runSweep(opts options) error {
 	return nil
 }
 
-// systemByName resolves the -protocol flag by canonical name or alias.
-func systemByName(name string) (harness.System, error) {
-	lower := strings.ToLower(name)
-	for _, p := range protocols {
-		if lower == p.name || lower == p.alias {
-			return p.sys(), nil
-		}
-	}
-	return nil, fmt.Errorf("unknown protocol %q (valid: %s)", name, strings.Join(protocolNames(), ", "))
-}
-
 func runSingle(opts options) error {
-	sys, err := systemByName(opts.protocol)
+	sys, err := harness.SystemByName(opts.protocol)
 	if err != nil {
 		return err
 	}

@@ -233,6 +233,40 @@ func TestRunScenarioGolden(t *testing.T) {
 	}
 }
 
+// throughputGoldenArgs mirrors scenarioGoldenArgs for the throughput
+// subcommand: a fixed, CI-cheap invocation over the full dynamic
+// protocol lineup whose default output (table + plot) is pinned.
+var throughputGoldenArgs = []string{"throughput", "-messages", "120", "-runs", "1",
+	"-lambdas", "0.1,0.2", "-seed", "9", "-quiet"}
+
+// TestRunThroughputGolden pins the throughput subcommand's output to
+// the checked-in golden file, so accidental changes to workload
+// generation, rng streams, aggregation or rendering are caught as
+// diffs.
+func TestRunThroughputGolden(t *testing.T) {
+	out, err := capture(t, func() error { return run(throughputGoldenArgs) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/throughput_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatalf("throughput output diverges from testdata/throughput_golden.txt:\n%s", out)
+	}
+}
+
+func TestRunVersionFlag(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-version"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "macsim ") {
+		t.Fatalf("version output %q", out)
+	}
+}
+
 func TestRunScenarioSingleCSV(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run([]string{"scenario", "-scenario", "rho", "-messages", "100", "-runs", "1",

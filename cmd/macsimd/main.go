@@ -1,0 +1,114 @@
+// Command macsimd serves this repository's contention-resolution
+// simulators over HTTP: a long-running daemon with a bounded job queue,
+// a sharded work-stealing worker pool, a canonical-request-hash result
+// cache (repeated queries cost zero simulation time) and NDJSON result
+// streaming.
+//
+// Usage:
+//
+//	macsimd [-addr 127.0.0.1:8080] [-workers N] [-queue 256]
+//	        [-cache 4096] [-retry-after 1s] [-drain-timeout 30s]
+//	macsimd -version
+//
+// API:
+//
+//	POST /v1/solve       {"protocol":"one-fail","k":100000,"seed":42}
+//	POST /v1/evaluate    {"maxExp":4,"runs":3} — Table 1 / Figure 1 sweep
+//	POST /v1/throughput  {"lambdas":[0.1,0.2],"messages":2000,"shape":"bursty"}
+//	POST /v1/scenario    {"scenario":"herd","lambdas":[0.1]}
+//	GET  /v1/jobs/{id}           — poll
+//	GET  /v1/jobs/{id}/stream    — NDJSON progress + result
+//	GET  /v1/protocols, /v1/scenarios, /metrics, /healthz
+//
+// Submits answer 200 with the result on a cache hit, 202 with a job to
+// poll otherwise, 429 + Retry-After when the queue is full, and 503
+// while draining. SIGINT/SIGTERM drain gracefully: queued and running
+// jobs finish (bounded by -drain-timeout) while new work is refused.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	mac "repro"
+)
+
+// version identifies the build; the CI build stamps it with the commit
+// SHA via -ldflags "-X main.version=...".
+var version = "dev"
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "macsimd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until a termination signal (SIGINT/SIGTERM), draining
+// gracefully.
+func run(args []string, ready chan<- string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runCtx(ctx, args, ready)
+}
+
+// runCtx parses flags and serves until ctx is canceled. ready, if
+// non-nil, receives the bound address (the tests use it with :0).
+func runCtx(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("macsimd", flag.ContinueOnError)
+	var (
+		cfg          mac.ServerConfig
+		showVersion  bool
+		retryAfter   time.Duration
+		drainTimeout time.Duration
+	)
+	fs.StringVar(&cfg.Addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.IntVar(&cfg.Workers, "workers", 0, "worker shards (default GOMAXPROCS)")
+	fs.IntVar(&cfg.QueueDepth, "queue", 256, "queued jobs before submits answer 429")
+	fs.IntVar(&cfg.CacheEntries, "cache", 4096, "result cache entries")
+	fs.IntVar(&cfg.JobsRetained, "jobs", 1024, "finished jobs retained for polling")
+	fs.DurationVar(&retryAfter, "retry-after", time.Second, "backpressure hint on 429 responses")
+	fs.DurationVar(&drainTimeout, "drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
+	fs.IntVar(&cfg.Limits.MaxK, "max-k", 0, "largest k one request may ask for (default 10^7)")
+	fs.IntVar(&cfg.Limits.MaxMessages, "max-messages", 0, "largest dynamic workload per request (default 10^6)")
+	fs.BoolVar(&showVersion, "version", false, "print the build version and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if showVersion {
+		fmt.Printf("macsimd %s\n", version)
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	cfg.RetryAfter = retryAfter
+	cfg.DrainTimeout = drainTimeout
+	cfg.Version = version
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	bound := make(chan string, 1)
+	go func() {
+		addr := <-bound
+		log.Printf("macsimd %s serving on http://%s (workers=%d queue=%d cache=%d)",
+			version, addr, workers, cfg.QueueDepth, cfg.CacheEntries)
+		if ready != nil {
+			ready <- addr
+		}
+	}()
+	err := mac.Serve(ctx, cfg, bound)
+	if err == nil {
+		log.Printf("macsimd drained and stopped")
+	}
+	return err
+}

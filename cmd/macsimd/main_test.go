@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVersionFlag(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-version"}, nil)
+	os.Stdout = old
+	w.Close()
+	data, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !strings.HasPrefix(string(data), "macsimd ") {
+		t.Fatalf("version output %q", data)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-addr", ":0", "stray"}, nil); err == nil {
+		t.Fatal("stray argument accepted")
+	}
+}
+
+// TestDaemonServesAndDrains boots the daemon on an ephemeral port,
+// exercises one end-to-end solve, and shuts it down via context
+// cancellation (the same path a SIGTERM takes).
+func TestDaemonServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	served := make(chan error, 1)
+	go func() { served <- runCtx(ctx, []string{"-addr", "127.0.0.1:0", "-queue", "8"}, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-served:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/solve", "application/json",
+		strings.NewReader(`{"k":200,"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Status == "failed" {
+			t.Fatalf("job failed: %s", view.Error)
+		}
+		if view.Status == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished (status %s)", view.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain and stop")
+	}
+}

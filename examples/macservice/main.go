@@ -1,102 +1,187 @@
-// MAC service example: the deployable surface of this library. A
-// telemetry stream of messages arrives over time; the gated-batch MAC
-// service (internal/maclayer) delivers every message over the shared
-// channel by running the paper's One-Fail Adaptive protocol on each
-// batch. Gating converts the dynamic arrival stream into the static
-// batched instances the protocol is specified for — inheriting the
-// paper's linear-time-per-batch guarantee and avoiding the local-clock
-// livelock that naive per-arrival deployment exhibits (see
-// examples/dynamic).
+// MAC service example: the deployable surface of this library — the
+// simulation-serving subsystem behind cmd/macsimd. The example boots
+// the real HTTP server in-process on an ephemeral port and walks the
+// full client lifecycle a user of the service would script with curl:
 //
-//	go run ./examples/macservice
+//  1. submit a static sweep (POST /v1/evaluate) and stream its NDJSON
+//     progress events live,
+//
+//  2. submit a single solve (POST /v1/solve) and poll it to completion,
+//
+//  3. resubmit the identical sweep — a canonical-request-hash cache hit
+//     that costs zero simulation time,
+//
+//  4. read the service's own accounting from /metrics,
+//
+//  5. shut down gracefully (the SIGTERM path: drain, then stop).
+//
+//     go run ./examples/macservice
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"strings"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/maclayer"
-	"repro/internal/protocol"
-	"repro/internal/rng"
-	"repro/internal/stats"
+	mac "repro"
 )
 
-// telemetry is the application payload.
-type telemetry struct {
-	sensor  int
-	reading float64
-}
+const sweep = `{"protocols":["one-fail","exp-bb"],"ks":[10,100,1000],"runs":3,"seed":1}`
 
 func main() {
-	src := rng.NewStream(31337, "macservice")
-	svc := maclayer.New(func() (protocol.Station, error) {
-		ctrl, err := core.NewOneFailAdaptive(core.DefaultOFADelta)
-		if err != nil {
-			return nil, err
-		}
-		return protocol.NewFairStation(ctrl), nil
-	}, src)
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	served := make(chan error, 1)
+	go func() { served <- mac.Serve(ctx, mac.ServerConfig{Addr: "127.0.0.1:0"}, ready) }()
+	base := "http://" + <-ready
+	fmt.Printf("macsimd serving on %s\n\n", base)
 
-	// Drive 20k slots of channel time with two kinds of traffic: a steady
-	// trickle and a couple of event bursts (a threshold alarm that fires
-	// many sensors at once — the paper's batched-arrival motivation).
-	const horizon = 20000
-	arrivals := rng.NewStream(31337, "arrivals")
-	var latency stats.Summary
-	perBatch := make(map[int]int)
-	enqueued := 0
-	maxBacklog := 0
+	// 1. Submit the paper's static sweep and follow it live: the job is
+	// accepted onto the bounded queue (202 + Location) and every
+	// finished (system, k, run) execution streams out as one NDJSON
+	// progress event.
+	id := submit(base+"/v1/evaluate", sweep, http.StatusAccepted)
+	fmt.Printf("submitted evaluate job %s; streaming progress:\n", id)
+	stream(base + "/v1/jobs/" + id + "/stream")
 
-	for slot := 1; slot <= horizon; slot++ {
-		if arrivals.Bernoulli(0.02) { // steady trickle
-			svc.Enqueue(telemetry{sensor: enqueued, reading: 20 + arrivals.NormFloat64()})
-			enqueued++
-		}
-		if slot == 5000 || slot == 12000 { // alarm: 300 sensors fire together
-			for i := 0; i < 300; i++ {
-				svc.Enqueue(telemetry{sensor: enqueued, reading: 90 + arrivals.NormFloat64()})
-				enqueued++
+	// 2. Single executions work the same way; poll instead of stream.
+	solveID := submit(base+"/v1/solve", `{"protocol":"exp-bb","k":100000,"seed":42}`, http.StatusAccepted)
+	result := poll(base+"/v1/jobs/"+solveID, 30*time.Second)
+	var solved struct {
+		System string  `json:"system"`
+		Slots  uint64  `json:"slots"`
+		Ratio  float64 `json:"ratio"`
+	}
+	must(json.Unmarshal(result, &solved))
+	fmt.Printf("\nsolve: %s delivered k=100000 in %d slots (ratio %.2f)\n\n",
+		solved.System, solved.Slots, solved.Ratio)
+
+	// 3. The identical sweep again: every simulation is deterministic in
+	// (endpoint, params, seed), so the resubmit is answered from the
+	// sharded result cache — 200 with the result inline, zero slots
+	// simulated.
+	t0 := time.Now()
+	submit(base+"/v1/evaluate", sweep, http.StatusOK)
+	fmt.Printf("resubmitted the identical sweep: cache hit in %s\n\n", time.Since(t0).Round(time.Microsecond))
+
+	// 4. The service's own accounting.
+	fmt.Println("service metrics:")
+	for _, line := range strings.Split(metrics(base), "\n") {
+		for _, name := range []string{"macsimd_cache_hits_total", "macsimd_cache_misses_total",
+			"macsimd_cache_hit_rate", "macsimd_slots_simulated_total", "macsimd_queue_depth"} {
+			if strings.HasPrefix(line, name+" ") {
+				fmt.Println("  " + line)
 			}
 		}
-		d, err := svc.Step()
-		if err != nil {
-			log.Fatal(err)
+	}
+
+	// 5. Graceful shutdown: cancel plays the role of SIGTERM — the
+	// server refuses new submissions, finishes what is queued, and
+	// stops.
+	cancel()
+	must(<-served)
+	fmt.Println("\nserver drained and stopped cleanly")
+}
+
+// submit POSTs body and returns the job id (empty for cache hits).
+func submit(url, body string, wantStatus int) string {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	must(err)
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	must(err)
+	if resp.StatusCode != wantStatus {
+		log.Fatalf("POST %s = %d (want %d): %s", url, resp.StatusCode, wantStatus, data)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	must(json.Unmarshal(data, &sub))
+	return sub.ID
+}
+
+// stream follows a job's NDJSON event stream, printing a compact tail.
+func stream(url string) {
+	resp, err := http.Get(url)
+	must(err)
+	defer resp.Body.Close()
+	events := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var ev struct {
+			Event  string `json:"event"`
+			System string `json:"system"`
+			K      int    `json:"k"`
+			Run    int    `json:"run"`
+			Slots  uint64 `json:"slots"`
 		}
-		if d != nil {
-			latency.Add(float64(d.Latency()))
-			perBatch[d.Batch]++
-		}
-		if b := svc.Backlog(); b > maxBacklog {
-			maxBacklog = b
+		must(json.Unmarshal(sc.Bytes(), &ev))
+		switch ev.Event {
+		case "progress":
+			events++
+			// 2 protocols × 3 sizes × 3 runs = 18 events; show a sample.
+			if ev.Run == 0 && ev.K >= 1000 {
+				fmt.Printf("  progress: %-22s k=%-5d solved in %d slots\n", ev.System, ev.K, ev.Slots)
+			}
+		case "done":
+			fmt.Printf("  ... %d progress events total, result delivered on the stream\n", events)
+		case "failed":
+			log.Fatalf("job failed: %s", sc.Text())
 		}
 	}
-	// Drain whatever is still in flight at the horizon.
-	rest, err := svc.RunUntilDrained(horizon + 100000)
+	must(sc.Err())
+}
+
+// poll waits for a job's terminal state and returns its result.
+func poll(url string, timeout time.Duration) json.RawMessage {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		must(err)
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			log.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+		}
+		var view struct {
+			Status string          `json:"status"`
+			Error  string          `json:"error"`
+			Result json.RawMessage `json:"result"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		must(err)
+		switch view.Status {
+		case "done":
+			return view.Result
+		case "failed":
+			log.Fatalf("job failed: %s", view.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatal("job did not finish in time")
+	return nil
+}
+
+// metrics scrapes the exposition text.
+func metrics(base string) string {
+	resp, err := http.Get(base + "/metrics")
+	must(err)
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	must(err)
+	return string(data)
+}
+
+func must(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, d := range rest {
-		latency.Add(float64(d.Latency()))
-		perBatch[d.Batch]++
-	}
-
-	fmt.Printf("delivered %d/%d messages in %d slots across %d batches\n",
-		svc.Delivered(), enqueued, svc.Slot(), svc.Batch())
-	fmt.Printf("latency: mean %.1f  median %.0f  p99 %.0f  max %.0f slots\n",
-		latency.Mean(), latency.Median(), latency.Quantile(0.99), latency.Max())
-	fmt.Printf("max backlog %d (bursts of 300 + trickle), %d collision slots\n",
-		maxBacklog, svc.Collisions())
-
-	// The two alarm batches should each resolve at the protocol's static
-	// cost: ≈ 7.4 slots per message.
-	big := 0
-	for _, n := range perBatch {
-		if n > big {
-			big = n
-		}
-	}
-	fmt.Printf("largest batch carried %d messages (alarm burst + trickle overlap)\n", big)
-	fmt.Println("\neach burst is resolved as one static k-selection instance — the")
-	fmt.Println("service inherits the paper's 2(δ+1)k w.h.p. guarantee per batch.")
 }

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/protocol"
+)
+
+// NamedSystem pairs a protocol configuration with the canonical name and
+// short alias under which the CLI (`macsim -protocol`) and the serving
+// API (`macsimd /v1/solve`) resolve it. New returns a fresh System; the
+// paper systems are stateless between runs, so sharing one instance per
+// call site is also fine.
+type NamedSystem struct {
+	// Name is the canonical lookup name, e.g. "one-fail".
+	Name string
+	// Alias is the short form, e.g. "ofa".
+	Alias string
+	// New constructs the system.
+	New func() System
+}
+
+// NamedSystems returns the registry behind SystemByName: the five paper
+// configurations plus classic binary exponential back-off. The slice is
+// freshly allocated; callers may reorder it.
+func NamedSystems() []NamedSystem {
+	return []NamedSystem{
+		{Name: "one-fail", Alias: "ofa", New: func() System { return PaperSystems()[2] }},
+		{Name: "exp-bb", Alias: "ebb", New: func() System { return PaperSystems()[3] }},
+		{Name: "log-fails-2", Alias: "lfa-2", New: func() System { return PaperSystems()[0] }},
+		{Name: "log-fails-10", Alias: "lfa-10", New: func() System { return PaperSystems()[1] }},
+		{Name: "loglog-iterated", Alias: "llib", New: func() System { return PaperSystems()[4] }},
+		{Name: "exp-backoff", Alias: "beb", New: func() System {
+			return NewWindowSystem("Exponential Backoff (r=2)",
+				func(int) string { return "Θ(k·log k) total" },
+				func(int) (protocol.Schedule, error) { return baseline.NewExponentialBackoff(2) })
+		}},
+	}
+}
+
+// SystemNames returns the canonical names of NamedSystems, in registry
+// order.
+func SystemNames() []string {
+	reg := NamedSystems()
+	names := make([]string, len(reg))
+	for i, n := range reg {
+		names[i] = n.Name
+	}
+	return names
+}
+
+// SystemByName resolves a protocol configuration by canonical name or
+// alias (case-insensitive); unknown names error listing the valid ones.
+func SystemByName(name string) (System, error) {
+	lower := strings.ToLower(name)
+	for _, n := range NamedSystems() {
+		if lower == n.Name || lower == n.Alias {
+			return n.New(), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown protocol %q (valid: %s)", name, strings.Join(SystemNames(), ", "))
+}
+
+// CanonicalSystemName maps a name or alias (case-insensitive) to the
+// registry's canonical name, so callers that key caches by protocol
+// resolve "ofa" and "one-fail" to the same entry.
+func CanonicalSystemName(name string) (string, error) {
+	lower := strings.ToLower(name)
+	for _, n := range NamedSystems() {
+		if lower == n.Name || lower == n.Alias {
+			return n.Name, nil
+		}
+	}
+	return "", fmt.Errorf("unknown protocol %q (valid: %s)", name, strings.Join(SystemNames(), ", "))
+}

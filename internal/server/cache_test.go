@@ -1,0 +1,126 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := newCache(64)
+	if _, ok := c.get("missing"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.put("a", json.RawMessage(`1`))
+	v, ok := c.get("a")
+	if !ok || string(v) != "1" {
+		t.Fatalf("get(a) = %s, %v", v, ok)
+	}
+	c.put("a", json.RawMessage(`2`))
+	if v, _ := c.get("a"); string(v) != "2" {
+		t.Fatalf("refresh lost: %s", v)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// One entry per shard: inserting two keys in the same shard must
+	// evict the least recently used.
+	c := newCache(cacheShards)
+	shard := c.shardFor("x0")
+	var same []string
+	for i := 0; len(same) < 3; i++ {
+		key := fmt.Sprintf("x%d", i)
+		if c.shardFor(key) == shard {
+			same = append(same, key)
+		}
+	}
+	c.put(same[0], json.RawMessage(`0`))
+	c.put(same[1], json.RawMessage(`1`)) // evicts same[0]
+	if _, ok := c.get(same[0]); ok {
+		t.Fatal("LRU entry survived over-capacity insert")
+	}
+	if _, ok := c.get(same[1]); !ok {
+		t.Fatal("fresh entry evicted")
+	}
+	// A get promotes: after touching same[1], inserting same[2] still
+	// evicts... with capacity 1 the only resident is evicted regardless;
+	// use the promotion path at capacity 2 instead.
+	c2 := newCache(2 * cacheShards)
+	c2.put(same[0], json.RawMessage(`0`))
+	c2.put(same[1], json.RawMessage(`1`))
+	c2.get(same[0]) // promote the older entry
+	c2.put(same[2], json.RawMessage(`2`))
+	if _, ok := c2.get(same[0]); !ok {
+		t.Fatal("promoted entry was evicted")
+	}
+	if _, ok := c2.get(same[1]); ok {
+		t.Fatal("unpromoted entry survived")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newCache(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%97)
+				c.put(key, json.RawMessage(fmt.Sprintf("%d", i)))
+				c.get(key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.len() == 0 || c.len() > 97 {
+		t.Fatalf("len = %d after concurrent churn", c.len())
+	}
+}
+
+func TestCanonicalKeyStability(t *testing.T) {
+	norm := func(t *testing.T, spec jobSpec) string {
+		t.Helper()
+		if err := spec.normalize(Limits{}.withDefaults()); err != nil {
+			t.Fatal(err)
+		}
+		key, err := canonicalKey(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return key
+	}
+
+	// Alias and canonical name hash identically; so do implicit and
+	// explicit defaults.
+	a := norm(t, &solveRequest{Protocol: "ofa", K: 500, Seed: 7})
+	b := norm(t, &solveRequest{Protocol: "one-fail", K: 500, Seed: 7})
+	if a != b {
+		t.Fatal("alias and canonical name hash differently")
+	}
+	c := norm(t, &solveRequest{})
+	d := norm(t, &solveRequest{Protocol: "one-fail", K: 1000, Seed: 1})
+	if c != d {
+		t.Fatal("defaults and explicit defaults hash differently")
+	}
+
+	// Different parameters and different kinds must not collide.
+	if x, y := norm(t, &solveRequest{Seed: 2}), norm(t, &solveRequest{Seed: 3}); x == y {
+		t.Fatal("different seeds collide")
+	}
+	tp := norm(t, &throughputRequest{Lambdas: []float64{0.1}, Messages: 100, Runs: 1})
+	sc := norm(t, &scenarioRequest{throughputRequest{Lambdas: []float64{0.1}, Messages: 100, Runs: 1}})
+	if tp == sc {
+		t.Fatal("throughput and scenario kinds collide")
+	}
+	// Shape aliases canonicalize before hashing.
+	s1 := norm(t, &throughputRequest{Shape: "burst"})
+	s2 := norm(t, &throughputRequest{Shape: "bursty"})
+	if s1 != s2 {
+		t.Fatal("shape aliases hash differently")
+	}
+}

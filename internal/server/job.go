@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+// Job lifecycle states, in order.
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// terminal reports whether the status is final.
+func (s JobStatus) terminal() bool { return s == StatusDone || s == StatusFailed }
+
+// job is one queued simulation. The result bytes are immutable once set;
+// progress events accumulate append-only so any number of NDJSON
+// streamers can replay from the start and then follow live.
+type job struct {
+	id   string
+	kind string
+	key  string // canonical request hash; also the cache key
+	spec jobSpec
+
+	mu       sync.Mutex
+	status   JobStatus
+	result   json.RawMessage
+	errMsg   string
+	events   []json.RawMessage
+	pulse    chan struct{} // closed and replaced on every state change
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+func newJob(id string, spec jobSpec, key string) *job {
+	return &job{
+		id:      id,
+		kind:    spec.kind(),
+		key:     key,
+		spec:    spec,
+		status:  StatusQueued,
+		pulse:   make(chan struct{}),
+		created: time.Now(),
+	}
+}
+
+// broadcast wakes every waiter; callers must hold j.mu.
+func (j *job) broadcast() {
+	close(j.pulse)
+	j.pulse = make(chan struct{})
+}
+
+// setRunning marks the job started.
+func (j *job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.broadcast()
+}
+
+// publish appends one progress event (already-marshaled JSON).
+func (j *job) publish(event json.RawMessage) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, event)
+	j.broadcast()
+}
+
+// finish records the final result (on nil err) or the failure.
+func (j *job) finish(result json.RawMessage, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+	} else {
+		j.status = StatusDone
+		j.result = result
+	}
+	j.finished = time.Now()
+	j.broadcast()
+}
+
+// jobView is the API rendering of a job, returned by submit and poll.
+type jobView struct {
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind"`
+	Key      string          `json:"key"`
+	Status   JobStatus       `json:"status"`
+	Created  time.Time       `json:"created"`
+	Started  *time.Time      `json:"started,omitempty"`
+	Finished *time.Time      `json:"finished,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// view snapshots the job for the API.
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:      j.id,
+		Kind:    j.kind,
+		Key:     j.key,
+		Status:  j.status,
+		Created: j.created,
+		Error:   j.errMsg,
+		Result:  j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// snapshot returns the events published so far, the current pulse
+// channel (which will be closed on the next change) and the status. A
+// streamer emits events[from:], then waits on pulse if the status is not
+// terminal.
+func (j *job) snapshot(from int) (events []json.RawMessage, pulse <-chan struct{}, status JobStatus) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.events[from:], j.pulse, j.status
+}
+
+// registry holds recently submitted jobs for polling, bounded by
+// evicting the oldest *terminal* jobs first; live jobs are never
+// evicted.
+type registry struct {
+	mu    sync.Mutex
+	cap   int
+	jobs  map[string]*job
+	order []string // insertion order of job ids
+}
+
+func newRegistry(cap int) *registry {
+	if cap < 1 {
+		cap = 1
+	}
+	return &registry{cap: cap, jobs: make(map[string]*job)}
+}
+
+// add registers a job, evicting old terminal jobs beyond capacity.
+func (r *registry) add(j *job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jobs[j.id] = j
+	r.order = append(r.order, j.id)
+	if len(r.jobs) <= r.cap {
+		return
+	}
+	kept := r.order[:0]
+	for _, id := range r.order {
+		old, ok := r.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(r.jobs) > r.cap && old != j {
+			old.mu.Lock()
+			evictable := old.status.terminal()
+			old.mu.Unlock()
+			if evictable {
+				delete(r.jobs, id)
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	r.order = kept
+}
+
+// get looks a job up by id.
+func (r *registry) get(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// len reports registered jobs.
+func (r *registry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's counter set, exposed at /metrics in the
+// Prometheus text exposition format. All counters are monotone atomics;
+// the only derived quantities (cache hit rate, slots simulated per
+// second) are computed at scrape time.
+type metrics struct {
+	// Submission outcomes. Every submit increments exactly one of these.
+	cacheHits atomic.Int64 // served from the result cache, zero simulation
+	coalesced atomic.Int64 // duplicate of an in-flight job, attached to it
+	enqueued  atomic.Int64 // entered the queue as a fresh job (cache miss)
+	rejected  atomic.Int64 // bounced with 429: the queue was full
+	refused   atomic.Int64 // bounced with 503: the server was draining
+
+	// Job outcomes.
+	jobsDone   atomic.Int64
+	jobsFailed atomic.Int64
+
+	// Work accounting.
+	slotsSimulated atomic.Int64 // channel slots simulated across all jobs
+	steals         atomic.Int64 // jobs a worker stole from another shard
+
+	// Scrape state for the slots/sec rate: the rate is measured between
+	// consecutive scrapes (the usual counter-delta a scraper would
+	// compute, precomputed for human readers and the load generator).
+	scrapeMu   sync.Mutex
+	lastScrape time.Time
+	lastSlots  int64
+	started    time.Time
+}
+
+// hitRate returns cache hits / (hits + fresh enqueues): the fraction of
+// cacheable submissions that cost zero simulation time. Coalesced
+// duplicates are excluded — they are neither a hit nor a miss, but a
+// dedup of a miss in flight.
+func (m *metrics) hitRate() float64 {
+	hits := m.cacheHits.Load()
+	total := hits + m.enqueued.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// slotsPerSecond returns the slots-simulated rate since the previous
+// scrape (since start for the first scrape).
+func (m *metrics) slotsPerSecond(now time.Time) float64 {
+	m.scrapeMu.Lock()
+	defer m.scrapeMu.Unlock()
+	slots := m.slotsSimulated.Load()
+	since := m.started
+	base := int64(0)
+	if !m.lastScrape.IsZero() {
+		since, base = m.lastScrape, m.lastSlots
+	}
+	m.lastScrape, m.lastSlots = now, slots
+	dt := now.Sub(since).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(slots-base) / dt
+}
+
+// render writes the exposition text. Gauges that live outside the
+// counter set (queue depth, cache entries, in-flight jobs) are passed in
+// by the server.
+func (m *metrics) render(now time.Time, gauges map[string]float64) string {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("macsimd_cache_hits_total", "submissions served from the result cache", m.cacheHits.Load())
+	counter("macsimd_cache_misses_total", "submissions that enqueued a fresh job", m.enqueued.Load())
+	counter("macsimd_coalesced_total", "submissions attached to an identical in-flight job", m.coalesced.Load())
+	counter("macsimd_rejected_total", "submissions bounced with 429 (queue full)", m.rejected.Load())
+	counter("macsimd_refused_total", "submissions bounced with 503 (draining)", m.refused.Load())
+	counter("macsimd_jobs_completed_total", "jobs that finished successfully", m.jobsDone.Load())
+	counter("macsimd_jobs_failed_total", "jobs that finished with an error", m.jobsFailed.Load())
+	counter("macsimd_steals_total", "jobs executed by a worker that stole them from another shard", m.steals.Load())
+	counter("macsimd_slots_simulated_total", "channel slots simulated across all jobs", m.slotsSimulated.Load())
+	gauge("macsimd_cache_hit_rate", "cache hits / (hits + misses)", m.hitRate())
+	gauge("macsimd_slots_simulated_per_second", "slots simulated per second since the previous scrape", m.slotsPerSecond(now))
+	// Deterministic order for the caller-supplied gauges.
+	names := make([]string, 0, len(gauges))
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		gauge(name, gaugeHelp[name], gauges[name])
+	}
+	return b.String()
+}
+
+// gaugeHelp documents the server-supplied gauges.
+var gaugeHelp = map[string]string{
+	"macsimd_queue_depth":    "jobs waiting in the sharded queue",
+	"macsimd_queue_capacity": "bound on queued jobs before 429",
+	"macsimd_workers":        "worker shards",
+	"macsimd_jobs_inflight":  "jobs queued or running",
+	"macsimd_jobs_running":   "jobs currently executing",
+	"macsimd_cache_entries":  "entries resident in the result cache",
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errQueueFull is returned by pool.submit when the bounded queue is at
+// capacity; the HTTP layer translates it into 429 + Retry-After.
+var errQueueFull = errors.New("server: job queue full")
+
+// pool is a sharded worker pool: one queue shard per worker, jobs placed
+// by request-hash affinity, and work stealing from the far end of other
+// shards when a worker's own shard runs dry. The shard count defaults to
+// GOMAXPROCS (one shard per processor slice), so under load every core
+// runs simulations while stealing keeps skewed shards from idling the
+// rest.
+type pool struct {
+	shards   []poolShard
+	capacity int64
+	queued   atomic.Int64 // jobs waiting in some shard
+	running  atomic.Int64 // jobs currently executing
+	notify   chan struct{}
+	execute  func(workerID int, j *job, stolen bool)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+type poolShard struct {
+	mu   sync.Mutex
+	jobs []*job // front = oldest; owner pops front, thieves pop back
+}
+
+// newPool builds a pool of `workers` shards with the given global queue
+// bound. execute runs one job and must not panic.
+func newPool(workers, capacity int, execute func(workerID int, j *job, stolen bool)) *pool {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &pool{
+		shards:   make([]poolShard, workers),
+		capacity: int64(capacity),
+		// One token per worker: a submit can never find every worker
+		// blocked without a token in flight for at least one of them.
+		notify:  make(chan struct{}, workers),
+		execute: execute,
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+}
+
+// start launches the workers.
+func (p *pool) start() {
+	for i := range p.shards {
+		p.wg.Add(1)
+		go p.worker(i)
+	}
+}
+
+// close stops the workers after their current job; queued jobs are
+// abandoned. Drain first for a graceful stop.
+func (p *pool) close() {
+	p.cancel()
+	p.wg.Wait()
+}
+
+// submit places a job on the shard selected by affinity (a hash of the
+// canonical request key), enforcing the global queue bound.
+func (p *pool) submit(j *job, affinity uint64) error {
+	if p.queued.Add(1) > p.capacity {
+		p.queued.Add(-1)
+		return errQueueFull
+	}
+	s := &p.shards[affinity%uint64(len(p.shards))]
+	s.mu.Lock()
+	s.jobs = append(s.jobs, j)
+	s.mu.Unlock()
+	// Non-blocking: with the buffer at one token per worker, a full
+	// buffer means every worker already has a wakeup pending.
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// depth reports jobs waiting in the queue (excluding running jobs).
+func (p *pool) depth() int64 { return p.queued.Load() }
+
+// inflight reports jobs queued or running.
+func (p *pool) inflight() int64 { return p.queued.Load() + p.running.Load() }
+
+// drain blocks until the queue is empty and no job is running, or ctx
+// expires. The caller is responsible for refusing new submissions first.
+func (p *pool) drain(ctx context.Context) error {
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if p.inflight() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// worker is the per-shard loop: drain the own shard front-to-back, then
+// steal the newest job from another shard, then block for a wakeup.
+func (p *pool) worker(id int) {
+	defer p.wg.Done()
+	for {
+		j, stolen := p.next(id)
+		if j == nil {
+			select {
+			case <-p.notify:
+				continue
+			case <-p.ctx.Done():
+				return
+			}
+		}
+		// running before queued: between the two updates the job counts
+		// in both gauges, so inflight() can never read 0 while a popped
+		// job has yet to execute — the invariant drain() relies on.
+		p.running.Add(1)
+		p.queued.Add(-1)
+		p.execute(id, j, stolen)
+		p.running.Add(-1)
+	}
+}
+
+// next pops a job: the worker's own shard first (FIFO), then a steal
+// sweep over the other shards (LIFO from the victim's tail, the classic
+// deque discipline that minimizes owner/thief contention).
+func (p *pool) next(id int) (j *job, stolen bool) {
+	if j := p.shards[id].popFront(); j != nil {
+		return j, false
+	}
+	n := len(p.shards)
+	for off := 1; off < n; off++ {
+		if j := p.shards[(id+off)%n].popBack(); j != nil {
+			return j, true
+		}
+	}
+	return nil, false
+}
+
+func (s *poolShard) popFront() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.jobs) == 0 {
+		return nil
+	}
+	j := s.jobs[0]
+	s.jobs[0] = nil
+	s.jobs = s.jobs[1:]
+	return j
+}
+
+func (s *poolShard) popBack() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.jobs) == 0 {
+		return nil
+	}
+	last := len(s.jobs) - 1
+	j := s.jobs[last]
+	s.jobs[last] = nil
+	s.jobs = s.jobs[:last]
+	return j
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collectPool builds a pool whose execute records job ids and whether
+// they were stolen.
+func collectPool(workers, capacity int) (*pool, *sync.Map, *atomic.Int64) {
+	var seen sync.Map
+	var stolen atomic.Int64
+	p := newPool(workers, capacity, func(workerID int, j *job, wasStolen bool) {
+		seen.Store(j.id, workerID)
+		if wasStolen {
+			stolen.Add(1)
+		}
+	})
+	return p, &seen, &stolen
+}
+
+func testJob(id string) *job {
+	return newJob(id, &solveRequest{}, "key-"+id)
+}
+
+func TestPoolBound(t *testing.T) {
+	// Workers not started: submissions accumulate until the bound.
+	p, _, _ := collectPool(2, 3)
+	for i := 0; i < 3; i++ {
+		if err := p.submit(testJob(string(rune('a'+i))), uint64(i)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := p.submit(testJob("overflow"), 9); err != errQueueFull {
+		t.Fatalf("over-capacity submit = %v, want errQueueFull", err)
+	}
+	if p.depth() != 3 {
+		t.Fatalf("depth = %d, want 3", p.depth())
+	}
+	p.close()
+}
+
+func TestPoolRunsAndSteals(t *testing.T) {
+	const workers, jobs = 4, 64
+	var seen sync.Map
+	var stolen atomic.Int64
+	p := newPool(workers, jobs, func(workerID int, j *job, wasStolen bool) {
+		// Long enough that one worker cannot drain the pile before the
+		// others are scheduled, so stealing demonstrably spreads work.
+		time.Sleep(time.Millisecond)
+		seen.Store(j.id, workerID)
+		if wasStolen {
+			stolen.Add(1)
+		}
+	})
+	// Pile every job onto shard 0 before starting the workers: workers
+	// 1..3 can only make progress by stealing.
+	for i := 0; i < jobs; i++ {
+		if err := p.submit(testJob(string(rune('A'+i))), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.start()
+	deadline := time.Now().Add(10 * time.Second)
+	for p.inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool stuck with %d in flight", p.inflight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	count := 0
+	workersSeen := map[int]bool{}
+	seen.Range(func(_, worker any) bool {
+		count++
+		workersSeen[worker.(int)] = true
+		return true
+	})
+	if count != jobs {
+		t.Fatalf("executed %d jobs, want %d", count, jobs)
+	}
+	if stolen.Load() == 0 {
+		t.Fatal("no job was stolen from the loaded shard")
+	}
+	if len(workersSeen) < 2 {
+		t.Fatalf("only %d workers participated", len(workersSeen))
+	}
+	p.close()
+}
+
+func TestPoolSubmitAfterStartWakesIdleWorkers(t *testing.T) {
+	p, seen, _ := collectPool(3, 16)
+	p.start()
+	time.Sleep(10 * time.Millisecond) // let the workers block idle
+	for i := 0; i < 8; i++ {
+		if err := p.submit(testJob(string(rune('a'+i))), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for p.inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle workers never woke for submitted jobs")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	count := 0
+	seen.Range(func(_, _ any) bool { count++; return true })
+	if count != 8 {
+		t.Fatalf("executed %d, want 8", count)
+	}
+	p.close()
+}
+
+func TestPoolDrainTimesOut(t *testing.T) {
+	block := make(chan struct{})
+	p := newPool(1, 4, func(int, *job, bool) { <-block })
+	p.start()
+	if err := p.submit(testJob("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := p.drain(ctx); err == nil {
+		t.Fatal("drain of a stuck pool returned nil")
+	}
+	close(block)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := p.drain(ctx2); err != nil {
+		t.Fatalf("drain after unblock: %v", err)
+	}
+	p.close()
+}
+
+func TestRegistryEvictsOnlyTerminalJobs(t *testing.T) {
+	r := newRegistry(2)
+	j1, j2, j3 := testJob("1"), testJob("2"), testJob("3")
+	r.add(j1)
+	r.add(j2)
+	j1.finish(nil, nil) // terminal → evictable
+	r.add(j3)           // over capacity: j1 goes, live j2 stays
+	if _, ok := r.get("1"); ok {
+		t.Fatal("terminal job survived eviction")
+	}
+	if _, ok := r.get("2"); !ok {
+		t.Fatal("live job was evicted")
+	}
+	if _, ok := r.get("3"); !ok {
+		t.Fatal("fresh job missing")
+	}
+	if r.len() != 2 {
+		t.Fatalf("len = %d, want 2", r.len())
+	}
+}

@@ -1,0 +1,499 @@
+// Package server is the simulation-serving subsystem: a long-running
+// daemon that turns the repository's simulators — static sweeps
+// (internal/harness), λ-sweep saturation experiments
+// (internal/throughput) and the workload scenario catalog
+// (internal/scenario) — into cacheable, streamable HTTP endpoints.
+//
+// Architecture, front to back:
+//
+//   - Submit endpoints (POST /v1/solve, /v1/evaluate, /v1/throughput,
+//     /v1/scenario) normalize the request, hash it into a canonical key,
+//     and answer from the sharded LRU result cache when possible —
+//     every simulation is deterministic in (endpoint, params, seed), so
+//     repeated queries cost zero simulation time.
+//   - Cache misses become jobs on a bounded queue feeding a sharded
+//     worker pool (one shard per GOMAXPROCS slice, work stealing
+//     between shards). A full queue answers 429 with Retry-After —
+//     backpressure instead of collapse.
+//   - Duplicate requests already in flight are coalesced onto the
+//     existing job (singleflight) instead of simulating twice.
+//   - Jobs are polled at GET /v1/jobs/{id} and streamed as NDJSON
+//     progress events plus a terminal record at /v1/jobs/{id}/stream.
+//   - GET /metrics exposes slots-simulated/sec, queue depth, cache hit
+//     rate and the other counters in Prometheus text format.
+//   - Drain stops admission (503) and waits for the queue and running
+//     jobs to finish — graceful shutdown on SIGTERM.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/scenario"
+)
+
+// Config parameterizes New. The zero value serves with sensible
+// defaults.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default
+	// "127.0.0.1:8080").
+	Addr string
+	// Workers is the worker/shard count (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued jobs before submits answer 429 (default
+	// 256).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 4096 entries).
+	CacheEntries int
+	// JobsRetained bounds the poll registry; terminal jobs beyond it are
+	// evicted oldest-first (default 1024).
+	JobsRetained int
+	// RetryAfter is the backpressure hint on 429 responses (default 1s).
+	RetryAfter time.Duration
+	// DrainTimeout bounds the graceful drain on shutdown (default 30s).
+	DrainTimeout time.Duration
+	// Limits bound per-request simulation cost.
+	Limits Limits
+	// Version is reported by /healthz and the Server header.
+	Version string
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.JobsRetained <= 0 {
+		c.JobsRetained = 1024
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Version == "" {
+		c.Version = "dev"
+	}
+	c.Limits = c.Limits.withDefaults()
+	return c
+}
+
+// Server is the serving subsystem. Create with New, expose with
+// Handler (or ListenAndServe), stop with Drain then Close.
+type Server struct {
+	cfg     Config
+	cache   *cache
+	pool    *pool
+	reg     *registry
+	metrics metrics
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	inflight map[string]*job // canonical key → queued/running job
+
+	draining atomic.Bool
+	seq      atomic.Int64
+
+	// testGate, when non-nil, is received from before each job executes;
+	// the white-box tests use it to hold jobs in the queue and observe
+	// backpressure, coalescing and drain deterministically.
+	testGate chan struct{}
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    newCache(cfg.CacheEntries),
+		reg:      newRegistry(cfg.JobsRetained),
+		inflight: make(map[string]*job),
+	}
+	s.metrics.started = time.Now()
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execute)
+	s.pool.start()
+	s.buildMux()
+	return s
+}
+
+// Close stops the workers after their current job. Call Drain first for
+// a graceful stop.
+func (s *Server) Close() { s.pool.close() }
+
+// Drain stops admitting jobs (submits answer 503) and waits until the
+// queue is empty and all running jobs finished, or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.pool.drain(ctx)
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve serves the API on ln until ctx is canceled, then drains
+// gracefully (bounded by Config.DrainTimeout) and shuts the listener
+// down. It returns nil on a clean shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	httpSrv := &http.Server{Handler: s.Handler()}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		// Order matters: refuse new submissions, then wait for in-flight
+		// HTTP handlers (Shutdown) — a straggler that passed the draining
+		// check may still be enqueueing — and only then drain the pool,
+		// so every job the API answered 202 for actually runs.
+		s.draining.Store(true)
+		stopErr := httpSrv.Shutdown(dctx)
+		shutdownErr <- errors.Join(stopErr, s.pool.drain(dctx))
+	}()
+	err := httpSrv.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-shutdownErr
+}
+
+// ListenAndServe listens on Config.Addr and calls Serve. ready, if
+// non-nil, receives the bound address once listening (supports ":0").
+func (s *Server) ListenAndServe(ctx context.Context, ready chan<- string) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	return s.Serve(ctx, ln)
+}
+
+// buildMux wires the routes.
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmit(w, r, &solveRequest{})
+	})
+	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmit(w, r, &evaluateRequest{})
+	})
+	mux.HandleFunc("POST /v1/throughput", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmit(w, r, &throughputRequest{})
+	})
+	mux.HandleFunc("POST /v1/scenario", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmit(w, r, &scenarioRequest{})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handlePoll)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v with the given status. Responses are compact —
+// cached results are spliced back verbatim on hits, so every path must
+// emit the same bytes for the same result.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Server", "macsimd/"+s.cfg.Version)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v) // write error: the client hung up
+}
+
+// submitResponse is the envelope of a submit: either a finished cached
+// result or a job to poll.
+type submitResponse struct {
+	jobView
+	Cached bool `json:"cached"`
+}
+
+// handleSubmit is the shared submit path: decode → normalize → cache →
+// coalesce → enqueue, with backpressure.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, spec jobSpec) {
+	if s.draining.Load() {
+		s.metrics.refused.Add(1)
+		s.writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
+		return
+	}
+	if err := decodeSpec(r, spec); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if err := spec.normalize(s.cfg.Limits); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	key, err := canonicalKey(spec)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+
+	// Cache: repeated queries cost zero simulation time. This is the
+	// serving hot path — the envelope is spliced around the cached bytes
+	// (kind and key are plain tokens) instead of re-encoding them.
+	if result, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		var buf bytes.Buffer
+		buf.Grow(len(result) + 96)
+		buf.WriteString(`{"kind":"`)
+		buf.WriteString(spec.kind())
+		buf.WriteString(`","key":"`)
+		buf.WriteString(key)
+		buf.WriteString(`","status":"done","cached":true,"result":`)
+		buf.Write(result)
+		buf.WriteString("}\n")
+		h := w.Header()
+		h.Set("Content-Type", "application/json")
+		h.Set("Server", "macsimd/"+s.cfg.Version)
+		h.Set("X-Cache", "hit")
+		h.Set("Content-Length", strconv.Itoa(buf.Len()))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf.Bytes())
+		return
+	}
+
+	// Coalesce: a duplicate of an in-flight job attaches to it instead
+	// of simulating twice. Queue admission and registration happen under
+	// the same lock that publishes the job to s.inflight, so any id a
+	// coalesced duplicate can ever see belongs to a job that is both
+	// pollable and actually queued.
+	s.mu.Lock()
+	if existing, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.metrics.coalesced.Add(1)
+		w.Header().Set("X-Cache", "coalesced")
+		w.Header().Set("Location", "/v1/jobs/"+existing.id)
+		s.writeJSON(w, http.StatusAccepted, submitResponse{jobView: existing.view()})
+		return
+	}
+	j := newJob(fmt.Sprintf("%s-%d", key[:12], s.seq.Add(1)), spec, key)
+	if err := s.pool.submit(j, affinity(key)); err != nil {
+		s.mu.Unlock()
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.writeJSON(w, http.StatusTooManyRequests, apiError{Error: errQueueFull.Error()})
+		return
+	}
+	s.inflight[key] = j
+	s.reg.add(j)
+	s.mu.Unlock()
+	s.metrics.enqueued.Add(1)
+	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	s.writeJSON(w, http.StatusAccepted, submitResponse{jobView: j.view()})
+}
+
+// decodeSpec parses the request body into spec; an empty body selects
+// all defaults. Unknown fields are rejected — a misspelled parameter
+// must not silently hash to a different (default-valued) request.
+func decodeSpec(r *http.Request, spec jobSpec) error {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("reading body: %w", err)
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return fmt.Errorf("decoding %s request: %w", spec.kind(), err)
+	}
+	return nil
+}
+
+// affinity maps a canonical key to its queue shard.
+func affinity(key string) uint64 { return fnv64(key) }
+
+// execute runs one job on a pool worker: simulate, publish the result
+// to the cache, retire the in-flight entry.
+func (s *Server) execute(workerID int, j *job, stolen bool) {
+	if s.testGate != nil {
+		<-s.testGate
+	}
+	if stolen {
+		s.metrics.steals.Add(1)
+	}
+	j.setRunning()
+	result, err := j.spec.run(
+		func(event any) {
+			data, merr := json.Marshal(event)
+			if merr != nil {
+				return
+			}
+			j.publish(data)
+		},
+		func(slots uint64) { s.metrics.slotsSimulated.Add(int64(slots)) },
+	)
+	var data json.RawMessage
+	if err == nil {
+		data, err = json.Marshal(result)
+	}
+	if err == nil {
+		// Publish to the cache before retiring the in-flight entry, so
+		// an identical request always sees one of the two.
+		s.cache.put(j.key, data)
+		s.metrics.jobsDone.Add(1)
+	} else {
+		s.metrics.jobsFailed.Add(1)
+	}
+	j.finish(data, err)
+	s.mu.Lock()
+	delete(s.inflight, j.key)
+	s.mu.Unlock()
+}
+
+// handlePoll serves GET /v1/jobs/{id}.
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job id"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, j.view())
+}
+
+// streamEvent is the terminal record of an NDJSON stream.
+type streamEvent struct {
+	Event  string          `json:"event"`
+	ID     string          `json:"id,omitempty"`
+	Status JobStatus       `json:"status,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// handleStream serves GET /v1/jobs/{id}/stream: replays the job's
+// progress events as NDJSON, follows live until the job reaches a
+// terminal state, then emits a "done"/"failed" record with the result.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job id"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Server", "macsimd/"+s.cfg.Version)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	emit := func(line []byte) bool {
+		// Two writes, not append(line, '\n'): line aliases the job's
+		// shared event buffer, and an append could write the newline into
+		// the backing array under a concurrent streamer's feet.
+		if _, err := w.Write(line); err != nil {
+			return false
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	sent := 0
+	for {
+		events, pulse, status := j.snapshot(sent)
+		for _, e := range events {
+			if !emit(e) {
+				return
+			}
+			sent++
+		}
+		if status.terminal() {
+			break
+		}
+		select {
+		case <-pulse:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	v := j.view()
+	final := streamEvent{Event: "done", ID: v.ID, Status: v.Status, Error: v.Error, Result: v.Result}
+	if v.Status == StatusFailed {
+		final.Event = "failed"
+	}
+	line, err := json.Marshal(final)
+	if err != nil {
+		return
+	}
+	emit(line)
+}
+
+// handleProtocols serves GET /v1/protocols: the named registry.
+func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name   string `json:"name"`
+		Alias  string `json:"alias"`
+		System string `json:"system"`
+	}
+	reg := harness.NamedSystems()
+	out := make([]entry, len(reg))
+	for i, n := range reg {
+		out[i] = entry{Name: n.Name, Alias: n.Alias, System: n.New().Name()}
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleScenarios serves GET /v1/scenarios: the workload catalog.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, scenario.Names())
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = io.WriteString(w, s.metrics.render(time.Now(), map[string]float64{
+		"macsimd_queue_depth":    float64(s.pool.depth()),
+		"macsimd_queue_capacity": float64(s.cfg.QueueDepth),
+		"macsimd_workers":        float64(s.cfg.Workers),
+		"macsimd_jobs_inflight":  float64(s.pool.inflight()),
+		"macsimd_jobs_running":   float64(s.pool.running.Load()),
+		"macsimd_cache_entries":  float64(s.cache.len()),
+	}))
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	s.writeJSON(w, status, map[string]string{"status": state, "version": s.cfg.Version})
+}

@@ -1,0 +1,50 @@
+package mac
+
+import (
+	"context"
+	"net"
+
+	"repro/internal/server"
+)
+
+// ServerConfig parameterizes the simulation-serving subsystem
+// (internal/server): listen address, worker shards, queue bound, result
+// cache size, per-request limits. The zero value serves on
+// 127.0.0.1:8080 with sensible defaults.
+type ServerConfig = server.Config
+
+// ServerLimits bounds what one API request may ask of the simulators.
+type ServerLimits = server.Limits
+
+// Server is the running simulation-serving subsystem: an HTTP API over
+// this package's simulators with a bounded job queue, a sharded
+// work-stealing worker pool, a canonical-request-hash result cache with
+// duplicate-request coalescing, NDJSON result streaming, and /metrics.
+// See cmd/macsimd for the daemon and examples/macservice for a client
+// walkthrough.
+type Server = server.Server
+
+// NewServer builds a Server and starts its worker pool. Expose
+// Server.Handler on any listener (or call Server.ListenAndServe), then
+// Server.Drain + Server.Close to stop gracefully.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// Serve runs the simulation-serving subsystem on cfg.Addr until ctx is
+// canceled, then drains gracefully: in-flight and queued jobs finish
+// (bounded by cfg.DrainTimeout) while new submissions are refused. It
+// is the programmatic equivalent of running cmd/macsimd. ready, if
+// non-nil, receives the bound address once listening (useful with
+// ":0").
+func Serve(ctx context.Context, cfg ServerConfig, ready chan<- string) error {
+	srv := server.New(cfg)
+	defer srv.Close()
+	return srv.ListenAndServe(ctx, ready)
+}
+
+// ServeOn is Serve for an existing listener; the caller keeps control
+// of address selection and socket options.
+func ServeOn(ctx context.Context, cfg ServerConfig, ln net.Listener) error {
+	srv := server.New(cfg)
+	defer srv.Close()
+	return srv.Serve(ctx, ln)
+}

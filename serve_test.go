@@ -1,0 +1,116 @@
+package mac
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServerMatchesLibrary verifies API/library parity: a /v1/solve
+// job must reproduce mac.Protocol.Solve bit for bit — same protocol,
+// same k, same seed, same slot count.
+func TestServerMatchesLibrary(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const k, seed = 700, 99
+	p, err := OneFailAdaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Solve(k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
+		strings.NewReader(`{"protocol":"one-fail","k":700,"seed":99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+			Result struct {
+				Slots uint64 `json:"slots"`
+			} `json:"result"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Status == "failed" {
+			t.Fatalf("job failed: %s", view.Error)
+		}
+		if view.Status == "done" {
+			if view.Result.Slots != want {
+				t.Fatalf("API solved in %d slots, library in %d", view.Result.Slots, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeGracefulShutdown runs the programmatic daemon entry point on
+// an ephemeral port and stops it via context cancellation.
+func TestServeGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	served := make(chan error, 1)
+	go func() { served <- Serve(ctx, ServerConfig{Addr: "127.0.0.1:0"}, ready) }()
+
+	select {
+	case addr := <-ready:
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz = %d", resp.StatusCode)
+		}
+	case err := <-served:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not stop")
+	}
+}

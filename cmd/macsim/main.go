@@ -7,7 +7,7 @@
 //	macsim -experiment table1  [-maxexp 7] [-runs 10] [-seed 1]
 //	macsim -experiment figure1 [-maxexp 7] [-runs 10] [-out csv]
 //	macsim -experiment paper   [-maxexp 7] — figure + table + CSV in one sweep
-//	macsim -experiment run -protocol one-fail -k 100000 [-seed 1]
+//	macsim -experiment solve -protocol one-fail -k 100000 [-seed 1]   (alias: run)
 //	macsim -experiment trace -protocol exp-bb -k 12
 //	macsim -experiment dynamic [-k 500] [-rate 0.1]
 //	macsim -experiment throughput [-lambdas 0.05,0.1,0.2] [-messages 2000] [-shape poisson|bursty|onoff] [-out csv|plot]
@@ -19,17 +19,28 @@
 //
 //	macsim throughput -lambdas 0.1,0.2 -shape bursty
 //
+// The spec-backed experiments (solve/run, table1, figure1, paper,
+// throughput, scenario) build a mac.ExperimentSpec and execute it
+// through mac.Run — the same entry point, validation, canonical cache
+// key and codecs as the library and the macsimd HTTP API. The global
+// -json flag prints the final result document exactly as /v1/* would
+// serve it; -stream emits the NDJSON progress events plus a terminal
+// record exactly as /v1/jobs/{id}/stream would.
+//
 // The paper's full grid (-maxexp 7, -runs 10) takes a few minutes of CPU
 // time; the default -maxexp 5 finishes in seconds.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	mac "repro"
 	"repro/internal/baseline"
 	"repro/internal/cd"
 	"repro/internal/core"
@@ -68,27 +79,33 @@ type options struct {
 	shape      string
 	scenario   string
 	quiet      bool
+	jsonOut    bool
+	stream     bool
 	version    bool
 }
 
 // experiments is the single table behind -experiment dispatch, the flag
 // help text and the unknown-name error, so the three cannot drift.
+// spec marks the experiments that execute through mac.Run and therefore
+// support the -json/-stream output flags.
 var experiments = []struct {
 	name string
+	spec bool
 	run  func(options) error
 }{
-	{"table1", runSweep},
-	{"figure1", runSweep},
-	{"paper", runSweep},
-	{"run", runSingle},
-	{"trace", runTrace},
-	{"dynamic", runDynamic},
-	{"throughput", runThroughput},
-	{"scenario", runScenario},
-	{"cd", runCD},
-	{"ablation-ofa", runAblationOFA},
-	{"ablation-ebb", runAblationEBB},
-	{"ablation-monotone", runAblationMonotone},
+	{"table1", true, runSweep},
+	{"figure1", true, runSweep},
+	{"paper", true, runSweep},
+	{"solve", true, runSolve},
+	{"run", true, runSolve},
+	{"trace", false, runTrace},
+	{"dynamic", false, runDynamic},
+	{"throughput", true, runThroughput},
+	{"scenario", true, runScenario},
+	{"cd", false, runCD},
+	{"ablation-ofa", false, runAblationOFA},
+	{"ablation-ebb", false, runAblationEBB},
+	{"ablation-monotone", false, runAblationMonotone},
 }
 
 func experimentNames() []string {
@@ -99,13 +116,25 @@ func experimentNames() []string {
 	return names
 }
 
+// specExperimentNames lists the experiments that support -json/-stream.
+func specExperimentNames() []string {
+	var names []string
+	for _, e := range experiments {
+		if e.spec {
+			names = append(names, e.name)
+		}
+	}
+	return names
+}
+
 // protocolNames lists the -protocol registry (internal/harness's named
-// registry, shared with the macsimd serving API).
+// registry, shared with the spec layer and the macsimd serving API).
 func protocolNames() []string { return harness.SystemNames() }
 
-func run(args []string) error {
-	// Accept the experiment name as a leading subcommand
-	// (`macsim throughput -messages 1000`) as well as via -experiment.
+// parseOptions parses flags, accepting the experiment name as a leading
+// subcommand (`macsim throughput -messages 1000`) as well as via
+// -experiment.
+func parseOptions(args []string) (options, error) {
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		args = append([]string{"-experiment", args[0]}, args[1:]...)
 	}
@@ -114,8 +143,8 @@ func run(args []string) error {
 	fs.StringVar(&opts.experiment, "experiment", "table1",
 		"experiment to run: "+strings.Join(experimentNames(), ", "))
 	fs.StringVar(&opts.protocol, "protocol", "one-fail",
-		"protocol for -experiment run/trace: "+strings.Join(protocolNames(), ", "))
-	fs.IntVar(&opts.k, "k", 1000, "number of contenders for run/trace/dynamic")
+		"protocol for -experiment solve/trace: "+strings.Join(protocolNames(), ", "))
+	fs.IntVar(&opts.k, "k", 1000, "number of contenders for solve/trace/dynamic")
 	fs.IntVar(&opts.maxExp, "maxexp", 5, "sweep sizes 10..10^maxexp (paper: 7)")
 	fs.IntVar(&opts.runs, "runs", harness.DefaultRuns, "runs averaged per point")
 	fs.Uint64Var(&opts.seed, "seed", 1, "master seed")
@@ -127,25 +156,283 @@ func run(args []string) error {
 	fs.StringVar(&opts.scenario, "scenario", "all",
 		"workload for -experiment scenario: all, "+strings.Join(scenario.Names(), ", "))
 	fs.BoolVar(&opts.quiet, "quiet", false, "suppress progress output")
+	fs.BoolVar(&opts.jsonOut, "json", false, "spec-backed experiments: print the result document as JSON (the same codec the HTTP API serves)")
+	fs.BoolVar(&opts.stream, "stream", false, "spec-backed experiments: emit NDJSON progress events plus a terminal result record (as /v1/jobs/{id}/stream)")
 	fs.BoolVar(&opts.version, "version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments %q (only flags may follow the experiment name; list values are comma-separated)", fs.Args())
+	}
+	return opts, nil
+}
+
+func run(args []string) error {
+	opts, err := parseOptions(args)
+	if err != nil {
 		return err
 	}
 	if opts.version {
 		fmt.Printf("macsim %s\n", version)
 		return nil
 	}
-	if fs.NArg() > 0 {
-		return fmt.Errorf("unexpected arguments %q (only flags may follow the experiment name; list values are comma-separated)", fs.Args())
-	}
-
 	for _, e := range experiments {
 		if e.name == opts.experiment {
+			if (opts.jsonOut || opts.stream) && !e.spec {
+				return fmt.Errorf("-json/-stream are supported by the spec-backed experiments only (%s), not %q",
+					strings.Join(specExperimentNames(), ", "), e.name)
+			}
 			return e.run(opts)
 		}
 	}
 	return fmt.Errorf("unknown experiment %q (valid: %s)", opts.experiment, strings.Join(experimentNames(), ", "))
 }
+
+// --- spec-backed experiments ---
+
+// solveSpec builds the solve experiment the flags describe.
+func solveSpec(opts options) mac.ExperimentSpec {
+	return mac.SolveExperiment(mac.SolveSpec{
+		Protocol: mac.ProtocolSpec{Name: opts.protocol},
+		K:        opts.k,
+		Seed:     opts.seed,
+	})
+}
+
+// evaluateSpec builds the static-sweep experiment the flags describe
+// (the paper's five-protocol lineup over 10..10^maxexp).
+func evaluateSpec(opts options) mac.ExperimentSpec {
+	return mac.EvaluateExperiment(mac.EvaluateSpec{
+		MaxExp: opts.maxExp,
+		Runs:   opts.runs,
+		Seed:   opts.seed,
+	})
+}
+
+// throughputSpec builds the λ-sweep experiment the flags describe.
+func throughputSpec(opts options) (mac.ExperimentSpec, error) {
+	if opts.messages <= 0 {
+		return mac.ExperimentSpec{}, fmt.Errorf("-messages must be > 0, got %d", opts.messages)
+	}
+	lambdas, err := parseLambdas(opts.lambdas)
+	if err != nil {
+		return mac.ExperimentSpec{}, err
+	}
+	if lambdas == nil {
+		lambdas = throughput.DefaultLambdas()
+	}
+	return mac.ThroughputExperiment(mac.ThroughputSpec{
+		Shape:    opts.shape,
+		Lambdas:  lambdas,
+		Messages: opts.messages,
+		Runs:     opts.runs,
+		Seed:     opts.seed,
+	}), nil
+}
+
+// scenarioSpec builds the workload-scenario experiment the flags
+// describe, for one named catalog scenario.
+func scenarioSpec(opts options, name string) (mac.ExperimentSpec, error) {
+	if opts.messages <= 0 {
+		return mac.ExperimentSpec{}, fmt.Errorf("-messages must be > 0, got %d", opts.messages)
+	}
+	lambdas, err := parseLambdas(opts.lambdas)
+	if err != nil {
+		return mac.ExperimentSpec{}, err
+	}
+	if lambdas == nil {
+		// A compact default grid bracketing the windowed protocols'
+		// saturation knees; the full throughput grid would multiply the
+		// catalog's cost for little extra shape.
+		lambdas = []float64{0.1, 0.2, 0.3}
+	}
+	return mac.ScenarioExperiment(mac.ThroughputSpec{
+		Scenario: name,
+		Lambdas:  lambdas,
+		Messages: opts.messages,
+		Runs:     opts.runs,
+		Seed:     opts.seed,
+	}), nil
+}
+
+// printProgress renders one progress event as the classic stderr
+// chatter line; prefix labels the scenario in catalog runs.
+func printProgress(prefix string, ev mac.Event) {
+	switch p := ev.(type) {
+	case mac.SweepProgress:
+		fmt.Fprintf(os.Stderr, "done %s%-28s k=%-9d run=%-3d steps=%d\n", prefix, p.System, p.K, p.Run, p.Slots)
+	case mac.DynamicProgress:
+		status := "drained"
+		if !p.Drained {
+			status = fmt.Sprintf("saturated (%d delivered)", p.Delivered)
+		}
+		fmt.Fprintf(os.Stderr, "done %s%-28s λ=%-6.3g run=%-3d %s\n", prefix, p.Protocol, p.Lambda, p.Run, status)
+	}
+}
+
+// runExperiment executes one spec through mac.Run — the same entry
+// point the library and the HTTP API use — streaming progress to
+// stderr (or NDJSON to stdout with -stream) and rendering the result
+// with render, or as its JSON document with -json.
+func runExperiment(opts options, es mac.ExperimentSpec, prefix string, render func(*mac.ExperimentResult) error) error {
+	exec, err := mac.Run(context.Background(), es)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for ev, eventErr := range exec.Events() {
+		if eventErr != nil {
+			break // the terminal error surfaces from Result below
+		}
+		switch {
+		case opts.stream:
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+		case !opts.quiet:
+			printProgress(prefix, ev)
+		}
+	}
+	res, err := exec.Result()
+	if opts.stream {
+		// Always close the NDJSON stream with a terminal record, exactly
+		// as /v1/jobs/{id}/stream does — a failure must not truncate it.
+		if err != nil {
+			if encErr := enc.Encode(mac.StreamEnd{Event: "failed", Status: "failed", Error: err.Error()}); encErr != nil {
+				return encErr
+			}
+			return err
+		}
+		doc, err := json.Marshal(res.Document())
+		if err != nil {
+			return err
+		}
+		return enc.Encode(mac.StreamEnd{Event: "done", Status: "done", Result: doc})
+	}
+	if err != nil {
+		return err
+	}
+	if opts.jsonOut {
+		return enc.Encode(res.Document())
+	}
+	return render(res)
+}
+
+// runSolve solves one static k-selection instance; bit-identical to
+// mac.Protocol.Solve and POST /v1/solve at the same (protocol, k,
+// seed).
+func runSolve(opts options) error {
+	return runExperiment(opts, solveSpec(opts), "", func(res *mac.ExperimentResult) error {
+		r := res.Solve
+		fmt.Printf("%s: k=%d solved in %d slots (ratio %.2f, analysis %s)\n",
+			r.System, r.K, r.Slots, r.Ratio, r.Analysis)
+		return nil
+	})
+}
+
+func runSweep(opts options) error {
+	return runExperiment(opts, evaluateSpec(opts), "", func(res *mac.ExperimentResult) error {
+		results := res.Sweep()
+		switch {
+		case opts.out == "csv":
+			fmt.Print(harness.CSV(results))
+		case opts.experiment == "table1":
+			fmt.Println("Table 1: ratio steps/nodes as a function of the number of nodes k")
+			fmt.Print(harness.Table1(results))
+		case opts.experiment == "figure1":
+			fmt.Println("Figure 1: number of steps to solve static k-selection, per number of nodes k")
+			fmt.Print(harness.Figure1(results))
+		default: // "paper": everything from one sweep
+			fmt.Println("Figure 1: number of steps to solve static k-selection, per number of nodes k")
+			fmt.Print(harness.Figure1(results))
+			fmt.Println()
+			fmt.Println("Table 1: ratio steps/nodes as a function of the number of nodes k")
+			fmt.Print(harness.Table1(results))
+			fmt.Println()
+			fmt.Println("Raw data (CSV):")
+			fmt.Print(harness.CSV(results))
+		}
+		return nil
+	})
+}
+
+// runThroughput sweeps offered load λ over the dynamic-arrival protocol
+// lineup and reports sustained throughput, latency quantiles and peak
+// backlog per (protocol, λ).
+func runThroughput(opts options) error {
+	es, err := throughputSpec(opts)
+	if err != nil {
+		return err
+	}
+	return runExperiment(opts, es, "", func(res *mac.ExperimentResult) error {
+		series := res.Dynamic()
+		switch opts.out {
+		case "csv":
+			fmt.Print(throughput.CSV(series))
+		case "plot":
+			fmt.Print(throughput.Plot(series))
+		default:
+			fmt.Printf("λ-sweep: %d messages per run, %s arrivals (* = not drained within budget)\n",
+				opts.messages, res.Throughput.Scenario)
+			fmt.Print(throughput.Table(series))
+			fmt.Println()
+			fmt.Print(throughput.Plot(series))
+		}
+		return nil
+	})
+}
+
+// runScenario sweeps offered load under the named workload scenarios —
+// the adversarial (ρ-bounded, thundering herd, adaptive), impaired
+// (jammed) and heterogeneous (mixed-population) workloads of
+// internal/scenario, alongside the benign shapes. `-scenario all` runs
+// the whole catalog in a fixed order; output is deterministic under a
+// fixed seed (progress chatter goes to stderr). With -json, one result
+// document per scenario is emitted as NDJSON.
+func runScenario(opts options) error {
+	var scns []scenario.Workload
+	if strings.EqualFold(opts.scenario, "all") {
+		scns = scenario.Catalog()
+	} else {
+		scn, err := scenario.ByName(opts.scenario)
+		if err != nil {
+			return err
+		}
+		scns = []scenario.Workload{scn}
+	}
+	for i, scn := range scns {
+		es, err := scenarioSpec(opts, scn.Name)
+		if err != nil {
+			return err
+		}
+		prefix := fmt.Sprintf("%-10s ", scn.Name)
+		err = runExperiment(opts, es, prefix, func(res *mac.ExperimentResult) error {
+			series := res.Dynamic()
+			if i > 0 {
+				fmt.Println()
+			}
+			switch opts.out {
+			case "csv":
+				fmt.Printf("# scenario: %s\n", scn.Name)
+				fmt.Print(throughput.CSV(series))
+			case "plot":
+				fmt.Printf("scenario: %s\n", scn.Name)
+				fmt.Print(throughput.Plot(series))
+			default:
+				fmt.Printf("scenario: %s (%d messages per run, * = not drained within budget)\n", scn.Name, opts.messages)
+				fmt.Print(throughput.Table(series))
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", scn.Name, err)
+		}
+	}
+	return nil
+}
+
+// --- simulator-level experiments (trace, dynamic, cd, ablations) ---
 
 // runCD quantifies the §2 collision-detection comparison: tree splitting
 // (± the Massey skip) and leader election against the paper's no-CD
@@ -192,63 +479,6 @@ func runCD(opts options) error {
 		total += steps
 	}
 	fmt.Printf("  leader election (CD)       mean %.1f slots to a unique leader\n", float64(total)/elections)
-	return nil
-}
-
-func progress(opts options) func(string, int, int, uint64) {
-	if opts.quiet {
-		return nil
-	}
-	return func(system string, k, run int, steps uint64) {
-		fmt.Fprintf(os.Stderr, "done %-28s k=%-9d run=%-3d steps=%d\n", system, k, run, steps)
-	}
-}
-
-func runSweep(opts options) error {
-	sweep := harness.Sweep{
-		Ks:       harness.PaperKs(opts.maxExp),
-		Runs:     opts.runs,
-		Seed:     opts.seed,
-		Progress: progress(opts),
-	}
-	results, err := sweep.Run(harness.PaperSystems())
-	if err != nil {
-		return err
-	}
-	switch {
-	case opts.out == "csv":
-		fmt.Print(harness.CSV(results))
-	case opts.experiment == "table1":
-		fmt.Println("Table 1: ratio steps/nodes as a function of the number of nodes k")
-		fmt.Print(harness.Table1(results))
-	case opts.experiment == "figure1":
-		fmt.Println("Figure 1: number of steps to solve static k-selection, per number of nodes k")
-		fmt.Print(harness.Figure1(results))
-	default: // "paper": everything from one sweep
-		fmt.Println("Figure 1: number of steps to solve static k-selection, per number of nodes k")
-		fmt.Print(harness.Figure1(results))
-		fmt.Println()
-		fmt.Println("Table 1: ratio steps/nodes as a function of the number of nodes k")
-		fmt.Print(harness.Table1(results))
-		fmt.Println()
-		fmt.Println("Raw data (CSV):")
-		fmt.Print(harness.CSV(results))
-	}
-	return nil
-}
-
-func runSingle(opts options) error {
-	sys, err := harness.SystemByName(opts.protocol)
-	if err != nil {
-		return err
-	}
-	src := rng.NewStream(opts.seed, "macsim-run", sys.Name(), fmt.Sprint(opts.k))
-	steps, err := sys.Run(opts.k, src)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s: k=%d solved in %d slots (ratio %.2f, analysis %s)\n",
-		sys.Name(), opts.k, steps, float64(steps)/float64(opts.k), sys.AnalysisRatio(opts.k))
 	return nil
 }
 
@@ -351,125 +581,6 @@ func parseLambdas(flagValue string) ([]float64, error) {
 		lambdas = append(lambdas, l)
 	}
 	return lambdas, nil
-}
-
-// runThroughput sweeps offered load λ over the dynamic-arrival protocol
-// lineup and reports sustained throughput, latency quantiles and peak
-// backlog per (protocol, λ).
-func runThroughput(opts options) error {
-	shape, err := throughput.ParseShape(opts.shape)
-	if err != nil {
-		return err
-	}
-	if opts.messages <= 0 {
-		return fmt.Errorf("-messages must be > 0, got %d", opts.messages)
-	}
-	lambdas, err := parseLambdas(opts.lambdas)
-	if err != nil {
-		return err
-	}
-	cfg := throughput.Config{
-		Lambdas:  lambdas,
-		Messages: opts.messages,
-		Runs:     opts.runs,
-		Seed:     opts.seed,
-		Shape:    shape,
-	}
-	if !opts.quiet {
-		cfg.Progress = func(name string, lambda float64, run int, r dynamic.Result) {
-			status := "drained"
-			if !r.Completed {
-				status = fmt.Sprintf("saturated (%d delivered)", r.Delivered)
-			}
-			fmt.Fprintf(os.Stderr, "done %-28s λ=%-6.3g run=%-3d %s\n", name, lambda, run, status)
-		}
-	}
-	series, err := throughput.Run(throughput.DefaultProtocols(), cfg)
-	if err != nil {
-		return err
-	}
-	switch opts.out {
-	case "csv":
-		fmt.Print(throughput.CSV(series))
-	case "plot":
-		fmt.Print(throughput.Plot(series))
-	default:
-		fmt.Printf("λ-sweep: %d messages per run, %s arrivals (* = not drained within budget)\n",
-			cfg.Messages, shape)
-		fmt.Print(throughput.Table(series))
-		fmt.Println()
-		fmt.Print(throughput.Plot(series))
-	}
-	return nil
-}
-
-// runScenario sweeps offered load under the named workload scenarios —
-// the adversarial (ρ-bounded, thundering herd, adaptive), impaired
-// (jammed) and heterogeneous (mixed-population) workloads of
-// internal/scenario, alongside the benign shapes. `-scenario all` runs
-// the whole catalog in a fixed order; output is deterministic under a
-// fixed seed (progress chatter goes to stderr).
-func runScenario(opts options) error {
-	var scns []scenario.Workload
-	if strings.EqualFold(opts.scenario, "all") {
-		scns = scenario.Catalog()
-	} else {
-		scn, err := scenario.ByName(opts.scenario)
-		if err != nil {
-			return err
-		}
-		scns = []scenario.Workload{scn}
-	}
-	if opts.messages <= 0 {
-		return fmt.Errorf("-messages must be > 0, got %d", opts.messages)
-	}
-	lambdas, err := parseLambdas(opts.lambdas)
-	if err != nil {
-		return err
-	}
-	if lambdas == nil {
-		// A compact default grid bracketing the windowed protocols'
-		// saturation knees; the full throughput grid would multiply the
-		// catalog's cost for little extra shape.
-		lambdas = []float64{0.1, 0.2, 0.3}
-	}
-	for i, scn := range scns {
-		cfg := throughput.Config{
-			Lambdas:  lambdas,
-			Messages: opts.messages,
-			Runs:     opts.runs,
-			Seed:     opts.seed,
-			Scenario: scn,
-		}
-		if !opts.quiet {
-			cfg.Progress = func(name string, lambda float64, run int, r dynamic.Result) {
-				status := "drained"
-				if !r.Completed {
-					status = fmt.Sprintf("saturated (%d delivered)", r.Delivered)
-				}
-				fmt.Fprintf(os.Stderr, "done %-10s %-28s λ=%-6.3g run=%-3d %s\n", scn.Name, name, lambda, run, status)
-			}
-		}
-		series, err := throughput.Run(throughput.DefaultProtocols(), cfg)
-		if err != nil {
-			return fmt.Errorf("scenario %s: %w", scn.Name, err)
-		}
-		if i > 0 {
-			fmt.Println()
-		}
-		switch opts.out {
-		case "csv":
-			fmt.Printf("# scenario: %s\n", scn.Name)
-			fmt.Print(throughput.CSV(series))
-		case "plot":
-			fmt.Printf("scenario: %s\n", scn.Name)
-			fmt.Print(throughput.Plot(series))
-		default:
-			fmt.Printf("scenario: %s (%d messages per run, * = not drained within budget)\n", scn.Name, opts.messages)
-			fmt.Print(throughput.Table(series))
-		}
-	}
-	return nil
 }
 
 // runAblationOFA sweeps One-Fail Adaptive's δ across its admissible range.

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"strings"
 	"testing"
+
+	mac "repro"
 )
 
 // capture runs fn with stdout redirected and returns what it printed.
@@ -289,5 +292,214 @@ func TestRunThroughputRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"throughput", "-lambdas", "0.1,zap", "-quiet"}); err == nil {
 		t.Fatal("malformed -lambdas accepted")
+	}
+}
+
+// TestRunSolveJSONGolden pins `macsim solve -json` to the checked-in
+// golden document — the exact bytes POST /v1/solve would cache and
+// serve for the same experiment, so the two codecs cannot drift.
+func TestRunSolveJSONGolden(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"solve", "-json", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/solve_json_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatalf("solve -json diverges from testdata/solve_json_golden.txt:\ngot:  %swant: %s", out, golden)
+	}
+	// The run/solve aliases are one experiment.
+	viaRun, err := capture(t, func() error {
+		return run([]string{"-experiment", "run", "-json", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaRun != out {
+		t.Fatalf("run and solve aliases diverge:\n%s\n%s", viaRun, out)
+	}
+}
+
+// TestRunSolveStream: -stream emits NDJSON progress events plus the
+// terminal record, using the HTTP API's codecs.
+func TestRunSolveStream(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"solve", "-k", "200", "-stream", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("stream lines = %d, want 2:\n%s", len(lines), out)
+	}
+	var progress mac.SweepProgress
+	if err := json.Unmarshal([]byte(lines[0]), &progress); err != nil {
+		t.Fatal(err)
+	}
+	if progress.Event != "progress" || progress.K != 200 || progress.Slots == 0 {
+		t.Fatalf("unexpected progress line %+v", progress)
+	}
+	var end mac.StreamEnd
+	if err := json.Unmarshal([]byte(lines[1]), &end); err != nil {
+		t.Fatal(err)
+	}
+	if end.Event != "done" || end.Status != "done" || len(end.Result) == 0 {
+		t.Fatalf("unexpected terminal line %+v", end)
+	}
+	var doc mac.SolveResult
+	if err := json.Unmarshal(end.Result, &doc); err != nil || doc.Slots != progress.Slots {
+		t.Fatalf("terminal result %+v does not match progress %+v (%v)", doc, progress, err)
+	}
+}
+
+// TestRunThroughputJSON: the λ-sweep's -json document carries the same
+// series the text renderers draw.
+func TestRunThroughputJSON(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"throughput", "-lambdas", "0.1", "-messages", "150",
+			"-runs", "1", "-json", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc mac.ThroughputResult
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Scenario != "poisson" || len(doc.Series) == 0 || len(doc.Series[0].Points) != 1 {
+		t.Fatalf("unexpected throughput document %+v", doc)
+	}
+}
+
+// TestSpecKeyParityAcrossFrontEnds is the three-front-end half of the
+// canonical-key satellite: the identical experiment expressed via CLI
+// flags (real flag parsing), a library struct, and the HTTP JSON body
+// must hash to byte-identical cache keys. Float formatting cases
+// (0.2 vs 0.20) ride on the -lambdas flag.
+func TestSpecKeyParityAcrossFrontEnds(t *testing.T) {
+	key := func(t *testing.T, es mac.ExperimentSpec) string {
+		t.Helper()
+		if err := es.Validate(mac.Limits{}); err != nil {
+			t.Fatal(err)
+		}
+		k, err := es.CanonicalKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	cliSpec := func(t *testing.T, args []string) mac.ExperimentSpec {
+		t.Helper()
+		opts, err := parseOptions(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch opts.experiment {
+		case "solve", "run":
+			return solveSpec(opts)
+		case "table1", "figure1", "paper":
+			return evaluateSpec(opts)
+		case "throughput":
+			es, err := throughputSpec(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return es
+		case "scenario":
+			es, err := scenarioSpec(opts, opts.scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return es
+		}
+		t.Fatalf("experiment %q has no spec", opts.experiment)
+		return mac.ExperimentSpec{}
+	}
+	cases := []struct {
+		name    string
+		cliArgs []string
+		library mac.ExperimentSpec
+		kind    mac.ExperimentKind
+		http    string
+	}{
+		{
+			name:    "solve via alias and defaults",
+			cliArgs: []string{"solve", "-protocol", "ofa", "-k", "500", "-seed", "7"},
+			library: mac.SolveExperiment(mac.SolveSpec{Protocol: mac.ProtocolSpec{Name: "one-fail"}, K: 500, Seed: 7}),
+			kind:    mac.KindSolve,
+			http:    `{"protocol":"one-fail","k":500,"seed":7}`,
+		},
+		{
+			name:    "throughput with float formatting 0.2 vs 0.20",
+			cliArgs: []string{"throughput", "-lambdas", "0.10,0.20", "-messages", "300", "-runs", "2", "-seed", "9", "-shape", "burst"},
+			library: mac.ThroughputExperiment(mac.ThroughputSpec{Shape: "bursty", Lambdas: []float64{0.1, 0.2}, Messages: 300, Runs: 2, Seed: 9}),
+			kind:    mac.KindThroughput,
+			http:    `{"shape":"bursty","lambdas":[0.1,0.2],"messages":300,"runs":2,"seed":9}`,
+		},
+		{
+			name:    "scenario herd",
+			cliArgs: []string{"scenario", "-scenario", "herd", "-lambdas", "0.1", "-messages", "120", "-runs", "1", "-seed", "9"},
+			library: mac.ScenarioExperiment(mac.ThroughputSpec{Scenario: "herd", Lambdas: []float64{0.1}, Messages: 120, Runs: 1, Seed: 9}),
+			kind:    mac.KindScenario,
+			http:    `{"scenario":"herd","lambdas":[0.10],"messages":120,"runs":1,"seed":9}`,
+		},
+		{
+			name:    "evaluate sweep",
+			cliArgs: []string{"table1", "-maxexp", "3", "-runs", "4", "-seed", "2"},
+			library: mac.EvaluateExperiment(mac.EvaluateSpec{MaxExp: 3, Runs: 4, Seed: 2}),
+			kind:    mac.KindEvaluate,
+			http:    `{"maxExp":3,"runs":4,"seed":2}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cliKey := key(t, cliSpec(t, tc.cliArgs))
+			libKey := key(t, tc.library)
+			decoded, err := mac.DecodeExperiment(tc.kind, []byte(tc.http))
+			if err != nil {
+				t.Fatal(err)
+			}
+			httpKey := key(t, decoded)
+			if cliKey != libKey || libKey != httpKey {
+				t.Fatalf("keys diverge:\ncli:  %s\nlib:  %s\nhttp: %s", cliKey, libKey, httpKey)
+			}
+		})
+	}
+}
+
+// TestRunJSONUnsupportedExperiments: -json is only meaningful for the
+// spec-backed experiments; simulator-level ones still run (text only).
+func TestRunScenarioJSONEmitsNDJSON(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"scenario", "-scenario", "rho", "-lambdas", "0.1",
+			"-messages", "100", "-runs", "1", "-json", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc mac.ThroughputResult
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Scenario != "rho" {
+		t.Fatalf("scenario document names %q", doc.Scenario)
+	}
+}
+
+func TestRunJSONRejectedForNonSpecExperiments(t *testing.T) {
+	for _, args := range [][]string{
+		{"trace", "-json", "-k", "3"},
+		{"cd", "-stream"},
+		{"ablation-ofa", "-json"},
+	} {
+		err := run(args)
+		if err == nil || !strings.Contains(err.Error(), "spec-backed") {
+			t.Fatalf("%v: err = %v, want spec-backed rejection", args, err)
+		}
 	}
 }

@@ -16,6 +16,19 @@
 //	steps, err := p.Solve(1000, 42)       // k = 1000 contenders, seed 42
 //	fmt.Println(float64(steps) / 1000)    // ≈ 7.4, Table 1's OFA ratio
 //
+// # One API, three front ends
+//
+// Every experiment is a declarative ExperimentSpec executed by Run —
+// the same description, validation, canonical cache key and result
+// codecs behind this library, the macsim CLI and the macsimd HTTP API:
+//
+//	exec, err := mac.Run(ctx, mac.SolveExperiment(mac.SolveSpec{K: 100000, Seed: 42}))
+//	for ev, err := range exec.Events() { ... }   // typed streaming progress
+//	res, err := exec.Result()                    // the /v1/solve result document
+//
+// Canceling ctx aborts the simulation work promptly — the first
+// cancellation path the simulators have had.
+//
 // # Reproducing the paper's evaluation
 //
 //	res, err := mac.Evaluate(mac.PaperProtocols(), mac.EvalConfig{MaxExp: 5})

@@ -1,8 +1,11 @@
 package mac
 
 import (
+	"context"
+
 	"repro/internal/protocol"
 	"repro/internal/scenario"
+	"repro/internal/spec"
 	"repro/internal/throughput"
 )
 
@@ -93,12 +96,25 @@ func DynamicProtocols() []DynamicProtocol { return throughput.DefaultProtocols()
 // loads — the dynamic (§6 future work) counterpart of Evaluate. A nil or
 // empty protocols slice evaluates DynamicProtocols(). Windowed protocols
 // run on the event-driven engine and scale to millions of messages per
-// execution.
+// execution. It is a compatibility wrapper over Run: the same sweep is
+// reachable as a ThroughputExperiment or ScenarioExperiment spec, with
+// streaming progress and cancellation.
 func EvaluateDynamic(protocols []DynamicProtocol, cfg DynamicConfig) ([]DynamicResult, error) {
 	if len(protocols) == 0 {
 		protocols = throughput.DefaultProtocols()
 	}
-	return throughput.Run(protocols, cfg)
+	exec, err := Run(context.Background(), spec.ForThroughput(spec.ThroughputSpec{
+		Lineup: protocols,
+		Config: &cfg,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Result()
+	if err != nil {
+		return nil, err
+	}
+	return res.Dynamic(), nil
 }
 
 // ThroughputTable renders a dynamic evaluation as a Markdown table with

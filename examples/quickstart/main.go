@@ -1,10 +1,14 @@
 // Quickstart: solve a static k-selection instance with the paper's two
-// protocols and compare the measured cost against the analysis.
+// protocols through the declarative spec API — the same description,
+// execution path and result document the CLI (`macsim solve`) and the
+// HTTP API (POST /v1/solve) use — and compare the measured cost against
+// the analysis.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,21 +18,23 @@ import (
 func main() {
 	const k = 1000 // contenders, unknown to the protocols
 
-	ofa, err := mac.OneFailAdaptive() // δ = 2.72, the paper's choice
-	if err != nil {
-		log.Fatal(err)
-	}
-	ebb, err := mac.ExpBackonBackoff() // δ = 0.366
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	for _, p := range []mac.Protocol{ofa, ebb} {
-		steps, err := p.Solve(k, 42)
+	for _, name := range []string{"one-fail", "exp-bb"} {
+		// One declarative spec per experiment; mac.Run validates it,
+		// executes it with cancellation support, and streams progress.
+		exec, err := mac.Run(context.Background(), mac.SolveExperiment(mac.SolveSpec{
+			Protocol: mac.ProtocolSpec{Name: name},
+			K:        k,
+			Seed:     42,
+		}))
 		if err != nil {
 			log.Fatal(err)
 		}
+		res, err := exec.Result()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := res.Solve // the exact document /v1/solve would cache and serve
 		fmt.Printf("%-22s delivered %d messages in %d slots (ratio %.2f, analysis %s)\n",
-			p.Name(), k, steps, float64(steps)/k, p.AnalysisRatio(k))
+			r.System, r.K, r.Slots, r.Ratio, r.Analysis)
 	}
 }

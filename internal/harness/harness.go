@@ -10,6 +10,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -206,6 +207,18 @@ type SeriesResult struct {
 // Run executes the sweep over the given systems and returns one
 // SeriesResult per system, in input order.
 func (s Sweep) Run(systems []System) ([]SeriesResult, error) {
+	return s.RunContext(context.Background(), systems)
+}
+
+// RunContext is Run with cancellation: once ctx is canceled no further
+// run starts — workers drain the queued jobs without simulating and the
+// producer stops enqueueing — and ctx's error is returned. Runs already
+// executing finish (a single run is not interruptible); with the usual
+// many-runs grids cancellation therefore takes effect within one run.
+func (s Sweep) RunContext(ctx context.Context, systems []System) ([]SeriesResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ks := s.Ks
 	if len(ks) == 0 {
 		ks = PaperKs(5)
@@ -241,6 +254,11 @@ func (s Sweep) Run(systems []System) ([]SeriesResult, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				// After cancellation, drain the remaining jobs without
+				// burning their (potentially minutes-long) budgets.
+				if ctx.Err() != nil {
+					continue
+				}
 				sys := systems[j.sys]
 				k := results[j.sys].Cells[j.kIdx].K
 				src := rng.NewStream(s.Seed, sys.Name(), fmt.Sprint(k), fmt.Sprint(j.run))
@@ -265,15 +283,23 @@ func (s Sweep) Run(systems []System) ([]SeriesResult, error) {
 		}()
 	}
 	// Schedule the largest k first so the long runs are not left for last.
+enqueue:
 	for kIdx := len(ks) - 1; kIdx >= 0; kIdx-- {
 		for sysIdx := range systems {
 			for run := 0; run < runs; run++ {
-				jobs <- job{sys: sysIdx, kIdx: kIdx, run: run}
+				select {
+				case jobs <- job{sys: sysIdx, kIdx: kIdx, run: run}:
+				case <-ctx.Done():
+					break enqueue
+				}
 			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -294,5 +296,93 @@ func TestProgressNotSerialized(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("Sweep.Run deadlocked: Progress callbacks are serialized under the results mutex")
+	}
+}
+
+// TestSweepRunContextCancel is the regression test for cancellation
+// mid-k: once the context is canceled, workers must stop starting
+// queued runs (at most the in-flight ones finish) and the sweep must
+// return ctx.Err(). Run under -race in CI, it also guards the
+// cancel-vs-worker interleaving.
+func TestSweepRunContextCancel(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const par, totalRuns = 4, 400
+	var runs atomic.Int32
+	s := Sweep{
+		Ks:          []int{32},
+		Runs:        totalRuns,
+		Seed:        1,
+		Parallelism: par,
+		Progress: func(string, int, int, uint64) {
+			if runs.Add(1) == 3 {
+				cancel()
+			}
+		},
+	}
+	results, err := s.RunContext(ctx, PaperSystems()[2:3])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext after cancel = (%v, %v), want context.Canceled", results, err)
+	}
+	// After the cancel at run 3, each of the par workers may finish the
+	// run it already dequeued, plus a small scheduling slack — but the
+	// bulk of the 400 queued runs must never start.
+	if n := runs.Load(); n > 3+2*par {
+		t.Fatalf("%d runs executed after cancellation at run 3 (parallelism %d)", n, par)
+	}
+}
+
+// TestSweepRunContextDone: an already-canceled context aborts before
+// any simulation starts.
+func TestSweepRunContextDone(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var runs atomic.Int32
+	s := Sweep{Ks: []int{8}, Runs: 4, Seed: 1, Progress: func(string, int, int, uint64) { runs.Add(1) }}
+	if _, err := s.RunContext(ctx, PaperSystems()[:1]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if runs.Load() != 0 {
+		t.Fatalf("%d runs executed under a canceled context", runs.Load())
+	}
+}
+
+func TestSystemBySpecParams(t *testing.T) {
+	t.Parallel()
+	// No params resolves exactly like SystemByName.
+	plain, err := SystemBySpec("ofa", nil)
+	if err != nil || plain.Name() != "One-Fail Adaptive" {
+		t.Fatalf("SystemBySpec(ofa) = %v, %v", plain, err)
+	}
+	// The default-valued param keeps the plain name (and therefore the
+	// same rng streams and cache keys).
+	def, err := SystemBySpec("one-fail", map[string]float64{"delta": 2.72})
+	if err != nil || def.Name() != "One-Fail Adaptive" {
+		t.Fatalf("default delta renamed the system: %v, %v", def, err)
+	}
+	over, err := SystemBySpec("one-fail", map[string]float64{"delta": 2.9})
+	if err != nil || !strings.Contains(over.Name(), "δ=2.9") {
+		t.Fatalf("override delta = %v, %v", over, err)
+	}
+	if _, err := SystemBySpec("one-fail", map[string]float64{"delta": 1.0}); err == nil {
+		t.Fatal("out-of-range delta accepted")
+	}
+	if _, err := SystemBySpec("one-fail", map[string]float64{"zap": 1}); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	if _, err := SystemBySpec("nope", nil); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	// The ξt override reproduces the other paper row's name.
+	lfa, err := SystemBySpec("log-fails-2", map[string]float64{"xi_t": 0.1})
+	if err != nil || lfa.Name() != "Log-Fails Adaptive (10)" {
+		t.Fatalf("xi_t override = %v, %v", lfa, err)
+	}
+	// The r override names exponential backoff like the library does.
+	beb, err := SystemBySpec("exp-backoff", map[string]float64{"r": 3})
+	if err != nil || beb.Name() != "Exponential Backoff (r=3)" {
+		t.Fatalf("r override = %v, %v", beb, err)
 	}
 }

@@ -2,76 +2,271 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/baseline"
+	"repro/internal/core"
 	"repro/internal/protocol"
 )
 
 // NamedSystem pairs a protocol configuration with the canonical name and
-// short alias under which the CLI (`macsim -protocol`) and the serving
-// API (`macsimd /v1/solve`) resolve it. New returns a fresh System; the
-// paper systems are stateless between runs, so sharing one instance per
-// call site is also fine.
+// short alias under which the CLI (`macsim -protocol`), the spec layer
+// (spec.ProtocolSpec) and the serving API (`macsimd /v1/solve`) resolve
+// it. New returns a fresh System with the registry defaults; NewWith,
+// when non-nil, constructs one with parameter overrides. The paper
+// systems are stateless between runs, so sharing one instance per call
+// site is also fine.
 type NamedSystem struct {
 	// Name is the canonical lookup name, e.g. "one-fail".
 	Name string
 	// Alias is the short form, e.g. "ofa".
 	Alias string
-	// New constructs the system.
+	// New constructs the system with its registry defaults.
 	New func() System
+	// NewWith constructs the system with parameter overrides (missing
+	// keys fall back to the defaults); nil means the configuration takes
+	// no parameters. Constructors validate their parameters by probing a
+	// protocol instance, so a bad value fails here rather than mid-run.
+	NewWith func(params map[string]float64) (System, error)
+	// Defaults maps each accepted parameter key to the value New uses,
+	// so callers that canonicalize (the spec layer's cache keys) can
+	// drop explicitly-spelled defaults.
+	Defaults map[string]float64
 }
 
-// NamedSystems returns the registry behind SystemByName: the five paper
-// configurations plus classic binary exponential back-off. The slice is
-// freshly allocated; callers may reorder it.
-func NamedSystems() []NamedSystem {
-	return []NamedSystem{
-		{Name: "one-fail", Alias: "ofa", New: func() System { return PaperSystems()[2] }},
-		{Name: "exp-bb", Alias: "ebb", New: func() System { return PaperSystems()[3] }},
-		{Name: "log-fails-2", Alias: "lfa-2", New: func() System { return PaperSystems()[0] }},
-		{Name: "log-fails-10", Alias: "lfa-10", New: func() System { return PaperSystems()[1] }},
-		{Name: "loglog-iterated", Alias: "llib", New: func() System { return PaperSystems()[4] }},
-		{Name: "exp-backoff", Alias: "beb", New: func() System {
-			return NewWindowSystem("Exponential Backoff (r=2)",
-				func(int) string { return "Θ(k·log k) total" },
-				func(int) (protocol.Schedule, error) { return baseline.NewExponentialBackoff(2) })
-		}},
+// checkParams rejects parameter keys the configuration does not take.
+func checkParams(params map[string]float64, allowed ...string) error {
+	for key := range params {
+		ok := false
+		for _, a := range allowed {
+			if key == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			keys := make([]string, 0, len(params))
+			for k := range params {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			return fmt.Errorf("unknown protocol parameter %q in %v (valid: %s)",
+				key, keys, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}
+
+// param reads an override, falling back to the default.
+func param(params map[string]float64, key string, def float64) float64 {
+	if v, ok := params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// newOneFail builds One-Fail Adaptive at the given δ (the paper's
+// evaluation uses 2.72), named plainly at the default so rng streams
+// and cache keys are stable across spellings.
+func newOneFail(d float64) (System, error) {
+	if _, err := core.NewOneFailAdaptive(d); err != nil {
+		return nil, err
+	}
+	name := "One-Fail Adaptive"
+	if d != core.DefaultOFADelta {
+		name = fmt.Sprintf("One-Fail Adaptive (δ=%v)", d)
+	}
+	return NewFairSystem(name, fixedRatio(analysis.OFARatio(d)),
+		func(int) (protocol.Controller, error) { return core.NewOneFailAdaptive(d) }), nil
+}
+
+// newExpBB builds Exp Back-on/Back-off at the given δ (the evaluation
+// uses 0.366).
+func newExpBB(d float64) (System, error) {
+	if _, err := core.NewExpBackonBackoff(d); err != nil {
+		return nil, err
+	}
+	name := "Exp Back-on/Back-off"
+	if d != core.DefaultEBBDelta {
+		name = fmt.Sprintf("Exp Back-on/Back-off (δ=%v)", d)
+	}
+	return NewWindowSystem(name, fixedRatio(analysis.EBBRatio(d)),
+		func(int) (protocol.Schedule, error) { return core.NewExpBackonBackoff(d) }), nil
+}
+
+// newLogFails builds the Log-Fails Adaptive baseline with the given
+// BT-step fraction ξt (the paper evaluates 1/2 and 1/10); ε = 1/(k+1)
+// is derived per instance.
+func newLogFails(xiT float64) (System, error) {
+	if _, err := baseline.NewLogFailsAdaptive(0.5, xiT); err != nil {
+		return nil, err
+	}
+	return NewFairSystem(fmt.Sprintf("Log-Fails Adaptive (%d)", int(1/xiT)),
+		fixedRatio(analysis.LFARatio(baseline.DefaultLFAXiDelta, baseline.DefaultLFAXiBeta, xiT)),
+		func(k int) (protocol.Controller, error) {
+			return baseline.NewLogFailsAdaptive(1/(float64(k)+1), xiT)
+		}), nil
+}
+
+// newLoglogIterated builds Loglog-Iterated Back-off with growth base r
+// (the paper simulates r = 2).
+func newLoglogIterated(r float64) (System, error) {
+	if _, err := baseline.NewLoglogIteratedBackoff(r); err != nil {
+		return nil, err
+	}
+	return NewWindowSystem("Loglog-Iterated Backoff",
+		func(int) string { return "Θ(loglog k/logloglog k)" },
+		func(int) (protocol.Schedule, error) { return baseline.NewLoglogIteratedBackoff(r) }), nil
+}
+
+// newExpBackoff builds classic monotone r-exponential back-off.
+func newExpBackoff(r float64) (System, error) {
+	if _, err := baseline.NewExponentialBackoff(r); err != nil {
+		return nil, err
+	}
+	return NewWindowSystem(fmt.Sprintf("Exponential Backoff (r=%v)", r),
+		func(int) string { return "Θ(k·log k) total" },
+		func(int) (protocol.Schedule, error) { return baseline.NewExponentialBackoff(r) }), nil
+}
+
+// withDelta adapts a δ-parameterized constructor into NewWith.
+func withDelta(build func(float64) (System, error), def float64) func(map[string]float64) (System, error) {
+	return func(params map[string]float64) (System, error) {
+		if err := checkParams(params, "delta"); err != nil {
+			return nil, err
+		}
+		return build(param(params, "delta", def))
 	}
 }
 
+// withR adapts a base-parameterized constructor into NewWith.
+func withR(build func(float64) (System, error), def float64) func(map[string]float64) (System, error) {
+	return func(params map[string]float64) (System, error) {
+		if err := checkParams(params, "r"); err != nil {
+			return nil, err
+		}
+		return build(param(params, "r", def))
+	}
+}
+
+// withXiT adapts the LFA ξt-parameterized constructor into NewWith.
+func withXiT(def float64) func(map[string]float64) (System, error) {
+	return func(params map[string]float64) (System, error) {
+		if err := checkParams(params, "xi_t"); err != nil {
+			return nil, err
+		}
+		return newLogFails(param(params, "xi_t", def))
+	}
+}
+
+// NamedSystems returns the registry behind SystemByName and
+// SystemBySpec: the five paper configurations plus classic binary
+// exponential back-off. The slice is freshly allocated; callers may
+// reorder it.
+func NamedSystems() []NamedSystem {
+	return []NamedSystem{
+		{Name: "one-fail", Alias: "ofa", New: func() System { return PaperSystems()[2] },
+			NewWith:  withDelta(newOneFail, core.DefaultOFADelta),
+			Defaults: map[string]float64{"delta": core.DefaultOFADelta}},
+		{Name: "exp-bb", Alias: "ebb", New: func() System { return PaperSystems()[3] },
+			NewWith:  withDelta(newExpBB, core.DefaultEBBDelta),
+			Defaults: map[string]float64{"delta": core.DefaultEBBDelta}},
+		{Name: "log-fails-2", Alias: "lfa-2", New: func() System { return PaperSystems()[0] },
+			NewWith:  withXiT(0.5),
+			Defaults: map[string]float64{"xi_t": 0.5}},
+		{Name: "log-fails-10", Alias: "lfa-10", New: func() System { return PaperSystems()[1] },
+			NewWith:  withXiT(0.1),
+			Defaults: map[string]float64{"xi_t": 0.1}},
+		{Name: "loglog-iterated", Alias: "llib", New: func() System { return PaperSystems()[4] },
+			NewWith:  withR(newLoglogIterated, baseline.DefaultLLIBBase),
+			Defaults: map[string]float64{"r": baseline.DefaultLLIBBase}},
+		{Name: "exp-backoff", Alias: "beb", New: func() System {
+			sys, _ := newExpBackoff(2)
+			return sys
+		},
+			NewWith:  withR(newExpBackoff, 2),
+			Defaults: map[string]float64{"r": 2}},
+	}
+}
+
+// registry is the memoized lookup table behind lookup, SystemNames and
+// DefaultParams: resolution runs on the server's per-request admission
+// path (2-3 lookups per protocol before the cache is consulted), so it
+// must not rebuild the entry slice — with its closures and Defaults
+// maps — on every call. Read-only after init.
+var registry = NamedSystems()
+
+// DefaultParams returns the registry defaults for a protocol's accepted
+// parameters (nil for unknown names or parameterless configurations) —
+// the table behind the spec layer's explicit-default canonicalization.
+// The returned map is shared and must not be mutated.
+func DefaultParams(name string) map[string]float64 {
+	n, err := lookup(name)
+	if err != nil {
+		return nil
+	}
+	return n.Defaults
+}
+
 // SystemNames returns the canonical names of NamedSystems, in registry
-// order.
+// order. The slice is freshly allocated.
 func SystemNames() []string {
-	reg := NamedSystems()
-	names := make([]string, len(reg))
-	for i, n := range reg {
+	names := make([]string, len(registry))
+	for i, n := range registry {
 		names[i] = n.Name
 	}
 	return names
 }
 
+// lookup resolves a registry entry by canonical name or alias
+// (case-insensitive), allocation-free on the hit path.
+func lookup(name string) (NamedSystem, error) {
+	lower := strings.ToLower(name)
+	for _, n := range registry {
+		if lower == n.Name || lower == n.Alias {
+			return n, nil
+		}
+	}
+	return NamedSystem{}, fmt.Errorf("unknown protocol %q (valid: %s)", name, strings.Join(SystemNames(), ", "))
+}
+
 // SystemByName resolves a protocol configuration by canonical name or
 // alias (case-insensitive); unknown names error listing the valid ones.
 func SystemByName(name string) (System, error) {
-	lower := strings.ToLower(name)
-	for _, n := range NamedSystems() {
-		if lower == n.Name || lower == n.Alias {
-			return n.New(), nil
-		}
+	n, err := lookup(name)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("unknown protocol %q (valid: %s)", name, strings.Join(SystemNames(), ", "))
+	return n.New(), nil
+}
+
+// SystemBySpec resolves a protocol configuration by name or alias with
+// parameter overrides — the resolver behind spec.ProtocolSpec. Without
+// parameters it is SystemByName; with them the entry's NewWith
+// validates the keys and values.
+func SystemBySpec(name string, params map[string]float64) (System, error) {
+	n, err := lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(params) == 0 {
+		return n.New(), nil
+	}
+	if n.NewWith == nil {
+		return nil, fmt.Errorf("protocol %q takes no parameters", n.Name)
+	}
+	return n.NewWith(params)
 }
 
 // CanonicalSystemName maps a name or alias (case-insensitive) to the
 // registry's canonical name, so callers that key caches by protocol
 // resolve "ofa" and "one-fail" to the same entry.
 func CanonicalSystemName(name string) (string, error) {
-	lower := strings.ToLower(name)
-	for _, n := range NamedSystems() {
-		if lower == n.Name || lower == n.Alias {
-			return n.Name, nil
-		}
+	n, err := lookup(name)
+	if err != nil {
+		return "", err
 	}
-	return "", fmt.Errorf("unknown protocol %q (valid: %s)", name, strings.Join(SystemNames(), ", "))
+	return n.Name, nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"repro/internal/spec"
 )
 
 func TestCacheGetPut(t *testing.T) {
@@ -83,12 +85,12 @@ func TestCacheConcurrent(t *testing.T) {
 }
 
 func TestCanonicalKeyStability(t *testing.T) {
-	norm := func(t *testing.T, spec jobSpec) string {
+	norm := func(t *testing.T, es spec.ExperimentSpec) string {
 		t.Helper()
-		if err := spec.normalize(Limits{}.withDefaults()); err != nil {
+		if err := es.Validate(limitsWithDefaults(Limits{})); err != nil {
 			t.Fatal(err)
 		}
-		key, err := canonicalKey(spec)
+		key, err := es.CanonicalKey()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,29 +99,31 @@ func TestCanonicalKeyStability(t *testing.T) {
 
 	// Alias and canonical name hash identically; so do implicit and
 	// explicit defaults.
-	a := norm(t, &solveRequest{Protocol: "ofa", K: 500, Seed: 7})
-	b := norm(t, &solveRequest{Protocol: "one-fail", K: 500, Seed: 7})
+	a := norm(t, spec.ForSolve(spec.SolveSpec{Protocol: spec.ProtocolSpec{Name: "ofa"}, K: 500, Seed: 7}))
+	b := norm(t, spec.ForSolve(spec.SolveSpec{Protocol: spec.ProtocolSpec{Name: "one-fail"}, K: 500, Seed: 7}))
 	if a != b {
 		t.Fatal("alias and canonical name hash differently")
 	}
-	c := norm(t, &solveRequest{})
-	d := norm(t, &solveRequest{Protocol: "one-fail", K: 1000, Seed: 1})
+	c := norm(t, spec.ForSolve(spec.SolveSpec{}))
+	d := norm(t, spec.ForSolve(spec.SolveSpec{Protocol: spec.ProtocolSpec{Name: "one-fail"}, K: 1000, Seed: 1}))
 	if c != d {
 		t.Fatal("defaults and explicit defaults hash differently")
 	}
 
 	// Different parameters and different kinds must not collide.
-	if x, y := norm(t, &solveRequest{Seed: 2}), norm(t, &solveRequest{Seed: 3}); x == y {
+	x := norm(t, spec.ForSolve(spec.SolveSpec{Seed: 2}))
+	y := norm(t, spec.ForSolve(spec.SolveSpec{Seed: 3}))
+	if x == y {
 		t.Fatal("different seeds collide")
 	}
-	tp := norm(t, &throughputRequest{Lambdas: []float64{0.1}, Messages: 100, Runs: 1})
-	sc := norm(t, &scenarioRequest{throughputRequest{Lambdas: []float64{0.1}, Messages: 100, Runs: 1}})
+	tp := norm(t, spec.ForThroughput(spec.ThroughputSpec{Lambdas: []float64{0.1}, Messages: 100, Runs: 1}))
+	sc := norm(t, spec.ForScenario(spec.ThroughputSpec{Lambdas: []float64{0.1}, Messages: 100, Runs: 1}))
 	if tp == sc {
 		t.Fatal("throughput and scenario kinds collide")
 	}
 	// Shape aliases canonicalize before hashing.
-	s1 := norm(t, &throughputRequest{Shape: "burst"})
-	s2 := norm(t, &throughputRequest{Shape: "bursty"})
+	s1 := norm(t, spec.ForThroughput(spec.ThroughputSpec{Shape: "burst"}))
+	s2 := norm(t, spec.ForThroughput(spec.ThroughputSpec{Shape: "bursty"}))
 	if s1 != s2 {
 		t.Fatal("shape aliases hash differently")
 	}

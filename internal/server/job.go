@@ -1,9 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/spec"
 )
 
 // JobStatus is a job's lifecycle state.
@@ -11,23 +15,31 @@ type JobStatus string
 
 // Job lifecycle states, in order.
 const (
-	StatusQueued  JobStatus = "queued"
-	StatusRunning JobStatus = "running"
-	StatusDone    JobStatus = "done"
-	StatusFailed  JobStatus = "failed"
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
 )
 
 // terminal reports whether the status is final.
-func (s JobStatus) terminal() bool { return s == StatusDone || s == StatusFailed }
+func (s JobStatus) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
 
 // job is one queued simulation. The result bytes are immutable once set;
 // progress events accumulate append-only so any number of NDJSON
-// streamers can replay from the start and then follow live.
+// streamers can replay from the start and then follow live. The job's
+// context governs its simulation work: cancel aborts a queued job
+// before it starts and stops a running one mid-sweep.
 type job struct {
 	id   string
 	kind string
 	key  string // canonical request hash; also the cache key
-	spec jobSpec
+	spec spec.ExperimentSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	status   JobStatus
@@ -40,12 +52,15 @@ type job struct {
 	finished time.Time
 }
 
-func newJob(id string, spec jobSpec, key string) *job {
+func newJob(id string, es spec.ExperimentSpec, key string) *job {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &job{
 		id:      id,
-		kind:    spec.kind(),
+		kind:    string(es.Kind),
 		key:     key,
-		spec:    spec,
+		spec:    es,
+		ctx:     ctx,
+		cancel:  cancel,
 		status:  StatusQueued,
 		pulse:   make(chan struct{}),
 		created: time.Now(),
@@ -75,14 +90,19 @@ func (j *job) publish(event json.RawMessage) {
 	j.broadcast()
 }
 
-// finish records the final result (on nil err) or the failure.
+// finish records the final result (on nil err), the cancellation, or
+// the failure.
 func (j *job) finish(result json.RawMessage, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err != nil {
+	switch {
+	case errors.Is(err, context.Canceled):
+		j.status = StatusCanceled
+		j.errMsg = err.Error()
+	case err != nil:
 		j.status = StatusFailed
 		j.errMsg = err.Error()
-	} else {
+	default:
 		j.status = StatusDone
 		j.result = result
 	}

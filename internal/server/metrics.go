@@ -22,8 +22,9 @@ type metrics struct {
 	refused   atomic.Int64 // bounced with 503: the server was draining
 
 	// Job outcomes.
-	jobsDone   atomic.Int64
-	jobsFailed atomic.Int64
+	jobsDone     atomic.Int64
+	jobsFailed   atomic.Int64
+	jobsCanceled atomic.Int64
 
 	// Work accounting.
 	slotsSimulated atomic.Int64 // channel slots simulated across all jobs
@@ -88,6 +89,7 @@ func (m *metrics) render(now time.Time, gauges map[string]float64) string {
 	counter("macsimd_refused_total", "submissions bounced with 503 (draining)", m.refused.Load())
 	counter("macsimd_jobs_completed_total", "jobs that finished successfully", m.jobsDone.Load())
 	counter("macsimd_jobs_failed_total", "jobs that finished with an error", m.jobsFailed.Load())
+	counter("macsimd_jobs_canceled_total", "jobs retired by DELETE /v1/jobs/{id}", m.jobsCanceled.Load())
 	counter("macsimd_steals_total", "jobs executed by a worker that stole them from another shard", m.steals.Load())
 	counter("macsimd_slots_simulated_total", "channel slots simulated across all jobs", m.slotsSimulated.Load())
 	gauge("macsimd_cache_hit_rate", "cache hits / (hits + misses)", m.hitRate())

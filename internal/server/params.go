@@ -1,45 +1,29 @@
-// Job kinds: the request schema, normalization, canonical hashing and
-// simulation runner for each of the four submit endpoints. Every kind is
-// deterministic in its normalized parameters (all randomness derives
-// from the seed), which is what makes the canonical-request-hash cache
-// sound: two requests with the same key would compute byte-identical
-// results.
+// The request layer is a thin shim over the spec layer: each submit
+// endpoint decodes its flat JSON body into a spec.ExperimentSpec of the
+// endpoint's kind, validates it against the server's limits and hashes
+// it with the spec's canonical key. All schema knowledge, defaulting,
+// validation and result codecs live in internal/spec — shared verbatim
+// with the library façade (mac.Run) and the CLI.
 
 package server
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"fmt"
-	"math"
+	"io"
+	"net/http"
 
-	"repro/internal/dynamic"
-	"repro/internal/harness"
-	"repro/internal/rng"
-	"repro/internal/scenario"
-	"repro/internal/throughput"
+	"repro/internal/spec"
 )
 
 // Limits bound what one request may ask of the simulators, so a public
-// endpoint cannot be asked for a week of CPU time.
-type Limits struct {
-	// MaxK bounds k for /v1/solve and each entry of /v1/evaluate ks
-	// (default 10'000'000 — the paper's largest size).
-	MaxK int
-	// MaxExp bounds /v1/evaluate maxExp (default 6).
-	MaxExp int
-	// MaxRuns bounds runs per point (default 10, the paper's count).
-	MaxRuns int
-	// MaxMessages bounds messages per dynamic execution (default
-	// 1'000'000).
-	MaxMessages int
-	// MaxLambdas bounds the offered-load grid length (default 16).
-	MaxLambdas int
-}
+// endpoint cannot be asked for a week of CPU time. Zero fields take the
+// serving defaults below (in the spec layer itself, zero means
+// unlimited — caps are service policy, applied here).
+type Limits = spec.Limits
 
-// withDefaults fills zero fields.
-func (l Limits) withDefaults() Limits {
+// limitsWithDefaults fills zero fields with the serving defaults:
+// MaxK 10'000'000 (the paper's largest size), MaxExp 6, MaxRuns 10
+// (the paper's count), MaxMessages 1'000'000, MaxLambdas 16, MaxKs 12.
+func limitsWithDefaults(l Limits) Limits {
 	if l.MaxK <= 0 {
 		l.MaxK = 10_000_000
 	}
@@ -55,459 +39,20 @@ func (l Limits) withDefaults() Limits {
 	if l.MaxLambdas <= 0 {
 		l.MaxLambdas = 16
 	}
+	if l.MaxKs <= 0 {
+		l.MaxKs = 12
+	}
 	return l
 }
 
-// jobSpec is one normalized, validated, hashable simulation request.
-type jobSpec interface {
-	// kind names the endpoint ("solve", "evaluate", "throughput",
-	// "scenario").
-	kind() string
-	// normalize applies defaults and validates against the limits. After
-	// normalize, marshaling the spec yields the canonical parameter
-	// encoding.
-	normalize(l Limits) error
-	// run executes the simulation, publishing progress events through
-	// publish and accounting simulated slots through addSlots; the
-	// returned value is marshaled into the job result.
-	run(publish func(any), addSlots func(uint64)) (any, error)
-}
-
-// canonicalKey hashes a normalized spec into the cache key. The struct
-// field order is fixed at compile time, so the encoding is canonical.
-func canonicalKey(spec jobSpec) (string, error) {
-	params, err := json.Marshal(spec)
+// decodeExperiment reads the request body (an empty body selects all
+// defaults) into a spec of the endpoint's kind. Unknown fields are
+// rejected by the spec decoder — a misspelled parameter must not
+// silently hash to a different (default-valued) experiment.
+func decodeExperiment(kind spec.ExperimentKind, r *http.Request) (spec.ExperimentSpec, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
 	if err != nil {
-		return "", err
+		return spec.ExperimentSpec{}, err
 	}
-	h := sha256.New()
-	h.Write([]byte(spec.kind()))
-	h.Write([]byte{0})
-	h.Write(params)
-	return hex.EncodeToString(h.Sum(nil)), nil
-}
-
-// validateLambdas applies the shared offered-load grid rules.
-func validateLambdas(lambdas []float64, l Limits) error {
-	if len(lambdas) > l.MaxLambdas {
-		return fmt.Errorf("at most %d lambdas per request, got %d", l.MaxLambdas, len(lambdas))
-	}
-	for _, v := range lambdas {
-		if !(v > 0) || math.IsInf(v, 0) {
-			return fmt.Errorf("offered load must be a finite value > 0, got %v", v)
-		}
-	}
-	return nil
-}
-
-// --- solve ---
-
-// solveRequest is the body of POST /v1/solve: one static k-selection
-// execution, mac.Protocol.Solve over HTTP.
-type solveRequest struct {
-	// Protocol is a name or alias from the named registry (default
-	// "one-fail").
-	Protocol string `json:"protocol"`
-	// K is the number of contenders (default 1000).
-	K int `json:"k"`
-	// Seed keys all channel randomness (default 1).
-	Seed uint64 `json:"seed"`
-}
-
-func (r *solveRequest) kind() string { return "solve" }
-
-func (r *solveRequest) normalize(l Limits) error {
-	if r.Protocol == "" {
-		r.Protocol = "one-fail"
-	}
-	// Canonicalize aliases ("ofa") to the registry name so both hash to
-	// the same cache key.
-	name, err := harness.CanonicalSystemName(r.Protocol)
-	if err != nil {
-		return err
-	}
-	r.Protocol = name
-	if r.K == 0 {
-		r.K = 1000
-	}
-	if r.K < 1 || r.K > l.MaxK {
-		return fmt.Errorf("k must be in [1, %d], got %d", l.MaxK, r.K)
-	}
-	if r.Seed == 0 {
-		r.Seed = 1
-	}
-	return nil
-}
-
-// solveResult is the result document of a solve job.
-type solveResult struct {
-	Protocol string  `json:"protocol"`
-	System   string  `json:"system"`
-	K        int     `json:"k"`
-	Seed     uint64  `json:"seed"`
-	Slots    uint64  `json:"slots"`
-	Ratio    float64 `json:"ratio"`
-	Analysis string  `json:"analysis"`
-}
-
-func (r *solveRequest) run(publish func(any), addSlots func(uint64)) (any, error) {
-	sys, err := harness.SystemByName(r.Protocol)
-	if err != nil {
-		return nil, err
-	}
-	// The identical stream derivation as mac.Protocol.Solve, so the API
-	// reproduces the library bit for bit.
-	steps, err := sys.Run(r.K, rng.NewStream(r.Seed, "mac.Solve", sys.Name(), fmt.Sprint(r.K)))
-	if err != nil {
-		return nil, err
-	}
-	addSlots(steps)
-	return solveResult{
-		Protocol: r.Protocol,
-		System:   sys.Name(),
-		K:        r.K,
-		Seed:     r.Seed,
-		Slots:    steps,
-		Ratio:    float64(steps) / float64(r.K),
-		Analysis: sys.AnalysisRatio(r.K),
-	}, nil
-}
-
-// --- evaluate ---
-
-// evaluateRequest is the body of POST /v1/evaluate: the paper's static
-// sweep (Table 1 / Figure 1 data), mac.Evaluate over HTTP.
-type evaluateRequest struct {
-	// Protocols lists registry names; empty means the paper's five-row
-	// lineup.
-	Protocols []string `json:"protocols,omitempty"`
-	// MaxExp selects sizes 10..10^maxExp (default 4); ignored when Ks is
-	// set.
-	MaxExp int `json:"maxExp,omitempty"`
-	// Ks overrides the size grid.
-	Ks []int `json:"ks,omitempty"`
-	// Runs is the number of averaged runs per point (default 3).
-	Runs int `json:"runs"`
-	// Seed is the master seed (default 1).
-	Seed uint64 `json:"seed"`
-}
-
-func (r *evaluateRequest) kind() string { return "evaluate" }
-
-func (r *evaluateRequest) normalize(l Limits) error {
-	for i, name := range r.Protocols {
-		canonical, err := harness.CanonicalSystemName(name)
-		if err != nil {
-			return err
-		}
-		r.Protocols[i] = canonical
-	}
-	if len(r.Ks) > 0 {
-		r.MaxExp = 0
-		if len(r.Ks) > 12 {
-			return fmt.Errorf("at most 12 ks per request, got %d", len(r.Ks))
-		}
-		for _, k := range r.Ks {
-			if k < 1 || k > l.MaxK {
-				return fmt.Errorf("ks entries must be in [1, %d], got %d", l.MaxK, k)
-			}
-		}
-	} else {
-		if r.MaxExp == 0 {
-			r.MaxExp = 4
-		}
-		if r.MaxExp < 1 || r.MaxExp > l.MaxExp {
-			return fmt.Errorf("maxExp must be in [1, %d], got %d", l.MaxExp, r.MaxExp)
-		}
-	}
-	if r.Runs == 0 {
-		r.Runs = 3
-	}
-	if r.Runs < 1 || r.Runs > l.MaxRuns {
-		return fmt.Errorf("runs must be in [1, %d], got %d", l.MaxRuns, r.Runs)
-	}
-	if r.Seed == 0 {
-		r.Seed = 1
-	}
-	return nil
-}
-
-// systems resolves the request's protocol lineup.
-func (r *evaluateRequest) systems() ([]harness.System, error) {
-	if len(r.Protocols) == 0 {
-		return harness.PaperSystems(), nil
-	}
-	out := make([]harness.System, len(r.Protocols))
-	for i, name := range r.Protocols {
-		sys, err := harness.SystemByName(name)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = sys
-	}
-	return out, nil
-}
-
-// evaluateCell is one (system, k) aggregate of an evaluate result.
-type evaluateCell struct {
-	K         int     `json:"k"`
-	Runs      int     `json:"runs"`
-	MeanSlots float64 `json:"meanSlots"`
-	Ratio     float64 `json:"ratio"`
-	Analysis  string  `json:"analysis"`
-}
-
-// evaluateSeries is one system's sweep outcome.
-type evaluateSeries struct {
-	System string         `json:"system"`
-	Cells  []evaluateCell `json:"cells"`
-}
-
-// evaluateResult is the result document of an evaluate job.
-type evaluateResult struct {
-	Seed   uint64           `json:"seed"`
-	Series []evaluateSeries `json:"series"`
-	Table1 string           `json:"table1"`
-	CSV    string           `json:"csv"`
-}
-
-// evaluateProgress is one streamed progress event.
-type evaluateProgress struct {
-	Event  string `json:"event"`
-	System string `json:"system"`
-	K      int    `json:"k"`
-	Run    int    `json:"run"`
-	Slots  uint64 `json:"slots"`
-}
-
-func (r *evaluateRequest) run(publish func(any), addSlots func(uint64)) (any, error) {
-	systems, err := r.systems()
-	if err != nil {
-		return nil, err
-	}
-	ks := r.Ks
-	if len(ks) == 0 {
-		ks = harness.PaperKs(r.MaxExp)
-	}
-	sweep := harness.Sweep{
-		Ks:   ks,
-		Runs: r.Runs,
-		Seed: r.Seed,
-		Progress: func(system string, k, run int, steps uint64) {
-			addSlots(steps)
-			publish(evaluateProgress{Event: "progress", System: system, K: k, Run: run, Slots: steps})
-		},
-	}
-	results, err := sweep.Run(systems)
-	if err != nil {
-		return nil, err
-	}
-	out := evaluateResult{
-		Seed:   r.Seed,
-		Series: make([]evaluateSeries, len(results)),
-		Table1: harness.Table1(results),
-		CSV:    harness.CSV(results),
-	}
-	for i, res := range results {
-		s := evaluateSeries{System: res.System.Name(), Cells: make([]evaluateCell, len(res.Cells))}
-		for j := range res.Cells {
-			c := &res.Cells[j]
-			s.Cells[j] = evaluateCell{
-				K:         c.K,
-				Runs:      c.Steps.N(),
-				MeanSlots: c.Steps.Mean(),
-				Ratio:     c.Ratio(),
-				Analysis:  res.System.AnalysisRatio(c.K),
-			}
-		}
-		out.Series[i] = s
-	}
-	return out, nil
-}
-
-// --- throughput / scenario ---
-
-// throughputRequest is the body of POST /v1/throughput (benign shapes)
-// and, with Scenario set, POST /v1/scenario (the full workload catalog):
-// the λ-sweep saturation experiment, mac.EvaluateDynamic over HTTP.
-type throughputRequest struct {
-	// Scenario names a catalog workload; only /v1/scenario sets it.
-	Scenario string `json:"scenario,omitempty"`
-	// Shape selects a benign arrival pattern for /v1/throughput (default
-	// "poisson"); ignored when Scenario is set.
-	Shape string `json:"shape,omitempty"`
-	// Lambdas is the offered-load grid (default 0.05, 0.1, 0.2).
-	Lambdas []float64 `json:"lambdas"`
-	// Messages per execution (default 2000).
-	Messages int `json:"messages"`
-	// Runs per (protocol, λ) point (default 2).
-	Runs int `json:"runs"`
-	// Seed is the master seed (default 1).
-	Seed uint64 `json:"seed"`
-}
-
-// scenarioRequest is the body of POST /v1/scenario: the same sweep
-// shape, selecting a catalog workload instead of a benign arrival
-// shape. A distinct type so the two endpoints hash into disjoint key
-// spaces.
-type scenarioRequest struct{ throughputRequest }
-
-func (r *throughputRequest) kind() string { return "throughput" }
-func (r *scenarioRequest) kind() string   { return "scenario" }
-
-func (r *throughputRequest) normalize(l Limits) error {
-	if r.Scenario != "" {
-		return fmt.Errorf("scenario requests go to /v1/scenario")
-	}
-	if r.Shape == "" {
-		r.Shape = "poisson"
-	}
-	shape, err := throughput.ParseShape(r.Shape)
-	if err != nil {
-		return err
-	}
-	r.Shape = shape.String() // canonicalize aliases ("burst" → "bursty")
-	return r.normalizeCommon(l)
-}
-
-func (r *scenarioRequest) normalize(l Limits) error {
-	if r.Shape != "" {
-		return fmt.Errorf("shape requests go to /v1/throughput")
-	}
-	if r.Scenario == "" {
-		r.Scenario = "poisson"
-	}
-	if _, err := scenario.ByName(r.Scenario); err != nil {
-		return err
-	}
-	return r.normalizeCommon(l)
-}
-
-func (r *throughputRequest) normalizeCommon(l Limits) error {
-	if len(r.Lambdas) == 0 {
-		r.Lambdas = []float64{0.05, 0.1, 0.2}
-	}
-	if err := validateLambdas(r.Lambdas, l); err != nil {
-		return err
-	}
-	if r.Messages == 0 {
-		r.Messages = 2000
-	}
-	if r.Messages < 1 || r.Messages > l.MaxMessages {
-		return fmt.Errorf("messages must be in [1, %d], got %d", l.MaxMessages, r.Messages)
-	}
-	if r.Runs == 0 {
-		r.Runs = 2
-	}
-	if r.Runs < 1 || r.Runs > l.MaxRuns {
-		return fmt.Errorf("runs must be in [1, %d], got %d", l.MaxRuns, r.Runs)
-	}
-	if r.Seed == 0 {
-		r.Seed = 1
-	}
-	return nil
-}
-
-// throughputPoint is one (protocol, λ) aggregate of a sweep result.
-type throughputPoint struct {
-	Lambda      float64 `json:"lambda"`
-	Throughput  float64 `json:"throughput"`
-	LatencyMean float64 `json:"latencyMean"`
-	LatencyP50  float64 `json:"latencyP50"`
-	LatencyP99  float64 `json:"latencyP99"`
-	MaxBacklog  float64 `json:"maxBacklog"`
-	Completed   int     `json:"completed"`
-	Runs        int     `json:"runs"`
-	Saturated   bool    `json:"saturated"`
-}
-
-// throughputSeries is one protocol's sweep outcome.
-type throughputSeries struct {
-	Protocol string            `json:"protocol"`
-	Points   []throughputPoint `json:"points"`
-}
-
-// throughputResult is the result document of a throughput or scenario
-// job.
-type throughputResult struct {
-	Scenario string             `json:"scenario"`
-	Seed     uint64             `json:"seed"`
-	Series   []throughputSeries `json:"series"`
-	Table    string             `json:"table"`
-	CSV      string             `json:"csv"`
-}
-
-// throughputProgress is one streamed progress event.
-type throughputProgress struct {
-	Event     string  `json:"event"`
-	Protocol  string  `json:"protocol"`
-	Lambda    float64 `json:"lambda"`
-	Run       int     `json:"run"`
-	Delivered int     `json:"delivered"`
-	Drained   bool    `json:"drained"`
-}
-
-func (r *scenarioRequest) run(publish func(any), addSlots func(uint64)) (any, error) {
-	scn, err := scenario.ByName(r.Scenario)
-	if err != nil {
-		return nil, err
-	}
-	return r.runSweep(throughput.Config{Scenario: scn}, scn.Name, publish, addSlots)
-}
-
-func (r *throughputRequest) run(publish func(any), addSlots func(uint64)) (any, error) {
-	shape, err := throughput.ParseShape(r.Shape)
-	if err != nil {
-		return nil, err
-	}
-	return r.runSweep(throughput.Config{Shape: shape}, shape.String(), publish, addSlots)
-}
-
-// runSweep executes the λ-sweep shared by both endpoints.
-func (r *throughputRequest) runSweep(cfg throughput.Config, workload string,
-	publish func(any), addSlots func(uint64)) (any, error) {
-	cfg.Lambdas = r.Lambdas
-	cfg.Messages = r.Messages
-	cfg.Runs = r.Runs
-	cfg.Seed = r.Seed
-	cfg.Progress = func(name string, lambda float64, run int, res dynamic.Result) {
-		// Saturated runs burn their full (unknown here) budget; counting
-		// only drained completions undercounts slightly, which is fine
-		// for a rate metric.
-		if res.Completed {
-			addSlots(res.Completion)
-		}
-		publish(throughputProgress{Event: "progress", Protocol: name, Lambda: lambda,
-			Run: run, Delivered: res.Delivered, Drained: res.Completed})
-	}
-	series, err := throughput.Run(throughput.DefaultProtocols(), cfg)
-	if err != nil {
-		return nil, err
-	}
-	out := throughputResult{
-		Scenario: workload,
-		Seed:     r.Seed,
-		Series:   make([]throughputSeries, len(series)),
-		Table:    throughput.Table(series),
-		CSV:      throughput.CSV(series),
-	}
-	for i, s := range series {
-		ts := throughputSeries{Protocol: s.Protocol.Name, Points: make([]throughputPoint, len(s.Points))}
-		for j := range s.Points {
-			p := &s.Points[j]
-			ts.Points[j] = throughputPoint{
-				Lambda:      p.Lambda,
-				Throughput:  p.Throughput.Mean(),
-				LatencyMean: p.Latency.Mean(),
-				LatencyP50:  p.Latency.Quantile(0.5),
-				LatencyP99:  p.Latency.Quantile(0.99),
-				MaxBacklog:  p.Backlog.Max(),
-				Completed:   p.Completed,
-				Runs:        p.Runs,
-				Saturated:   p.Saturated(),
-			}
-		}
-		out.Series[i] = ts
-	}
-	return out, nil
+	return spec.Decode(kind, body)
 }

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/spec"
 )
 
 // collectPool builds a pool whose execute records job ids and whether
@@ -23,7 +25,7 @@ func collectPool(workers, capacity int) (*pool, *sync.Map, *atomic.Int64) {
 }
 
 func testJob(id string) *job {
-	return newJob(id, &solveRequest{}, "key-"+id)
+	return newJob(id, spec.ForSolve(spec.SolveSpec{}), "key-"+id)
 }
 
 func TestPoolBound(t *testing.T) {

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/scenario"
+	"repro/internal/spec"
 )
 
 // Config parameterizes New. The zero value serves with sensible
@@ -96,7 +97,7 @@ func (c Config) withDefaults() Config {
 	if c.Version == "" {
 		c.Version = "dev"
 	}
-	c.Limits = c.Limits.withDefaults()
+	c.Limits = limitsWithDefaults(c.Limits)
 	return c
 }
 
@@ -193,22 +194,22 @@ func (s *Server) ListenAndServe(ctx context.Context, ready chan<- string) error 
 	return s.Serve(ctx, ln)
 }
 
-// buildMux wires the routes.
+// buildMux wires the routes. Every submit endpoint is the same shim
+// over one spec kind.
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
-		s.handleSubmit(w, r, &solveRequest{})
-	})
-	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
-		s.handleSubmit(w, r, &evaluateRequest{})
-	})
-	mux.HandleFunc("POST /v1/throughput", func(w http.ResponseWriter, r *http.Request) {
-		s.handleSubmit(w, r, &throughputRequest{})
-	})
-	mux.HandleFunc("POST /v1/scenario", func(w http.ResponseWriter, r *http.Request) {
-		s.handleSubmit(w, r, &scenarioRequest{})
-	})
+	for path, kind := range map[string]spec.ExperimentKind{
+		"/v1/solve":      spec.KindSolve,
+		"/v1/evaluate":   spec.KindEvaluate,
+		"/v1/throughput": spec.KindThroughput,
+		"/v1/scenario":   spec.KindScenario,
+	} {
+		mux.HandleFunc("POST "+path, func(w http.ResponseWriter, r *http.Request) {
+			s.handleSubmit(w, r, kind)
+		})
+	}
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handlePoll)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
@@ -239,23 +240,25 @@ type submitResponse struct {
 	Cached bool `json:"cached"`
 }
 
-// handleSubmit is the shared submit path: decode → normalize → cache →
-// coalesce → enqueue, with backpressure.
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, spec jobSpec) {
+// handleSubmit is the shared submit path: decode into a spec of the
+// endpoint's kind → validate → hash → cache → coalesce → enqueue, with
+// backpressure.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind spec.ExperimentKind) {
 	if s.draining.Load() {
 		s.metrics.refused.Add(1)
 		s.writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
 		return
 	}
-	if err := decodeSpec(r, spec); err != nil {
+	es, err := decodeExperiment(kind, r)
+	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	if err := spec.normalize(s.cfg.Limits); err != nil {
+	if err := es.Validate(s.cfg.Limits); err != nil {
 		s.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	key, err := canonicalKey(spec)
+	key, err := es.CanonicalKey()
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
@@ -269,7 +272,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, spec jobSp
 		var buf bytes.Buffer
 		buf.Grow(len(result) + 96)
 		buf.WriteString(`{"kind":"`)
-		buf.WriteString(spec.kind())
+		buf.WriteString(string(kind))
 		buf.WriteString(`","key":"`)
 		buf.WriteString(key)
 		buf.WriteString(`","status":"done","cached":true,"result":`)
@@ -299,7 +302,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, spec jobSp
 		s.writeJSON(w, http.StatusAccepted, submitResponse{jobView: existing.view()})
 		return
 	}
-	j := newJob(fmt.Sprintf("%s-%d", key[:12], s.seq.Add(1)), spec, key)
+	j := newJob(fmt.Sprintf("%s-%d", key[:12], s.seq.Add(1)), es, key)
 	if err := s.pool.submit(j, affinity(key)); err != nil {
 		s.mu.Unlock()
 		s.metrics.rejected.Add(1)
@@ -316,30 +319,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, spec jobSp
 	s.writeJSON(w, http.StatusAccepted, submitResponse{jobView: j.view()})
 }
 
-// decodeSpec parses the request body into spec; an empty body selects
-// all defaults. Unknown fields are rejected — a misspelled parameter
-// must not silently hash to a different (default-valued) request.
-func decodeSpec(r *http.Request, spec jobSpec) error {
-	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
-	if err != nil {
-		return fmt.Errorf("reading body: %w", err)
-	}
-	if len(body) == 0 {
-		return nil
-	}
-	dec := json.NewDecoder(bytes.NewReader(body))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(spec); err != nil {
-		return fmt.Errorf("decoding %s request: %w", spec.kind(), err)
-	}
-	return nil
-}
-
 // affinity maps a canonical key to its queue shard.
 func affinity(key string) uint64 { return fnv64(key) }
 
-// execute runs one job on a pool worker: simulate, publish the result
-// to the cache, retire the in-flight entry.
+// execute runs one job on a pool worker: dispatch the spec with the
+// job's context, relay the execution's event stream into the job (and
+// from there to any NDJSON streamer), publish the result to the cache,
+// retire the in-flight entry. A job canceled while queued never starts
+// simulating.
 func (s *Server) execute(workerID int, j *job, stolen bool) {
 	if s.testGate != nil {
 		<-s.testGate
@@ -348,32 +335,74 @@ func (s *Server) execute(workerID int, j *job, stolen bool) {
 		s.metrics.steals.Add(1)
 	}
 	j.setRunning()
-	result, err := j.spec.run(
-		func(event any) {
-			data, merr := json.Marshal(event)
-			if merr != nil {
-				return
-			}
-			j.publish(data)
-		},
-		func(slots uint64) { s.metrics.slotsSimulated.Add(int64(slots)) },
-	)
+	result, err := s.runJob(j)
 	var data json.RawMessage
 	if err == nil {
-		data, err = json.Marshal(result)
+		data, err = json.Marshal(result.Document())
 	}
-	if err == nil {
+	switch {
+	case err == nil:
 		// Publish to the cache before retiring the in-flight entry, so
 		// an identical request always sees one of the two.
 		s.cache.put(j.key, data)
 		s.metrics.jobsDone.Add(1)
-	} else {
+	case errors.Is(err, context.Canceled):
+		s.metrics.jobsCanceled.Add(1)
+	default:
 		s.metrics.jobsFailed.Add(1)
 	}
 	j.finish(data, err)
+	s.retire(j)
+}
+
+// retire removes the job's in-flight entry — unless a newer job already
+// took the key over (a canceled job is detached eagerly by handleCancel,
+// and an identical resubmission may be in flight under the same key).
+func (s *Server) retire(j *job) {
 	s.mu.Lock()
-	delete(s.inflight, j.key)
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
 	s.mu.Unlock()
+}
+
+// runJob dispatches the job's spec and consumes its event stream.
+func (s *Server) runJob(j *job) (*spec.Result, error) {
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+	exec, err := spec.Run(j.ctx, j.spec)
+	if err != nil {
+		return nil, err
+	}
+	for ev, err := range exec.Events() {
+		if err != nil {
+			break // the terminal error surfaces via Result below
+		}
+		s.metrics.slotsSimulated.Add(int64(ev.SimulatedSlots()))
+		if data, merr := json.Marshal(ev); merr == nil {
+			j.publish(data)
+		}
+	}
+	return exec.Result()
+}
+
+// handleCancel serves DELETE /v1/jobs/{id}: cancel the job's context.
+// A queued job is retired before it starts simulating; a running sweep
+// aborts between executions (one static run is not interruptible, so a
+// lone solve finishes its run first). The job is detached from the
+// in-flight map immediately, so an identical resubmission enqueues
+// fresh work instead of coalescing onto the doomed job. Cancellation is
+// idempotent and has no effect on a job that already finished.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job id"})
+		return
+	}
+	j.cancel()
+	s.retire(j)
+	s.writeJSON(w, http.StatusAccepted, j.view())
 }
 
 // handlePoll serves GET /v1/jobs/{id}.
@@ -384,15 +413,6 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, j.view())
-}
-
-// streamEvent is the terminal record of an NDJSON stream.
-type streamEvent struct {
-	Event  string          `json:"event"`
-	ID     string          `json:"id,omitempty"`
-	Status JobStatus       `json:"status,omitempty"`
-	Error  string          `json:"error,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
 }
 
 // handleStream serves GET /v1/jobs/{id}/stream: replays the job's
@@ -443,8 +463,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	v := j.view()
-	final := streamEvent{Event: "done", ID: v.ID, Status: v.Status, Error: v.Error, Result: v.Result}
-	if v.Status == StatusFailed {
+	final := spec.StreamEnd{Event: "done", ID: v.ID, Status: string(v.Status), Error: v.Error, Result: v.Result}
+	if v.Status != StatusDone {
 		final.Event = "failed"
 	}
 	line, err := json.Marshal(final)

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/spec"
 )
 
 // newTestServer builds a started Server plus an httptest front end. When
@@ -131,7 +133,7 @@ func TestSolveSubmitPollAndCache(t *testing.T) {
 	if done.Status != StatusDone {
 		t.Fatalf("job status = %s (%s)", done.Status, done.Error)
 	}
-	var res solveResult
+	var res spec.SolveResult
 	if err := json.Unmarshal(done.Result, &res); err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +197,11 @@ func TestEvaluateStream(t *testing.T) {
 		t.Fatalf("stream Content-Type = %q", ct)
 	}
 	var progress, terminal int
-	var final streamEvent
+	var final spec.StreamEnd
 	sc := bufio.NewScanner(stream.Body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	for sc.Scan() {
-		var ev streamEvent
+		var ev spec.StreamEnd
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
 		}
@@ -223,7 +225,7 @@ func TestEvaluateStream(t *testing.T) {
 	if terminal != 1 || final.Event != "done" {
 		t.Fatalf("terminal events = %d, final = %+v", terminal, final)
 	}
-	var res evaluateResult
+	var res spec.EvaluateResult
 	if err := json.Unmarshal(final.Result, &res); err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +246,7 @@ func TestThroughputAndScenarioEndpoints(t *testing.T) {
 	if done.Status != StatusDone {
 		t.Fatalf("throughput job failed: %s", done.Error)
 	}
-	var res throughputResult
+	var res spec.ThroughputResult
 	if err := json.Unmarshal(done.Result, &res); err != nil {
 		t.Fatal(err)
 	}
@@ -566,7 +568,7 @@ func TestStreamOfFinishedJobReplaysAndTerminates(t *testing.T) {
 	if len(lines) != 2 { // 1 progress (1×1×1) + 1 done
 		t.Fatalf("stream lines = %d, want 2:\n%s", len(lines), data)
 	}
-	var final streamEvent
+	var final spec.StreamEnd
 	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &final); err != nil {
 		t.Fatal(err)
 	}
@@ -597,7 +599,7 @@ func TestConcurrentStreamersShareEvents(t *testing.T) {
 			sc := bufio.NewScanner(resp.Body)
 			sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 			for sc.Scan() {
-				var ev streamEvent
+				var ev spec.StreamEnd
 				if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 					errs <- fmt.Errorf("bad line %q: %v", sc.Text(), err)
 					return
@@ -693,5 +695,165 @@ func TestConcurrentMixedLoad(t *testing.T) {
 	}
 	if v := metricValue(t, ts.URL, "macsimd_jobs_completed_total"); v != distinct {
 		t.Fatalf("completed = %v, want %d", v, distinct)
+	}
+}
+
+// del issues DELETE /v1/jobs/{id}.
+func del(t *testing.T, base, id string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestCancelRunningJob is the HTTP-path acceptance test: killing a
+// running job stops simulation work promptly — long before the sweep's
+// remaining queued runs could have executed.
+func TestCancelRunningJob(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Workers: 1}, false)
+
+	// A sweep whose runs are individually fast but long in aggregate
+	// (tens of k=100'000 executions at ~tens of ms each), so the cancel
+	// lands mid-sweep with a wide margin on both sides.
+	const body = `{"protocols":["one-fail"],"ks":[100000],"runs":10,"seed":1}`
+	resp, sub := post(t, ts.URL+"/v1/evaluate", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	// Follow the live stream until the first progress event proves the
+	// job is mid-sweep, then cancel.
+	stream, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	sawProgress := false
+	for sc.Scan() {
+		var ev spec.StreamEnd
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Event == "progress" {
+			sawProgress = true
+			break
+		}
+		if ev.Event == "done" || ev.Event == "failed" {
+			break
+		}
+	}
+	stream.Body.Close()
+	if !sawProgress {
+		t.Fatal("job finished before any progress event; cannot exercise mid-sweep cancel")
+	}
+	start := time.Now()
+	if resp := del(t, ts.URL, sub.ID); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel = %d, want 202", resp.StatusCode)
+	}
+	done := waitDone(t, ts.URL, sub.ID)
+	if done.Status != StatusCanceled {
+		t.Fatalf("status after cancel = %s (%s)", done.Status, done.Error)
+	}
+	// Promptness: the worker abandons the remaining runs within a couple
+	// of in-flight executions, not the many seconds the full sweep needs.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if v := metricValue(t, ts.URL, "macsimd_jobs_canceled_total"); v != 1 {
+		t.Fatalf("canceled counter = %v, want 1", v)
+	}
+	// A canceled job must not poison the cache: resubmitting the same
+	// body must be a fresh miss, not a hit on a partial result.
+	resp2, _ := post(t, ts.URL+"/v1/evaluate", body)
+	if resp2.StatusCode != http.StatusAccepted || resp2.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("resubmit after cancel: %d %q", resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	}
+	if resp := del(t, ts.URL, resp2.Header.Get("Location")[len("/v1/jobs/"):]); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cleanup cancel = %d", resp.StatusCode)
+	}
+}
+
+// TestCancelQueuedJob: a job canceled while still waiting in the queue
+// must never start simulating.
+func TestCancelQueuedJob(t *testing.T) {
+	s, ts, gate := newTestServer(t, Config{Workers: 1, QueueDepth: 4}, true)
+
+	// Job A blocks the single worker on the gate; job B sits queued.
+	_, subA := post(t, ts.URL+"/v1/solve", `{"k":100,"seed":1}`)
+	deadline := time.Now().Add(5 * time.Second)
+	for metricValue(t, ts.URL, "macsimd_queue_depth") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never dequeued job A")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_, subB := post(t, ts.URL+"/v1/evaluate", `{"protocols":["one-fail"],"ks":[64],"runs":10}`)
+	if resp := del(t, ts.URL, subB.ID); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel queued = %d", resp.StatusCode)
+	}
+	// The canceled job is detached from the in-flight map immediately: an
+	// identical resubmission must enqueue fresh work, not coalesce onto
+	// the doomed job.
+	respB2, subB2 := post(t, ts.URL+"/v1/evaluate", `{"protocols":["one-fail"],"ks":[64],"runs":10}`)
+	if respB2.Header.Get("X-Cache") != "miss" || subB2.ID == subB.ID {
+		t.Fatalf("resubmit after queued cancel coalesced: X-Cache=%q id=%s (canceled id %s)",
+			respB2.Header.Get("X-Cache"), subB2.ID, subB.ID)
+	}
+	close(gate)
+	if v := waitDone(t, ts.URL, subB2.ID); v.Status != StatusDone {
+		t.Fatalf("resubmitted job: %s (%s)", v.Status, v.Error)
+	}
+	if v := waitDone(t, ts.URL, subA.ID); v.Status != StatusDone {
+		t.Fatalf("job A: %s (%s)", v.Status, v.Error)
+	}
+	vB := waitDone(t, ts.URL, subB.ID)
+	if vB.Status != StatusCanceled {
+		t.Fatalf("queued job after cancel = %s (%s)", vB.Status, vB.Error)
+	}
+	// The canceled job never simulated: no progress events were
+	// published and no slots were accounted beyond job A's.
+	j, ok := s.reg.get(subB.ID)
+	if !ok {
+		t.Fatal("job B missing from registry")
+	}
+	if events, _, _ := j.snapshot(0); len(events) != 0 {
+		t.Fatalf("canceled queued job published %d events", len(events))
+	}
+	// DELETE of an unknown id is a 404; of a finished job, a no-op 202.
+	if resp := del(t, ts.URL, "unknown"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown = %d", resp.StatusCode)
+	}
+	if resp := del(t, ts.URL, subA.ID); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel finished = %d", resp.StatusCode)
+	}
+	if v := waitDone(t, ts.URL, subA.ID); v.Status != StatusDone {
+		t.Fatalf("finished job flipped status after cancel: %s", v.Status)
+	}
+}
+
+// TestSubmitKeyMatchesLibraryCanonicalKey: the key the server reports
+// for a job is exactly spec.CanonicalKey of the equivalent library
+// spec — one hash across front ends.
+func TestSubmitKeyMatchesLibraryCanonicalKey(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, false)
+	_, sub := post(t, ts.URL+"/v1/solve", `{"protocol":"ofa","k":123,"seed":9}`)
+
+	es := spec.ForSolve(spec.SolveSpec{Protocol: spec.ProtocolSpec{Name: "one-fail"}, K: 123, Seed: 9})
+	if err := es.Validate(limitsWithDefaults(Limits{})); err != nil {
+		t.Fatal(err)
+	}
+	want, err := es.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Key != want {
+		t.Fatalf("server key %s != library key %s", sub.Key, want)
 	}
 }

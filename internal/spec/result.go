@@ -1,0 +1,162 @@
+// Result documents: the typed, JSON-stable outcome of each experiment
+// kind. These are the exact documents the HTTP API caches and serves
+// and the CLI's -json flag prints — one codec for all three front ends.
+
+package spec
+
+import (
+	"repro/internal/harness"
+	"repro/internal/throughput"
+)
+
+// SolveResult is the result document of a solve experiment.
+type SolveResult struct {
+	Protocol string  `json:"protocol"`
+	System   string  `json:"system"`
+	K        int     `json:"k"`
+	Seed     uint64  `json:"seed"`
+	Slots    uint64  `json:"slots"`
+	Ratio    float64 `json:"ratio"`
+	Analysis string  `json:"analysis"`
+}
+
+// EvaluateCell is one (system, k) aggregate of an evaluate result.
+type EvaluateCell struct {
+	K         int     `json:"k"`
+	Runs      int     `json:"runs"`
+	MeanSlots float64 `json:"meanSlots"`
+	Ratio     float64 `json:"ratio"`
+	Analysis  string  `json:"analysis"`
+}
+
+// EvaluateSeries is one system's sweep outcome.
+type EvaluateSeries struct {
+	System string         `json:"system"`
+	Cells  []EvaluateCell `json:"cells"`
+}
+
+// EvaluateResult is the result document of an evaluate experiment.
+type EvaluateResult struct {
+	Seed   uint64           `json:"seed"`
+	Series []EvaluateSeries `json:"series"`
+	Table1 string           `json:"table1"`
+	CSV    string           `json:"csv"`
+}
+
+// ThroughputPoint is one (protocol, λ) aggregate of a sweep result.
+type ThroughputPoint struct {
+	Lambda      float64 `json:"lambda"`
+	Throughput  float64 `json:"throughput"`
+	LatencyMean float64 `json:"latencyMean"`
+	LatencyP50  float64 `json:"latencyP50"`
+	LatencyP99  float64 `json:"latencyP99"`
+	MaxBacklog  float64 `json:"maxBacklog"`
+	Completed   int     `json:"completed"`
+	Runs        int     `json:"runs"`
+	Saturated   bool    `json:"saturated"`
+}
+
+// ThroughputSeries is one protocol's sweep outcome.
+type ThroughputSeries struct {
+	Protocol string            `json:"protocol"`
+	Points   []ThroughputPoint `json:"points"`
+}
+
+// ThroughputResult is the result document of a throughput or scenario
+// experiment.
+type ThroughputResult struct {
+	Scenario string             `json:"scenario"`
+	Seed     uint64             `json:"seed"`
+	Series   []ThroughputSeries `json:"series"`
+	Table    string             `json:"table"`
+	CSV      string             `json:"csv"`
+}
+
+// Result is an experiment's typed outcome: exactly one of the kind
+// fields is set, mirroring the spec union.
+type Result struct {
+	Kind       ExperimentKind
+	Solve      *SolveResult
+	Evaluate   *EvaluateResult
+	Throughput *ThroughputResult // kinds "throughput" and "scenario"
+
+	sweep   []harness.SeriesResult // raw evaluate series, for renderers
+	dynamic []throughput.Series    // raw throughput series, for renderers
+}
+
+// Document returns the kind's result document — the value whose
+// json.Marshal is the wire encoding shared by the HTTP API and the
+// CLI's -json output.
+func (r *Result) Document() any {
+	switch r.Kind {
+	case KindSolve:
+		return r.Solve
+	case KindEvaluate:
+		return r.Evaluate
+	default:
+		return r.Throughput
+	}
+}
+
+// Sweep returns the raw evaluate series for the Table1/Figure1/CSV
+// renderers; nil for other kinds.
+func (r *Result) Sweep() []harness.SeriesResult { return r.sweep }
+
+// Dynamic returns the raw throughput series for the
+// Table/Plot/CSV renderers; nil for other kinds.
+func (r *Result) Dynamic() []throughput.Series { return r.dynamic }
+
+// evaluateDocument folds raw sweep series into the result document.
+func evaluateDocument(seed uint64, results []harness.SeriesResult) *EvaluateResult {
+	out := &EvaluateResult{
+		Seed:   seed,
+		Series: make([]EvaluateSeries, len(results)),
+		Table1: harness.Table1(results),
+		CSV:    harness.CSV(results),
+	}
+	for i, res := range results {
+		s := EvaluateSeries{System: res.System.Name(), Cells: make([]EvaluateCell, len(res.Cells))}
+		for j := range res.Cells {
+			c := &res.Cells[j]
+			s.Cells[j] = EvaluateCell{
+				K:         c.K,
+				Runs:      c.Steps.N(),
+				MeanSlots: c.Steps.Mean(),
+				Ratio:     c.Ratio(),
+				Analysis:  res.System.AnalysisRatio(c.K),
+			}
+		}
+		out.Series[i] = s
+	}
+	return out
+}
+
+// throughputDocument folds raw λ-sweep series into the result document.
+func throughputDocument(workload string, seed uint64, series []throughput.Series) *ThroughputResult {
+	out := &ThroughputResult{
+		Scenario: workload,
+		Seed:     seed,
+		Series:   make([]ThroughputSeries, len(series)),
+		Table:    throughput.Table(series),
+		CSV:      throughput.CSV(series),
+	}
+	for i, s := range series {
+		ts := ThroughputSeries{Protocol: s.Protocol.Name, Points: make([]ThroughputPoint, len(s.Points))}
+		for j := range s.Points {
+			p := &s.Points[j]
+			ts.Points[j] = ThroughputPoint{
+				Lambda:      p.Lambda,
+				Throughput:  p.Throughput.Mean(),
+				LatencyMean: p.Latency.Mean(),
+				LatencyP50:  p.Latency.Quantile(0.5),
+				LatencyP99:  p.Latency.Quantile(0.99),
+				MaxBacklog:  p.Backlog.Max(),
+				Completed:   p.Completed,
+				Runs:        p.Runs,
+				Saturated:   p.Saturated(),
+			}
+		}
+		out.Series[i] = ts
+	}
+	return out
+}

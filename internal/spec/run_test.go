@@ -1,0 +1,233 @@
+package spec
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunSolveStreamsAndResolves(t *testing.T) {
+	t.Parallel()
+	exec, err := Run(context.Background(), ForSolve(SolveSpec{K: 300, Seed: 11}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	for ev, err := range exec.Events() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 1 {
+		t.Fatalf("solve streamed %d events, want 1", len(events))
+	}
+	p, ok := events[0].(SweepProgress)
+	if !ok || p.Event != "progress" || p.K != 300 || p.Slots == 0 {
+		t.Fatalf("unexpected event %+v", events[0])
+	}
+	if p.SimulatedSlots() != p.Slots {
+		t.Fatalf("SimulatedSlots = %d, want %d", p.SimulatedSlots(), p.Slots)
+	}
+	res, err := exec.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != KindSolve || res.Solve == nil || res.Solve.Slots != p.Slots {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if res.Solve.System != "One-Fail Adaptive" || res.Solve.Protocol != "one-fail" {
+		t.Fatalf("unexpected result naming %+v", res.Solve)
+	}
+	// Events are re-iterable after completion.
+	n := 0
+	for _, err := range exec.Events() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("replay saw %d events", n)
+	}
+	// The document marshals to the wire codec.
+	data, err := json.Marshal(res.Document())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc SolveResult
+	if err := json.Unmarshal(data, &doc); err != nil || doc != *res.Solve {
+		t.Fatalf("document round trip: %s, %v", data, err)
+	}
+}
+
+func TestRunSolveDeterministicAcrossExecutions(t *testing.T) {
+	t.Parallel()
+	slots := func() uint64 {
+		exec, err := Run(context.Background(), ForSolve(SolveSpec{K: 200, Seed: 42}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Solve.Slots
+	}
+	if a, b := slots(), slots(); a != b {
+		t.Fatalf("same spec gave %d then %d slots", a, b)
+	}
+}
+
+func TestRunEvaluateEventsAndResult(t *testing.T) {
+	t.Parallel()
+	exec, err := Run(context.Background(), ForEvaluate(EvaluateSpec{
+		Protocols: []ProtocolSpec{{Name: "ofa"}},
+		Ks:        []int{10, 50},
+		Runs:      2,
+		Seed:      3,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	progress := 0
+	for _, err := range exec.Events() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		progress++
+	}
+	if progress != 4 { // 1 protocol × 2 sizes × 2 runs
+		t.Fatalf("progress events = %d, want 4", progress)
+	}
+	res, err := exec.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := res.Evaluate
+	if doc == nil || len(doc.Series) != 1 || len(doc.Series[0].Cells) != 2 {
+		t.Fatalf("unexpected evaluate document %+v", doc)
+	}
+	if doc.Series[0].System != "One-Fail Adaptive" || doc.Table1 == "" || doc.CSV == "" {
+		t.Fatalf("document misses renderings: %+v", doc)
+	}
+	if len(res.Sweep()) != 1 {
+		t.Fatalf("raw series missing: %d", len(res.Sweep()))
+	}
+}
+
+func TestRunThroughputKinds(t *testing.T) {
+	t.Parallel()
+	exec, err := Run(context.Background(), ForScenario(ThroughputSpec{
+		Scenario: "rho", Lambdas: []float64{0.1}, Messages: 100, Runs: 1, Seed: 5,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDynamic := false
+	for ev, err := range exec.Events() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p, ok := ev.(DynamicProgress); ok {
+			sawDynamic = true
+			if p.Event != "progress" || p.Lambda != 0.1 {
+				t.Fatalf("unexpected event %+v", p)
+			}
+		}
+	}
+	if !sawDynamic {
+		t.Fatal("no dynamic progress events")
+	}
+	res, err := exec.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != KindScenario || res.Throughput == nil || res.Throughput.Scenario != "rho" {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if len(res.Dynamic()) == 0 {
+		t.Fatal("raw dynamic series missing")
+	}
+}
+
+func TestRunValidationErrorIsSynchronous(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(context.Background(), ForSolve(SolveSpec{K: -3})); err == nil {
+		t.Fatal("invalid spec started an execution")
+	}
+}
+
+// TestRunCancelMidSweep is the library-path acceptance test: canceling
+// the mac.Run context mid-sweep stops simulation work promptly and
+// surfaces context.Canceled from both the event stream and Result.
+func TestRunCancelMidSweep(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Runs heavy enough (k=20'000, several ms each) that the cancel —
+	// issued on the first progress event — lands long before the 200
+	// queued runs could drain.
+	exec, err := Run(ctx, ForEvaluate(EvaluateSpec{
+		Protocols: []ProtocolSpec{{Name: "ofa"}},
+		Ks:        []int{20000},
+		Runs:      200,
+		Seed:      1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events atomic.Int32
+	var streamErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, err := range exec.Events() {
+			if err != nil {
+				streamErr = err
+				return
+			}
+			if events.Add(1) == 1 {
+				cancel()
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("event stream did not terminate after cancellation")
+	}
+	if !errors.Is(streamErr, context.Canceled) {
+		t.Fatalf("stream error = %v after %d events, want context.Canceled", streamErr, events.Load())
+	}
+	if _, err := exec.Result(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Result error = %v, want context.Canceled", err)
+	}
+	// The bulk of the 200 queued runs must never have executed.
+	if n := events.Load(); n > 100 {
+		t.Fatalf("%d runs executed after cancellation at run 1", n)
+	}
+}
+
+// TestRunResultWithoutConsumingEvents: a caller that never iterates
+// Events must still get the result — publication never blocks on
+// consumers.
+func TestRunResultWithoutConsumingEvents(t *testing.T) {
+	t.Parallel()
+	exec, err := Run(context.Background(), ForEvaluate(EvaluateSpec{
+		Protocols: []ProtocolSpec{{Name: "exp-bb"}},
+		Ks:        []int{10},
+		Runs:      3,
+		Seed:      2,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Result()
+	if err != nil || res.Evaluate == nil {
+		t.Fatalf("Result = %+v, %v", res, err)
+	}
+}

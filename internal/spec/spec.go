@@ -1,0 +1,534 @@
+// Package spec is the declarative experiment layer shared by the
+// library façade (mac.Run), the CLI (cmd/macsim) and the HTTP API
+// (internal/server): one canonical, validated, hashable description per
+// experiment, so every workload is defined once and reachable from all
+// three front ends with byte-identical semantics.
+//
+// The flow is always the same:
+//
+//	spec → Validate(Limits) → CanonicalKey → Run(ctx) → events → Result
+//
+// An ExperimentSpec is a tagged union over the four experiment kinds
+// (solve, evaluate, throughput, scenario). Validate normalizes it in
+// place — defaults applied, protocol aliases canonicalized — after
+// which json.Marshal yields the canonical parameter encoding and
+// CanonicalKey the cache key the serving subsystem stores results
+// under. Run executes the experiment with context cancellation and
+// streams typed progress events; the result documents marshal to the
+// exact JSON the HTTP API serves and the CLI's -json flag prints.
+package spec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/harness"
+	"repro/internal/scenario"
+	"repro/internal/throughput"
+)
+
+// ExperimentKind names one of the four experiment families.
+type ExperimentKind string
+
+// Experiment kinds, one per sub-spec (and per /v1/* submit endpoint).
+const (
+	// KindSolve is one static k-selection execution.
+	KindSolve ExperimentKind = "solve"
+	// KindEvaluate is the paper's static sweep (Table 1 / Figure 1).
+	KindEvaluate ExperimentKind = "evaluate"
+	// KindThroughput is the λ-sweep saturation experiment over a benign
+	// arrival shape.
+	KindThroughput ExperimentKind = "throughput"
+	// KindScenario is the λ-sweep over a catalog workload scenario.
+	KindScenario ExperimentKind = "scenario"
+)
+
+// ExperimentSpec is the tagged union: Kind selects which sub-spec is
+// active; exactly that field must be non-nil. The zero Kind is inferred
+// when exactly one sub-spec is set.
+type ExperimentSpec struct {
+	Kind       ExperimentKind  `json:"kind,omitempty"`
+	Solve      *SolveSpec      `json:"solve,omitempty"`
+	Evaluate   *EvaluateSpec   `json:"evaluate,omitempty"`
+	Throughput *ThroughputSpec `json:"throughput,omitempty"`
+	Scenario   *ThroughputSpec `json:"scenario,omitempty"`
+}
+
+// ForSolve wraps a SolveSpec into an ExperimentSpec.
+func ForSolve(s SolveSpec) ExperimentSpec {
+	return ExperimentSpec{Kind: KindSolve, Solve: &s}
+}
+
+// ForEvaluate wraps an EvaluateSpec into an ExperimentSpec.
+func ForEvaluate(s EvaluateSpec) ExperimentSpec {
+	return ExperimentSpec{Kind: KindEvaluate, Evaluate: &s}
+}
+
+// ForThroughput wraps a ThroughputSpec into an ExperimentSpec of kind
+// "throughput" (benign arrival shapes).
+func ForThroughput(s ThroughputSpec) ExperimentSpec {
+	return ExperimentSpec{Kind: KindThroughput, Throughput: &s}
+}
+
+// ForScenario wraps a ThroughputSpec into an ExperimentSpec of kind
+// "scenario" (catalog workloads).
+func ForScenario(s ThroughputSpec) ExperimentSpec {
+	return ExperimentSpec{Kind: KindScenario, Scenario: &s}
+}
+
+// Limits bound what one experiment may ask of the simulators, so a
+// public endpoint cannot be asked for a week of CPU time. The zero
+// value of every field means unlimited — service policy belongs to the
+// caller (internal/server applies its serving defaults); the library
+// front ends validate with Limits{}.
+type Limits struct {
+	// MaxK bounds k for solve and each evaluate ks entry.
+	MaxK int
+	// MaxExp bounds evaluate maxExp.
+	MaxExp int
+	// MaxRuns bounds runs per point.
+	MaxRuns int
+	// MaxMessages bounds messages per dynamic execution.
+	MaxMessages int
+	// MaxLambdas bounds the offered-load grid length.
+	MaxLambdas int
+	// MaxKs bounds the evaluate ks grid length.
+	MaxKs int
+}
+
+// ProtocolSpec selects a protocol configuration from the
+// internal/harness named registry, optionally overriding its
+// parameters (e.g. {"delta": 2.9} on "one-fail"). It marshals as the
+// plain registry name when no parameters are set, so the canonical
+// encoding of the common case is just "one-fail".
+type ProtocolSpec struct {
+	// Name is a registry name or alias ("one-fail", "ofa", …).
+	Name string
+	// Params overrides protocol parameters; keys are per-protocol
+	// ("delta", "r", "xi_t"). Unknown keys fail validation.
+	Params map[string]float64
+}
+
+// MarshalJSON implements the canonical encoding: a bare string without
+// parameters, an object otherwise (map keys marshal sorted, so the
+// encoding is canonical either way).
+func (p ProtocolSpec) MarshalJSON() ([]byte, error) {
+	if len(p.Params) == 0 {
+		return json.Marshal(p.Name)
+	}
+	return json.Marshal(struct {
+		Name   string             `json:"name"`
+		Params map[string]float64 `json:"params"`
+	}{p.Name, p.Params})
+}
+
+// UnmarshalJSON accepts both encodings.
+func (p *ProtocolSpec) UnmarshalJSON(data []byte) error {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '"' {
+		p.Params = nil
+		return json.Unmarshal(trimmed, &p.Name)
+	}
+	var obj struct {
+		Name   string             `json:"name"`
+		Params map[string]float64 `json:"params"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&obj); err != nil {
+		return fmt.Errorf("protocol spec: %w", err)
+	}
+	p.Name, p.Params = obj.Name, obj.Params
+	return nil
+}
+
+// validate canonicalizes the name, drops parameters spelled at their
+// registry defaults (so implicit and explicit defaults hash to the
+// same canonical key), and probes the registry constructor, so bad
+// names and bad parameters fail before any work is queued.
+func (p *ProtocolSpec) validate() error {
+	name, err := harness.CanonicalSystemName(p.Name)
+	if err != nil {
+		return err
+	}
+	p.Name = name
+	if defaults := harness.DefaultParams(p.Name); len(p.Params) > 0 && len(defaults) > 0 {
+		for key, v := range p.Params {
+			if def, ok := defaults[key]; ok && def == v {
+				delete(p.Params, key)
+			}
+		}
+	}
+	if len(p.Params) == 0 {
+		p.Params = nil
+		return nil
+	}
+	_, err = harness.SystemBySpec(p.Name, p.Params)
+	return err
+}
+
+// SolveSpec is one static k-selection execution — mac.Protocol.Solve as
+// data. Field order fixes the canonical encoding.
+type SolveSpec struct {
+	// Protocol names the configuration (default "one-fail").
+	Protocol ProtocolSpec `json:"protocol"`
+	// K is the number of contenders (default 1000).
+	K int `json:"k"`
+	// Seed keys all channel randomness (default 1).
+	Seed uint64 `json:"seed"`
+}
+
+func (s *SolveSpec) validate(l Limits) error {
+	if s.Protocol.Name == "" {
+		s.Protocol.Name = "one-fail"
+	}
+	if err := s.Protocol.validate(); err != nil {
+		return err
+	}
+	if s.K == 0 {
+		s.K = 1000
+	}
+	if s.K < 1 {
+		return fmt.Errorf("k must be ≥ 1, got %d", s.K)
+	}
+	if l.MaxK > 0 && s.K > l.MaxK {
+		return fmt.Errorf("k must be in [1, %d], got %d", l.MaxK, s.K)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return nil
+}
+
+// EvaluateSpec is the paper's static sweep — mac.Evaluate as data.
+type EvaluateSpec struct {
+	// Protocols lists registry configurations; empty means the paper's
+	// five-row lineup.
+	Protocols []ProtocolSpec `json:"protocols,omitempty"`
+	// MaxExp selects sizes 10..10^maxExp (default 4); ignored (and
+	// zeroed, for canonical hashing) when Ks is set.
+	MaxExp int `json:"maxExp,omitempty"`
+	// Ks overrides the size grid.
+	Ks []int `json:"ks,omitempty"`
+	// Runs is the number of averaged runs per point (default 3).
+	Runs int `json:"runs"`
+	// Seed is the master seed (default 1).
+	Seed uint64 `json:"seed"`
+
+	// Systems is the library-only escape hatch for custom protocol
+	// configurations that have no registry spelling (mac.Evaluate uses
+	// it). It is never serialized and makes the spec unhashable.
+	Systems []harness.System `json:"-"`
+}
+
+func (s *EvaluateSpec) validate(l Limits) error {
+	for i := range s.Protocols {
+		if err := s.Protocols[i].validate(); err != nil {
+			return err
+		}
+	}
+	if len(s.Ks) > 0 {
+		s.MaxExp = 0
+		if l.MaxKs > 0 && len(s.Ks) > l.MaxKs {
+			return fmt.Errorf("at most %d ks per request, got %d", l.MaxKs, len(s.Ks))
+		}
+		for _, k := range s.Ks {
+			if k < 1 {
+				return fmt.Errorf("ks entries must be ≥ 1, got %d", k)
+			}
+			if l.MaxK > 0 && k > l.MaxK {
+				return fmt.Errorf("ks entries must be in [1, %d], got %d", l.MaxK, k)
+			}
+		}
+	} else {
+		if s.MaxExp == 0 {
+			s.MaxExp = 4
+		}
+		if s.MaxExp < 1 {
+			return fmt.Errorf("maxExp must be ≥ 1, got %d", s.MaxExp)
+		}
+		if l.MaxExp > 0 && s.MaxExp > l.MaxExp {
+			return fmt.Errorf("maxExp must be in [1, %d], got %d", l.MaxExp, s.MaxExp)
+		}
+	}
+	if s.Runs == 0 {
+		s.Runs = 3
+	}
+	if err := validateRuns(s.Runs, l); err != nil {
+		return err
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return nil
+}
+
+// systems resolves the sweep's protocol lineup.
+func (s *EvaluateSpec) systems() ([]harness.System, error) {
+	if len(s.Systems) > 0 {
+		return s.Systems, nil
+	}
+	if len(s.Protocols) == 0 {
+		return harness.PaperSystems(), nil
+	}
+	out := make([]harness.System, len(s.Protocols))
+	for i, p := range s.Protocols {
+		sys, err := harness.SystemBySpec(p.Name, p.Params)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sys
+	}
+	return out, nil
+}
+
+// ThroughputSpec is the λ-sweep saturation experiment —
+// mac.EvaluateDynamic as data. Kind "throughput" selects a benign
+// arrival Shape; kind "scenario" selects a catalog workload by name
+// (distinct kinds, so the two hash into disjoint key spaces exactly as
+// the two endpoints always did).
+type ThroughputSpec struct {
+	// Scenario names a catalog workload; only kind "scenario" sets it.
+	Scenario string `json:"scenario,omitempty"`
+	// Shape selects a benign arrival pattern for kind "throughput"
+	// (default "poisson"); must be empty for kind "scenario".
+	Shape string `json:"shape,omitempty"`
+	// Lambdas is the offered-load grid (default 0.05, 0.1, 0.2).
+	Lambdas []float64 `json:"lambdas"`
+	// Messages per execution (default 2000).
+	Messages int `json:"messages"`
+	// Runs per (protocol, λ) point (default 2).
+	Runs int `json:"runs"`
+	// Seed is the master seed (default 1).
+	Seed uint64 `json:"seed"`
+
+	// Lineup is the library-only protocol lineup override
+	// (mac.EvaluateDynamic uses it); empty means the standard dynamic
+	// lineup. Never serialized; makes the spec unhashable.
+	Lineup []throughput.Protocol `json:"-"`
+	// Config is the library-only full-config escape hatch for custom
+	// workload compositions, slot budgets and progress callbacks. When
+	// set it supersedes every exported field. Never serialized; makes
+	// the spec unhashable.
+	Config *throughput.Config `json:"-"`
+}
+
+func (s *ThroughputSpec) validate(kind ExperimentKind, l Limits) error {
+	if s.Config != nil {
+		return nil // throughput.Run validates the full config itself
+	}
+	switch kind {
+	case KindThroughput:
+		if s.Scenario != "" {
+			return fmt.Errorf("scenario requests go to kind %q", KindScenario)
+		}
+		if s.Shape == "" {
+			s.Shape = "poisson"
+		}
+		shape, err := throughput.ParseShape(s.Shape)
+		if err != nil {
+			return err
+		}
+		s.Shape = shape.String() // canonicalize aliases ("burst" → "bursty")
+	case KindScenario:
+		if s.Shape != "" {
+			return fmt.Errorf("shape requests go to kind %q", KindThroughput)
+		}
+		if s.Scenario == "" {
+			s.Scenario = "poisson"
+		}
+		if _, err := scenario.ByName(s.Scenario); err != nil {
+			return err
+		}
+	}
+	if len(s.Lambdas) == 0 {
+		s.Lambdas = []float64{0.05, 0.1, 0.2}
+	}
+	if l.MaxLambdas > 0 && len(s.Lambdas) > l.MaxLambdas {
+		return fmt.Errorf("at most %d lambdas per request, got %d", l.MaxLambdas, len(s.Lambdas))
+	}
+	for _, v := range s.Lambdas {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("offered load must be a finite value > 0, got %v", v)
+		}
+	}
+	if s.Messages == 0 {
+		s.Messages = 2000
+	}
+	if s.Messages < 1 {
+		return fmt.Errorf("messages must be ≥ 1, got %d", s.Messages)
+	}
+	if l.MaxMessages > 0 && s.Messages > l.MaxMessages {
+		return fmt.Errorf("messages must be in [1, %d], got %d", l.MaxMessages, s.Messages)
+	}
+	if s.Runs == 0 {
+		s.Runs = 2
+	}
+	if err := validateRuns(s.Runs, l); err != nil {
+		return err
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return nil
+}
+
+// validateRuns applies the shared runs-per-point rules.
+func validateRuns(runs int, l Limits) error {
+	if runs < 1 {
+		return fmt.Errorf("runs must be ≥ 1, got %d", runs)
+	}
+	if l.MaxRuns > 0 && runs > l.MaxRuns {
+		return fmt.Errorf("runs must be in [1, %d], got %d", l.MaxRuns, runs)
+	}
+	return nil
+}
+
+// active returns the sub-spec matching Kind, checking the union is
+// well-formed (exactly the matching field set).
+func (s *ExperimentSpec) active() (any, error) {
+	set := 0
+	if s.Solve != nil {
+		set++
+	}
+	if s.Evaluate != nil {
+		set++
+	}
+	if s.Throughput != nil {
+		set++
+	}
+	if s.Scenario != nil {
+		set++
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("spec: exactly one of solve/evaluate/throughput/scenario must be set, got %d", set)
+	}
+	if s.Kind == "" {
+		switch {
+		case s.Solve != nil:
+			s.Kind = KindSolve
+		case s.Evaluate != nil:
+			s.Kind = KindEvaluate
+		case s.Throughput != nil:
+			s.Kind = KindThroughput
+		case s.Scenario != nil:
+			s.Kind = KindScenario
+		}
+	}
+	switch s.Kind {
+	case KindSolve:
+		if s.Solve == nil {
+			return nil, fmt.Errorf("spec: kind %q without a solve spec", s.Kind)
+		}
+		return s.Solve, nil
+	case KindEvaluate:
+		if s.Evaluate == nil {
+			return nil, fmt.Errorf("spec: kind %q without an evaluate spec", s.Kind)
+		}
+		return s.Evaluate, nil
+	case KindThroughput:
+		if s.Throughput == nil {
+			return nil, fmt.Errorf("spec: kind %q without a throughput spec", s.Kind)
+		}
+		return s.Throughput, nil
+	case KindScenario:
+		if s.Scenario == nil {
+			return nil, fmt.Errorf("spec: kind %q without a scenario spec", s.Kind)
+		}
+		return s.Scenario, nil
+	default:
+		return nil, fmt.Errorf("spec: unknown experiment kind %q", s.Kind)
+	}
+}
+
+// Validate normalizes the spec in place — defaults applied, names
+// canonicalized — and checks it against the limits (zero fields of
+// which mean unlimited). After Validate, json.Marshal of the active
+// sub-spec is the canonical parameter encoding. Validate is idempotent.
+func (s *ExperimentSpec) Validate(l Limits) error {
+	sub, err := s.active()
+	if err != nil {
+		return err
+	}
+	switch v := sub.(type) {
+	case *SolveSpec:
+		return v.validate(l)
+	case *EvaluateSpec:
+		return v.validate(l)
+	case *ThroughputSpec:
+		return v.validate(s.Kind, l)
+	}
+	return nil
+}
+
+// CanonicalKey hashes a validated spec into the cache key used by the
+// serving subsystem: SHA-256 over kind and the canonical parameter
+// encoding. Identical experiments — however they were expressed: Go
+// structs, CLI flags or HTTP JSON, implicit or explicit defaults,
+// aliases or canonical names — produce byte-identical keys. Specs
+// using a library-only escape hatch (Systems, Lineup, Config) are not
+// hashable.
+func (s ExperimentSpec) CanonicalKey() (string, error) {
+	sub, err := s.active()
+	if err != nil {
+		return "", err
+	}
+	switch v := sub.(type) {
+	case *EvaluateSpec:
+		if len(v.Systems) > 0 {
+			return "", fmt.Errorf("spec: custom systems have no canonical encoding")
+		}
+	case *ThroughputSpec:
+		if len(v.Lineup) > 0 || v.Config != nil {
+			return "", fmt.Errorf("spec: custom lineups and configs have no canonical encoding")
+		}
+	}
+	params, err := json.Marshal(sub)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(s.Kind))
+	h.Write([]byte{0})
+	h.Write(params)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Decode parses an experiment's parameter document (the flat JSON body
+// the /v1/* submit endpoints accept) into a spec of the given kind. An
+// empty body selects all defaults. Unknown fields are rejected — a
+// misspelled parameter must not silently hash to a different
+// (default-valued) experiment.
+func Decode(kind ExperimentKind, body []byte) (ExperimentSpec, error) {
+	s := ExperimentSpec{Kind: kind}
+	var sub any
+	switch kind {
+	case KindSolve:
+		s.Solve = &SolveSpec{}
+		sub = s.Solve
+	case KindEvaluate:
+		s.Evaluate = &EvaluateSpec{}
+		sub = s.Evaluate
+	case KindThroughput:
+		s.Throughput = &ThroughputSpec{}
+		sub = s.Throughput
+	case KindScenario:
+		s.Scenario = &ThroughputSpec{}
+		sub = s.Scenario
+	default:
+		return ExperimentSpec{}, fmt.Errorf("spec: unknown experiment kind %q", kind)
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return s, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(sub); err != nil {
+		return ExperimentSpec{}, fmt.Errorf("decoding %s request: %w", kind, err)
+	}
+	return s, nil
+}

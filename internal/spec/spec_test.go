@@ -1,0 +1,219 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/throughput"
+)
+
+// validKey validates with the given limits and hashes.
+func validKey(t *testing.T, es ExperimentSpec, l Limits) string {
+	t.Helper()
+	if err := es.Validate(l); err != nil {
+		t.Fatal(err)
+	}
+	key, err := es.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// TestCanonicalKeyAcrossFrontEnds is the cross-representation table:
+// the identical experiment expressed as a Go struct (the library front
+// end) and as HTTP JSON (the serving front end) must produce
+// byte-identical cache keys — including float formatting edge cases
+// (2.72 vs 2.720, 0.3 vs 0.30) and alias spellings. The CLI front end
+// is covered by cmd/macsim's TestSpecKeyParityAcrossFrontEnds, which
+// folds real flag parsing into the same comparison.
+func TestCanonicalKeyAcrossFrontEnds(t *testing.T) {
+	cases := []struct {
+		name    string
+		kind    ExperimentKind
+		struct_ ExperimentSpec
+		json    string
+	}{
+		{
+			name:    "solve alias vs canonical",
+			kind:    KindSolve,
+			struct_: ForSolve(SolveSpec{Protocol: ProtocolSpec{Name: "one-fail"}, K: 500, Seed: 7}),
+			json:    `{"protocol":"ofa","k":500,"seed":7}`,
+		},
+		{
+			name:    "solve defaults implicit vs explicit",
+			kind:    KindSolve,
+			struct_: ForSolve(SolveSpec{}),
+			json:    `{"protocol":"one-fail","k":1000,"seed":1}`,
+		},
+		{
+			name:    "solve explicit default delta vs implicit",
+			kind:    KindSolve,
+			struct_: ForSolve(SolveSpec{Protocol: ProtocolSpec{Name: "one-fail"}, K: 100, Seed: 3}),
+			json:    `{"protocol":{"name":"ofa","params":{"delta":2.72}},"k":100,"seed":3}`,
+		},
+		{
+			name: "solve delta formatting 2.72 vs 2.720",
+			kind: KindSolve,
+			struct_: ForSolve(SolveSpec{
+				Protocol: ProtocolSpec{Name: "one-fail", Params: map[string]float64{"delta": 2.72}},
+				K:        100, Seed: 3,
+			}),
+			json: `{"protocol":{"name":"ofa","params":{"delta":2.720}},"k":100,"seed":3}`,
+		},
+		{
+			name:    "evaluate protocols by alias",
+			kind:    KindEvaluate,
+			struct_: ForEvaluate(EvaluateSpec{Protocols: []ProtocolSpec{{Name: "one-fail"}, {Name: "exp-bb"}}, Ks: []int{10, 100}, Runs: 2, Seed: 5}),
+			json:    `{"protocols":["ofa","ebb"],"ks":[10,100],"runs":2,"seed":5}`,
+		},
+		{
+			name:    "evaluate maxExp ignored when ks set",
+			kind:    KindEvaluate,
+			struct_: ForEvaluate(EvaluateSpec{Ks: []int{10}, Runs: 1, Seed: 1}),
+			json:    `{"maxExp":3,"ks":[10],"runs":1,"seed":1}`,
+		},
+		{
+			name:    "throughput lambda formatting 0.3 vs 0.30",
+			kind:    KindThroughput,
+			struct_: ForThroughput(ThroughputSpec{Shape: "bursty", Lambdas: []float64{0.2, 0.3}, Messages: 100, Runs: 1, Seed: 2}),
+			json:    `{"shape":"burst","lambdas":[0.20,0.30],"messages":100,"runs":1,"seed":2}`,
+		},
+		{
+			name:    "scenario defaults",
+			kind:    KindScenario,
+			struct_: ForScenario(ThroughputSpec{Scenario: "herd", Lambdas: []float64{0.1}}),
+			json:    `{"scenario":"herd","lambdas":[0.1],"messages":2000,"runs":2,"seed":1}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			structKey := validKey(t, tc.struct_, Limits{})
+			decoded, err := Decode(tc.kind, []byte(tc.json))
+			if err != nil {
+				t.Fatal(err)
+			}
+			jsonKey := validKey(t, decoded, Limits{})
+			if structKey != jsonKey {
+				t.Fatalf("struct key %s != JSON key %s", structKey, jsonKey)
+			}
+		})
+	}
+}
+
+func TestCanonicalKeySeparatesExperiments(t *testing.T) {
+	base := validKey(t, ForSolve(SolveSpec{K: 100}), Limits{})
+	if k := validKey(t, ForSolve(SolveSpec{K: 101}), Limits{}); k == base {
+		t.Fatal("different k collide")
+	}
+	delta := validKey(t, ForSolve(SolveSpec{
+		K: 100, Protocol: ProtocolSpec{Name: "one-fail", Params: map[string]float64{"delta": 2.9}},
+	}), Limits{})
+	if delta == base {
+		t.Fatal("parameter override did not change the key")
+	}
+	tp := validKey(t, ForThroughput(ThroughputSpec{Lambdas: []float64{0.1}}), Limits{})
+	sc := validKey(t, ForScenario(ThroughputSpec{Lambdas: []float64{0.1}}), Limits{})
+	if tp == sc {
+		t.Fatal("throughput and scenario kinds collide")
+	}
+}
+
+func TestValidateLimits(t *testing.T) {
+	l := Limits{MaxK: 1000, MaxExp: 6, MaxRuns: 10, MaxMessages: 10000, MaxLambdas: 4, MaxKs: 3}
+	bad := []ExperimentSpec{
+		ForSolve(SolveSpec{K: 5000}),
+		ForSolve(SolveSpec{K: -4}),
+		ForSolve(SolveSpec{Protocol: ProtocolSpec{Name: "nope"}}),
+		ForSolve(SolveSpec{Protocol: ProtocolSpec{Name: "one-fail", Params: map[string]float64{"zap": 1}}}),
+		ForEvaluate(EvaluateSpec{MaxExp: 9}),
+		ForEvaluate(EvaluateSpec{Ks: []int{1, 2, 3, 4}}),
+		ForEvaluate(EvaluateSpec{Runs: 99}),
+		ForThroughput(ThroughputSpec{Lambdas: []float64{0}}),
+		ForThroughput(ThroughputSpec{Lambdas: []float64{0.1, 0.2, 0.3, 0.4, 0.5}}),
+		ForThroughput(ThroughputSpec{Shape: "uniform"}),
+		ForThroughput(ThroughputSpec{Scenario: "rho"}),
+		ForThroughput(ThroughputSpec{Messages: 999999}),
+		ForScenario(ThroughputSpec{Scenario: "nope"}),
+		ForScenario(ThroughputSpec{Shape: "poisson"}),
+	}
+	for i, es := range bad {
+		if err := es.Validate(l); err == nil {
+			t.Errorf("case %d: invalid spec accepted: %+v", i, es)
+		}
+	}
+	// The library limits (zero value) lift the service caps but keep
+	// intrinsic validation.
+	big := ForEvaluate(EvaluateSpec{MaxExp: 7, Runs: 99})
+	if err := big.Validate(Limits{}); err != nil {
+		t.Fatalf("unlimited validation rejected a big sweep: %v", err)
+	}
+	negative := ForSolve(SolveSpec{K: -1})
+	if err := negative.Validate(Limits{}); err == nil {
+		t.Fatal("negative k accepted under unlimited limits")
+	}
+}
+
+func TestValidateUnionShape(t *testing.T) {
+	var empty ExperimentSpec
+	if err := empty.Validate(Limits{}); err == nil {
+		t.Fatal("empty union accepted")
+	}
+	two := ExperimentSpec{Solve: &SolveSpec{}, Evaluate: &EvaluateSpec{}}
+	if err := two.Validate(Limits{}); err == nil {
+		t.Fatal("double-set union accepted")
+	}
+	mismatch := ExperimentSpec{Kind: KindEvaluate, Solve: &SolveSpec{}}
+	if err := mismatch.Validate(Limits{}); err == nil {
+		t.Fatal("kind/sub-spec mismatch accepted")
+	}
+	// Kind inference from a single set sub-spec.
+	inferred := ExperimentSpec{Scenario: &ThroughputSpec{Scenario: "rho", Lambdas: []float64{0.1}}}
+	if err := inferred.Validate(Limits{}); err != nil || inferred.Kind != KindScenario {
+		t.Fatalf("inference: kind=%q err=%v", inferred.Kind, err)
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	if _, err := Decode(KindSolve, []byte(`{"kk":5}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Decode(KindSolve, []byte(`{"protocol":{"name":"ofa","zap":1}}`)); err == nil {
+		t.Fatal("unknown protocol-object field accepted")
+	}
+	if _, err := Decode(KindSolve, []byte(`{"k":"hundred"}`)); err == nil {
+		t.Fatal("type error accepted")
+	}
+	es, err := Decode(KindEvaluate, nil)
+	if err != nil || es.Kind != KindEvaluate || es.Evaluate == nil {
+		t.Fatalf("empty body decode = %+v, %v", es, err)
+	}
+}
+
+func TestProtocolSpecJSONRoundTrip(t *testing.T) {
+	plain := ProtocolSpec{Name: "one-fail"}
+	data, err := json.Marshal(plain)
+	if err != nil || string(data) != `"one-fail"` {
+		t.Fatalf("plain marshal = %s, %v", data, err)
+	}
+	withParams := ProtocolSpec{Name: "one-fail", Params: map[string]float64{"delta": 2.9}}
+	data, err = json.Marshal(withParams)
+	if err != nil || !strings.Contains(string(data), `"params":{"delta":2.9}`) {
+		t.Fatalf("param marshal = %s, %v", data, err)
+	}
+	var back ProtocolSpec
+	if err := json.Unmarshal(data, &back); err != nil || back.Name != "one-fail" || back.Params["delta"] != 2.9 {
+		t.Fatalf("round trip = %+v, %v", back, err)
+	}
+}
+
+func TestCanonicalKeyRejectsEscapeHatches(t *testing.T) {
+	es := ForThroughput(ThroughputSpec{Config: &throughput.Config{}})
+	if err := es.Validate(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.CanonicalKey(); err == nil {
+		t.Fatal("config escape hatch hashed")
+	}
+}

@@ -26,6 +26,7 @@
 package throughput
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -317,6 +318,18 @@ type outcome struct {
 // the aggregates in a fixed order after all workers finish, so results
 // are bit-for-bit reproducible regardless of scheduling.
 func Run(protocols []Protocol, cfg Config) ([]Series, error) {
+	return RunContext(context.Background(), protocols, cfg)
+}
+
+// RunContext is Run with cancellation: once ctx is canceled no further
+// execution starts — workers drain the queued jobs without simulating
+// and the producer stops materializing workloads — and ctx's error is
+// returned. Executions already running finish (a single execution is
+// not interruptible).
+func RunContext(ctx context.Context, protocols []Protocol, cfg Config) ([]Series, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	lambdas := cfg.Lambdas
 	if len(lambdas) == 0 {
 		lambdas = DefaultLambdas()
@@ -410,12 +423,13 @@ func Run(protocols []Protocol, cfg Config) ([]Series, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				// After the first error, drain the remaining jobs without
-				// burning their (potentially minutes-long) budgets.
+				// After the first error or a cancellation, drain the
+				// remaining jobs without burning their (potentially
+				// minutes-long) budgets.
 				mu.Lock()
 				abort := firstErr != nil
 				mu.Unlock()
-				if abort {
+				if abort || ctx.Err() != nil {
 					release(j.lIdx)
 					continue
 				}
@@ -456,6 +470,7 @@ func Run(protocols []Protocol, cfg Config) ([]Series, error) {
 	// Schedule the highest loads first: saturated runs burn their whole
 	// budget and must not be left for last. The channel send orders each
 	// instance write before any worker's read of it.
+enqueue:
 	for lIdx := len(lambdas) - 1; lIdx >= 0; lIdx-- {
 		insts := make([]scenario.Instance, runs)
 		for run := 0; run < runs; run++ {
@@ -470,18 +485,25 @@ func Run(protocols []Protocol, cfg Config) ([]Series, error) {
 		mu.Lock()
 		abort := firstErr != nil
 		mu.Unlock()
-		if abort {
+		if abort || ctx.Err() != nil {
 			break
 		}
 		instances[lIdx] = insts
 		for protoIdx := range protocols {
 			for run := 0; run < runs; run++ {
-				jobs <- job{proto: protoIdx, lIdx: lIdx, run: run}
+				select {
+				case jobs <- job{proto: protoIdx, lIdx: lIdx, run: run}:
+				case <-ctx.Done():
+					break enqueue
+				}
 			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

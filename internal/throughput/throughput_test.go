@@ -1,6 +1,8 @@
 package throughput
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"sync/atomic"
@@ -350,5 +352,50 @@ func TestRunAdversarialScenarios(t *testing.T) {
 				t.Fatal("no latencies recorded")
 			}
 		})
+	}
+}
+
+// TestRunContextCancel: once the context is canceled, workers must stop
+// starting queued executions and the sweep must return ctx.Err() — the
+// lever mac.Run and the serving subsystem's job cancellation rely on.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var runs atomic.Int32
+	cfg := Config{
+		Lambdas:     []float64{0.05, 0.1, 0.2, 0.3},
+		Messages:    200,
+		Runs:        8,
+		Seed:        1,
+		Parallelism: 2,
+		Progress: func(string, float64, int, dynamic.Result) {
+			if runs.Add(1) == 2 {
+				cancel()
+			}
+		},
+	}
+	if _, err := RunContext(ctx, DefaultProtocols(), cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext after cancel: err = %v, want context.Canceled", err)
+	}
+	// 4 protocols × 4 λ × 8 runs = 128 queued executions; after the
+	// cancel at execution 2 only the in-flight ones may finish.
+	if n := runs.Load(); n > 2+4 {
+		t.Fatalf("%d executions finished after cancellation at execution 2", n)
+	}
+}
+
+// TestRunContextAlreadyCanceled: a canceled context aborts before any
+// workload is even materialized.
+func TestRunContextAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var runs atomic.Int32
+	cfg := Config{Lambdas: []float64{0.1}, Messages: 100, Runs: 2,
+		Progress: func(string, float64, int, dynamic.Result) { runs.Add(1) }}
+	if _, err := RunContext(ctx, WindowedProtocols(), cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if runs.Load() != 0 {
+		t.Fatalf("%d executions ran under a canceled context", runs.Load())
 	}
 }

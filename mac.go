@@ -1,14 +1,12 @@
 package mac
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/analysis"
-	"repro/internal/baseline"
-	"repro/internal/core"
 	"repro/internal/harness"
-	"repro/internal/protocol"
 	"repro/internal/rng"
+	"repro/internal/spec"
 )
 
 // Protocol is a contention-resolution protocol configuration ready to
@@ -26,7 +24,9 @@ func (p Protocol) AnalysisRatio(k int) string { return p.sys.AnalysisRatio(k) }
 
 // Solve simulates one static k-selection execution with k contenders and
 // the given seed, returning the number of slots until every message was
-// delivered. Identical (k, seed) always reproduce the identical result.
+// delivered. Identical (k, seed) always reproduce the identical result,
+// on every front end: Solve, `macsim solve` and /v1/solve derive the
+// same randomness.
 func (p Protocol) Solve(k int, seed uint64) (uint64, error) {
 	if k < 0 {
 		return 0, fmt.Errorf("mac: negative k %d", k)
@@ -34,26 +34,32 @@ func (p Protocol) Solve(k int, seed uint64) (uint64, error) {
 	return p.sys.Run(k, rng.NewStream(seed, "mac.Solve", p.Name(), fmt.Sprint(k)))
 }
 
+// protocolBySpec resolves a registry configuration with parameter
+// overrides — the one constructor behind the five named façades below.
+// The registry probes a protocol instance per construction, so invalid
+// parameters fail here rather than mid-run.
+func protocolBySpec(name string, params map[string]float64) (Protocol, error) {
+	sys, err := harness.SystemBySpec(name, params)
+	if err != nil {
+		return Protocol{}, err
+	}
+	return Protocol{sys: sys}, nil
+}
+
+// optParam builds the override map for an optional variadic parameter.
+func optParam(key string, v []float64) map[string]float64 {
+	if len(v) == 0 {
+		return nil
+	}
+	return map[string]float64{key: v[0]}
+}
+
 // OneFailAdaptive returns the paper's novel protocol (Algorithm 1) with
 // the evaluation's δ = 2.72; pass a delta to override. Theorem 1: solves
 // static k-selection in 2(δ+1)k + O(log²k) slots w.p. ≥ 1 − 2/(1+k),
 // with no knowledge of k or n.
 func OneFailAdaptive(delta ...float64) (Protocol, error) {
-	d := core.DefaultOFADelta
-	if len(delta) > 0 {
-		d = delta[0]
-	}
-	if _, err := core.NewOneFailAdaptive(d); err != nil {
-		return Protocol{}, err
-	}
-	name := "One-Fail Adaptive"
-	if d != core.DefaultOFADelta {
-		name = fmt.Sprintf("One-Fail Adaptive (δ=%v)", d)
-	}
-	return Protocol{sys: harness.NewFairSystem(name,
-		func(int) string { return fmt.Sprintf("%.1f", analysis.OFARatio(d)) },
-		func(int) (protocol.Controller, error) { return core.NewOneFailAdaptive(d) },
-	)}, nil
+	return protocolBySpec("one-fail", optParam("delta", delta))
 }
 
 // ExpBackonBackoff returns the paper's sawtooth window protocol
@@ -61,21 +67,7 @@ func OneFailAdaptive(delta ...float64) (Protocol, error) {
 // override. Theorem 2: solves static k-selection within 4(1+1/δ)k slots
 // w.h.p. for big enough k.
 func ExpBackonBackoff(delta ...float64) (Protocol, error) {
-	d := core.DefaultEBBDelta
-	if len(delta) > 0 {
-		d = delta[0]
-	}
-	if _, err := core.NewExpBackonBackoff(d); err != nil {
-		return Protocol{}, err
-	}
-	name := "Exp Back-on/Back-off"
-	if d != core.DefaultEBBDelta {
-		name = fmt.Sprintf("Exp Back-on/Back-off (δ=%v)", d)
-	}
-	return Protocol{sys: harness.NewWindowSystem(name,
-		func(int) string { return fmt.Sprintf("%.1f", analysis.EBBRatio(d)) },
-		func(int) (protocol.Schedule, error) { return core.NewExpBackonBackoff(d) },
-	)}, nil
+	return protocolBySpec("exp-bb", optParam("delta", delta))
 }
 
 // LogFailsAdaptive returns the baseline of reference [7] (reconstructed;
@@ -83,48 +75,21 @@ func ExpBackonBackoff(delta ...float64) (Protocol, error) {
 // BT-step fraction ξt (the paper evaluates 1/2 and 1/10). Unlike the
 // paper's own protocols it needs a bound on the network size.
 func LogFailsAdaptive(xiT float64) (Protocol, error) {
-	if _, err := baseline.NewLogFailsAdaptive(0.5, xiT); err != nil {
-		return Protocol{}, err
-	}
-	denom := int(1 / xiT)
-	return Protocol{sys: harness.NewFairSystem(fmt.Sprintf("Log-Fails Adaptive (%d)", denom),
-		func(int) string {
-			return fmt.Sprintf("%.1f", analysis.LFARatio(baseline.DefaultLFAXiDelta, baseline.DefaultLFAXiBeta, xiT))
-		},
-		func(k int) (protocol.Controller, error) {
-			return baseline.NewLogFailsAdaptive(1/(float64(k)+1), xiT)
-		},
-	)}, nil
+	return protocolBySpec("log-fails-2", map[string]float64{"xi_t": xiT})
 }
 
 // LoglogIteratedBackoff returns the monotone baseline of reference [2]
 // (reconstructed; see DESIGN.md) with growth base r = 2; pass a base to
 // override. Makespan Θ(k·loglog k/logloglog k) w.h.p.
 func LoglogIteratedBackoff(base ...float64) (Protocol, error) {
-	r := baseline.DefaultLLIBBase
-	if len(base) > 0 {
-		r = base[0]
-	}
-	if _, err := baseline.NewLoglogIteratedBackoff(r); err != nil {
-		return Protocol{}, err
-	}
-	return Protocol{sys: harness.NewWindowSystem("Loglog-Iterated Backoff",
-		func(int) string { return "Θ(loglog k/logloglog k)" },
-		func(int) (protocol.Schedule, error) { return baseline.NewLoglogIteratedBackoff(r) },
-	)}, nil
+	return protocolBySpec("loglog-iterated", optParam("r", base))
 }
 
 // ExponentialBackoff returns classic monotone r-exponential back-off
 // (binary for r = 2), the practical strategy whose superlinear makespan
 // Θ(k·log_{log r}k) motivates the paper's protocols.
 func ExponentialBackoff(r float64) (Protocol, error) {
-	if _, err := baseline.NewExponentialBackoff(r); err != nil {
-		return Protocol{}, err
-	}
-	return Protocol{sys: harness.NewWindowSystem(fmt.Sprintf("Exponential Backoff (r=%v)", r),
-		func(int) string { return "Θ(k·log k) total" },
-		func(int) (protocol.Schedule, error) { return baseline.NewExponentialBackoff(r) },
-	)}, nil
+	return protocolBySpec("exp-backoff", map[string]float64{"r": r})
 }
 
 // PaperProtocols returns the five configurations of the paper's
@@ -156,7 +121,9 @@ type EvalConfig struct {
 type Result = harness.SeriesResult
 
 // Evaluate reruns the paper's evaluation for the given protocols and
-// returns one series per protocol.
+// returns one series per protocol. It is a compatibility wrapper over
+// Run: the same sweep is reachable as an EvaluateExperiment spec, with
+// streaming progress and cancellation.
 func Evaluate(protocols []Protocol, cfg EvalConfig) ([]Result, error) {
 	if cfg.MaxExp <= 0 {
 		cfg.MaxExp = 5
@@ -164,16 +131,34 @@ func Evaluate(protocols []Protocol, cfg EvalConfig) ([]Result, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = harness.DefaultRuns
+	}
 	ks := cfg.Ks
 	if len(ks) == 0 {
 		ks = harness.PaperKs(cfg.MaxExp)
+	}
+	if len(protocols) == 0 {
+		return []Result{}, nil
 	}
 	systems := make([]harness.System, len(protocols))
 	for i, p := range protocols {
 		systems[i] = p.sys
 	}
-	sweep := harness.Sweep{Ks: ks, Runs: cfg.Runs, Seed: cfg.Seed}
-	return sweep.Run(systems)
+	exec, err := Run(context.Background(), spec.ForEvaluate(spec.EvaluateSpec{
+		Ks:      ks,
+		Runs:    cfg.Runs,
+		Seed:    cfg.Seed,
+		Systems: systems,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Result()
+	if err != nil {
+		return nil, err
+	}
+	return res.Sweep(), nil
 }
 
 // Table1 renders sweep results as the paper's Table 1 (steps/nodes ratio

@@ -2,6 +2,7 @@ package mac
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/cd"
 	"repro/internal/core"
@@ -45,7 +46,7 @@ func TreeSplittingSolve(k int, seed uint64, massey bool) (uint64, error) {
 	if massey {
 		opts = append(opts, cd.WithMasseySkip())
 	}
-	return cd.TreeRun(k, rng.NewStream(seed, "mac.Tree", boolLabel(massey)), 0, opts...)
+	return cd.TreeRun(k, rng.NewStream(seed, "mac.Tree", strconv.FormatBool(massey)), 0, opts...)
 }
 
 // ElectLeader runs Willard-style leader election among k stations on a
@@ -54,11 +55,4 @@ func TreeSplittingSolve(k int, seed uint64, massey bool) (uint64, error) {
 // cites for building delivery acknowledgements.
 func ElectLeader(k int, seed uint64) (uint64, error) {
 	return cd.LeaderRun(k, rng.NewStream(seed, "mac.Leader", fmt.Sprint(k)), 0)
-}
-
-func boolLabel(b bool) string {
-	if b {
-		return "true"
-	}
-	return "false"
 }

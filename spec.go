@@ -1,0 +1,132 @@
+package mac
+
+import (
+	"context"
+
+	"repro/internal/spec"
+)
+
+// ExperimentKind names one of the four experiment families an
+// ExperimentSpec can describe.
+type ExperimentKind = spec.ExperimentKind
+
+// Experiment kinds, one per sub-spec (and per /v1/* endpoint of the
+// serving API).
+const (
+	// KindSolve is one static k-selection execution.
+	KindSolve = spec.KindSolve
+	// KindEvaluate is the paper's static sweep (Table 1 / Figure 1).
+	KindEvaluate = spec.KindEvaluate
+	// KindThroughput is the λ-sweep saturation experiment over a benign
+	// arrival shape.
+	KindThroughput = spec.KindThroughput
+	// KindScenario is the λ-sweep over a catalog workload scenario.
+	KindScenario = spec.KindScenario
+)
+
+// ExperimentSpec is the declarative experiment description shared by
+// all three front ends: this library (Run), the CLI (cmd/macsim) and
+// the HTTP API (/v1/*). It is a tagged union — Kind selects which
+// sub-spec is active — with JSON codecs, validation
+// (ExperimentSpec.Validate) and a canonical hash
+// (ExperimentSpec.CanonicalKey) under which the serving subsystem
+// caches results. Identical experiments hash identically however they
+// were expressed.
+type ExperimentSpec = spec.ExperimentSpec
+
+// SolveSpec describes one static k-selection execution.
+type SolveSpec = spec.SolveSpec
+
+// EvaluateSpec describes the paper's static sweep.
+type EvaluateSpec = spec.EvaluateSpec
+
+// ThroughputSpec describes the λ-sweep saturation experiment, under a
+// benign arrival shape (KindThroughput) or a catalog workload scenario
+// (KindScenario).
+type ThroughputSpec = spec.ThroughputSpec
+
+// ProtocolSpec selects a protocol configuration by registry name with
+// optional parameter overrides (e.g. {"delta": 2.9} on "one-fail"). In
+// JSON it is a bare name string or a {"name", "params"} object.
+type ProtocolSpec = spec.ProtocolSpec
+
+// Limits bound what one experiment may ask of the simulators. The zero
+// value of every field means unlimited; the serving API fills its own
+// serving defaults (ServerLimits documents them).
+type Limits = spec.Limits
+
+// SolveExperiment wraps a SolveSpec into an ExperimentSpec.
+func SolveExperiment(s SolveSpec) ExperimentSpec { return spec.ForSolve(s) }
+
+// EvaluateExperiment wraps an EvaluateSpec into an ExperimentSpec.
+func EvaluateExperiment(s EvaluateSpec) ExperimentSpec { return spec.ForEvaluate(s) }
+
+// ThroughputExperiment wraps a ThroughputSpec into an ExperimentSpec of
+// KindThroughput.
+func ThroughputExperiment(s ThroughputSpec) ExperimentSpec { return spec.ForThroughput(s) }
+
+// ScenarioExperiment wraps a ThroughputSpec into an ExperimentSpec of
+// KindScenario.
+func ScenarioExperiment(s ThroughputSpec) ExperimentSpec { return spec.ForScenario(s) }
+
+// DecodeExperiment parses an experiment's flat JSON parameter document
+// — the exact body the /v1/* submit endpoints accept — into a spec of
+// the given kind. An empty body selects all defaults; unknown fields
+// are rejected.
+func DecodeExperiment(kind ExperimentKind, body []byte) (ExperimentSpec, error) {
+	return spec.Decode(kind, body)
+}
+
+// Event is one typed progress record streamed by an Execution; the
+// concrete types are SweepProgress and DynamicProgress. Events marshal
+// to the NDJSON lines the HTTP /stream endpoint and `macsim -stream`
+// emit.
+type Event = spec.Event
+
+// SweepProgress is one completed static execution of a solve or
+// evaluate experiment.
+type SweepProgress = spec.SweepProgress
+
+// DynamicProgress is one completed execution of a throughput or
+// scenario experiment.
+type DynamicProgress = spec.DynamicProgress
+
+// StreamEnd is the terminal record of an NDJSON event stream, shared by
+// the HTTP /stream endpoint and `macsim -stream`.
+type StreamEnd = spec.StreamEnd
+
+// ExperimentResult is an experiment's typed outcome; Document returns
+// the JSON document shared byte-for-byte with the HTTP API and
+// `macsim -json`.
+type ExperimentResult = spec.Result
+
+// SolveResult is the result document of a solve experiment.
+type SolveResult = spec.SolveResult
+
+// EvaluateResult is the result document of an evaluate experiment.
+type EvaluateResult = spec.EvaluateResult
+
+// ThroughputResult is the result document of a throughput or scenario
+// experiment.
+type ThroughputResult = spec.ThroughputResult
+
+// Execution is one running (or finished) experiment: an
+// iter.Seq2[Event, error] stream of progress events (Events) plus the
+// final typed result (Result).
+type Execution = spec.Execution
+
+// Run is the single execution entry point behind every front end: it
+// validates the spec (in place — defaults applied, protocol aliases
+// canonicalized) and starts executing it on background goroutines.
+// Canceling ctx aborts the simulation work promptly — queued runs are
+// skipped, no new run starts; one individual execution is not
+// interruptible, so cancellation takes effect within a single run's
+// time — and surfaces ctx's error from the Execution's Events and
+// Result. Validation errors return synchronously.
+//
+//	exec, err := mac.Run(ctx, mac.SolveExperiment(mac.SolveSpec{K: 100000, Seed: 42}))
+//	for ev, err := range exec.Events() { ... }
+//	res, err := exec.Result()
+func Run(ctx context.Context, s ExperimentSpec) (*Execution, error) {
+	return spec.Run(ctx, s)
+}

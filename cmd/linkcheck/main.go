@@ -1,0 +1,109 @@
+// Command linkcheck validates the relative links in the repository's
+// Markdown documentation. CI runs it over README.md, DESIGN.md and
+// docs/*.md so a moved or renamed file cannot silently strand its
+// references.
+//
+// Usage:
+//
+//	linkcheck [-root dir] file.md ...
+//
+// For every inline Markdown link or image target it checks that the
+// referenced file exists on disk, resolved relative to the referencing
+// file. External targets (any URL scheme), pure in-page anchors
+// (#section) and targets that escape the root directory (GitHub web
+// paths like ../../actions/...) are skipped — only repository files
+// are validated. Fragments are stripped before the existence check.
+// Broken links are listed one per line and the exit status is 1.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkPattern matches inline Markdown links and images:
+// [text](target), ![alt](target), with an optional "title".
+var linkPattern = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)(?:\s+"[^"]*")?\)`)
+
+// schemePattern recognizes absolute URLs (http://, https://, mailto:, …).
+var schemePattern = regexp.MustCompile(`^[a-zA-Z][a-zA-Z0-9+.-]*:`)
+
+// broken describes one unresolvable link.
+type broken struct {
+	file   string
+	target string
+	reason string
+}
+
+func (b broken) String() string {
+	return fmt.Sprintf("%s: broken link %q (%s)", b.file, b.target, b.reason)
+}
+
+// check validates every relative link in the given Markdown files
+// against the filesystem under root and returns the broken ones.
+func check(root string, files []string) ([]broken, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []broken
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range linkPattern.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if schemePattern.MatchString(target) || strings.HasPrefix(target, "#") {
+				continue // external or in-page
+			}
+			// Strip a fragment: the existence check is per file.
+			path := target
+			if i := strings.IndexByte(path, '#'); i >= 0 {
+				path = path[:i]
+			}
+			if path == "" {
+				continue
+			}
+			resolved, err := filepath.Abs(filepath.Join(filepath.Dir(file), path))
+			if err != nil {
+				out = append(out, broken{file, target, err.Error()})
+				continue
+			}
+			if rel, err := filepath.Rel(absRoot, resolved); err != nil || strings.HasPrefix(rel, "..") {
+				continue // escapes the repository: a web path, not a file reference
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				out = append(out, broken{file, target, "no such file"})
+			}
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	root := "."
+	args := os.Args[1:]
+	if len(args) >= 2 && args[0] == "-root" {
+		root, args = args[1], args[2:]
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck [-root dir] file.md ...")
+		os.Exit(2)
+	}
+	bad, err := check(root, args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(2)
+	}
+	for _, b := range bad {
+		fmt.Println(b)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", len(bad))
+		os.Exit(1)
+	}
+}

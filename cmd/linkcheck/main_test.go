@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write creates a file under dir, making parents as needed.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckFindsBrokenAndAcceptsValid(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "DESIGN.md", "# design\n")
+	write(t, dir, "docs/api.md", "see [design](../DESIGN.md) and [missing](nope.md)\n")
+	readme := write(t, dir, "README.md", `
+[ok](DESIGN.md) and [ok-too](docs/api.md) and [gone](docs/ghost.md)
+[anchor-ok](DESIGN.md#design) [pure-anchor](#here)
+[external](https://example.com/x.md) [mail](mailto:a@b.c)
+[![badge](../../actions/workflows/ci.yml/badge.svg)](../../actions/workflows/ci.yml)
+![img](DESIGN.md)
+`)
+	api := filepath.Join(dir, "docs", "api.md")
+
+	bad, err := check(dir, []string{readme, api})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []string
+	for _, b := range bad {
+		targets = append(targets, b.target)
+	}
+	if len(bad) != 2 || targets[0] != "docs/ghost.md" || targets[1] != "nope.md" {
+		t.Fatalf("broken = %v, want exactly [docs/ghost.md nope.md]", targets)
+	}
+}
+
+func TestCheckStripsFragmentsBeforeStat(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.md", "x")
+	md := write(t, dir, "b.md", "[frag](a.md#sec) [badfrag](missing.md#sec)")
+	bad, err := check(dir, []string{md})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0].target != "missing.md#sec" {
+		t.Fatalf("broken = %v, want only missing.md#sec", bad)
+	}
+}
+
+func TestCheckSkipsTargetsOutsideRoot(t *testing.T) {
+	dir := t.TempDir()
+	// A target resolving outside the root must be skipped even though
+	// it does not exist — outside the root we cannot tell web paths
+	// (GitHub badge links) from file references.
+	md := write(t, dir, "doc.md", "[out](../elsewhere/gone.md)")
+	bad, err := check(dir, []string{md})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("broken = %v, want none (outside root)", bad)
+	}
+}
+
+func TestCheckRepositoryDocs(t *testing.T) {
+	// The real repository documentation must stay link-clean; this is
+	// the same invocation the CI docs job runs.
+	root := "../.."
+	files := []string{filepath.Join(root, "README.md"), filepath.Join(root, "DESIGN.md")}
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(docs) == 0 {
+		t.Fatal("no docs/*.md found — glob broken?")
+	}
+	bad, err := check(root, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bad {
+		t.Error(b)
+	}
+}

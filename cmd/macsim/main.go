@@ -27,6 +27,17 @@
 // serve it; -stream emits the NDJSON progress events plus a terminal
 // record exactly as /v1/jobs/{id}/stream would.
 //
+// The sweep experiments (table1, figure1, paper, throughput, scenario)
+// accept -epsilon/-confidence to switch from the fixed -runs count to
+// adaptive-precision replication: each point repeats until the
+// Student-t confidence interval of its primary metric is within
+// ±epsilon·mean at the given confidence (internal/montecarlo), e.g.
+//
+//	macsim throughput -epsilon 0.01 -confidence 0.95
+//
+// and the result documents report the error bar and replications spent
+// per point (ci95, repsUsed).
+//
 // The paper's full grid (-maxexp 7, -runs 10) takes a few minutes of CPU
 // time; the default -maxexp 5 finishes in seconds.
 package main
@@ -78,10 +89,21 @@ type options struct {
 	messages   int
 	shape      string
 	scenario   string
+	epsilon    float64
+	confidence float64
 	quiet      bool
 	jsonOut    bool
 	stream     bool
 	version    bool
+}
+
+// precision builds the adaptive-precision request the flags describe;
+// nil (fixed-rep mode) unless -epsilon is set.
+func (o options) precision() *mac.PrecisionSpec {
+	if o.epsilon == 0 {
+		return nil
+	}
+	return &mac.PrecisionSpec{Epsilon: o.epsilon, Confidence: o.confidence}
 }
 
 // experiments is the single table behind -experiment dispatch, the flag
@@ -155,6 +177,10 @@ func parseOptions(args []string) (options, error) {
 	fs.StringVar(&opts.shape, "shape", "poisson", "arrival shape for -experiment throughput: poisson, bursty, onoff")
 	fs.StringVar(&opts.scenario, "scenario", "all",
 		"workload for -experiment scenario: all, "+strings.Join(scenario.Names(), ", "))
+	fs.Float64Var(&opts.epsilon, "epsilon", 0,
+		"sweep experiments: adaptive-precision stopping at this relative precision (e.g. 0.01 = ±1%); 0 keeps the fixed -runs count")
+	fs.Float64Var(&opts.confidence, "confidence", 0.95,
+		"confidence level of the -epsilon stopping rule")
 	fs.BoolVar(&opts.quiet, "quiet", false, "suppress progress output")
 	fs.BoolVar(&opts.jsonOut, "json", false, "spec-backed experiments: print the result document as JSON (the same codec the HTTP API serves)")
 	fs.BoolVar(&opts.stream, "stream", false, "spec-backed experiments: emit NDJSON progress events plus a terminal result record (as /v1/jobs/{id}/stream)")
@@ -164,6 +190,15 @@ func parseOptions(args []string) (options, error) {
 	}
 	if fs.NArg() > 0 {
 		return options{}, fmt.Errorf("unexpected arguments %q (only flags may follow the experiment name; list values are comma-separated)", fs.Args())
+	}
+	confidenceSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "confidence" {
+			confidenceSet = true
+		}
+	})
+	if confidenceSet && opts.epsilon == 0 {
+		return options{}, fmt.Errorf("-confidence only applies to adaptive-precision runs: set -epsilon too (e.g. -epsilon 0.01)")
 	}
 	return opts, nil
 }
@@ -204,9 +239,10 @@ func solveSpec(opts options) mac.ExperimentSpec {
 // (the paper's five-protocol lineup over 10..10^maxexp).
 func evaluateSpec(opts options) mac.ExperimentSpec {
 	return mac.EvaluateExperiment(mac.EvaluateSpec{
-		MaxExp: opts.maxExp,
-		Runs:   opts.runs,
-		Seed:   opts.seed,
+		MaxExp:    opts.maxExp,
+		Runs:      opts.runs,
+		Seed:      opts.seed,
+		Precision: opts.precision(),
 	})
 }
 
@@ -223,11 +259,12 @@ func throughputSpec(opts options) (mac.ExperimentSpec, error) {
 		lambdas = throughput.DefaultLambdas()
 	}
 	return mac.ThroughputExperiment(mac.ThroughputSpec{
-		Shape:    opts.shape,
-		Lambdas:  lambdas,
-		Messages: opts.messages,
-		Runs:     opts.runs,
-		Seed:     opts.seed,
+		Shape:     opts.shape,
+		Lambdas:   lambdas,
+		Messages:  opts.messages,
+		Runs:      opts.runs,
+		Seed:      opts.seed,
+		Precision: opts.precision(),
 	}), nil
 }
 
@@ -248,11 +285,12 @@ func scenarioSpec(opts options, name string) (mac.ExperimentSpec, error) {
 		lambdas = []float64{0.1, 0.2, 0.3}
 	}
 	return mac.ScenarioExperiment(mac.ThroughputSpec{
-		Scenario: name,
-		Lambdas:  lambdas,
-		Messages: opts.messages,
-		Runs:     opts.runs,
-		Seed:     opts.seed,
+		Scenario:  name,
+		Lambdas:   lambdas,
+		Messages:  opts.messages,
+		Runs:      opts.runs,
+		Seed:      opts.seed,
+		Precision: opts.precision(),
 	}), nil
 }
 

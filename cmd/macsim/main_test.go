@@ -503,3 +503,64 @@ func TestRunJSONRejectedForNonSpecExperiments(t *testing.T) {
 		}
 	}
 }
+
+// TestRunThroughputAdaptivePrecision: -epsilon/-confidence switch the
+// λ-sweep to adaptive stopping, the JSON document reports the per-point
+// replication counts and error bars, and the CLI spelling hashes to the
+// same canonical key as the equivalent HTTP JSON body.
+func TestRunThroughputAdaptivePrecision(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"throughput", "-lambdas", "0.05", "-messages", "200",
+			"-epsilon", "0.4", "-confidence", "0.9", "-json", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc mac.ThroughputResult
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range doc.Series {
+		for _, p := range s.Points {
+			if p.RepsUsed < 2 || p.RepsUsed > 64 {
+				t.Fatalf("%s: repsUsed = %d, want within [minReps, maxReps]", s.Protocol, p.RepsUsed)
+			}
+			if p.RepsUsed != p.Runs {
+				t.Fatalf("%s: repsUsed %d != runs %d", s.Protocol, p.RepsUsed, p.Runs)
+			}
+		}
+	}
+
+	// Canonical-key parity: CLI flags vs HTTP JSON body.
+	opts, err := parseOptions([]string{"throughput", "-lambdas", "0.05", "-messages", "200",
+		"-epsilon", "0.4", "-confidence", "0.9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliES, err := throughputSpec(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cliES.Validate(mac.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	cliKey, err := cliES.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpES, err := mac.DecodeExperiment(mac.KindThroughput,
+		[]byte(`{"lambdas":[0.05],"messages":200,"precision":{"epsilon":0.4,"confidence":0.9}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := httpES.Validate(mac.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	httpKey, err := httpES.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cliKey != httpKey {
+		t.Fatalf("CLI key %s != HTTP key %s for the same adaptive experiment", cliKey, httpKey)
+	}
+}

@@ -15,7 +15,10 @@ import (
 type DynamicProtocol = throughput.Protocol
 
 // DynamicConfig parameterizes EvaluateDynamic: offered loads, messages
-// per execution, runs per point, arrival shape, seed.
+// per execution, runs per point, arrival shape, seed — and, via the
+// Precision field, adaptive-precision replication (stop each point once
+// its confidence interval is narrow enough, instead of a fixed runs
+// count).
 type DynamicConfig = throughput.Config
 
 // DynamicResult is one protocol's λ-sweep outcome.

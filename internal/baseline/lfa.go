@@ -8,7 +8,8 @@
 // structure but not every constant of the original papers. The
 // reconstruction decisions and their calibration are documented in
 // DESIGN.md ("Substitutions and reconstructions") and assessed against the
-// paper's Table 1 in EXPERIMENTS.md.
+// paper's Table 1 by the BenchmarkTable1 rows pinned in BENCH_BASE.json
+// (docs/paper-map.md, "§5 Evaluation").
 package baseline
 
 import (

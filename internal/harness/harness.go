@@ -5,8 +5,14 @@
 // (steps/nodes ratio vs the analysis constants).
 //
 // Runs execute in parallel across a worker pool; every run draws its
-// randomness from a stream derived from (master seed, system, k, run), so
-// results are bit-for-bit reproducible regardless of scheduling.
+// randomness from a stream derived from (master seed, system, k, run),
+// and per-run outcomes are folded into the aggregates in a fixed order
+// after all workers finish, so results are bit-for-bit reproducible
+// regardless of scheduling. Setting Sweep.Precision replaces the fixed
+// repetition count with the adaptive-precision engine of
+// internal/montecarlo: each (system, k) cell replicates until its
+// Student-t confidence interval meets the requested relative precision,
+// reusing the exact per-run streams of fixed mode.
 package harness
 
 import (
@@ -21,6 +27,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/montecarlo"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -178,6 +185,15 @@ type Sweep struct {
 	Seed uint64
 	// Parallelism bounds concurrent runs; defaults to GOMAXPROCS.
 	Parallelism int
+	// Precision, when enabled (Epsilon > 0), switches the sweep to
+	// adaptive-precision replication: Runs is ignored and each
+	// (system, k) cell executes between Precision.MinReps and
+	// Precision.MaxReps runs, stopping once the Student-t confidence
+	// interval of its mean slots is narrower than Epsilon·mean at the
+	// requested confidence. Run r of a cell draws the identical stream in
+	// both modes, so MinReps == MaxReps == Runs reproduces fixed-rep
+	// results exactly. The zero value keeps the classic fixed-rep sweep.
+	Precision montecarlo.Precision
 	// Progress, if non-nil, is invoked after each completed run. It may
 	// be called concurrently from multiple workers and must be safe for
 	// concurrent use.
@@ -242,6 +258,26 @@ func (s Sweep) RunContext(ctx context.Context, systems []System) ([]SeriesResult
 		}
 	}
 
+	if s.Precision.Enabled() {
+		if err := s.runAdaptive(ctx, systems, results, par); err != nil {
+			return nil, err
+		}
+		return results, nil
+	}
+
+	// Fixed-rep mode: the grid is known up front, so all runs go through
+	// one worker pool. Per-run step counts are recorded into a
+	// pre-shaped grid (each job owns its slot — no lock) and folded in
+	// (system, k, run) order after the pool drains, which makes the
+	// floating-point accumulation independent of scheduling.
+	steps := make([][][]uint64, len(systems))
+	for i := range systems {
+		steps[i] = make([][]uint64, len(ks))
+		for j := range ks {
+			steps[i][j] = make([]uint64, runs)
+		}
+	}
+
 	type job struct{ sys, kIdx, run int }
 	jobs := make(chan job)
 	var (
@@ -262,22 +298,18 @@ func (s Sweep) RunContext(ctx context.Context, systems []System) ([]SeriesResult
 				sys := systems[j.sys]
 				k := results[j.sys].Cells[j.kIdx].K
 				src := rng.NewStream(s.Seed, sys.Name(), fmt.Sprint(k), fmt.Sprint(j.run))
-				steps, err := sys.Run(k, src)
-				// Record under the lock, but invoke the user's Progress
-				// callback outside it: a slow callback must not serialize
-				// the workers, and a re-entrant one must not deadlock.
-				mu.Lock()
+				n, err := sys.Run(k, src)
 				if err != nil {
+					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
 					}
 					mu.Unlock()
 					continue
 				}
-				results[j.sys].Cells[j.kIdx].Steps.Add(float64(steps))
-				mu.Unlock()
+				steps[j.sys][j.kIdx][j.run] = n
 				if s.Progress != nil {
-					s.Progress(sys.Name(), k, j.run, steps)
+					s.Progress(sys.Name(), k, j.run, n)
 				}
 			}
 		}()
@@ -303,7 +335,50 @@ enqueue:
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	for sysIdx := range systems {
+		for kIdx := range ks {
+			cell := &results[sysIdx].Cells[kIdx]
+			for run := 0; run < runs; run++ {
+				cell.Steps.Add(float64(steps[sysIdx][kIdx][run]))
+			}
+		}
+	}
 	return results, nil
+}
+
+// runAdaptive executes the sweep under the adaptive-precision engine:
+// cells are evaluated one at a time, each replicating across the worker
+// pool until its confidence interval meets the target (or MaxReps).
+// Replication r of a cell draws the identical stream fixed-rep run r
+// would, so the two modes agree exactly when MinReps == MaxReps ==
+// Runs.
+func (s Sweep) runAdaptive(ctx context.Context, systems []System, results []SeriesResult, par int) error {
+	prec := s.Precision.WithDefaults()
+	if err := prec.Validate(); err != nil {
+		return err
+	}
+	for sysIdx, sys := range systems {
+		for kIdx := range results[sysIdx].Cells {
+			cell := &results[sysIdx].Cells[kIdx]
+			k := cell.K
+			res, err := montecarlo.Run(ctx, prec, par, func(run int) (float64, error) {
+				src := rng.NewStream(s.Seed, sys.Name(), fmt.Sprint(k), fmt.Sprint(run))
+				n, err := sys.Run(k, src)
+				if err != nil {
+					return 0, err
+				}
+				if s.Progress != nil {
+					s.Progress(sys.Name(), k, run, n)
+				}
+				return float64(n), nil
+			})
+			if err != nil {
+				return err
+			}
+			cell.Steps = res.Stats
+		}
+	}
+	return nil
 }
 
 // GeometricKs returns n network sizes spaced geometrically from lo to hi

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/montecarlo"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 )
@@ -384,5 +385,64 @@ func TestSystemBySpecParams(t *testing.T) {
 	beb, err := SystemBySpec("exp-backoff", map[string]float64{"r": 3})
 	if err != nil || beb.Name() != "Exponential Backoff (r=3)" {
 		t.Fatalf("r override = %v, %v", beb, err)
+	}
+}
+
+// TestAdaptiveMatchesFixedAtPinnedReps is the seed-determinism proof
+// for the adaptive engine: with MinReps == MaxReps == Runs, adaptive
+// mode executes the identical replication indices — hence the identical
+// rng streams — and must reproduce fixed-rep results bit for bit.
+func TestAdaptiveMatchesFixedAtPinnedReps(t *testing.T) {
+	t.Parallel()
+	const runs = 5
+	systems := []System{PaperSystems()[2], PaperSystems()[3]} // OFA + EBB
+	fixed := Sweep{Ks: []int{10, 100}, Runs: runs, Seed: 42}
+	fixedRes, err := fixed.Run(systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := Sweep{Ks: []int{10, 100}, Seed: 42,
+		Precision: montecarlo.Precision{Epsilon: 1e-12, Confidence: 0.95, MinReps: runs, MaxReps: runs}}
+	adaptiveRes, err := adaptive.Run(systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fixedRes {
+		for j := range fixedRes[i].Cells {
+			f, a := &fixedRes[i].Cells[j], &adaptiveRes[i].Cells[j]
+			if f.K != a.K || f.Steps.N() != a.Steps.N() ||
+				f.Steps.Mean() != a.Steps.Mean() || f.Steps.Variance() != a.Steps.Variance() {
+				t.Fatalf("%s k=%d: adaptive (n=%d mean=%v var=%v) != fixed (n=%d mean=%v var=%v)",
+					fixedRes[i].System.Name(), f.K,
+					a.Steps.N(), a.Steps.Mean(), a.Steps.Variance(),
+					f.Steps.N(), f.Steps.Mean(), f.Steps.Variance())
+			}
+		}
+	}
+}
+
+// TestAdaptiveStopsEarlyOnLowVariance checks the speed lever end to
+// end: a loose precision target on a low-variance cell must finish in
+// fewer than MaxReps replications.
+func TestAdaptiveStopsEarlyOnLowVariance(t *testing.T) {
+	t.Parallel()
+	s := Sweep{Ks: []int{1000}, Seed: 1,
+		Precision: montecarlo.Precision{Epsilon: 0.2, Confidence: 0.9, MinReps: 3, MaxReps: 64}}
+	res, err := s.Run([]System{PaperSystems()[3]}) // Exp Back-on/Back-off: tight spread
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res[0].Cells[0].Steps.N(); n >= 64 || n < 3 {
+		t.Fatalf("reps used = %d, want early stop in [3, 64)", n)
+	}
+}
+
+// TestAdaptiveInvalidPrecision verifies precision validation surfaces
+// from the sweep entry point.
+func TestAdaptiveInvalidPrecision(t *testing.T) {
+	t.Parallel()
+	s := Sweep{Ks: []int{10}, Precision: montecarlo.Precision{Epsilon: 2}}
+	if _, err := s.Run(PaperSystems()[:1]); err == nil {
+		t.Fatal("want validation error for epsilon ≥ 1")
 	}
 }

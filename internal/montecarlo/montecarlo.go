@@ -1,0 +1,243 @@
+// Package montecarlo is the adaptive-precision replication engine every
+// repeated-simulation entry point routes through: the static sweeps of
+// internal/harness and the λ-sweeps of internal/throughput both
+// delegate their "how many runs is enough?" decision here.
+//
+// The paper's guarantees are stated in expectation and with high
+// probability, so any reported point estimate carries Monte Carlo
+// error. A fixed repetition count either over-simulates easy
+// (low-variance) points or under-simulates hard ones. This engine
+// instead replicates until the Student-t confidence interval for the
+// mean of the primary metric is narrower than a requested relative
+// precision ε at confidence level c — "throughput to ±1% at 95%" as an
+// input rather than an afterthought — subject to MinReps/MaxReps
+// bounds.
+//
+// Determinism is load-bearing throughout this repository (canonical
+// cache keys, byte-identical front ends, golden tests), so the engine
+// is deterministic by construction:
+//
+//   - Replication r always computes the same value: the caller derives
+//     each replication's randomness from its index r alone (the same
+//     (seed, labels, rep) streams fixed-rep mode uses), never from
+//     scheduling.
+//   - The stopping decision is evaluated only at fixed checkpoints
+//     (MinReps, then ×3/2 growth, then MaxReps), with all replications
+//     up to the checkpoint folded in index order. The checkpoint
+//     schedule depends only on the Precision, never on Parallelism or
+//     GOMAXPROCS, so a laptop and a 64-core server stop at the same
+//     replication count.
+//
+// Within a batch, replications run concurrently across a worker pool
+// sized to GOMAXPROCS (or the caller's bound); parallelism changes only
+// wall-clock time, never results.
+package montecarlo
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Precision is the adaptive stopping rule: replicate until the
+// two-sided Student-t confidence interval for the mean of the primary
+// metric, at level Confidence, has half-width ≤ Epsilon·|mean|. The
+// zero value (Epsilon 0) disables adaptivity — fixed-rep mode.
+type Precision struct {
+	// Epsilon is the requested relative precision (0.01 = ±1%). It must
+	// be in (0, 1); 0 means adaptive stopping is disabled.
+	Epsilon float64
+	// Confidence is the two-sided confidence level of the interval
+	// (default 0.95); must be in (0, 1).
+	Confidence float64
+	// MinReps is the minimum number of replications before the stopping
+	// rule is first consulted (default 3, minimum 2 — variance needs two
+	// observations).
+	MinReps int
+	// MaxReps caps replications when the target precision is not reached
+	// (default 64). MinReps == MaxReps reproduces fixed-rep mode exactly:
+	// the same replication indices, hence the same streams and results.
+	MaxReps int
+}
+
+// Enabled reports whether adaptive stopping is requested.
+func (p Precision) Enabled() bool { return p.Epsilon > 0 }
+
+// Defaults for the optional Precision fields.
+const (
+	DefaultConfidence = 0.95
+	DefaultMinReps    = 3
+	DefaultMaxReps    = 64
+)
+
+// WithDefaults fills unset optional fields. It does not validate;
+// Validate does.
+func (p Precision) WithDefaults() Precision {
+	if p.Confidence == 0 {
+		p.Confidence = DefaultConfidence
+	}
+	if p.MinReps == 0 {
+		p.MinReps = DefaultMinReps
+	}
+	if p.MaxReps == 0 {
+		p.MaxReps = DefaultMaxReps
+	}
+	return p
+}
+
+// Validate checks a Precision with defaults applied. The zero value
+// (adaptivity disabled) is valid.
+func (p Precision) Validate() error {
+	if math.IsNaN(p.Epsilon) || p.Epsilon < 0 {
+		// A malformed epsilon must not silently read as "disabled".
+		return fmt.Errorf("montecarlo: epsilon must be in (0, 1), got %v", p.Epsilon)
+	}
+	if !p.Enabled() {
+		return nil
+	}
+	if p.Epsilon >= 1 {
+		return fmt.Errorf("montecarlo: epsilon must be in (0, 1), got %v", p.Epsilon)
+	}
+	if !(p.Confidence > 0 && p.Confidence < 1) {
+		return fmt.Errorf("montecarlo: confidence must be in (0, 1), got %v", p.Confidence)
+	}
+	if p.MinReps < 2 {
+		return fmt.Errorf("montecarlo: minReps must be ≥ 2, got %d", p.MinReps)
+	}
+	if p.MaxReps < p.MinReps {
+		return fmt.Errorf("montecarlo: maxReps must be ≥ minReps (%d), got %d", p.MinReps, p.MaxReps)
+	}
+	return nil
+}
+
+// checkpoints returns the replication counts at which the stopping rule
+// is consulted: MinReps, then ×3/2 growth (at least +1), capped at
+// MaxReps. The schedule depends only on the bounds, so stopping points
+// are machine-independent.
+func (p Precision) checkpoints() []int {
+	var pts []int
+	for n := p.MinReps; ; {
+		pts = append(pts, n)
+		if n >= p.MaxReps {
+			return pts
+		}
+		next := n + n/2
+		if next <= n {
+			next = n + 1
+		}
+		if next > p.MaxReps {
+			next = p.MaxReps
+		}
+		n = next
+	}
+}
+
+// converged applies the stopping rule to the folded summary.
+func (p Precision) converged(s *stats.Summary) bool {
+	if s.N() < 2 {
+		return false
+	}
+	half := s.CIAt(p.Confidence)
+	mean := math.Abs(s.Mean())
+	if mean == 0 {
+		// Relative precision is undefined at mean 0; only a degenerate
+		// (zero-width) interval counts as converged.
+		return half == 0
+	}
+	return half <= p.Epsilon*mean
+}
+
+// Result is one adaptive point estimate.
+type Result struct {
+	// Stats folds the primary metric of replications 0..Reps-1 in index
+	// order — byte-identical to what fixed-rep mode at Runs = Reps would
+	// accumulate.
+	Stats stats.Summary
+	// Reps is the number of replications executed.
+	Reps int
+	// Converged reports whether the precision target was met (false when
+	// the run stopped at MaxReps still short of it).
+	Converged bool
+	// HalfWidth is the final Student-t half-width at the requested
+	// confidence.
+	HalfWidth float64
+}
+
+// Run replicates task adaptively: replications are launched in batches
+// up to the next checkpoint, executed concurrently across a pool of
+// parallelism workers (GOMAXPROCS when ≤ 0), folded in replication
+// order, and stopped at the first checkpoint whose Student-t interval
+// meets the precision target. task(rep) must be safe for concurrent
+// invocation with distinct rep values and deterministic in rep.
+//
+// The first task error (lowest replication index) aborts the run, as
+// does ctx cancellation; replications already executing finish. Run
+// panics if prec (after WithDefaults) fails Validate — callers validate
+// at the spec boundary.
+func Run(ctx context.Context, prec Precision, parallelism int, task func(rep int) (float64, error)) (Result, error) {
+	prec = prec.WithDefaults()
+	if err := prec.Validate(); err != nil {
+		panic(err)
+	}
+	if !prec.Enabled() {
+		panic("montecarlo: Run requires an enabled Precision (fixed-rep mode has its own paths)")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+
+	var res Result
+	values := make([]float64, 0, prec.MaxReps)
+	errs := make([]error, prec.MaxReps)
+	next := 0 // next replication index to execute
+	for _, target := range prec.checkpoints() {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		// Execute replications [next, target) across the pool.
+		values = values[:target]
+		var wg sync.WaitGroup
+		reps := make(chan int)
+		workers := min(parallelism, target-next)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := range reps {
+					if ctx.Err() != nil {
+						errs[r] = ctx.Err()
+						continue
+					}
+					values[r], errs[r] = task(r)
+				}
+			}()
+		}
+		for r := next; r < target; r++ {
+			reps <- r
+		}
+		close(reps)
+		wg.Wait()
+		// Fold in replication order; the first failed index wins.
+		for r := next; r < target; r++ {
+			if errs[r] != nil {
+				return res, errs[r]
+			}
+			res.Stats.Add(values[r])
+		}
+		next = target
+		res.Reps = target
+		res.HalfWidth = res.Stats.CIAt(prec.Confidence)
+		if prec.converged(&res.Stats) {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,186 @@
+package montecarlo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// noisyTask returns a deterministic pseudo-random task: replication r
+// always yields the same value regardless of scheduling.
+func noisyTask(seed uint64, mean, spread float64) func(rep int) (float64, error) {
+	return func(rep int) (float64, error) {
+		src := rng.NewStream(seed, "mc-test", fmt.Sprint(rep))
+		return mean + spread*(src.Float64()-0.5), nil
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Precision
+		ok   bool
+	}{
+		{"zero value (disabled)", Precision{}, true},
+		{"defaults", Precision{Epsilon: 0.01}.WithDefaults(), true},
+		{"epsilon 1", Precision{Epsilon: 1}.WithDefaults(), false},
+		{"epsilon negative", Precision{Epsilon: -0.1}.WithDefaults(), false},
+		{"epsilon NaN", Precision{Epsilon: math.NaN()}.WithDefaults(), false},
+		{"confidence 1", Precision{Epsilon: 0.1, Confidence: 1, MinReps: 2, MaxReps: 4}, false},
+		{"minReps 1", Precision{Epsilon: 0.1, Confidence: 0.95, MinReps: 1, MaxReps: 4}, false},
+		{"max < min", Precision{Epsilon: 0.1, Confidence: 0.95, MinReps: 8, MaxReps: 4}, false},
+		{"min == max", Precision{Epsilon: 0.1, Confidence: 0.95, MinReps: 4, MaxReps: 4}, true},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestCheckpointsScheduleIsMachineIndependent(t *testing.T) {
+	p := Precision{Epsilon: 0.01, Confidence: 0.95, MinReps: 3, MaxReps: 20}
+	got := p.checkpoints()
+	want := []int{3, 4, 6, 9, 13, 19, 20}
+	if len(got) != len(want) {
+		t.Fatalf("checkpoints = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("checkpoints = %v, want %v", got, want)
+		}
+	}
+	// MinReps == MaxReps: a single checkpoint — fixed-rep mode.
+	one := Precision{Epsilon: 0.01, Confidence: 0.95, MinReps: 5, MaxReps: 5}
+	if pts := one.checkpoints(); len(pts) != 1 || pts[0] != 5 {
+		t.Fatalf("checkpoints(min==max) = %v, want [5]", pts)
+	}
+}
+
+func TestZeroVarianceStopsAtMinReps(t *testing.T) {
+	p := Precision{Epsilon: 0.01, MinReps: 2, MaxReps: 100, Confidence: 0.99}
+	var calls atomic.Int64
+	res, err := Run(context.Background(), p, 4, func(rep int) (float64, error) {
+		calls.Add(1)
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reps != 2 || !res.Converged {
+		t.Fatalf("Reps=%d Converged=%v, want 2/true", res.Reps, res.Converged)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("task called %d times, want 2", got)
+	}
+	if res.Stats.Mean() != 42 || res.HalfWidth != 0 {
+		t.Fatalf("mean=%v half=%v, want 42/0", res.Stats.Mean(), res.HalfWidth)
+	}
+}
+
+func TestParallelismDoesNotChangeResult(t *testing.T) {
+	p := Precision{Epsilon: 0.02, Confidence: 0.95, MinReps: 3, MaxReps: 200}
+	task := noisyTask(7, 10, 3)
+	base, err := Run(context.Background(), p, 1, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Reps <= p.MinReps {
+		t.Fatalf("want a multi-batch run for this test, got %d reps", base.Reps)
+	}
+	for _, par := range []int{2, 5, 16} {
+		got, err := Run(context.Background(), p, par, task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Reps != base.Reps || got.Stats.Mean() != base.Stats.Mean() ||
+			got.Stats.Variance() != base.Stats.Variance() || got.HalfWidth != base.HalfWidth {
+			t.Fatalf("parallelism %d: (reps=%d mean=%v var=%v) != serial (reps=%d mean=%v var=%v)",
+				par, got.Reps, got.Stats.Mean(), got.Stats.Variance(),
+				base.Reps, base.Stats.Mean(), base.Stats.Variance())
+		}
+	}
+}
+
+func TestMinEqualsMaxMatchesFixedFold(t *testing.T) {
+	const reps = 12
+	task := noisyTask(11, 5, 2)
+	res, err := Run(context.Background(),
+		Precision{Epsilon: 1e-9, Confidence: 0.95, MinReps: reps, MaxReps: reps}, 4, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reps != reps {
+		t.Fatalf("Reps = %d, want %d", res.Reps, reps)
+	}
+	// The fold must be byte-identical to a sequential fixed-rep fold.
+	var fixed stats.Summary
+	for r := 0; r < reps; r++ {
+		v, _ := task(r)
+		fixed.Add(v)
+	}
+	if res.Stats.Mean() != fixed.Mean() || res.Stats.Variance() != fixed.Variance() {
+		t.Fatalf("adaptive fold (%v, %v) != fixed fold (%v, %v)",
+			res.Stats.Mean(), res.Stats.Variance(), fixed.Mean(), fixed.Variance())
+	}
+}
+
+func TestStopsAtMaxRepsWithoutConvergence(t *testing.T) {
+	// Alternating ±100 never reaches ±0.01% relative precision.
+	p := Precision{Epsilon: 1e-4, Confidence: 0.95, MinReps: 2, MaxReps: 17}
+	res, err := Run(context.Background(), p, 3, func(rep int) (float64, error) {
+		if rep%2 == 0 {
+			return 100, nil
+		}
+		return 300, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reps != 17 || res.Converged {
+		t.Fatalf("Reps=%d Converged=%v, want 17/false", res.Reps, res.Converged)
+	}
+}
+
+func TestFirstErrorByIndexWins(t *testing.T) {
+	errBoom := errors.New("boom")
+	p := Precision{Epsilon: 0.01, Confidence: 0.95, MinReps: 8, MaxReps: 8}
+	_, err := Run(context.Background(), p, 8, func(rep int) (float64, error) {
+		if rep >= 3 {
+			return 0, fmt.Errorf("rep %d: %w", rep, errBoom)
+		}
+		return 1, nil
+	})
+	if err == nil || err.Error() != "rep 3: boom" {
+		t.Fatalf("err = %v, want the lowest failing index (rep 3)", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	p := Precision{Epsilon: 1e-9, Confidence: 0.95, MinReps: 2, MaxReps: 1000}
+	_, err := Run(ctx, p, 2, func(rep int) (float64, error) {
+		once.Do(cancel) // cancel mid-run; later batches must not start
+		return float64(rep), nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunPanicsOnDisabledPrecision(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for disabled precision")
+		}
+	}()
+	_, _ = Run(context.Background(), Precision{}, 1, func(int) (float64, error) { return 0, nil })
+}

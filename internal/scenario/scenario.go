@@ -29,7 +29,8 @@
 // offer the identical instance to every protocol (matched pairs) and two
 // runs under one seed are byte-identical. internal/throughput consumes
 // Instances for its λ-sweep; mac.EvaluateDynamic and `macsim scenario`
-// surface the catalog.
+// surface the catalog. docs/paper-map.md places each workload against
+// the adversarial contention-resolution literature it models.
 package scenario
 
 import (

@@ -28,6 +28,7 @@ type metrics struct {
 
 	// Work accounting.
 	slotsSimulated atomic.Int64 // channel slots simulated across all jobs
+	repsSaved      atomic.Int64 // replications adaptive precision stopped short of maxReps
 	steals         atomic.Int64 // jobs a worker stole from another shard
 
 	// Scrape state for the slots/sec rate: the rate is measured between
@@ -92,6 +93,7 @@ func (m *metrics) render(now time.Time, gauges map[string]float64) string {
 	counter("macsimd_jobs_canceled_total", "jobs retired by DELETE /v1/jobs/{id}", m.jobsCanceled.Load())
 	counter("macsimd_steals_total", "jobs executed by a worker that stole them from another shard", m.steals.Load())
 	counter("macsimd_slots_simulated_total", "channel slots simulated across all jobs", m.slotsSimulated.Load())
+	counter("macsimd_reps_saved_total", "replications adaptive-precision stopping saved against the maxReps worst case", m.repsSaved.Load())
 	gauge("macsimd_cache_hit_rate", "cache hits / (hits + misses)", m.hitRate())
 	gauge("macsimd_slots_simulated_per_second", "slots simulated per second since the previous scrape", m.slotsPerSecond(now))
 	// Deterministic order for the caller-supplied gauges.

@@ -22,7 +22,8 @@ type Limits = spec.Limits
 
 // limitsWithDefaults fills zero fields with the serving defaults:
 // MaxK 10'000'000 (the paper's largest size), MaxExp 6, MaxRuns 10
-// (the paper's count), MaxMessages 1'000'000, MaxLambdas 16, MaxKs 12.
+// (the paper's count), MaxReps 64 (the adaptive-precision replication
+// cap), MaxMessages 1'000'000, MaxLambdas 16, MaxKs 12.
 func limitsWithDefaults(l Limits) Limits {
 	if l.MaxK <= 0 {
 		l.MaxK = 10_000_000
@@ -32,6 +33,9 @@ func limitsWithDefaults(l Limits) Limits {
 	}
 	if l.MaxRuns <= 0 {
 		l.MaxRuns = 10
+	}
+	if l.MaxReps <= 0 {
+		l.MaxReps = 64
 	}
 	if l.MaxMessages <= 0 {
 		l.MaxMessages = 1_000_000

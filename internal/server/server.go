@@ -20,9 +20,14 @@
 //   - Jobs are polled at GET /v1/jobs/{id} and streamed as NDJSON
 //     progress events plus a terminal record at /v1/jobs/{id}/stream.
 //   - GET /metrics exposes slots-simulated/sec, queue depth, cache hit
-//     rate and the other counters in Prometheus text format.
+//     rate, the replications saved by adaptive-precision stopping
+//     (macsimd_reps_saved_total) and the other counters in Prometheus
+//     text format.
 //   - Drain stops admission (503) and waits for the queue and running
 //     jobs to finish — graceful shutdown on SIGTERM.
+//
+// The full endpoint reference — request schemas, job lifecycle,
+// backpressure semantics, every metric — is docs/http-api.md.
 package server
 
 import (
@@ -384,7 +389,11 @@ func (s *Server) runJob(j *job) (*spec.Result, error) {
 			j.publish(data)
 		}
 	}
-	return exec.Result()
+	res, err := exec.Result()
+	if err == nil {
+		s.metrics.repsSaved.Add(int64(res.RepsSaved()))
+	}
+	return res, err
 }
 
 // handleCancel serves DELETE /v1/jobs/{id}: cancel the job's context.

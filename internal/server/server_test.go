@@ -857,3 +857,43 @@ func TestSubmitKeyMatchesLibraryCanonicalKey(t *testing.T) {
 		t.Fatalf("server key %s != library key %s", sub.Key, want)
 	}
 }
+
+// TestAdaptivePrecisionServing submits an adaptive-precision evaluate
+// request end to end: the result document carries per-cell reps and
+// error bars, and the replications the stopping rule saved surface in
+// macsimd_reps_saved_total.
+func TestAdaptivePrecisionServing(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, false)
+
+	body := `{"protocols":["exp-bb"],"ks":[200],"precision":{"epsilon":0.3,"confidence":0.9,"minReps":2,"maxReps":40}}`
+	_, sub := post(t, ts.URL+"/v1/evaluate", body)
+	v := waitDone(t, ts.URL, sub.ID)
+
+	var doc struct {
+		Series []struct {
+			Cells []struct {
+				RepsUsed int     `json:"repsUsed"`
+				CI95     float64 `json:"ci95"`
+			} `json:"cells"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(v.Result, &doc); err != nil {
+		t.Fatal(err)
+	}
+	cell := doc.Series[0].Cells[0]
+	if cell.RepsUsed < 2 || cell.RepsUsed >= 40 {
+		t.Fatalf("repsUsed = %d, want early stop in [2, 40)", cell.RepsUsed)
+	}
+	if cell.CI95 <= 0 {
+		t.Fatalf("ci95 = %v, want > 0", cell.CI95)
+	}
+	if got, want := metricValue(t, ts.URL, "macsimd_reps_saved_total"), float64(40-cell.RepsUsed); got != want {
+		t.Fatalf("macsimd_reps_saved_total = %v, want %v", got, want)
+	}
+
+	// The serving default caps maxReps at 64.
+	resp, _ := post(t, ts.URL+"/v1/evaluate", `{"ks":[10],"precision":{"epsilon":0.1,"maxReps":1000}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized maxReps: status %d, want 400", resp.StatusCode)
+	}
+}

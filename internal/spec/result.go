@@ -21,10 +21,16 @@ type SolveResult struct {
 }
 
 // EvaluateCell is one (system, k) aggregate of an evaluate result.
+// RepsUsed is the number of replications actually executed (equal to
+// Runs in fixed-rep mode; between minReps and maxReps under a
+// PrecisionSpec), and CI95 is the Student-t 95% half-width of
+// MeanSlots — the calibrated error bar adaptive mode stops on.
 type EvaluateCell struct {
 	K         int     `json:"k"`
 	Runs      int     `json:"runs"`
+	RepsUsed  int     `json:"repsUsed"`
 	MeanSlots float64 `json:"meanSlots"`
+	CI95      float64 `json:"ci95"`
 	Ratio     float64 `json:"ratio"`
 	Analysis  string  `json:"analysis"`
 }
@@ -44,15 +50,21 @@ type EvaluateResult struct {
 }
 
 // ThroughputPoint is one (protocol, λ) aggregate of a sweep result.
+// RepsUsed is the number of replications actually executed (equal to
+// Runs in fixed-rep mode; between minReps and maxReps under a
+// PrecisionSpec), and CI95 is the Student-t 95% half-width of
+// Throughput — the calibrated error bar adaptive mode stops on.
 type ThroughputPoint struct {
 	Lambda      float64 `json:"lambda"`
 	Throughput  float64 `json:"throughput"`
+	CI95        float64 `json:"ci95"`
 	LatencyMean float64 `json:"latencyMean"`
 	LatencyP50  float64 `json:"latencyP50"`
 	LatencyP99  float64 `json:"latencyP99"`
 	MaxBacklog  float64 `json:"maxBacklog"`
 	Completed   int     `json:"completed"`
 	Runs        int     `json:"runs"`
+	RepsUsed    int     `json:"repsUsed"`
 	Saturated   bool    `json:"saturated"`
 }
 
@@ -82,7 +94,17 @@ type Result struct {
 
 	sweep   []harness.SeriesResult // raw evaluate series, for renderers
 	dynamic []throughput.Series    // raw throughput series, for renderers
+
+	// repsSaved counts replications the adaptive-precision engine did
+	// not need: Σ over points of (maxReps − repsUsed). 0 in fixed-rep
+	// mode. The serving subsystem folds it into
+	// macsimd_reps_saved_total.
+	repsSaved int
 }
+
+// RepsSaved reports the replications adaptive-precision stopping saved
+// against the MaxReps worst case (0 for fixed-rep experiments).
+func (r *Result) RepsSaved() int { return r.repsSaved }
 
 // Document returns the kind's result document — the value whose
 // json.Marshal is the wire encoding shared by the HTTP API and the
@@ -121,7 +143,9 @@ func evaluateDocument(seed uint64, results []harness.SeriesResult) *EvaluateResu
 			s.Cells[j] = EvaluateCell{
 				K:         c.K,
 				Runs:      c.Steps.N(),
+				RepsUsed:  c.Steps.N(),
 				MeanSlots: c.Steps.Mean(),
+				CI95:      c.Steps.CIAt(0.95),
 				Ratio:     c.Ratio(),
 				Analysis:  res.System.AnalysisRatio(c.K),
 			}
@@ -147,12 +171,14 @@ func throughputDocument(workload string, seed uint64, series []throughput.Series
 			ts.Points[j] = ThroughputPoint{
 				Lambda:      p.Lambda,
 				Throughput:  p.Throughput.Mean(),
+				CI95:        p.Throughput.CIAt(0.95),
 				LatencyMean: p.Latency.Mean(),
 				LatencyP50:  p.Latency.Quantile(0.5),
 				LatencyP99:  p.Latency.Quantile(0.99),
 				MaxBacklog:  p.Backlog.Max(),
 				Completed:   p.Completed,
 				Runs:        p.Runs,
+				RepsUsed:    p.Runs,
 				Saturated:   p.Saturated(),
 			}
 		}

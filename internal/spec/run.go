@@ -236,9 +236,10 @@ func (e *Execution) runEvaluate(ctx context.Context, s *EvaluateSpec) (*Result, 
 		ks = harness.PaperKs(s.MaxExp)
 	}
 	sweep := harness.Sweep{
-		Ks:   ks,
-		Runs: s.Runs,
-		Seed: s.Seed,
+		Ks:        ks,
+		Runs:      s.Runs,
+		Seed:      s.Seed,
+		Precision: s.Precision.engine(),
 		Progress: func(system string, k, run int, steps uint64) {
 			e.publish(SweepProgress{Event: "progress", System: system, K: k, Run: run, Slots: steps})
 		},
@@ -247,11 +248,19 @@ func (e *Execution) runEvaluate(ctx context.Context, s *EvaluateSpec) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Kind:     KindEvaluate,
 		Evaluate: evaluateDocument(s.Seed, results),
 		sweep:    results,
-	}, nil
+	}
+	if s.Precision != nil {
+		for _, series := range results {
+			for i := range series.Cells {
+				res.repsSaved += s.Precision.MaxReps - series.Cells[i].Steps.N()
+			}
+		}
+	}
+	return res, nil
 }
 
 // runDynamic executes the λ-sweep shared by the throughput and
@@ -290,6 +299,7 @@ func (e *Execution) runDynamic(ctx context.Context, kind ExperimentKind, s *Thro
 		cfg.Messages = s.Messages
 		cfg.Runs = s.Runs
 		cfg.Seed = s.Seed
+		cfg.Precision = s.Precision.engine()
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1 // the default throughput.Run would apply; made explicit for the result document
@@ -317,9 +327,17 @@ func (e *Execution) runDynamic(ctx context.Context, kind ExperimentKind, s *Thro
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Kind:       kind,
 		Throughput: throughputDocument(workload, cfg.Seed, series),
 		dynamic:    series,
-	}, nil
+	}
+	if s.Config == nil && s.Precision != nil {
+		for _, sr := range series {
+			for i := range sr.Points {
+				res.repsSaved += s.Precision.MaxReps - sr.Points[i].Runs
+			}
+		}
+	}
+	return res, nil
 }

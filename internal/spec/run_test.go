@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -229,5 +230,80 @@ func TestRunResultWithoutConsumingEvents(t *testing.T) {
 	res, err := exec.Result()
 	if err != nil || res.Evaluate == nil {
 		t.Fatalf("Result = %+v, %v", res, err)
+	}
+}
+
+// TestRunAdaptiveEvaluate drives an adaptive-precision evaluate
+// experiment end to end through Run: the result document must report
+// per-cell reps and error bars, and the execution must account the
+// replications the stopping rule saved.
+func TestRunAdaptiveEvaluate(t *testing.T) {
+	t.Parallel()
+	exec, err := Run(context.Background(), ForEvaluate(EvaluateSpec{
+		Protocols: []ProtocolSpec{{Name: "exp-bb"}},
+		Ks:        []int{200},
+		Seed:      1,
+		Precision: &PrecisionSpec{Epsilon: 0.3, Confidence: 0.9, MinReps: 2, MaxReps: 40},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := res.Evaluate.Series[0].Cells[0]
+	if cell.RepsUsed < 2 || cell.RepsUsed >= 40 {
+		t.Fatalf("RepsUsed = %d, want early stop in [2, 40)", cell.RepsUsed)
+	}
+	if cell.Runs != cell.RepsUsed {
+		t.Fatalf("Runs (%d) and RepsUsed (%d) disagree", cell.Runs, cell.RepsUsed)
+	}
+	if cell.CI95 <= 0 {
+		t.Fatalf("CI95 = %v, want > 0 for a noisy cell", cell.CI95)
+	}
+	if want := 40 - cell.RepsUsed; res.RepsSaved() != want {
+		t.Fatalf("RepsSaved = %d, want %d", res.RepsSaved(), want)
+	}
+	// The document round-trips the new fields.
+	data, err := json.Marshal(res.Document())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"repsUsed"`, `"ci95"`} {
+		if !json.Valid(data) || !bytes.Contains(data, []byte(field)) {
+			t.Fatalf("document missing %s: %s", field, data)
+		}
+	}
+}
+
+// TestRunAdaptiveThroughput drives an adaptive scenario experiment end
+// to end and checks the dynamic result document.
+func TestRunAdaptiveThroughput(t *testing.T) {
+	t.Parallel()
+	exec, err := Run(context.Background(), ForThroughput(ThroughputSpec{
+		Lambdas:   []float64{0.05},
+		Messages:  200,
+		Seed:      1,
+		Precision: &PrecisionSpec{Epsilon: 0.4, Confidence: 0.9, MinReps: 2, MaxReps: 16},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := 0
+	for _, s := range res.Throughput.Series {
+		for _, p := range s.Points {
+			if p.RepsUsed < 2 || p.RepsUsed > 16 {
+				t.Fatalf("%s: RepsUsed = %d out of bounds", s.Protocol, p.RepsUsed)
+			}
+			saved += 16 - p.RepsUsed
+		}
+	}
+	if res.RepsSaved() != saved {
+		t.Fatalf("RepsSaved = %d, want %d", res.RepsSaved(), saved)
 	}
 }

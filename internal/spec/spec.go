@@ -16,6 +16,14 @@
 // under. Run executes the experiment with context cancellation and
 // streams typed progress events; the result documents marshal to the
 // exact JSON the HTTP API serves and the CLI's -json flag prints.
+//
+// The repeated-run kinds accept a PrecisionSpec, which replaces their
+// fixed runs count with adaptive-precision replication
+// (internal/montecarlo): each point repeats until its Student-t
+// confidence interval is narrower than the requested relative
+// precision, and the result documents carry the per-point error bar
+// (ci95) and replication count (repsUsed). A nil PrecisionSpec keeps
+// fixed-rep mode and its pre-existing canonical keys.
 package spec
 
 import (
@@ -27,6 +35,7 @@ import (
 	"math"
 
 	"repro/internal/harness"
+	"repro/internal/montecarlo"
 	"repro/internal/scenario"
 	"repro/internal/throughput"
 )
@@ -90,8 +99,11 @@ type Limits struct {
 	MaxK int
 	// MaxExp bounds evaluate maxExp.
 	MaxExp int
-	// MaxRuns bounds runs per point.
+	// MaxRuns bounds runs per point (fixed-rep mode).
 	MaxRuns int
+	// MaxReps bounds precision.maxReps, the adaptive-mode replication
+	// cap per point.
+	MaxReps int
 	// MaxMessages bounds messages per dynamic execution.
 	MaxMessages int
 	// MaxLambdas bounds the offered-load grid length.
@@ -171,6 +183,58 @@ func (p *ProtocolSpec) validate() error {
 	return err
 }
 
+// PrecisionSpec requests adaptive-precision replication
+// (internal/montecarlo) for the repeated-run experiment kinds: instead
+// of a fixed runs count, each point replicates until the Student-t
+// confidence interval of its primary metric (mean slots for evaluate,
+// mean throughput for throughput/scenario) is narrower than
+// Epsilon·|mean| at the Confidence level, between MinReps and MaxReps
+// replications. Replication r draws the identical randomness fixed-rep
+// run r would, so minReps == maxReps reproduces fixed-rep results
+// exactly. A nil PrecisionSpec is fixed-rep mode (and encodes to
+// nothing, leaving pre-existing canonical keys untouched).
+type PrecisionSpec struct {
+	// Epsilon is the requested relative precision in (0, 1): 0.01 asks
+	// for ±1% of the mean. Required.
+	Epsilon float64 `json:"epsilon"`
+	// Confidence is the two-sided confidence level (default 0.95).
+	Confidence float64 `json:"confidence"`
+	// MinReps is the floor before the stopping rule is consulted
+	// (default 3, minimum 2).
+	MinReps int `json:"minReps"`
+	// MaxReps caps replications per point (default 64; bounded by
+	// Limits.MaxReps when serving).
+	MaxReps int `json:"maxReps"`
+}
+
+// validate fills defaults in place — after it, explicit and implicit
+// defaults produce the identical canonical encoding — and checks the
+// stopping rule and the serving limit.
+func (p *PrecisionSpec) validate(l Limits) error {
+	mc := montecarlo.Precision(*p)
+	if !mc.Enabled() {
+		return fmt.Errorf("precision: epsilon must be in (0, 1), got %v (omit precision entirely for fixed-rep mode)", p.Epsilon)
+	}
+	mc = mc.WithDefaults()
+	if err := mc.Validate(); err != nil {
+		return err
+	}
+	if l.MaxReps > 0 && mc.MaxReps > l.MaxReps {
+		return fmt.Errorf("precision: maxReps must be in [minReps, %d], got %d", l.MaxReps, mc.MaxReps)
+	}
+	*p = PrecisionSpec(mc)
+	return nil
+}
+
+// engine converts the spec (nil = fixed-rep mode) to the montecarlo
+// stopping rule.
+func (p *PrecisionSpec) engine() montecarlo.Precision {
+	if p == nil {
+		return montecarlo.Precision{}
+	}
+	return montecarlo.Precision(*p)
+}
+
 // SolveSpec is one static k-selection execution — mac.Protocol.Solve as
 // data. Field order fixes the canonical encoding.
 type SolveSpec struct {
@@ -214,10 +278,15 @@ type EvaluateSpec struct {
 	MaxExp int `json:"maxExp,omitempty"`
 	// Ks overrides the size grid.
 	Ks []int `json:"ks,omitempty"`
-	// Runs is the number of averaged runs per point (default 3).
+	// Runs is the number of averaged runs per point (default 3). It is
+	// ignored — and zeroed, for canonical hashing — when Precision is
+	// set.
 	Runs int `json:"runs"`
 	// Seed is the master seed (default 1).
 	Seed uint64 `json:"seed"`
+	// Precision, when set, replaces the fixed runs count with adaptive
+	// stopping at the requested relative precision.
+	Precision *PrecisionSpec `json:"precision,omitempty"`
 
 	// Systems is the library-only escape hatch for custom protocol
 	// configurations that have no registry spelling (mac.Evaluate uses
@@ -255,11 +324,18 @@ func (s *EvaluateSpec) validate(l Limits) error {
 			return fmt.Errorf("maxExp must be in [1, %d], got %d", l.MaxExp, s.MaxExp)
 		}
 	}
-	if s.Runs == 0 {
-		s.Runs = 3
-	}
-	if err := validateRuns(s.Runs, l); err != nil {
-		return err
+	if s.Precision != nil {
+		if err := s.Precision.validate(l); err != nil {
+			return err
+		}
+		s.Runs = 0 // ignored in adaptive mode; zeroed so it cannot split cache keys
+	} else {
+		if s.Runs == 0 {
+			s.Runs = 3
+		}
+		if err := validateRuns(s.Runs, l); err != nil {
+			return err
+		}
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
@@ -301,10 +377,14 @@ type ThroughputSpec struct {
 	Lambdas []float64 `json:"lambdas"`
 	// Messages per execution (default 2000).
 	Messages int `json:"messages"`
-	// Runs per (protocol, λ) point (default 2).
+	// Runs per (protocol, λ) point (default 2). It is ignored — and
+	// zeroed, for canonical hashing — when Precision is set.
 	Runs int `json:"runs"`
 	// Seed is the master seed (default 1).
 	Seed uint64 `json:"seed"`
+	// Precision, when set, replaces the fixed runs count with adaptive
+	// stopping at the requested relative precision.
+	Precision *PrecisionSpec `json:"precision,omitempty"`
 
 	// Lineup is the library-only protocol lineup override
 	// (mac.EvaluateDynamic uses it); empty means the standard dynamic
@@ -365,11 +445,18 @@ func (s *ThroughputSpec) validate(kind ExperimentKind, l Limits) error {
 	if l.MaxMessages > 0 && s.Messages > l.MaxMessages {
 		return fmt.Errorf("messages must be in [1, %d], got %d", l.MaxMessages, s.Messages)
 	}
-	if s.Runs == 0 {
-		s.Runs = 2
-	}
-	if err := validateRuns(s.Runs, l); err != nil {
-		return err
+	if s.Precision != nil {
+		if err := s.Precision.validate(l); err != nil {
+			return err
+		}
+		s.Runs = 0 // ignored in adaptive mode; zeroed so it cannot split cache keys
+	} else {
+		if s.Runs == 0 {
+			s.Runs = 2
+		}
+		if err := validateRuns(s.Runs, l); err != nil {
+			return err
+		}
 	}
 	if s.Seed == 0 {
 		s.Seed = 1

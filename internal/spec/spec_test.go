@@ -217,3 +217,96 @@ func TestCanonicalKeyRejectsEscapeHatches(t *testing.T) {
 		t.Fatal("config escape hatch hashed")
 	}
 }
+
+// TestPrecisionCanonicalKey pins the adaptive-precision hashing rules:
+// a nil precision leaves pre-existing keys untouched, implicit and
+// explicit precision defaults hash identically (struct, JSON and
+// partial-JSON spellings), and runs cannot split keys once precision is
+// set.
+func TestPrecisionCanonicalKey(t *testing.T) {
+	base := validKey(t, ForEvaluate(EvaluateSpec{Ks: []int{10, 100}, Runs: 3}), Limits{})
+
+	// Nil precision must hash exactly as before the field existed: the
+	// canonical encoding omits it.
+	es := ForEvaluate(EvaluateSpec{Ks: []int{10, 100}, Runs: 3})
+	if err := es.Validate(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := json.Marshal(es.Evaluate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(enc), "precision") {
+		t.Fatalf("fixed-rep canonical encoding mentions precision: %s", enc)
+	}
+
+	// Implicit defaults == explicit defaults, however spelled.
+	implicit := validKey(t, ForEvaluate(EvaluateSpec{
+		Ks: []int{10, 100}, Precision: &PrecisionSpec{Epsilon: 0.01},
+	}), Limits{})
+	explicit := validKey(t, ForEvaluate(EvaluateSpec{
+		Ks:        []int{10, 100},
+		Precision: &PrecisionSpec{Epsilon: 0.01, Confidence: 0.95, MinReps: 3, MaxReps: 64},
+	}), Limits{})
+	if implicit != explicit {
+		t.Fatal("implicit and explicit precision defaults hash differently")
+	}
+	if implicit == base {
+		t.Fatal("adaptive and fixed-rep experiments hash identically")
+	}
+	fromJSON, err := Decode(KindEvaluate, []byte(`{"ks":[10,100],"precision":{"epsilon":0.01}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := validKey(t, fromJSON, Limits{}); got != implicit {
+		t.Fatal("JSON and struct spellings of the same precision hash differently")
+	}
+
+	// Runs is ignored under precision — it must be zeroed out of the key.
+	withRuns := validKey(t, ForEvaluate(EvaluateSpec{
+		Ks: []int{10, 100}, Runs: 7, Precision: &PrecisionSpec{Epsilon: 0.01},
+	}), Limits{})
+	if withRuns != implicit {
+		t.Fatal("runs split the cache key despite being ignored in adaptive mode")
+	}
+}
+
+// TestPrecisionValidation covers the stopping-rule bounds and the
+// serving limit.
+func TestPrecisionValidation(t *testing.T) {
+	bad := []PrecisionSpec{
+		{},                                     // epsilon required
+		{Epsilon: -0.5},                        // negative
+		{Epsilon: 1},                           // not < 1
+		{Epsilon: 0.1, Confidence: 1.5},        // confidence out of range
+		{Epsilon: 0.1, MinReps: 1},             // needs ≥ 2 for variance
+		{Epsilon: 0.1, MinReps: 9, MaxReps: 4}, // inverted bounds
+	}
+	for _, p := range bad {
+		pc := p
+		es := ForEvaluate(EvaluateSpec{Precision: &pc})
+		if err := es.Validate(Limits{}); err == nil {
+			t.Errorf("precision %+v: want validation error", p)
+		}
+	}
+
+	// Limits.MaxReps bounds the adaptive cap, for both repeated kinds.
+	es := ForEvaluate(EvaluateSpec{Precision: &PrecisionSpec{Epsilon: 0.1, MaxReps: 100}})
+	if err := es.Validate(Limits{MaxReps: 50}); err == nil || !strings.Contains(err.Error(), "maxReps") {
+		t.Fatalf("evaluate: want maxReps limit error, got %v", err)
+	}
+	ts := ForThroughput(ThroughputSpec{Precision: &PrecisionSpec{Epsilon: 0.1, MaxReps: 100}})
+	if err := ts.Validate(Limits{MaxReps: 50}); err == nil || !strings.Contains(err.Error(), "maxReps") {
+		t.Fatalf("throughput: want maxReps limit error, got %v", err)
+	}
+
+	// MinReps == MaxReps (the fixed-rep reproduction case) is valid.
+	ok := ForThroughput(ThroughputSpec{Precision: &PrecisionSpec{Epsilon: 0.1, MinReps: 4, MaxReps: 4}})
+	if err := ok.Validate(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	// Validation is idempotent on a defaulted precision.
+	if err := ok.Validate(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,10 @@
 // Package stats provides the small statistical toolkit used by the
-// experiment harness: streaming moment accumulation (Welford), quantiles,
-// and normal-approximation confidence intervals for reporting repeated
-// simulation runs.
+// experiment harness and the adaptive-precision Monte Carlo engine:
+// streaming moment accumulation (Welford), order-statistic quantiles,
+// two-sample Kolmogorov–Smirnov distances, and confidence intervals for
+// the mean — both the quick normal approximation (CI95) and the
+// Student-t interval at arbitrary confidence (CIAt) that
+// internal/montecarlo's stopping rule is built on.
 package stats
 
 import (
@@ -72,6 +75,19 @@ func (s *Summary) StdErr() float64 {
 // CI95 returns the half-width of the normal-approximation 95% confidence
 // interval for the mean.
 func (s *Summary) CI95() float64 { return 1.96 * s.StdErr() }
+
+// CIAt returns the half-width of the Student-t confidence interval for
+// the mean at the given two-sided confidence level (e.g. 0.95). With
+// fewer than two observations no interval is estimable and CIAt returns
+// 0 — callers deciding convergence must gate on N() ≥ 2 themselves
+// (internal/montecarlo enforces MinReps ≥ 2 for exactly this reason).
+// Zero-variance samples yield a zero half-width at any confidence.
+func (s *Summary) CIAt(confidence float64) float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return TQuantile((1+confidence)/2, s.n-1) * s.StdErr()
+}
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of the observations using
 // linear interpolation between order statistics. It returns 0 for an
@@ -148,6 +164,81 @@ func KSDistance(a, b []float64) float64 {
 		}
 	}
 	return maxGap
+}
+
+// NormalQuantile returns the p-quantile of the standard normal
+// distribution (the probit function) using Acklam's rational
+// approximation, accurate to about 1.15e-9 over (0, 1). It returns ±Inf
+// for p = 0 or 1 and NaN outside [0, 1].
+func NormalQuantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return math.Inf(-1)
+	case p == 1:
+		return math.Inf(1)
+	}
+	// Coefficients of Acklam's approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const low, high = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case p < low: // lower tail
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > high: // upper tail, by symmetry
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default: // central region
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+	return x
+}
+
+// TQuantile returns the p-quantile of Student's t distribution with df
+// degrees of freedom — the critical value behind CIAt and the
+// adaptive-precision stopping rule. df = 1 and 2 use the closed forms;
+// larger df use the Cornish–Fisher expansion of the normal quantile
+// (Hill 1970), accurate to a few 1e-4 at the confidence levels used
+// here. It returns NaN for df < 1 or p outside [0, 1], and ±Inf for
+// p = 0 or 1.
+func TQuantile(p float64, df int) float64 {
+	switch {
+	case df < 1 || math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return math.Inf(-1)
+	case p == 1:
+		return math.Inf(1)
+	case df == 1: // Cauchy
+		return math.Tan(math.Pi * (p - 0.5))
+	case df == 2:
+		return (2*p - 1) * math.Sqrt(2/(4*p*(1-p)))
+	}
+	z := NormalQuantile(p)
+	n := float64(df)
+	z3 := z * z * z
+	z5 := z3 * z * z
+	z7 := z5 * z * z
+	z9 := z7 * z * z
+	return z +
+		(z3+z)/(4*n) +
+		(5*z5+16*z3+3*z)/(96*n*n) +
+		(3*z7+19*z5+17*z3-15*z)/(384*n*n*n) +
+		(79*z9+776*z7+1482*z5-1920*z3-945*z)/(92160*n*n*n*n)
 }
 
 // Sampled returns at most max observations taken at a fixed stride across

@@ -225,3 +225,128 @@ func TestKSDistance(t *testing.T) {
 		t.Fatalf("tied samples: distance %v, want 1/3", d)
 	}
 }
+
+// --- CI math edge cases (feeding the adaptive-precision stopping rule) ---
+
+func TestNormalQuantile(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.995, 2.575829},
+		{0.9999, 3.719016},
+		{0.0001, -3.719016},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("NormalQuantile at 0/1 must be ±Inf")
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(NormalQuantile(p)) {
+			t.Errorf("NormalQuantile(%v) must be NaN", p)
+		}
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	t.Parallel()
+	// Reference values (R: qt(p, df)).
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+		tol  float64
+	}{
+		{0.975, 1, 12.7062, 1e-3},  // exact closed form
+		{0.975, 2, 4.302653, 1e-6}, // exact closed form
+		{0.975, 3, 3.182446, 5e-3}, // expansion, worst small-df case
+		{0.975, 5, 2.570582, 1e-3},
+		{0.975, 10, 2.228139, 1e-4},
+		{0.975, 30, 2.042272, 1e-5},
+		{0.995, 10, 3.169273, 1e-3},
+		{0.95, 10, 1.812461, 1e-4},
+		{0.5, 7, 0, 1e-12},
+	}
+	for _, c := range cases {
+		if got := TQuantile(c.p, c.df); math.Abs(got-c.want) > c.tol {
+			t.Errorf("TQuantile(%v, %d) = %v, want %v ± %v", c.p, c.df, got, c.want, c.tol)
+		}
+	}
+	// Symmetry: Q(1-p) = -Q(p).
+	for _, df := range []int{1, 2, 4, 25} {
+		if got, want := TQuantile(0.05, df), -TQuantile(0.95, df); math.Abs(got-want) > 1e-12 {
+			t.Errorf("df=%d: TQuantile(0.05) = %v, want %v", df, got, want)
+		}
+	}
+	// The t interval dominates the normal one at any df.
+	for _, df := range []int{1, 2, 3, 10, 100} {
+		if TQuantile(0.975, df) < NormalQuantile(0.975) {
+			t.Errorf("df=%d: t quantile below the normal quantile", df)
+		}
+	}
+	// Domain errors and extremes.
+	if !math.IsNaN(TQuantile(0.975, 0)) || !math.IsNaN(TQuantile(math.NaN(), 5)) {
+		t.Error("TQuantile must be NaN for df < 1 or NaN p")
+	}
+	if !math.IsInf(TQuantile(1, 5), 1) || !math.IsInf(TQuantile(0, 5), -1) {
+		t.Error("TQuantile at p = 0/1 must be ±Inf")
+	}
+}
+
+func TestCIAtSmallSamples(t *testing.T) {
+	t.Parallel()
+	// n < 2: no interval is estimable — CIAt reports 0 and callers must
+	// gate on N() themselves.
+	var s Summary
+	if s.CIAt(0.95) != 0 {
+		t.Fatal("empty summary: CIAt must be 0")
+	}
+	s.Add(5)
+	if s.CIAt(0.95) != 0 {
+		t.Fatal("single observation: CIAt must be 0")
+	}
+	// n = 2 uses the df = 1 (Cauchy) critical value 12.706…: the interval
+	// is far wider than the normal approximation — the stopping rule must
+	// not claim ±1% off two samples.
+	s.Add(7)
+	if got, norm := s.CIAt(0.95), s.CI95(); got < 6*norm {
+		t.Fatalf("n=2: t interval %v should dwarf the normal one %v", got, norm)
+	}
+}
+
+func TestCIAtZeroVariance(t *testing.T) {
+	t.Parallel()
+	var s Summary
+	for i := 0; i < 5; i++ {
+		s.Add(3.25)
+	}
+	for _, conf := range []float64{0.5, 0.95, 0.999999} {
+		if got := s.CIAt(conf); got != 0 {
+			t.Fatalf("zero variance at confidence %v: CIAt = %v, want 0", conf, got)
+		}
+	}
+}
+
+func TestCIAtExtremeConfidence(t *testing.T) {
+	t.Parallel()
+	var s Summary
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i))
+	}
+	// Monotone in confidence; finite strictly inside (0, 1); infinite at 1.
+	lo, mid, hi := s.CIAt(0.5), s.CIAt(0.95), s.CIAt(0.9999)
+	if !(lo < mid && mid < hi) {
+		t.Fatalf("CIAt not monotone: %v, %v, %v", lo, mid, hi)
+	}
+	if math.IsInf(hi, 0) || math.IsNaN(hi) {
+		t.Fatalf("CIAt(0.9999) = %v, want finite", hi)
+	}
+	if !math.IsInf(s.CIAt(1), 1) {
+		t.Fatalf("CIAt(1) = %v, want +Inf (a certain interval is unbounded)", s.CIAt(1))
+	}
+}

@@ -19,6 +19,13 @@
 // population mix — and offers the identical instance to every protocol.
 // The legacy Shape selector maps onto the benign scenarios.
 //
+// Replication counts are either fixed (Config.Runs) or adaptive
+// (Config.Precision): under a precision target each (protocol, λ)
+// point repeats until the Student-t confidence interval of its mean
+// throughput is narrower than ε·mean at the requested confidence
+// (internal/montecarlo), so easy points stop after a few runs and the
+// slot budget concentrates where variance is high.
+//
 // Windowed (back-off) protocols run on the event-driven engine
 // (dynamic.RunWindowEvent) and scale to millions of messages; adaptive
 // fair protocols, and any run with a mixed station population, run on
@@ -38,6 +45,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/dynamic"
+	"repro/internal/montecarlo"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/scenario"
@@ -237,8 +245,21 @@ type Config struct {
 	Lambdas []float64
 	// Messages is the number of messages per execution (default 2000).
 	Messages int
-	// Runs is the number of executions per (protocol, λ) (default 3).
+	// Runs is the number of executions per (protocol, λ) (default 3). It
+	// is ignored when Precision is enabled.
 	Runs int
+	// Precision, when enabled (Epsilon > 0), switches the sweep to
+	// adaptive-precision replication (internal/montecarlo): each
+	// (protocol, λ) point executes between Precision.MinReps and
+	// Precision.MaxReps runs, stopping once the Student-t confidence
+	// interval of its mean throughput is narrower than Epsilon·mean at
+	// the requested confidence — low-variance points stop early, the
+	// budget concentrates where variance is high. Run r of a point draws
+	// the identical workload instance and protocol stream in both modes,
+	// so MinReps == MaxReps == Runs reproduces fixed-rep results exactly
+	// (matched pairs across protocols still hold per run index). The
+	// zero value keeps the classic fixed-rep sweep.
+	Precision montecarlo.Precision
 	// Seed is the master seed (default 1). Workload randomness is keyed
 	// by (Seed, scenario, λ, run) only, so every protocol faces identical
 	// workloads — a matched-pairs comparison.
@@ -311,6 +332,101 @@ type outcome struct {
 	completed  bool
 }
 
+// extract reduces one execution's result to its aggregation extract.
+func extract(res dynamic.Result, budget uint64) outcome {
+	out := outcome{done: true}
+	slots := res.Completion
+	if !res.Completed {
+		slots = budget
+	}
+	if slots > 0 {
+		out.hasRate = true
+		out.throughput = float64(res.Delivered) / float64(slots)
+	}
+	out.latency = res.Latency.Sampled(LatencySampleCap)
+	out.backlog = float64(res.MaxBacklog)
+	out.collisions = float64(res.Collisions)
+	out.completed = res.Completed
+	return out
+}
+
+// fold accumulates one outcome into the point. Callers fold in run
+// order so aggregates are independent of scheduling.
+func (p *Point) fold(out *outcome) {
+	if out.hasRate {
+		p.Throughput.Add(out.throughput)
+	}
+	for _, v := range out.latency {
+		p.Latency.Add(v)
+	}
+	p.Backlog.Add(out.backlog)
+	p.Collisions.Add(out.collisions)
+	if out.completed {
+		p.Completed++
+	}
+}
+
+// runAdaptive executes the λ-sweep under the adaptive-precision engine
+// (Config.Precision): points are evaluated one at a time, each
+// replicating across the worker pool until the Student-t confidence
+// interval of its mean throughput meets the target (or MaxReps).
+// Replication r of a point derives the identical workload and protocol
+// streams fixed-rep run r would — matched pairs across protocols hold
+// per run index, and MinReps == MaxReps == Runs reproduces fixed-rep
+// results exactly. Workload instances are materialized inside the
+// replication and reduced to bounded extracts immediately, so peak
+// memory holds one batch of instances rather than the grid.
+func runAdaptive(ctx context.Context, protocols []Protocol, cfg Config,
+	scn scenario.Workload, lambdas []float64, messages int, seed uint64, par int) ([]Series, error) {
+	prec := cfg.Precision.WithDefaults()
+	if err := prec.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]Series, len(protocols))
+	for protoIdx, p := range protocols {
+		results[protoIdx] = Series{Protocol: p, Points: make([]Point, len(lambdas))}
+	}
+	// Highest loads first, as in fixed mode: saturated points burn whole
+	// budgets and should not be left for last.
+	for lIdx := len(lambdas) - 1; lIdx >= 0; lIdx-- {
+		lambda := lambdas[lIdx]
+		for protoIdx, p := range protocols {
+			outs := make([]outcome, prec.MaxReps)
+			res, err := montecarlo.Run(ctx, prec, par, func(run int) (float64, error) {
+				inst, err := scn.Instantiate(messages, lambda,
+					rng.NewStream(seed, "throughput-workload", scn.Name, fmt.Sprint(lambda), fmt.Sprint(run)))
+				if err != nil {
+					return 0, err
+				}
+				budget := cfg.MaxSlots
+				if budget == 0 {
+					budget = inst.Arrivals.DrainBudget()
+				}
+				r, err := p.run(inst,
+					rng.NewStream(seed, "throughput-run", p.Name, fmt.Sprint(lambda), fmt.Sprint(run)), budget)
+				if err != nil {
+					return 0, err
+				}
+				outs[run] = extract(r, budget)
+				if cfg.Progress != nil {
+					cfg.Progress(p.Name, lambda, run, r)
+				}
+				return outs[run].throughput, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt := &results[protoIdx].Points[lIdx]
+			pt.Lambda = lambda
+			pt.Runs = res.Reps
+			for run := 0; run < res.Reps; run++ {
+				pt.fold(&outs[run])
+			}
+		}
+	}
+	return results, nil
+}
+
 // Run executes the λ-sweep over the given protocols and returns one
 // Series per protocol, in input order. Executions run in parallel across
 // a worker pool; every run draws its randomness from a stream derived
@@ -373,6 +489,10 @@ func RunContext(ctx context.Context, protocols []Protocol, cfg Config) ([]Series
 	par := cfg.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
+	}
+
+	if cfg.Precision.Enabled() {
+		return runAdaptive(ctx, protocols, cfg, scn, lambdas, messages, seed, par)
 	}
 
 	// Each λ's instances are materialized once, just before its jobs are
@@ -447,20 +567,7 @@ func RunContext(ctx context.Context, protocols []Protocol, cfg Config) ([]Series
 					fail(err)
 					continue
 				}
-				slots := res.Completion
-				if !res.Completed {
-					slots = budget
-				}
-				out := &outcomes[j.proto][j.lIdx][j.run]
-				out.done = true
-				if slots > 0 {
-					out.hasRate = true
-					out.throughput = float64(res.Delivered) / float64(slots)
-				}
-				out.latency = res.Latency.Sampled(LatencySampleCap)
-				out.backlog = float64(res.MaxBacklog)
-				out.collisions = float64(res.Collisions)
-				out.completed = res.Completed
+				outcomes[j.proto][j.lIdx][j.run] = extract(res, budget)
 				if cfg.Progress != nil {
 					cfg.Progress(p.Name, lambda, j.run, res)
 				}
@@ -522,17 +629,7 @@ enqueue:
 				if !out.done {
 					return nil, fmt.Errorf("throughput: %s λ=%v run %d never executed", p.Name, l, run)
 				}
-				if out.hasRate {
-					pt.Throughput.Add(out.throughput)
-				}
-				for _, v := range out.latency {
-					pt.Latency.Add(v)
-				}
-				pt.Backlog.Add(out.backlog)
-				pt.Collisions.Add(out.collisions)
-				if out.completed {
-					pt.Completed++
-				}
+				pt.fold(out)
 			}
 		}
 	}

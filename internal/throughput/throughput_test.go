@@ -5,10 +5,12 @@ import (
 	"errors"
 	"math"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/dynamic"
+	"repro/internal/montecarlo"
 	"repro/internal/rng"
 	"repro/internal/scenario"
 )
@@ -397,5 +399,97 @@ func TestRunContextAlreadyCanceled(t *testing.T) {
 	}
 	if runs.Load() != 0 {
 		t.Fatalf("%d executions ran under a canceled context", runs.Load())
+	}
+}
+
+// TestAdaptiveMatchesFixedAtPinnedReps is the λ-sweep half of the
+// seed-determinism proof: with MinReps == MaxReps == Runs, adaptive
+// mode replays the identical workload instances and protocol streams,
+// so every aggregate — including the pooled latency sample and the
+// matched-pairs property across protocols — reproduces fixed-rep
+// results bit for bit.
+func TestAdaptiveMatchesFixedAtPinnedReps(t *testing.T) {
+	t.Parallel()
+	const runs = 3
+	protocols := WindowedProtocols()[:2]
+	base := Config{Lambdas: []float64{0.05, 0.2}, Messages: 300, Seed: 9}
+	fixedCfg := base
+	fixedCfg.Runs = runs
+	fixedRes, err := Run(protocols, fixedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptiveCfg := base
+	adaptiveCfg.Precision = montecarlo.Precision{Epsilon: 1e-12, Confidence: 0.95, MinReps: runs, MaxReps: runs}
+	adaptiveRes, err := Run(protocols, adaptiveCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fixedRes {
+		for j := range fixedRes[i].Points {
+			f, a := &fixedRes[i].Points[j], &adaptiveRes[i].Points[j]
+			same := f.Lambda == a.Lambda && f.Runs == a.Runs && f.Completed == a.Completed &&
+				f.Throughput.Mean() == a.Throughput.Mean() &&
+				f.Throughput.Variance() == a.Throughput.Variance() &&
+				f.Latency.N() == a.Latency.N() && f.Latency.Mean() == a.Latency.Mean() &&
+				f.Backlog.Max() == a.Backlog.Max() && f.Collisions.Mean() == a.Collisions.Mean()
+			if !same {
+				t.Fatalf("%s λ=%v: adaptive point %+v != fixed point %+v",
+					fixedRes[i].Protocol.Name, f.Lambda, *a, *f)
+			}
+		}
+	}
+}
+
+// TestAdaptiveStopsEarly checks that a loose target stops a
+// low-variance point well short of MaxReps, and that the per-point rep
+// counts are reported via Point.Runs.
+func TestAdaptiveStopsEarly(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Lambdas:  []float64{0.05},
+		Messages: 400,
+		Seed:     1,
+		Precision: montecarlo.Precision{
+			Epsilon: 0.25, Confidence: 0.9, MinReps: 2, MaxReps: 32,
+		},
+	}
+	res, err := Run(WindowedProtocols()[:1], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res[0].Points[0]
+	if pt.Runs >= 32 || pt.Runs < 2 {
+		t.Fatalf("reps used = %d, want early stop in [2, 32)", pt.Runs)
+	}
+	if pt.Throughput.N() != pt.Runs {
+		t.Fatalf("Throughput.N() = %d, want Runs = %d", pt.Throughput.N(), pt.Runs)
+	}
+}
+
+// TestAdaptiveInvalidPrecision verifies precision validation surfaces
+// from the sweep entry point.
+func TestAdaptiveInvalidPrecision(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Lambdas: []float64{0.1}, Messages: 50,
+		Precision: montecarlo.Precision{Epsilon: 0.1, Confidence: 0.95, MinReps: 1, MaxReps: 4}}
+	if _, err := Run(WindowedProtocols()[:1], cfg); err == nil {
+		t.Fatal("want validation error for minReps < 2")
+	}
+}
+
+// TestAdaptiveCancellation verifies ctx cancellation aborts the
+// adaptive sweep between batches.
+func TestAdaptiveCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	cfg := Config{Lambdas: []float64{0.05, 0.1, 0.2}, Messages: 200, Seed: 3,
+		Precision: montecarlo.Precision{Epsilon: 1e-12, Confidence: 0.95, MinReps: 2, MaxReps: 1000},
+		Progress: func(string, float64, int, dynamic.Result) {
+			once.Do(cancel)
+		}}
+	if _, err := RunContext(ctx, WindowedProtocols()[:1], cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

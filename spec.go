@@ -50,6 +50,21 @@ type ThroughputSpec = spec.ThroughputSpec
 // JSON it is a bare name string or a {"name", "params"} object.
 type ProtocolSpec = spec.ProtocolSpec
 
+// PrecisionSpec requests adaptive-precision replication for the
+// repeated-run experiment kinds (evaluate, throughput, scenario):
+// instead of a fixed runs count, each point replicates until the
+// Student-t confidence interval of its primary metric is narrower than
+// Epsilon·|mean| at the Confidence level (default 0.95), between
+// MinReps (default 3) and MaxReps (default 64) replications —
+// "throughput to ±1% at 95% confidence" as an input. Replication r
+// draws the identical randomness fixed-rep run r would, so
+// MinReps == MaxReps reproduces fixed-rep results exactly; a nil
+// PrecisionSpec keeps classic fixed-rep mode and pre-existing cache
+// keys. Result documents report the error bar and the replications
+// spent per point (EvaluateResult cells' and ThroughputResult points'
+// CI95 and RepsUsed).
+type PrecisionSpec = spec.PrecisionSpec
+
 // Limits bound what one experiment may ask of the simulators. The zero
 // value of every field means unlimited; the serving API fills its own
 // serving defaults (ServerLimits documents them).

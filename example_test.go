@@ -27,7 +27,7 @@ func ExampleRun() {
 	fmt.Printf("%s solved k=%d in %d slots (ratio %.2f)\n",
 		res.Solve.System, res.Solve.K, res.Solve.Slots, res.Solve.Ratio)
 	// Output:
-	// One-Fail Adaptive solved k=1000 in 7326 slots (ratio 7.33)
+	// One-Fail Adaptive solved k=1000 in 7323 slots (ratio 7.32)
 }
 
 // ExampleRun_events streams typed progress events while an experiment
@@ -59,8 +59,8 @@ func ExampleRun_events() {
 		fmt.Printf("run %d of k=100 finished in %d slots\n", run, slots[run])
 	}
 	// Output:
-	// run 0 of k=100 finished in 559 slots
-	// run 1 of k=100 finished in 561 slots
+	// run 0 of k=100 finished in 604 slots
+	// run 1 of k=100 finished in 601 slots
 }
 
 // ExampleEvaluateDynamic measures sustained throughput under dynamic
@@ -115,5 +115,5 @@ func ExampleRun_adaptivePrecision() {
 	fmt.Printf("mean slots %.1f ± %.1f (95%% CI)\n", cell.MeanSlots, cell.CI95)
 	// Output:
 	// k=300 converged after 19 of at most 64 replications
-	// mean slots 1738.8 ± 159.1 (95% CI)
+	// mean slots 1607.3 ± 150.0 (95% CI)
 }

@@ -67,6 +67,7 @@ type LogFailsAdaptive struct {
 	pending  float64 // accrued, not-yet-applied estimator growth
 	fails    uint64  // consecutive slots without a reception
 	sigma    uint64  // messages received (exposed for observability)
+	cursor   uint64  // next unobserved slot (event-skip contract; see skip.go)
 }
 
 // LFAOption configures NewLogFailsAdaptive.
@@ -105,6 +106,7 @@ func NewLogFailsAdaptive(epsilon, xiT float64, opts ...LFAOption) (*LogFailsAdap
 		xiT:     xiT,
 		btEvery: uint64(math.Round(1 / xiT)),
 		kappa:   lfaDelta + 1,
+		cursor:  1,
 	}
 	for _, opt := range opts {
 		opt(l)
@@ -169,6 +171,7 @@ func (l *LogFailsAdaptive) flush() {
 // growth rate during a healthy drain so that κ̃ tracks the density
 // downward; the patience flush is the matching upward correction.
 func (l *LogFailsAdaptive) Observe(slot uint64, success bool) {
+	l.cursor = slot + 1
 	if !l.isBTStep(slot) {
 		l.pending++
 	}

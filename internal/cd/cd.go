@@ -23,6 +23,21 @@
 // (sim.CDStation) for the exact simulator, and aggregate engines that
 // exploit the group-size symmetry for O(1) work per slot; tests hold the
 // two to the same distribution.
+//
+// # Why there is no event-skip path here
+//
+// The event-skip kernel (internal/kernel) accelerates protocols whose
+// behaviour is constant across stretches of uninformative slots — the
+// "probability is constant until my state changes" contract of
+// protocol.SkipController. Collision-detection protocols are the
+// opposite by design: every slot's ternary outcome is information, and
+// both algorithms mutate state on every slot (the tree stack on each
+// split, Willard's probe level on each probe). There are no quiet
+// stretches to skip — which is also why these protocols finish in O(k)
+// slots with small constants in the first place. The aggregate engines
+// in this package are already O(1) per slot, matching the kernel's cost
+// per state change; see protocol/skip.go for the contract they cannot
+// satisfy.
 package cd
 
 import (

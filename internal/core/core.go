@@ -49,9 +49,11 @@ const (
 // Slot parity follows the paper's pseudocode: slots are numbered from 1,
 // even slots are BT-steps and odd slots are AT-steps.
 type OneFailAdaptive struct {
-	delta float64
-	kappa float64 // κ̃, the density estimator
-	sigma uint64  // σ, messages received so far
+	delta  float64
+	kappa  float64 // κ̃, the density estimator
+	sigma  uint64  // σ, messages received so far
+	cursor uint64  // next unobserved slot (event-skip contract; see skip.go)
+	btp    float64 // cached BT-step probability 1/(1+log₂(σ+1))
 }
 
 // NewOneFailAdaptive returns a controller for Algorithm 1 with parameter
@@ -61,7 +63,7 @@ func NewOneFailAdaptive(delta float64) (*OneFailAdaptive, error) {
 	if !(delta > OFADeltaMin && delta <= OFADeltaMax) {
 		return nil, fmt.Errorf("core: One-Fail Adaptive requires e < δ ≤ %.4f, got %v", OFADeltaMax, delta)
 	}
-	return &OneFailAdaptive{delta: delta, kappa: delta + 1}, nil
+	return &OneFailAdaptive{delta: delta, kappa: delta + 1, cursor: 1, btp: 1}, nil
 }
 
 // Delta returns the protocol parameter δ.
@@ -77,7 +79,7 @@ func (o *OneFailAdaptive) Received() uint64 { return o.sigma }
 func (o *OneFailAdaptive) Prob(slot uint64) float64 {
 	if slot%2 == 0 {
 		// BT-step: transmit with probability 1/(1 + log₂(σ+1)).
-		return 1 / (1 + math.Log2(float64(o.sigma)+1))
+		return o.btp
 	}
 	// AT-step: transmit with probability 1/κ̃.
 	return 1 / o.kappa
@@ -88,6 +90,7 @@ func (o *OneFailAdaptive) Prob(slot uint64) float64 {
 // reception decrement, and the floor δ+1 applies last — consistent with
 // the analysis' bookkeeping κ̃_{r,t} = κ̃_{r,1} − δσ + t − σ (Lemma 4).
 func (o *OneFailAdaptive) Observe(slot uint64, success bool) {
+	o.cursor = slot + 1
 	atStep := slot%2 == 1
 	if atStep {
 		o.kappa++
@@ -96,6 +99,7 @@ func (o *OneFailAdaptive) Observe(slot uint64, success bool) {
 		return
 	}
 	o.sigma++
+	o.btp = 1 / (1 + math.Log2(float64(o.sigma)+1))
 	dec := o.delta
 	if atStep {
 		dec = o.delta + 1

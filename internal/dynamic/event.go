@@ -3,6 +3,7 @@ package dynamic
 import (
 	"sort"
 
+	"repro/internal/kernel"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 )
@@ -17,10 +18,10 @@ import (
 // window of its private schedule — and the channel matters only at slots
 // where at least one station transmits. Instead of driving every active
 // station through every slot (O(active) per slot, as internal/sim does),
-// the engine keeps every station's next transmission slot in a min-heap
-// and jumps from occupied slot to occupied slot in O(log n) per event.
-// Silent slots are never visited, which is what makes million-message
-// Poisson workloads feasible.
+// the engine keeps every station's next transmission slot in a
+// kernel.Calendar timing wheel and jumps from occupied slot to occupied
+// slot in amortized O(1) per event. Silent slots are never visited, which
+// is what makes million-message Poisson workloads feasible.
 //
 // The jump is exact in distribution: a success happens exactly when a
 // popped slot carries one transmitter, a collision reschedules each
@@ -50,71 +51,12 @@ func (c *windowCursor) advance(src *rng.Rand) (uint64, error) {
 	return chosen, nil
 }
 
-// txEvent is one scheduled transmission: station id transmits at slot.
-type txEvent struct {
-	slot uint64
-	id   int
-}
-
-// txHeap is a binary min-heap of transmissions keyed by slot. It is
-// hand-rolled rather than container/heap to keep the per-event constant
-// small at million-station scale.
-type txHeap []txEvent
-
-func (h txHeap) siftDown(i int) {
-	for {
-		l := 2*i + 1
-		if l >= len(h) {
-			return
-		}
-		m := l
-		if r := l + 1; r < len(h) && h[r].slot < h[l].slot {
-			m = r
-		}
-		if h[i].slot <= h[m].slot {
-			return
-		}
-		h[i], h[m] = h[m], h[i]
-		i = m
-	}
-}
-
-func (h txHeap) init() {
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		h.siftDown(i)
-	}
-}
-
-func (h *txHeap) push(e txEvent) {
-	s := append(*h, e)
-	*h = s
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if s[parent].slot <= s[i].slot {
-			break
-		}
-		s[parent], s[i] = s[i], s[parent]
-		i = parent
-	}
-}
-
-func (h *txHeap) popMin() txEvent {
-	s := *h
-	top := s[0]
-	last := len(s) - 1
-	s[0] = s[last]
-	*h = s[:last]
-	s[:last].siftDown(0)
-	return top
-}
-
 // RunWindowEvent executes a dynamic workload under a windowed protocol on
 // the event-driven engine; newSched builds one private schedule per
 // station. It accepts the same options and produces results distributed
-// identically to RunWindow, but costs O(log n) per transmission event
-// instead of O(active) per slot, scaling dynamic workloads to millions of
-// messages.
+// identically to RunWindow, but costs amortized O(1) per transmission
+// event instead of O(active) per slot, scaling dynamic workloads to
+// millions of messages.
 func RunWindowEvent(w Workload, newSched func() (protocol.Schedule, error), src *rng.Rand, opts ...Option) (Result, error) {
 	cfg := newConfig(opts)
 	n := w.N()
@@ -130,7 +72,7 @@ func RunWindowEvent(w Workload, newSched func() (protocol.Schedule, error), src 
 	// windows that elapsed before its arrival and misses a chosen slot
 	// already in the past.
 	cursors := make([]windowCursor, n)
-	heap := make(txHeap, 0, n)
+	cal := kernel.NewCalendar()
 	for i := 0; i < n; i++ {
 		sched, err := newSched()
 		if err != nil {
@@ -157,9 +99,8 @@ func RunWindowEvent(w Workload, newSched func() (protocol.Schedule, error), src 
 		if err != nil {
 			return Result{}, err
 		}
-		heap = append(heap, txEvent{slot: next, id: i})
+		cal.Schedule(next, int32(i))
 	}
-	heap.init()
 
 	// Backlog bookkeeping: the backlog changes only at arrivals and
 	// deliveries, so its maximum is reached right after admitting every
@@ -180,18 +121,15 @@ func RunWindowEvent(w Workload, newSched func() (protocol.Schedule, error), src 
 		}
 	}
 
-	group := make([]int, 0, 16)
-	for len(heap) > 0 {
-		slot := heap[0].slot
+	group := make([]int32, 0, 16)
+	for cal.Len() > 0 {
+		var slot uint64
+		slot, group = cal.PopGroup(group)
 		if slot > cfg.maxSlots {
 			// Budget exhausted: report partial results, as RunWindow does.
 			admit(cfg.maxSlots)
 			res.Completion = 0
 			return res, nil
-		}
-		group = group[:0]
-		for len(heap) > 0 && heap[0].slot == slot {
-			group = append(group, heap.popMin().id)
 		}
 		admit(slot)
 		// A jammed slot destroys even a lone transmission (adversarial
@@ -212,7 +150,7 @@ func RunWindowEvent(w Workload, newSched func() (protocol.Schedule, error), src 
 			if err != nil {
 				return Result{}, err
 			}
-			heap.push(txEvent{slot: next, id: id})
+			cal.Schedule(next, id)
 		}
 	}
 	res.Completed = true

@@ -25,8 +25,10 @@
 //
 //	N_j ~ Binomial(m − Σ_{i<j} N_i, 1/(w−j+1)),
 //
-// costing O(w) binomial draws, or ball-by-ball costing O(m) uniform
-// draws; the engine picks whichever is cheaper. Stations that deliver
+// costing O(w) binomial draws, ball-by-ball costing O(m) uniform draws,
+// or — for saturated windows — by drawing the singleton count directly
+// from its inclusion–exclusion distribution in O(1) (kernel.Window picks
+// the cheapest exact sampler per window). Stations that deliver
 // leave at their chosen slot and do not affect others' already-made
 // choices, so per-window aggregation is exact, including the slot index
 // of the final delivery.
@@ -39,8 +41,8 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 )
@@ -56,24 +58,40 @@ const DefaultMaxSlots = 10_000_000_000
 
 // SuccessProb returns P₁(m, p) = m·p·(1−p)^(m−1), the probability that a
 // slot carries a successful delivery when m active stations each transmit
-// with probability p. Computed in log space for large m.
+// with probability p. It is shared with the event-skip kernel.
 func SuccessProb(m int, p float64) float64 {
-	switch {
-	case m <= 0 || p <= 0:
-		return 0
-	case m == 1:
-		return math.Min(p, 1)
-	case p >= 1:
-		return 0 // all m > 1 stations transmit: certain collision
-	default:
-		return float64(m) * p * math.Exp(float64(m-1)*math.Log1p(-p))
-	}
+	return kernel.SuccessProb(m, p)
 }
 
 // FairRun simulates static k-selection under the fair protocol ctrl and
-// returns the number of slots until the k-th delivery. O(1) work per slot.
-// maxSlots of 0 means DefaultMaxSlots.
+// returns the number of slots until the k-th delivery. maxSlots of 0
+// means DefaultMaxSlots.
+//
+// Controllers that implement protocol.SkipController (One-Fail Adaptive,
+// Log-Fails Adaptive) run on the event-skip kernel: O(1) work per
+// delivery and per controller phase, independent of the number of silent
+// slots. Other controllers fall back to the per-slot reference loop
+// FairRunSlot. The two paths consume randomness differently but are
+// identical in distribution (enforced by KS tests in this package).
 func FairRun(k int, ctrl protocol.Controller, src *rng.Rand, maxSlots uint64) (uint64, error) {
+	if maxSlots == 0 {
+		maxSlots = DefaultMaxSlots
+	}
+	if sc, ok := ctrl.(protocol.SkipController); ok {
+		slots, err := kernel.FairRun(k, sc, src, maxSlots)
+		if err != nil && errors.Is(err, kernel.ErrSlotLimit) {
+			err = fmt.Errorf("%w (%v)", ErrSlotLimit, err)
+		}
+		return slots, err
+	}
+	return FairRunSlot(k, ctrl, src, maxSlots)
+}
+
+// FairRunSlot is the per-slot reference implementation of FairRun: O(1)
+// work per slot. It remains exported as the distributional reference the
+// event-skip path is validated against, and as the driver for controllers
+// without skip-safe phases. maxSlots of 0 means DefaultMaxSlots.
+func FairRunSlot(k int, ctrl protocol.Controller, src *rng.Rand, maxSlots uint64) (uint64, error) {
 	if k < 0 {
 		return 0, fmt.Errorf("engine: negative k %d", k)
 	}
@@ -110,10 +128,14 @@ type WindowResult struct {
 // WindowRunner simulates windowed protocols. The zero value is ready to
 // use; reusing a runner across executions amortizes its scratch buffers
 // (which reach O(max window) size).
+//
+// Window sampling is delegated to kernel.Window, which picks per window
+// among an O(m) ball-by-ball sampler, an O(w) binomial-chain sampler, and
+// an O(1) direct draw of the singleton count for saturated windows — all
+// exact in distribution (see internal/kernel).
 type WindowRunner struct {
-	counts  []int32 // per-bin occupancy scratch for the ball-by-ball branch
-	touched []int32 // bins touched in this window, for O(m) reset
-	trace   func(WindowResult)
+	occ   kernel.Window
+	trace func(WindowResult)
 }
 
 // SetTrace installs a per-window callback (nil disables tracing).
@@ -142,12 +164,7 @@ func (r *WindowRunner) Run(k int, sched protocol.Schedule, src *rng.Rand, maxSlo
 		if base+uint64(w) > maxSlots {
 			return 0, fmt.Errorf("%w (limit %d, remaining %d of %d)", ErrSlotLimit, maxSlots, m, k)
 		}
-		var delivered, last int
-		if m <= w {
-			delivered, last = r.ballsInBinsByBall(m, w, src)
-		} else {
-			delivered, last = ballsInBinsByBin(m, w, src)
-		}
+		delivered, last := r.occ.Step(m, w, src)
 		m -= delivered
 		if r.trace != nil {
 			r.trace(WindowResult{Window: w, Active: m + delivered, Delivered: delivered, LastSlot: last})
@@ -157,55 +174,6 @@ func (r *WindowRunner) Run(k int, sched protocol.Schedule, src *rng.Rand, maxSlo
 		}
 		base += uint64(w)
 	}
-}
-
-// ballsInBinsByBall throws m balls into w bins by sampling each ball's bin
-// (O(m) time) and returns the number of singleton bins and the 1-based
-// index of the last singleton. Used when m <= w.
-func (r *WindowRunner) ballsInBinsByBall(m, w int, src *rng.Rand) (delivered, last int) {
-	if cap(r.counts) < w {
-		r.counts = make([]int32, w)
-	}
-	counts := r.counts[:w]
-	r.touched = r.touched[:0]
-	for i := 0; i < m; i++ {
-		b := int32(src.Uint64n(uint64(w)))
-		if counts[b] == 0 {
-			r.touched = append(r.touched, b)
-		}
-		counts[b]++
-	}
-	for _, b := range r.touched {
-		if counts[b] == 1 {
-			delivered++
-			if int(b)+1 > last {
-				last = int(b) + 1
-			}
-		}
-		counts[b] = 0
-	}
-	return delivered, last
-}
-
-// ballsInBinsByBin throws m balls into w bins by sampling bin occupancies
-// sequentially (O(w) binomial draws): N_j ~ Binomial(remaining, 1/(w−j+1)).
-// Used when m > w.
-func ballsInBinsByBin(m, w int, src *rng.Rand) (delivered, last int) {
-	rem := m
-	for j := 0; j < w && rem > 0; j++ {
-		var nj int
-		if left := w - j; left == 1 {
-			nj = rem // all remaining balls land in the last bin
-		} else {
-			nj = src.Binomial(rem, 1/float64(left))
-		}
-		if nj == 1 {
-			delivered++
-			last = j + 1
-		}
-		rem -= nj
-	}
-	return delivered, last
 }
 
 // ExactFairRun runs the fair protocol via the per-node simulator in

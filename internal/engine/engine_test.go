@@ -155,83 +155,6 @@ func (badSchedule) NextWindow() int { return 0 }
 // TestBallsInBinsBranchesAgree verifies the two balls-in-bins samplers
 // (per-ball and per-bin) agree in distribution on delivered counts, via a
 // chi-square-style comparison of empirical PMFs.
-func TestBallsInBinsBranchesAgree(t *testing.T) {
-	t.Parallel()
-	const m, w, draws = 12, 16, 100000
-	var runner WindowRunner
-	srcA, srcB := rng.New(11), rng.New(22)
-	var pmfA, pmfB [13]int
-	for i := 0; i < draws; i++ {
-		dA, _ := runner.ballsInBinsByBall(m, w, srcA)
-		dB, _ := ballsInBinsByBin(m, w, srcB)
-		pmfA[dA]++
-		pmfB[dB]++
-	}
-	for d := 0; d <= m; d++ {
-		nA, nB := float64(pmfA[d]), float64(pmfB[d])
-		if nA+nB < 50 {
-			continue
-		}
-		// Two-proportion z-ish bound: difference within 6 standard errors.
-		p := (nA + nB) / (2 * draws)
-		se := math.Sqrt(2 * p * (1 - p) * draws)
-		if math.Abs(nA-nB) > 6*se+1 {
-			t.Errorf("delivered=%d: per-ball %d vs per-bin %d (se %.1f)", d, pmfA[d], pmfB[d], se)
-		}
-	}
-}
-
-// TestBallsInBinsMeanSingletons compares the empirical mean number of
-// singleton bins with the exact expectation m·(1−1/w)^(m−1).
-func TestBallsInBinsMeanSingletons(t *testing.T) {
-	t.Parallel()
-	tests := []struct{ m, w int }{
-		{m: 1, w: 1}, {m: 2, w: 1}, {m: 5, w: 5}, {m: 10, w: 100},
-		{m: 100, w: 10}, {m: 64, w: 64}, {m: 1000, w: 500},
-	}
-	var runner WindowRunner
-	for _, tt := range tests {
-		t.Run(fmt.Sprintf("m=%d_w=%d", tt.m, tt.w), func(t *testing.T) {
-			t.Parallel()
-			src := rng.New(uint64(tt.m*1000 + tt.w))
-			const draws = 20000
-			sum := 0.0
-			for i := 0; i < draws; i++ {
-				var d int
-				if tt.m <= tt.w {
-					var r WindowRunner
-					d, _ = r.ballsInBinsByBall(tt.m, tt.w, src)
-				} else {
-					d, _ = ballsInBinsByBin(tt.m, tt.w, src)
-				}
-				sum += float64(d)
-			}
-			_ = runner
-			got := sum / draws
-			want := float64(tt.m) * math.Pow(1-1/float64(tt.w), float64(tt.m-1))
-			tol := 6 * math.Sqrt(want+1) / math.Sqrt(draws) * 3
-			if math.Abs(got-want) > math.Max(tol, 0.05) {
-				t.Errorf("mean singletons = %v, want %v", got, want)
-			}
-		})
-	}
-}
-
-// TestBallsInBinsLastSlot: with m = w = 1 the single ball lands in the
-// single bin, delivered at slot 1.
-func TestBallsInBinsLastSlot(t *testing.T) {
-	t.Parallel()
-	var r WindowRunner
-	d, last := r.ballsInBinsByBall(1, 1, rng.New(1))
-	if d != 1 || last != 1 {
-		t.Fatalf("(delivered, last) = (%d, %d), want (1, 1)", d, last)
-	}
-	d, last = ballsInBinsByBin(2, 1, rng.New(1))
-	if d != 0 || last != 0 {
-		t.Fatalf("two balls one bin: (delivered, last) = (%d, %d), want (0, 0)", d, last)
-	}
-}
-
 // TestFairEngineMatchesExact is the central validity check for the O(1)/slot
 // engine: the completion-time distribution of the aggregate simulation
 // must match the per-node simulation (two-sample KS test at ~99.9%).

@@ -24,18 +24,18 @@ func TestGoldenCompletions(t *testing.T) {
 		k        int
 		want     uint64
 	}{
-		{protocol: "ofa", k: 7, want: 17},
-		{protocol: "ofa", k: 64, want: 415},
-		{protocol: "ofa", k: 513, want: 3743},
-		{protocol: "ebb", k: 7, want: 36},
-		{protocol: "ebb", k: 64, want: 319},
-		{protocol: "ebb", k: 513, want: 2716},
-		{protocol: "lfa", k: 7, want: 16},
-		{protocol: "lfa", k: 64, want: 14932},
-		{protocol: "lfa", k: 513, want: 79365},
-		{protocol: "llib", k: 7, want: 30},
-		{protocol: "llib", k: 64, want: 322},
-		{protocol: "llib", k: 513, want: 3468},
+		{protocol: "ofa", k: 7, want: 24},
+		{protocol: "ofa", k: 64, want: 438},
+		{protocol: "ofa", k: 513, want: 3714},
+		{protocol: "ebb", k: 7, want: 15},
+		{protocol: "ebb", k: 64, want: 330},
+		{protocol: "ebb", k: 513, want: 2707},
+		{protocol: "lfa", k: 7, want: 17},
+		{protocol: "lfa", k: 64, want: 13838},
+		{protocol: "lfa", k: 513, want: 80973},
+		{protocol: "llib", k: 7, want: 33},
+		{protocol: "llib", k: 64, want: 251},
+		{protocol: "llib", k: 513, want: 3421},
 		{protocol: "tree", k: 7, want: 15},
 		{protocol: "tree", k: 64, want: 169},
 		{protocol: "tree", k: 513, want: 1453},

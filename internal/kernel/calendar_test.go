@@ -1,0 +1,124 @@
+package kernel
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestCalendarDrainsInOrder inserts a random multiset of (slot, id)
+// attempts — spanning level 0, level 1 and the overflow — and checks that
+// PopGroup yields exactly the sorted groups.
+func TestCalendarDrainsInOrder(t *testing.T) {
+	t.Parallel()
+	src := rng.New(42)
+	c := NewCalendar()
+	want := map[uint64][]int32{}
+	var slots []uint64
+	for i := 0; i < 20000; i++ {
+		var slot uint64
+		switch i % 4 {
+		case 0:
+			slot = 1 + src.Uint64n(1000) // dense: many collisions
+		case 1:
+			slot = 1 + src.Uint64n(calL0Len*3) // level-0/1 boundary
+		case 2:
+			slot = 1 + src.Uint64n(calHorizon) // full wheel
+		default:
+			slot = 1 + src.Uint64n(calHorizon*5) // overflow
+		}
+		id := int32(i)
+		c.Schedule(slot, id)
+		if len(want[slot]) == 0 {
+			slots = append(slots, slot)
+		}
+		want[slot] = append(want[slot], id)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	if c.Len() != 20000 {
+		t.Fatalf("Len = %d, want 20000", c.Len())
+	}
+	var buf []int32
+	for _, s := range slots {
+		var got uint64
+		got, buf = c.PopGroup(buf)
+		if got != s {
+			t.Fatalf("popped slot %d, want %d", got, s)
+		}
+		if len(buf) != len(want[s]) {
+			t.Fatalf("slot %d: popped %d ids, want %d", s, len(buf), len(want[s]))
+		}
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		for i, id := range want[s] {
+			if buf[i] != id {
+				t.Fatalf("slot %d: ids %v, want %v", s, buf, want[s])
+			}
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", c.Len())
+	}
+	if s, ids := c.PopGroup(buf); s != 0 || ids != nil {
+		t.Fatalf("empty pop = (%d, %v), want (0, nil)", s, ids)
+	}
+}
+
+// TestCalendarInterleaved alternates pops with reschedules — the pattern
+// of the event-driven engines (pop a collision group, reschedule each
+// collider further out) — against a plain sorted-map reference.
+func TestCalendarInterleaved(t *testing.T) {
+	t.Parallel()
+	src := rng.New(7)
+	c := NewCalendar()
+	ref := map[uint64][]int32{}
+	for id := int32(0); id < 500; id++ {
+		slot := 1 + src.Uint64n(64)
+		c.Schedule(slot, id)
+		ref[slot] = append(ref[slot], id)
+	}
+	var buf []int32
+	for events := 0; c.Len() > 0; events++ {
+		if events > 1_000_000 {
+			t.Fatal("calendar failed to drain")
+		}
+		var slot uint64
+		slot, buf = c.PopGroup(buf)
+		refIDs := ref[slot]
+		delete(ref, slot)
+		if len(refIDs) != len(buf) {
+			t.Fatalf("slot %d: %d ids, reference %d", slot, len(buf), len(refIDs))
+		}
+		if len(buf) == 1 {
+			continue // success: station departs
+		}
+		for _, id := range buf {
+			// Reschedule each collider a random distance ahead, sometimes
+			// far enough to exercise the overflow path.
+			d := 1 + src.Uint64n(1<<uint(src.Uint64n(28)))
+			c.Schedule(slot+d, id)
+			ref[slot+d] = append(ref[slot+d], id)
+		}
+	}
+	if len(ref) != 0 {
+		t.Fatalf("reference still holds %d slots", len(ref))
+	}
+}
+
+// TestCalendarPastSchedulePanics: scheduling behind the scan position is
+// a caller bug and must fail loudly.
+func TestCalendarPastSchedulePanics(t *testing.T) {
+	t.Parallel()
+	c := NewCalendar()
+	c.Schedule(100, 1)
+	var buf []int32
+	if s, _ := c.PopGroup(buf); s != 100 {
+		t.Fatalf("popped %d, want 100", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule into the past did not panic")
+		}
+	}()
+	c.Schedule(99, 2)
+}

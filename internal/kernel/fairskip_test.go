@@ -1,0 +1,157 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// TestResidueArithmetic cross-checks firstResidue, countResidue and
+// nthRegular against brute-force enumeration over small ranges.
+func TestResidueArithmetic(t *testing.T) {
+	t.Parallel()
+	for _, p := range []uint64{2, 3, 5, 7} {
+		for r := uint64(0); r < p; r++ {
+			for a := uint64(0); a < 40; a++ {
+				// firstResidue: smallest slot ≥ a with slot ≡ r (mod p).
+				want := a
+				for want%p != r {
+					want++
+				}
+				if got := firstResidue(a, p, r); got != want {
+					t.Fatalf("firstResidue(%d,%d,%d) = %d, want %d", a, p, r, got, want)
+				}
+				// countResidue over [a, b).
+				for b := a; b < a+30; b++ {
+					cnt := uint64(0)
+					for s := a; s < b; s++ {
+						if s%p == r {
+							cnt++
+						}
+					}
+					if got := countResidue(a, b, p, r); got != cnt {
+						t.Fatalf("countResidue(%d,%d,%d,%d) = %d, want %d", a, b, p, r, got, cnt)
+					}
+				}
+				// nthRegular: n-th slot ≥ a (0-indexed) not ≡ r (mod p).
+				for n := uint64(0); n < 25; n++ {
+					s, left := a, n
+					for {
+						if s%p != r {
+							if left == 0 {
+								break
+							}
+							left--
+						}
+						s++
+					}
+					if got := nthRegular(a, n, p, r); got != s {
+						t.Fatalf("nthRegular(%d,%d,%d,%d) = %d, want %d", a, n, p, r, got, s)
+					}
+				}
+			}
+		}
+	}
+	// Period ≤ 1: every slot is regular.
+	if got := nthRegular(10, 5, 1, 0); got != 15 {
+		t.Fatalf("nthRegular period 1: %d, want 15", got)
+	}
+}
+
+// constCtrl is a synthetic skip controller with a constant probability on
+// every slot (no special class), for closed-form validation.
+type constCtrl struct {
+	p      float64
+	cursor uint64
+	span   uint64
+}
+
+func (c *constCtrl) Prob(uint64) float64 { return c.p }
+func (c *constCtrl) Observe(slot uint64, success bool) {
+	c.cursor = slot + 1
+}
+func (c *constCtrl) ProbQuiet(uint64) float64 { return c.p }
+func (c *constCtrl) SkipTo(s uint64) {
+	if s > c.cursor {
+		c.cursor = s
+	}
+}
+func (c *constCtrl) SkipPhase(slot uint64) protocol.SkipPhase {
+	return protocol.SkipPhase{
+		End:       slot + c.span - 1,
+		Period:    1, // no special class
+		RegularLo: c.p,
+		RegularHi: c.p,
+	}
+}
+
+// TestFairRunConstantController: with constant per-slot probability p and
+// k = 1, the completion slot is 1 + Geometric(P₁(1,p)); for general k the
+// mean completion is k/q with q = P₁ evaluated along the descent. Checked
+// against the analytic mean Σ_{m=1..k} 1/P₁(m,p) for small k, across
+// phase spans that do and do not straddle successes.
+func TestFairRunConstantController(t *testing.T) {
+	t.Parallel()
+	for _, tt := range []struct {
+		k    int
+		p    float64
+		span uint64
+	}{
+		{k: 1, p: 0.2, span: 4},
+		{k: 3, p: 0.1, span: 7},
+		{k: 5, p: 0.05, span: 64},
+		{k: 2, p: 0.5, span: 1}, // one-slot phases: pure phase-loop stress
+	} {
+		tt := tt
+		t.Run(fmt.Sprintf("k=%d_p=%v_span=%d", tt.k, tt.p, tt.span), func(t *testing.T) {
+			t.Parallel()
+			const draws = 4000
+			src := rng.New(uint64(tt.k)*1000 + tt.span)
+			sum := 0.0
+			for i := 0; i < draws; i++ {
+				ctrl := &constCtrl{p: tt.p, cursor: 1, span: tt.span}
+				slots, err := FairRun(tt.k, ctrl, src, 10_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += float64(slots)
+			}
+			want := 0.0
+			va := 0.0
+			for m := 1; m <= tt.k; m++ {
+				q := SuccessProb(m, tt.p)
+				want += 1 / q
+				va += (1 - q) / (q * q)
+			}
+			got := sum / draws
+			tol := 6 * math.Sqrt(va/draws)
+			if math.Abs(got-want) > tol {
+				t.Errorf("mean completion %.2f, want %.2f ± %.2f", got, want, tol)
+			}
+		})
+	}
+}
+
+// TestFairRunSlotLimit: exhausting the budget yields ErrSlotLimit.
+func TestFairRunSlotLimit(t *testing.T) {
+	t.Parallel()
+	ctrl := &constCtrl{p: 1e-9, cursor: 1, span: 16}
+	_, err := FairRun(4, ctrl, rng.New(3), 1000)
+	if !errors.Is(err, ErrSlotLimit) {
+		t.Errorf("err = %v, want ErrSlotLimit", err)
+	}
+}
+
+// TestFairRunZeroK: nothing to deliver completes at slot 0.
+func TestFairRunZeroK(t *testing.T) {
+	t.Parallel()
+	ctrl := &constCtrl{p: 0.5, cursor: 1, span: 16}
+	slots, err := FairRun(0, ctrl, rng.New(3), 1000)
+	if err != nil || slots != 0 {
+		t.Errorf("FairRun(0) = (%d, %v), want (0, nil)", slots, err)
+	}
+}

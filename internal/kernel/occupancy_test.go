@@ -1,0 +1,198 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestBallsInBinsBranchesAgree checks that the per-ball and per-bin
+// samplers draw the delivered-count from the same distribution.
+func TestBallsInBinsBranchesAgree(t *testing.T) {
+	t.Parallel()
+	const m, w, draws = 12, 16, 100000
+	var win Window
+	srcA, srcB := rng.New(11), rng.New(22)
+	var pmfA, pmfB [13]int
+	for i := 0; i < draws; i++ {
+		dA, _ := win.stepByBall(m, w, srcA)
+		dB, _ := stepByBin(m, w, srcB)
+		pmfA[dA]++
+		pmfB[dB]++
+	}
+	for d := 0; d <= m; d++ {
+		nA, nB := float64(pmfA[d]), float64(pmfB[d])
+		if nA+nB < 50 {
+			continue
+		}
+		// Two-proportion z-ish bound: difference within 6 standard errors.
+		p := (nA + nB) / (2 * draws)
+		se := math.Sqrt(2 * p * (1 - p) * draws)
+		if math.Abs(nA-nB) > 6*se+1 {
+			t.Errorf("delivered=%d: per-ball %d vs per-bin %d (se %.1f)", d, pmfA[d], pmfB[d], se)
+		}
+	}
+}
+
+// TestSeriesAgreesWithByBin checks the saturated-window series sampler
+// against the binomial-chain reference on the full delivered-count pmf
+// and on the last-slot distribution conditioned on delivery.
+func TestSeriesAgreesWithByBin(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ m, w int }{
+		{m: 400, w: 64},  // ES ≈ 0.73 at the branch boundary region
+		{m: 800, w: 128}, // ES ≈ 1.5e0? exercised via direct call anyway
+		{m: 1500, w: 128},
+	}
+	for _, tt := range cases {
+		tt := tt
+		t.Run(fmt.Sprintf("m=%d_w=%d", tt.m, tt.w), func(t *testing.T) {
+			t.Parallel()
+			const draws = 200000
+			srcA, srcB := rng.New(uint64(tt.m)), rng.New(uint64(tt.w))
+			pmfA := map[int]int{}
+			pmfB := map[int]int{}
+			var lastSumA, lastSumB float64
+			var lastN, lastM int
+			for i := 0; i < draws; i++ {
+				dA, lA := stepBySeries(tt.m, tt.w, srcA)
+				dB, lB := stepByBin(tt.m, tt.w, srcB)
+				pmfA[dA]++
+				pmfB[dB]++
+				if dA > 0 {
+					lastSumA += float64(lA)
+					lastN++
+				}
+				if dB > 0 {
+					lastSumB += float64(lB)
+					lastM++
+				}
+			}
+			for d := 0; d <= 6; d++ {
+				nA, nB := float64(pmfA[d]), float64(pmfB[d])
+				if nA+nB < 50 {
+					continue
+				}
+				p := (nA + nB) / (2 * draws)
+				se := math.Sqrt(2 * p * (1 - p) * draws)
+				if math.Abs(nA-nB) > 6*se+1 {
+					t.Errorf("S=%d: series %d vs by-bin %d (se %.1f)", d, pmfA[d], pmfB[d], se)
+				}
+			}
+			// Mean last-delivery slot: the series path places singletons as
+			// a uniform subset; must match the chain's slot-ordered walk.
+			if lastN > 1000 && lastM > 1000 {
+				mA, mB := lastSumA/float64(lastN), lastSumB/float64(lastM)
+				se := float64(tt.w) / math.Sqrt(float64(min(lastN, lastM)))
+				if math.Abs(mA-mB) > 6*se {
+					t.Errorf("mean last slot: series %.2f vs by-bin %.2f (se %.2f)", mA, mB, se)
+				}
+			}
+		})
+	}
+}
+
+// TestSingletonPMFSumsToOne: the series pmf must be a probability
+// distribution to within truncation error.
+func TestSingletonPMFSumsToOne(t *testing.T) {
+	t.Parallel()
+	for _, tt := range []struct{ m, w int }{
+		{m: 300, w: 64}, {m: 700, w: 100}, {m: 5000, w: 512}, {m: 100000, w: 8192},
+	} {
+		sum := 0.0
+		t0 := 1.0
+		for s := 0; s < tt.w && t0 >= seriesEps; s++ {
+			sum += singletonPMF(tt.m, tt.w, s, t0)
+			t0 *= seriesRatio(tt.m, tt.w, s)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("m=%d w=%d: Σ P(S=s) = %v, want 1", tt.m, tt.w, sum)
+		}
+	}
+}
+
+// TestSingletonPMFMean: E[S] under the series pmf must equal the exact
+// expectation m·(1−1/w)^(m−1).
+func TestSingletonPMFMean(t *testing.T) {
+	t.Parallel()
+	for _, tt := range []struct{ m, w int }{
+		{m: 300, w: 64}, {m: 700, w: 100}, {m: 5000, w: 512},
+	} {
+		mean := 0.0
+		t0 := 1.0
+		for s := 0; s < tt.w && t0 >= seriesEps; s++ {
+			mean += float64(s) * singletonPMF(tt.m, tt.w, s, t0)
+			t0 *= seriesRatio(tt.m, tt.w, s)
+		}
+		want := float64(tt.m) * math.Pow(1-1/float64(tt.w), float64(tt.m-1))
+		if math.Abs(mean-want) > 1e-9*want {
+			t.Errorf("m=%d w=%d: E[S] = %v, want %v", tt.m, tt.w, mean, want)
+		}
+	}
+}
+
+// TestBallsInBinsMeanSingletons compares the empirical mean number of
+// singleton bins with the exact expectation m·(1−1/w)^(m−1), across all
+// three samplers as dispatched by Step.
+func TestBallsInBinsMeanSingletons(t *testing.T) {
+	t.Parallel()
+	tests := []struct{ m, w int }{
+		{m: 1, w: 1}, {m: 2, w: 1}, {m: 5, w: 5}, {m: 10, w: 100},
+		{m: 100, w: 10}, {m: 64, w: 64}, {m: 1000, w: 500},
+		{m: 600, w: 64}, // saturated: dispatches to the series sampler
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(fmt.Sprintf("m=%d_w=%d", tt.m, tt.w), func(t *testing.T) {
+			t.Parallel()
+			src := rng.New(uint64(tt.m*1000 + tt.w))
+			const draws = 20000
+			var win Window
+			sum := 0.0
+			for i := 0; i < draws; i++ {
+				d, _ := win.Step(tt.m, tt.w, src)
+				sum += float64(d)
+			}
+			got := sum / draws
+			want := float64(tt.m) * math.Pow(1-1/float64(tt.w), float64(tt.m-1))
+			tol := 6 * math.Sqrt(want+1) / math.Sqrt(draws) * 3
+			if math.Abs(got-want) > math.Max(tol, 0.05) {
+				t.Errorf("mean singletons = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestBallsInBinsLastSlot: with m = w = 1 the single ball lands in the
+// single bin, delivered at slot 1.
+func TestBallsInBinsLastSlot(t *testing.T) {
+	t.Parallel()
+	var win Window
+	d, last := win.stepByBall(1, 1, rng.New(1))
+	if d != 1 || last != 1 {
+		t.Fatalf("(delivered, last) = (%d, %d), want (1, 1)", d, last)
+	}
+	d, last = stepByBin(2, 1, rng.New(1))
+	if d != 0 || last != 0 {
+		t.Fatalf("two balls one bin: (delivered, last) = (%d, %d), want (0, 0)", d, last)
+	}
+}
+
+// TestStepDeadWindow: a window with (m−1)/w beyond the dead cutoff is
+// silent and consumes no randomness.
+func TestStepDeadWindow(t *testing.T) {
+	t.Parallel()
+	var win Window
+	src := rng.New(7)
+	before := src.Uint64()
+	src = rng.New(7)
+	d, last := win.Step(1_000_000, 64, src)
+	if d != 0 || last != 0 {
+		t.Fatalf("dead window delivered (%d, %d), want (0, 0)", d, last)
+	}
+	if got := src.Uint64(); got != before {
+		t.Fatalf("dead window consumed randomness: next draw %d, want %d", got, before)
+	}
+}

@@ -1,0 +1,59 @@
+package maclayer_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/maclayer"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// Example drives the gated-batching MAC service by hand: three sensor
+// readings arrive while the channel is busy with an earlier message, so
+// they wait at the gate and form the second batch together, resolved by
+// One-Fail Adaptive on fresh synchronized state.
+func Example() {
+	newStation := func() (protocol.Station, error) {
+		ctrl, err := core.NewOneFailAdaptive(core.DefaultOFADelta)
+		if err != nil {
+			return nil, err
+		}
+		return protocol.NewFairStation(ctrl), nil
+	}
+	svc := maclayer.New(newStation, rng.New(42))
+
+	// The first message opens batch 1 on the next Step.
+	svc.Enqueue("boot")
+	first, err := svc.Step()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// These arrive while slot 1 is in progress: they wait at the gate
+	// and will form batch 2 together, on fresh synchronized state.
+	for _, payload := range []string{"temp=21.5", "temp=21.6", "temp=21.4"} {
+		svc.Enqueue(payload)
+	}
+
+	deliveries, err := svc.RunUntilDrained(10_000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if first != nil {
+		deliveries = append([]maclayer.Delivery{*first}, deliveries...)
+	}
+	for _, d := range deliveries {
+		fmt.Printf("batch %d: %v (arrived slot %d, delivered slot %d)\n",
+			d.Batch, d.Payload, d.Arrival, d.Delivered)
+	}
+	fmt.Printf("%d messages in %d slots, %d collisions\n",
+		svc.Delivered(), svc.Slot(), svc.Collisions())
+	// Output:
+	// batch 1: boot (arrived slot 1, delivered slot 1)
+	// batch 2: temp=21.6 (arrived slot 2, delivered slot 14)
+	// batch 2: temp=21.5 (arrived slot 2, delivered slot 15)
+	// batch 2: temp=21.4 (arrived slot 2, delivered slot 21)
+	// 4 messages in 21 slots, 6 collisions
+}

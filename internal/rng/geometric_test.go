@@ -1,0 +1,168 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// geometricReference draws the same distribution as Geometric by flipping
+// explicit Bernoulli(p) coins — the per-slot process the sampler collapses.
+func geometricReference(r *Rand, p float64) uint64 {
+	var g uint64
+	for !r.Bernoulli(p) {
+		g++
+	}
+	return g
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	r := New(1)
+	if g := r.Geometric(1); g != 0 {
+		t.Errorf("Geometric(1) = %d, want 0", g)
+	}
+	if g := r.Geometric(1.5); g != 0 {
+		t.Errorf("Geometric(1.5) = %d, want 0", g)
+	}
+	if g := r.Geometric(0); g != GeometricInf {
+		t.Errorf("Geometric(0) = %d, want GeometricInf", g)
+	}
+	if g := r.Geometric(-0.25); g != GeometricInf {
+		t.Errorf("Geometric(-0.25) = %d, want GeometricInf", g)
+	}
+	// p so small that ln U / ln(1-p) overflows uint64 for essentially
+	// every U: must saturate, not wrap.
+	for i := 0; i < 100; i++ {
+		if g := r.Geometric(1e-300); g != GeometricInf {
+			t.Fatalf("Geometric(1e-300) = %d, want GeometricInf", g)
+		}
+	}
+}
+
+func TestGeometricMeanVariance(t *testing.T) {
+	// Mean (1-p)/p and variance (1-p)/p² of the failures-before-success
+	// geometric, checked within 5 standard errors.
+	for _, p := range []float64{0.5, 0.1, 0.01, 1e-4} {
+		r := NewStream(42, "geometric-moments")
+		const n = 200_000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			g := float64(r.Geometric(p))
+			sum += g
+			sumSq += g * g
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := (1 - p) / p
+		wantVar := (1 - p) / (p * p)
+		// Std error of the sample mean is sqrt(var/n); the sample variance
+		// of a geometric has relative std error ~ sqrt(κ/n) with excess
+		// kurtosis κ ≤ 9 for small p.
+		seMean := math.Sqrt(wantVar / n)
+		if math.Abs(mean-wantMean) > 5*seMean {
+			t.Errorf("p=%v: mean = %v, want %v ± %v", p, mean, wantMean, 5*seMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar {
+			t.Errorf("p=%v: variance = %v, want %v within 10%%", p, variance, wantVar)
+		}
+	}
+}
+
+func TestGeometricKSAgainstReference(t *testing.T) {
+	// Two-sample Kolmogorov–Smirnov test: inversion sampler vs the
+	// explicit Bernoulli-loop process it replaces.
+	for _, p := range []float64{0.5, 0.08, 0.01} {
+		const n = 20_000
+		a := make([]float64, n)
+		b := make([]float64, n)
+		ra := NewStream(7, "geometric-ks", "inversion")
+		rb := NewStream(7, "geometric-ks", "reference")
+		for i := 0; i < n; i++ {
+			a[i] = float64(ra.Geometric(p))
+			b[i] = float64(geometricReference(rb, p))
+		}
+		d := ksStatistic(a, b)
+		// Critical value at α = 0.001 for the two-sample KS test is
+		// c(α)·sqrt(2/n) with c(0.001) ≈ 1.95.
+		crit := 1.95 * math.Sqrt(2.0/n)
+		if d > crit {
+			t.Errorf("p=%v: KS statistic %v exceeds %v", p, d, crit)
+		}
+	}
+}
+
+// ksStatistic computes the two-sample Kolmogorov–Smirnov statistic.
+func ksStatistic(a, b []float64) float64 {
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var d float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// Advance both samples through every copy of the smaller value:
+		// with discrete (tied) data the empirical CDFs may only be
+		// compared between distinct values.
+		x := a[i]
+		if b[j] < x {
+			x = b[j]
+		}
+		for i < len(a) && a[i] == x {
+			i++
+		}
+		for j < len(b) && b[j] == x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+func TestGeometricDeterminism(t *testing.T) {
+	// Identical streams yield identical draw sequences regardless of how
+	// many other streams are being consumed concurrently — the property
+	// internal/montecarlo relies on for rep-indexed reproducibility.
+	const n = 1000
+	want := make([]uint64, n)
+	r := NewStream(99, "geometric-det", "3")
+	for i := range want {
+		want[i] = r.Geometric(0.05)
+	}
+	done := make(chan []uint64, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			rr := NewStream(99, "geometric-det", "3")
+			// Interleave with unrelated streams to prove isolation.
+			noise := NewStream(1234, "noise")
+			got := make([]uint64, n)
+			for i := range got {
+				noise.Geometric(0.3)
+				got[i] = rr.Geometric(0.05)
+			}
+			done <- got
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		got := <-done
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("draw %d differs across goroutines: %d vs %d", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGeometricConsumesOneUniform(t *testing.T) {
+	// The skip kernel budget-accounts one uniform per geometric draw; a
+	// change here would silently break rep-indexed stream alignment.
+	a := New(5)
+	b := New(5)
+	for i := 0; i < 100; i++ {
+		a.Geometric(0.2)
+		b.Float64Open()
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Error("Geometric consumed a different number of variates than one Float64Open")
+	}
+}

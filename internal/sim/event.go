@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// This file is the event-driven fast path of the per-node simulator,
+// built on the kernel.Calendar timing wheel. It applies when every
+// station implements protocol.AttemptStation — i.e. declares that its
+// transmission slots form a private stochastic process independent of
+// channel feedback (windowed back-on/back-off stations). Then the
+// channel matters only at slots where somebody transmits: the simulator
+// keeps each station's next attempt in the calendar and jumps from
+// occupied slot to occupied slot, skipping silence in O(1).
+//
+// The path is opt-in (WithEventDriven) rather than automatic: the
+// slot-by-slot loop in Run is this repository's ground truth, and it
+// must stay independent of the kernel it validates. Agreement between
+// the two paths is enforced by Kolmogorov–Smirnov tests in event_test.go.
+
+// WithEventDriven routes the run through the event-driven engine. Every
+// station must implement protocol.AttemptStation and must not implement
+// CDStation, and the run must not use WithTrace or WithJammer (those
+// observe silent slots, which the event engine never visits); Run
+// returns an error otherwise. Results are identical in distribution to
+// the default slot-by-slot path, but the draw sequence differs, so a
+// fixed seed yields a different (equally valid) execution.
+func WithEventDriven() Option {
+	return func(c *config) { c.event = true }
+}
+
+// runEvent is the event-driven counterpart of the main loop in Run.
+func runEvent(stations []protocol.Station, src *rng.Rand, cfg *config) (Result, error) {
+	if cfg.trace != nil {
+		return Result{}, fmt.Errorf("sim: WithEventDriven is incompatible with WithTrace (silent slots are skipped, not observed)")
+	}
+	if cfg.jammed != nil {
+		return Result{}, fmt.Errorf("sim: WithEventDriven is incompatible with WithJammer (jammed silent slots would go unvisited)")
+	}
+	att := make([]protocol.AttemptStation, len(stations))
+	for i, s := range stations {
+		a, ok := s.(protocol.AttemptStation)
+		if !ok {
+			return Result{}, fmt.Errorf("sim: WithEventDriven requires every station to implement protocol.AttemptStation; station %d is %T", i, s)
+		}
+		if _, cd := s.(CDStation); cd {
+			return Result{}, fmt.Errorf("sim: WithEventDriven cannot drive collision-detection station %d (%T): ternary feedback depends on slots the event engine skips", i, s)
+		}
+		att[i] = a
+	}
+
+	var res Result
+	if cfg.deliveryOrder {
+		res.DeliveryOrder = make([]int, 0, len(stations))
+	}
+	if len(stations) == 0 {
+		return res, nil
+	}
+
+	cal := kernel.NewCalendar()
+	for i, a := range att {
+		after := uint64(0) // first attempt at any slot ≥ 1
+		if cfg.arrivals != nil && cfg.arrivals[i] > 1 {
+			// Same semantics as the per-slot path: the station's windows
+			// span global slots from 1; chosen slots before its arrival
+			// were never transmitted (the station held no message yet).
+			after = cfg.arrivals[i] - 1
+		}
+		next, err := a.NextAttempt(after, src)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: station %d: %w", i, err)
+		}
+		cal.Schedule(next, int32(i))
+	}
+
+	group := make([]int32, 0, 16)
+	for cal.Len() > 0 {
+		var slot uint64
+		slot, group = cal.PopGroup(group)
+		if slot > cfg.maxSlots {
+			return res, fmt.Errorf("%w (limit %d, delivered %d/%d)",
+				ErrSlotLimit, cfg.maxSlots, res.Delivered, len(stations))
+		}
+		if len(group) == 1 {
+			// Exactly one transmitter: delivery. The deliverer departs; an
+			// AttemptStation ignores receptions by contract, so the other
+			// stations need no notification.
+			res.Successes++
+			res.Delivered++
+			if cfg.deliveryOrder {
+				res.DeliveryOrder = append(res.DeliveryOrder, int(group[0]))
+			}
+			if res.Delivered == len(stations) || (cfg.stopAfter > 0 && res.Delivered >= cfg.stopAfter) {
+				res.Slots = slot
+				// Every unvisited slot up to completion was silent.
+				res.Silences = slot - res.Successes - res.Collisions
+				return res, nil
+			}
+			continue
+		}
+		// Collision: every collider reschedules into its next window.
+		res.Collisions++
+		for _, id := range group {
+			next, err := att[id].NextAttempt(slot, src)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: station %d: %w", id, err)
+			}
+			cal.Schedule(next, id)
+		}
+	}
+	// Unreachable for well-formed protocols: an undelivered AttemptStation
+	// always has a next attempt.
+	return res, fmt.Errorf("sim: event engine drained with %d/%d delivered", res.Delivered, len(stations))
+}

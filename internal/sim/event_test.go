@@ -1,0 +1,158 @@
+package sim_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func ebbStations(t testing.TB, k int) []protocol.Station {
+	t.Helper()
+	stations := make([]protocol.Station, k)
+	for i := range stations {
+		sched, err := core.NewExpBackonBackoff(core.DefaultEBBDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stations[i] = protocol.NewWindowStation(sched)
+	}
+	return stations
+}
+
+// TestEventDrivenMatchesSlotBySlot is the validity check for the
+// event-driven per-node path: the completion-time distribution must match
+// the slot-by-slot reference (two-sample KS test at ~99.9%).
+func TestEventDrivenMatchesSlotBySlot(t *testing.T) {
+	t.Parallel()
+	for _, k := range []int{2, 3, 8, 32} {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			t.Parallel()
+			const draws = 3000
+			event := make([]float64, draws)
+			exact := make([]float64, draws)
+			for i := 0; i < draws; i++ {
+				resE, err := sim.Run(ebbStations(t, k),
+					rng.NewStream(99, "ev", fmt.Sprint(k), fmt.Sprint(i)), sim.WithEventDriven())
+				if err != nil {
+					t.Fatal(err)
+				}
+				resX, err := sim.Run(ebbStations(t, k),
+					rng.NewStream(99, "ex", fmt.Sprint(k), fmt.Sprint(i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				event[i] = float64(resE.Slots)
+				exact[i] = float64(resX.Slots)
+			}
+			crit := 1.95 * math.Sqrt(2.0/draws)
+			if d := stats.KSDistance(event, exact); d > crit {
+				t.Errorf("KS distance %.4f > %.4f between event-driven and slot-by-slot", d, crit)
+			}
+		})
+	}
+}
+
+// TestEventDrivenCounters: successes + collisions + silences must
+// partition the slots, and deliveries must equal k.
+func TestEventDrivenCounters(t *testing.T) {
+	t.Parallel()
+	const k = 50
+	res, err := sim.Run(ebbStations(t, k), rng.New(5), sim.WithEventDriven(), sim.WithDeliveryOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != k || res.Successes != k {
+		t.Errorf("delivered %d successes %d, want %d", res.Delivered, res.Successes, k)
+	}
+	if got := res.Successes + res.Collisions + res.Silences; got != res.Slots {
+		t.Errorf("outcome counters sum to %d, want %d slots", got, res.Slots)
+	}
+	seen := map[int]bool{}
+	for _, id := range res.DeliveryOrder {
+		if seen[id] {
+			t.Errorf("station %d delivered twice", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != k {
+		t.Errorf("delivery order lists %d stations, want %d", len(seen), k)
+	}
+}
+
+// TestEventDrivenArrivalsAndStopAfter: staggered arrivals and early stop
+// behave like the per-slot path (distribution checked coarsely via the
+// mean; the KS test above covers the static case).
+func TestEventDrivenArrivalsAndStopAfter(t *testing.T) {
+	t.Parallel()
+	const k, draws = 16, 800
+	arrivals := make([]uint64, k)
+	for i := range arrivals {
+		arrivals[i] = uint64(1 + 7*i)
+	}
+	var sumE, sumX float64
+	for i := 0; i < draws; i++ {
+		resE, err := sim.Run(ebbStations(t, k), rng.NewStream(31, "a", fmt.Sprint(i)),
+			sim.WithEventDriven(), sim.WithArrivals(arrivals), sim.WithStopAfterDeliveries(k/2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resX, err := sim.Run(ebbStations(t, k), rng.NewStream(31, "b", fmt.Sprint(i)),
+			sim.WithArrivals(arrivals), sim.WithStopAfterDeliveries(k/2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resE.Delivered != k/2 || resX.Delivered != k/2 {
+			t.Fatalf("delivered %d / %d, want %d", resE.Delivered, resX.Delivered, k/2)
+		}
+		sumE += float64(resE.Slots)
+		sumX += float64(resX.Slots)
+	}
+	mE, mX := sumE/draws, sumX/draws
+	if math.Abs(mE-mX) > 0.15*math.Max(mE, mX) {
+		t.Errorf("mean completion %.1f (event) vs %.1f (slot-by-slot)", mE, mX)
+	}
+}
+
+// TestEventDrivenRejectsIneligible: fair stations (feedback-driven) and
+// slot-observing options must be refused, not silently mis-simulated.
+func TestEventDrivenRejectsIneligible(t *testing.T) {
+	t.Parallel()
+	ctrl, err := core.NewOneFailAdaptive(core.DefaultOFADelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair := []protocol.Station{protocol.NewFairStation(ctrl)}
+	if _, err := sim.Run(fair, rng.New(1), sim.WithEventDriven()); err == nil ||
+		!strings.Contains(err.Error(), "AttemptStation") {
+		t.Errorf("fair station: err = %v, want AttemptStation requirement", err)
+	}
+	if _, err := sim.Run(ebbStations(t, 2), rng.New(1), sim.WithEventDriven(),
+		sim.WithTrace(func(sim.SlotRecord) {})); err == nil ||
+		!strings.Contains(err.Error(), "WithTrace") {
+		t.Errorf("trace: err = %v, want WithTrace incompatibility", err)
+	}
+	if _, err := sim.Run(ebbStations(t, 2), rng.New(1), sim.WithEventDriven(),
+		sim.WithJammer(func(uint64) bool { return false })); err == nil ||
+		!strings.Contains(err.Error(), "WithJammer") {
+		t.Errorf("jammer: err = %v, want WithJammer incompatibility", err)
+	}
+}
+
+// TestEventDrivenSlotLimit: the budget error matches the per-slot path's
+// error type.
+func TestEventDrivenSlotLimit(t *testing.T) {
+	t.Parallel()
+	_, err := sim.Run(ebbStations(t, 64), rng.New(9), sim.WithEventDriven(), sim.WithMaxSlots(3))
+	if !errors.Is(err, sim.ErrSlotLimit) {
+		t.Errorf("err = %v, want ErrSlotLimit", err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"strings"
@@ -62,6 +63,12 @@ type options struct {
 	warm     bool
 	bench    bool
 	minRate  float64
+
+	// Fairness mode (-tenants ≥ 2): a zipfian multi-tenant mix instead
+	// of the single cached request. See driveFairness.
+	tenants     int
+	zipf        float64
+	maxSlowdown float64
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -75,11 +82,26 @@ func run(args []string, stdout io.Writer) error {
 	fs.BoolVar(&opts.warm, "warm", true, "prime the cache (submit once and wait) before measuring")
 	fs.BoolVar(&opts.bench, "bench", false, "append a `go test -bench`-format result line")
 	fs.Float64Var(&opts.minRate, "min-rate", 0, "fail unless the sustained rate reaches this many requests/sec")
+	fs.IntVar(&opts.tenants, "tenants", 0, "fairness mode: total tenants (1 saturating + N-1 small; 0 = off)")
+	fs.Float64Var(&opts.zipf, "zipf", 1.1, "fairness mode: zipf exponent of the small-tenant request mix")
+	fs.Float64Var(&opts.maxSlowdown, "max-slowdown", 0, "fairness mode: fail when loaded small-tenant p99 exceeds this multiple of the unloaded p99 (0 = no gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if opts.tenants != 0 {
+		if opts.tenants < 2 {
+			return fmt.Errorf("-tenants must be ≥ 2 (one saturating + at least one small), got %d", opts.tenants)
+		}
+		if opts.zipf < 0 {
+			return fmt.Errorf("-zipf must be ≥ 0, got %v", opts.zipf)
+		}
+		if opts.duration <= 0 {
+			return fmt.Errorf("-duration must be > 0, got %v", opts.duration)
+		}
+		return driveFairness(opts, stdout)
 	}
 	if _, ok := defaultBodies[opts.endpoint]; !ok {
 		return fmt.Errorf("unknown endpoint %q (valid: solve, evaluate, throughput, scenario)", opts.endpoint)
@@ -191,6 +213,236 @@ func drive(opts options, stdout io.Writer) error {
 		return fmt.Errorf("sustained %.0f req/s, below the -min-rate gate of %.0f", rate, opts.minRate)
 	}
 	return nil
+}
+
+// fairnessResult aggregates one tenant loop's phase.
+type fairnessResult struct {
+	requests int64
+	rejected int64
+	failed   int64
+	latency  stats.Summary
+}
+
+// driveFairness measures cross-tenant isolation instead of cached
+// throughput: tenant t0 saturates the queue with unique-seed batch
+// sweeps while tenants t1..tN-1 submit small interactive solves in a
+// zipfian mix (tenant i's request share ∝ i^-zipf), each measured from
+// submit to completion. Phase one runs the small tenants alone for the
+// unloaded p99 baseline; phase two adds the saturating tenant. The
+// fairness metric is the slowdown — loaded p99 over unloaded p99 —
+// which deficit-round-robin keeps near 1 and a FIFO lets grow with the
+// heavy tenant's backlog. With -bench the loaded p99 lands in a
+// BenchmarkMacloadFairness line; -max-slowdown turns the ratio into a
+// gate.
+func driveFairness(opts options, stdout io.Writer) error {
+	client := &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * opts.tenants,
+			MaxIdleConnsPerHost: 4 * opts.tenants,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+	base := strings.TrimRight(opts.url, "/")
+	// Unique seeds per run so every request is a fresh job, never a
+	// cache hit: fairness is about queue wait, which hits would bypass.
+	var seq atomic.Int64
+	seq.Store(time.Now().UnixNano() % (1 << 40))
+
+	// smallLoop is one small tenant's closed loop: submit a small solve,
+	// wait for completion, record the server-side latency (the job's
+	// created→finished span: queue wait plus execution — the scheduling
+	// lane itself, unpolluted by client HTTP or poll-interval noise),
+	// think for `delay`, repeat. k=20000 keeps the job interactive-class
+	// (60k estimated slots, under the 2^16 default threshold) while
+	// giving it a service time large enough to measure a slowdown
+	// against.
+	smallLoop := func(tenant string, delay time.Duration, stop *atomic.Bool, res *fairnessResult) {
+		for !stop.Load() {
+			body := fmt.Sprintf(`{"protocol":"one-fail","k":20000,"seed":%d}`, seq.Add(1))
+			status, data, err := submitAs(client, base+"/v1/solve", tenant, body)
+			switch {
+			case err != nil:
+				time.Sleep(5 * time.Millisecond)
+				continue
+			case status == http.StatusTooManyRequests:
+				res.rejected++
+				time.Sleep(5 * time.Millisecond)
+				continue
+			case status != http.StatusAccepted:
+				res.failed++
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			id, err := extractJSONString(data, "id")
+			if err != nil {
+				res.failed++
+				continue
+			}
+			lat, err := waitJob(client, base, id)
+			if err != nil {
+				res.failed++
+				continue
+			}
+			res.requests++
+			res.latency.Add(float64(lat.Nanoseconds()))
+			time.Sleep(delay)
+		}
+	}
+
+	// heavyLoop keeps the saturating tenant's sub-queue full of
+	// unique-seed batch sweeps; completions are not awaited — pressure,
+	// not latency, is its job. 3 runs × 7500 contenders is just past the
+	// batch threshold (67.5k estimated slots), so each sweep is
+	// individually short but the backlog is classified and scheduled as
+	// batch work.
+	heavyLoop := func(stop *atomic.Bool, submitted *atomic.Int64) {
+		body := func() string {
+			return fmt.Sprintf(`{"protocols":["one-fail"],"ks":[7500],"runs":3,"seed":%d}`, seq.Add(1))
+		}
+		for !stop.Load() {
+			status, _, err := submitAs(client, base+"/v1/evaluate", "t0", body())
+			if err != nil || status == http.StatusTooManyRequests {
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			if status == http.StatusAccepted {
+				submitted.Add(1)
+			}
+		}
+	}
+
+	// phase runs the small tenants (and optionally the heavy one) for
+	// the configured duration and returns the merged small-tenant view.
+	phase := func(loaded bool) (fairnessResult, int64) {
+		var stop atomic.Bool
+		var heavySubmitted atomic.Int64
+		var wg sync.WaitGroup
+		results := make([]fairnessResult, opts.tenants-1)
+		if loaded {
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func() { defer wg.Done(); heavyLoop(&stop, &heavySubmitted) }()
+			}
+		}
+		for i := 1; i < opts.tenants; i++ {
+			// Zipfian mix: tenant i thinks i^zipf times longer between
+			// requests than tenant 1, so request shares follow i^-zipf.
+			delay := time.Duration(float64(10*time.Millisecond) * math.Pow(float64(i), opts.zipf))
+			wg.Add(1)
+			go func(i int, res *fairnessResult) {
+				defer wg.Done()
+				smallLoop(fmt.Sprintf("t%d", i), delay, &stop, res)
+			}(i, &results[i-1])
+		}
+		time.AfterFunc(opts.duration, func() { stop.Store(true) })
+		wg.Wait()
+		var total fairnessResult
+		for i := range results {
+			total.requests += results[i].requests
+			total.rejected += results[i].rejected
+			total.failed += results[i].failed
+			total.latency.Merge(&results[i].latency)
+		}
+		return total, heavySubmitted.Load()
+	}
+
+	fmt.Fprintf(stdout, "macload fairness: %d tenants (t0 saturating, %d small, zipf %.2f) against %s\n",
+		opts.tenants, opts.tenants-1, opts.zipf, base)
+	baseline, _ := phase(false)
+	if baseline.requests == 0 {
+		return fmt.Errorf("baseline phase completed no small-tenant request within %v", opts.duration)
+	}
+	basP99 := baseline.latency.Quantile(0.99)
+	fmt.Fprintf(stdout, "unloaded: %d small requests, p50 %.2fms p99 %.2fms\n",
+		baseline.requests, baseline.latency.Quantile(0.5)/1e6, basP99/1e6)
+
+	loaded, heavy := phase(true)
+	if loaded.requests == 0 {
+		return fmt.Errorf("loaded phase completed no small-tenant request within %v", opts.duration)
+	}
+	lodP99 := loaded.latency.Quantile(0.99)
+	slowdown := lodP99 / basP99
+	fmt.Fprintf(stdout, "loaded: %d small requests (%d rejected, %d failed), p50 %.2fms p99 %.2fms; heavy submitted %d sweeps\n",
+		loaded.requests, loaded.rejected, loaded.failed,
+		loaded.latency.Quantile(0.5)/1e6, lodP99/1e6, heavy)
+	fmt.Fprintf(stdout, "fairness: small-tenant p99 slowdown under saturation %.2fx\n", slowdown)
+	if line, err := scrapeServer(client, opts.url); err == nil && line != "" {
+		fmt.Fprintf(stdout, "server: %s\n", line)
+	}
+	if opts.bench {
+		// ns/op is the loaded small-tenant p99 — the number BENCH_BASE
+		// pins; the slowdown rides along as an extra unit pair.
+		fmt.Fprintf(stdout, "BenchmarkMacloadFairness/tenants=%d \t%8d\t%12.0f ns/op\t%12.2f p99-slowdown\n",
+			opts.tenants, loaded.requests, lodP99, slowdown)
+	}
+	if opts.maxSlowdown > 0 && slowdown > opts.maxSlowdown {
+		return fmt.Errorf("small-tenant p99 slowdown %.2fx exceeds the -max-slowdown gate of %.2fx", slowdown, opts.maxSlowdown)
+	}
+	return nil
+}
+
+// submitAs posts one body under a tenant identity and returns the
+// status and response bytes.
+func submitAs(client *http.Client, url, tenant, body string) (int, []byte, error) {
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+// waitJob polls until the job reaches a terminal state and returns its
+// server-side latency: the created→finished span from the job view.
+func waitJob(client *http.Client, baseURL, id string) (time.Duration, error) {
+	pollURL := baseURL + "/v1/jobs/" + id
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(pollURL)
+		if err != nil {
+			return 0, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		status, err := extractJSONString(data, "status")
+		if err != nil {
+			return 0, err
+		}
+		switch status {
+		case "done":
+			return jobSpan(data)
+		case "failed", "canceled":
+			return 0, fmt.Errorf("job %s: %s", id, status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return 0, fmt.Errorf("job %s did not finish in time", id)
+}
+
+// jobSpan extracts created→finished from a terminal job view.
+func jobSpan(view []byte) (time.Duration, error) {
+	var v struct {
+		Created  time.Time `json:"created"`
+		Finished time.Time `json:"finished"`
+	}
+	if err := json.Unmarshal(view, &v); err != nil {
+		return 0, err
+	}
+	if v.Created.IsZero() || v.Finished.IsZero() {
+		return 0, fmt.Errorf("job view missing timestamps: %s", strings.TrimSpace(string(view)))
+	}
+	return v.Finished.Sub(v.Created), nil
 }
 
 // warm submits the canonical request once and waits until the job

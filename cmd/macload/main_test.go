@@ -76,6 +76,56 @@ func TestClosedLoopAgainstLiveServer(t *testing.T) {
 	}
 }
 
+func TestBadFairnessFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-tenants", "1"}, &out); err == nil {
+		t.Fatal("-tenants 1 accepted")
+	}
+	if err := run([]string{"-tenants", "4", "-zipf", "-1"}, &out); err == nil {
+		t.Fatal("negative -zipf accepted")
+	}
+}
+
+var fairnessBenchLine = regexp.MustCompile(`^BenchmarkMacloadFairness/tenants=3 \s*\d+\s+\d+ ns/op\s+[\d.]+ p99-slowdown$`)
+
+// TestFairnessModeAgainstLiveServer runs the zipfian multi-tenant mix
+// against a DRR-scheduled server: both phases must complete, the report
+// must carry the slowdown metric, and the bench line must parse.
+func TestFairnessModeAgainstLiveServer(t *testing.T) {
+	s := server.New(server.Config{Workers: 2, QueueDepth: 64, TenantQueueDepth: 32, PriorityLane: true})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL,
+		"-tenants", "3",
+		"-zipf", "1.0",
+		"-duration", "700ms",
+		"-bench",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"unloaded:", "loaded:", "p99 slowdown under saturation"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		if fairnessBenchLine.MatchString(line) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no parseable fairness benchmark line in:\n%s", text)
+	}
+}
+
 func TestMinRateGate(t *testing.T) {
 	url := startServer(t)
 	var out bytes.Buffer

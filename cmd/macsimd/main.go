@@ -1,14 +1,27 @@
 // Command macsimd serves this repository's contention-resolution
-// simulators over HTTP: a long-running daemon with a bounded job queue,
-// a sharded work-stealing worker pool, a canonical-request-hash result
-// cache (repeated queries cost zero simulation time) and NDJSON result
-// streaming.
+// simulators over HTTP: a long-running daemon with per-tenant admission
+// control and weighted-fair scheduling into a worker pool, a
+// canonical-request-hash result cache (repeated queries cost zero
+// simulation time) and NDJSON result streaming.
 //
 // Usage:
 //
 //	macsimd [-addr 127.0.0.1:8080] [-workers N] [-queue 256]
 //	        [-cache 4096] [-retry-after 1s] [-drain-timeout 30s]
+//	        [-default-tenant default] [-tenant name=rate[:burst]]...
+//	        [-tenant-weight name=w]... [-tenant-queue N] [-priority-lane]
+//	        [-interactive-cost N]
 //	macsimd -version
+//
+// Tenancy (docs/tenancy.md): requests carry an X-Tenant header (absent
+// means -default-tenant). -tenant caps a tenant's fresh-job admission
+// at rate jobs/second with an optional burst ("-tenant acme=5:10"; name
+// "*" sets the default for unlisted tenants). -tenant-weight sets the
+// tenant's deficit-round-robin share, -tenant-queue bounds one tenant's
+// queued jobs, and -priority-lane serves small interactive requests
+// (estimated cost ≤ -interactive-cost) before a tenant's own batch
+// sweeps. All flags are optional; without them the daemon behaves as a
+// single-tenant server.
 //
 // API:
 //
@@ -34,6 +47,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -78,6 +93,32 @@ func runCtx(ctx context.Context, args []string, ready chan<- string) error {
 	fs.DurationVar(&drainTimeout, "drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
 	fs.IntVar(&cfg.Limits.MaxK, "max-k", 0, "largest k one request may ask for (default 10^7)")
 	fs.IntVar(&cfg.Limits.MaxMessages, "max-messages", 0, "largest dynamic workload per request (default 10^6)")
+	fs.StringVar(&cfg.DefaultTenant, "default-tenant", "", `tenant assumed when X-Tenant is absent (default "default")`)
+	fs.IntVar(&cfg.TenantQueueDepth, "tenant-queue", 0, "queued jobs one tenant may hold before 429 (0 = no per-tenant bound)")
+	fs.BoolVar(&cfg.PriorityLane, "priority-lane", false, "serve small interactive requests before a tenant's batch jobs")
+	fs.IntVar(&cfg.Limits.InteractiveCost, "interactive-cost", 0, "interactive/batch cost boundary in estimated slots (default 2^16)")
+	fs.Func("tenant", "per-tenant admission `name=rate[:burst]` (repeatable; name \"*\" = unlisted tenants)", func(v string) error {
+		name, lim, err := parseTenantLimit(v)
+		if err != nil {
+			return err
+		}
+		if cfg.Tenants == nil {
+			cfg.Tenants = make(map[string]mac.TenantLimits)
+		}
+		cfg.Tenants[name] = lim
+		return nil
+	})
+	fs.Func("tenant-weight", "fair-share `name=weight` (repeatable; unlisted tenants weigh 1)", func(v string) error {
+		name, w, err := parseTenantWeight(v)
+		if err != nil {
+			return err
+		}
+		if cfg.FairnessWeights == nil {
+			cfg.FairnessWeights = make(map[string]int)
+		}
+		cfg.FairnessWeights[name] = w
+		return nil
+	})
 	fs.BoolVar(&showVersion, "version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,4 +152,40 @@ func runCtx(ctx context.Context, args []string, ready chan<- string) error {
 		log.Printf("macsimd drained and stopped")
 	}
 	return err
+}
+
+// parseTenantLimit parses one -tenant value: name=rate or
+// name=rate:burst.
+func parseTenantLimit(v string) (string, mac.TenantLimits, error) {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return "", mac.TenantLimits{}, fmt.Errorf("-tenant %q: want name=rate[:burst]", v)
+	}
+	rateStr, burstStr, hasBurst := strings.Cut(spec, ":")
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil || rate <= 0 {
+		return "", mac.TenantLimits{}, fmt.Errorf("-tenant %q: rate must be a positive number", v)
+	}
+	lim := mac.TenantLimits{Rate: rate}
+	if hasBurst {
+		burst, err := strconv.Atoi(burstStr)
+		if err != nil || burst < 1 {
+			return "", mac.TenantLimits{}, fmt.Errorf("-tenant %q: burst must be a positive integer", v)
+		}
+		lim.Burst = burst
+	}
+	return name, lim, nil
+}
+
+// parseTenantWeight parses one -tenant-weight value: name=weight.
+func parseTenantWeight(v string) (string, int, error) {
+	name, wStr, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return "", 0, fmt.Errorf("-tenant-weight %q: want name=weight", v)
+	}
+	w, err := strconv.Atoi(wStr)
+	if err != nil || w < 1 {
+		return "", 0, fmt.Errorf("-tenant-weight %q: weight must be a positive integer", v)
+	}
+	return name, w, nil
 }

@@ -37,6 +37,94 @@ func TestBadFlags(t *testing.T) {
 	if err := run([]string{"-addr", ":0", "stray"}, nil); err == nil {
 		t.Fatal("stray argument accepted")
 	}
+	for _, bad := range []string{"noequals", "acme=", "acme=-1", "acme=5:zero", "acme=5:0"} {
+		if err := run([]string{"-tenant", bad}, nil); err == nil {
+			t.Fatalf("-tenant %q accepted", bad)
+		}
+	}
+	for _, bad := range []string{"noequals", "acme=0", "acme=two"} {
+		if err := run([]string{"-tenant-weight", bad}, nil); err == nil {
+			t.Fatalf("-tenant-weight %q accepted", bad)
+		}
+	}
+}
+
+func TestParseTenantFlags(t *testing.T) {
+	name, lim, err := parseTenantLimit("acme=2.5:7")
+	if err != nil || name != "acme" || lim.Rate != 2.5 || lim.Burst != 7 {
+		t.Fatalf("parseTenantLimit = (%q, %+v, %v)", name, lim, err)
+	}
+	name, lim, err = parseTenantLimit("*=10")
+	if err != nil || name != "*" || lim.Rate != 10 || lim.Burst != 0 {
+		t.Fatalf("wildcard parseTenantLimit = (%q, %+v, %v)", name, lim, err)
+	}
+	name, w, err := parseTenantWeight("big=3")
+	if err != nil || name != "big" || w != 3 {
+		t.Fatalf("parseTenantWeight = (%q, %d, %v)", name, w, err)
+	}
+}
+
+// TestDaemonTenancyFlags boots the daemon with the tenancy flags on and
+// verifies the admission bucket answers 429 with Retry-After while the
+// per-tenant metric families are exposed.
+func TestDaemonTenancyFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	served := make(chan error, 1)
+	go func() {
+		served <- runCtx(ctx, []string{"-addr", "127.0.0.1:0",
+			"-tenant", "metered=0.001:1", "-tenant-weight", "metered=2",
+			"-priority-lane", "-tenant-queue", "8"}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-served:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	submit := func(body string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, base+"/v1/solve", strings.NewReader(body))
+		req.Header.Set("X-Tenant", "metered")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := submit(`{"k":100,"seed":1}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", resp.StatusCode)
+	}
+	resp := submit(`{"k":101,"seed":1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	metrics, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(metrics.Body)
+	metrics.Body.Close()
+	for _, want := range []string{
+		`macsimd_tenant_admitted_total{tenant="metered"} 1`,
+		`macsimd_tenant_429_total{tenant="metered"} 1`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, data)
+		}
+	}
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatalf("daemon shutdown: %v", err)
+	}
 }
 
 // TestDaemonServesAndDrains boots the daemon on an ephemeral port,

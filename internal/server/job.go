@@ -38,6 +38,13 @@ type job struct {
 	key  string // canonical request hash; also the cache key
 	spec spec.ExperimentSpec
 
+	// Tenancy: which sub-queue the job schedules under, its DRR cost in
+	// units, and whether it rides the interactive priority lane. Set by
+	// the submit path before the job enters the pool; immutable after.
+	tenant      string
+	cost        int64
+	interactive bool
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -59,6 +66,7 @@ func newJob(id string, es spec.ExperimentSpec, key string) *job {
 		kind:    string(es.Kind),
 		key:     key,
 		spec:    es,
+		cost:    1, // overwritten by the submit path's cost classifier
 		ctx:     ctx,
 		cancel:  cancel,
 		status:  StatusQueued,

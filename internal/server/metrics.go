@@ -29,7 +29,6 @@ type metrics struct {
 	// Work accounting.
 	slotsSimulated atomic.Int64 // channel slots simulated across all jobs
 	repsSaved      atomic.Int64 // replications adaptive precision stopped short of maxReps
-	steals         atomic.Int64 // jobs a worker stole from another shard
 
 	// Scrape state for the slots/sec rate: the rate is measured between
 	// consecutive scrapes (the usual counter-delta a scraper would
@@ -91,7 +90,6 @@ func (m *metrics) render(now time.Time, gauges map[string]float64) string {
 	counter("macsimd_jobs_completed_total", "jobs that finished successfully", m.jobsDone.Load())
 	counter("macsimd_jobs_failed_total", "jobs that finished with an error", m.jobsFailed.Load())
 	counter("macsimd_jobs_canceled_total", "jobs retired by DELETE /v1/jobs/{id}", m.jobsCanceled.Load())
-	counter("macsimd_steals_total", "jobs executed by a worker that stole them from another shard", m.steals.Load())
 	counter("macsimd_slots_simulated_total", "channel slots simulated across all jobs", m.slotsSimulated.Load())
 	counter("macsimd_reps_saved_total", "replications adaptive-precision stopping saved against the maxReps worst case", m.repsSaved.Load())
 	gauge("macsimd_cache_hit_rate", "cache hits / (hits + misses)", m.hitRate())
@@ -110,10 +108,42 @@ func (m *metrics) render(now time.Time, gauges map[string]float64) string {
 
 // gaugeHelp documents the server-supplied gauges.
 var gaugeHelp = map[string]string{
-	"macsimd_queue_depth":    "jobs waiting in the sharded queue",
+	"macsimd_queue_depth":    "jobs waiting across all tenant sub-queues",
 	"macsimd_queue_capacity": "bound on queued jobs before 429",
-	"macsimd_workers":        "worker shards",
+	"macsimd_workers":        "pool workers",
 	"macsimd_jobs_inflight":  "jobs queued or running",
 	"macsimd_jobs_running":   "jobs currently executing",
 	"macsimd_cache_entries":  "entries resident in the result cache",
+}
+
+// renderTenants writes the per-tenant metric families, one labeled
+// sample per tenant under each family's shared HELP/TYPE header. The
+// snapshot arrives sorted by name so output is deterministic.
+func renderTenants(states []*tenantState) string {
+	if len(states) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	family := func(name, typ, help string, value func(*tenantState) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, ts := range states {
+			fmt.Fprintf(&b, "%s{tenant=%q} %d\n", name, ts.name, value(ts))
+		}
+	}
+	family("macsimd_tenant_admitted_total", "counter",
+		"fresh jobs admitted to the tenant's sub-queue",
+		func(ts *tenantState) int64 { return ts.admitted.Load() })
+	family("macsimd_tenant_rejected_total", "counter",
+		"admissions denied by the tenant's token bucket",
+		func(ts *tenantState) int64 { return ts.rejected.Load() })
+	family("macsimd_tenant_429_total", "counter",
+		"all 429 responses to the tenant (bucket, tenant queue share, global queue)",
+		func(ts *tenantState) int64 { return ts.status429.Load() })
+	family("macsimd_tenant_served_total", "counter",
+		"tenant jobs that finished successfully",
+		func(ts *tenantState) int64 { return ts.served.Load() })
+	family("macsimd_tenant_queued", "gauge",
+		"tenant jobs currently waiting in the sub-queue",
+		func(ts *tenantState) int64 { return ts.queued.Load() })
+	return b.String()
 }

@@ -12,37 +12,36 @@ import (
 // capacity; the HTTP layer translates it into 429 + Retry-After.
 var errQueueFull = errors.New("server: job queue full")
 
-// pool is a sharded worker pool: one queue shard per worker, jobs placed
-// by request-hash affinity, and work stealing from the far end of other
-// shards when a worker's own shard runs dry. The shard count defaults to
-// GOMAXPROCS (one shard per processor slice), so under load every core
-// runs simulations while stealing keeps skewed shards from idling the
-// rest.
+// pool is the worker pool: a fixed set of workers pulling from the
+// tenant-aware DRR scheduler (sched.go). The global queue bound is
+// enforced here; per-tenant bounds and weighted fairness live in the
+// scheduler and the tenancy layer. Before the tenancy layer the pool
+// was a sharded work-stealing FIFO; DRR subsumes the load-balancing
+// role (any idle worker serves the globally next job) and adds the
+// cross-tenant fairness the FIFO could not express.
 type pool struct {
-	shards   []poolShard
+	sched    *scheduler
 	capacity int64
-	queued   atomic.Int64 // jobs waiting in some shard
+	workers  int
+	queued   atomic.Int64 // jobs waiting in some sub-queue
 	running  atomic.Int64 // jobs currently executing
 	notify   chan struct{}
-	execute  func(workerID int, j *job, stolen bool)
+	execute  func(workerID int, j *job)
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 }
 
-type poolShard struct {
-	mu   sync.Mutex
-	jobs []*job // front = oldest; owner pops front, thieves pop back
-}
-
-// newPool builds a pool of `workers` shards with the given global queue
-// bound. execute runs one job and must not panic.
-func newPool(workers, capacity int, execute func(workerID int, j *job, stolen bool)) *pool {
+// newPool builds a pool of `workers` workers over the given scheduler
+// with the given global queue bound. execute runs one job and must not
+// panic.
+func newPool(workers, capacity int, sched *scheduler, execute func(workerID int, j *job)) *pool {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &pool{
-		shards:   make([]poolShard, workers),
+		sched:    sched,
 		capacity: int64(capacity),
+		workers:  workers,
 		// One token per worker: a submit can never find every worker
 		// blocked without a token in flight for at least one of them.
 		notify:  make(chan struct{}, workers),
@@ -54,7 +53,7 @@ func newPool(workers, capacity int, execute func(workerID int, j *job, stolen bo
 
 // start launches the workers.
 func (p *pool) start() {
-	for i := range p.shards {
+	for i := 0; i < p.workers; i++ {
 		p.wg.Add(1)
 		go p.worker(i)
 	}
@@ -67,17 +66,14 @@ func (p *pool) close() {
 	p.wg.Wait()
 }
 
-// submit places a job on the shard selected by affinity (a hash of the
-// canonical request key), enforcing the global queue bound.
-func (p *pool) submit(j *job, affinity uint64) error {
+// submit places a job on its tenant's sub-queue, enforcing the global
+// queue bound.
+func (p *pool) submit(j *job) error {
 	if p.queued.Add(1) > p.capacity {
 		p.queued.Add(-1)
 		return errQueueFull
 	}
-	s := &p.shards[affinity%uint64(len(p.shards))]
-	s.mu.Lock()
-	s.jobs = append(s.jobs, j)
-	s.mu.Unlock()
+	p.sched.push(j)
 	// Non-blocking: with the buffer at one token per worker, a full
 	// buffer means every worker already has a wakeup pending.
 	select {
@@ -110,12 +106,12 @@ func (p *pool) drain(ctx context.Context) error {
 	}
 }
 
-// worker is the per-shard loop: drain the own shard front-to-back, then
-// steal the newest job from another shard, then block for a wakeup.
+// worker pulls the scheduler's next job, blocking for a wakeup when
+// every sub-queue is empty.
 func (p *pool) worker(id int) {
 	defer p.wg.Done()
 	for {
-		j, stolen := p.next(id)
+		j := p.sched.pop()
 		if j == nil {
 			select {
 			case <-p.notify:
@@ -129,48 +125,7 @@ func (p *pool) worker(id int) {
 		// job has yet to execute — the invariant drain() relies on.
 		p.running.Add(1)
 		p.queued.Add(-1)
-		p.execute(id, j, stolen)
+		p.execute(id, j)
 		p.running.Add(-1)
 	}
-}
-
-// next pops a job: the worker's own shard first (FIFO), then a steal
-// sweep over the other shards (LIFO from the victim's tail, the classic
-// deque discipline that minimizes owner/thief contention).
-func (p *pool) next(id int) (j *job, stolen bool) {
-	if j := p.shards[id].popFront(); j != nil {
-		return j, false
-	}
-	n := len(p.shards)
-	for off := 1; off < n; off++ {
-		if j := p.shards[(id+off)%n].popBack(); j != nil {
-			return j, true
-		}
-	}
-	return nil, false
-}
-
-func (s *poolShard) popFront() *job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.jobs) == 0 {
-		return nil
-	}
-	j := s.jobs[0]
-	s.jobs[0] = nil
-	s.jobs = s.jobs[1:]
-	return j
-}
-
-func (s *poolShard) popBack() *job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.jobs) == 0 {
-		return nil
-	}
-	last := len(s.jobs) - 1
-	j := s.jobs[last]
-	s.jobs[last] = nil
-	s.jobs = s.jobs[:last]
-	return j
 }

@@ -3,40 +3,43 @@ package server
 import (
 	"context"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/spec"
 )
 
-// collectPool builds a pool whose execute records job ids and whether
-// they were stolen.
-func collectPool(workers, capacity int) (*pool, *sync.Map, *atomic.Int64) {
+// collectPool builds a pool over a fresh single-lane scheduler whose
+// execute records which worker ran each job.
+func collectPool(workers, capacity int) (*pool, *sync.Map) {
 	var seen sync.Map
-	var stolen atomic.Int64
-	p := newPool(workers, capacity, func(workerID int, j *job, wasStolen bool) {
+	p := newPool(workers, capacity, newScheduler(nil, false), func(workerID int, j *job) {
 		seen.Store(j.id, workerID)
-		if wasStolen {
-			stolen.Add(1)
-		}
 	})
-	return p, &seen, &stolen
+	return p, &seen
 }
 
 func testJob(id string) *job {
 	return newJob(id, spec.ForSolve(spec.SolveSpec{}), "key-"+id)
 }
 
+func tenantJob(id, tenant string, cost int64, interactive bool) *job {
+	j := testJob(id)
+	j.tenant = tenant
+	j.cost = cost
+	j.interactive = interactive
+	return j
+}
+
 func TestPoolBound(t *testing.T) {
 	// Workers not started: submissions accumulate until the bound.
-	p, _, _ := collectPool(2, 3)
+	p, _ := collectPool(2, 3)
 	for i := 0; i < 3; i++ {
-		if err := p.submit(testJob(string(rune('a'+i))), uint64(i)); err != nil {
+		if err := p.submit(testJob(string(rune('a' + i)))); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
-	if err := p.submit(testJob("overflow"), 9); err != errQueueFull {
+	if err := p.submit(testJob("overflow")); err != errQueueFull {
 		t.Fatalf("over-capacity submit = %v, want errQueueFull", err)
 	}
 	if p.depth() != 3 {
@@ -45,23 +48,19 @@ func TestPoolBound(t *testing.T) {
 	p.close()
 }
 
-func TestPoolRunsAndSteals(t *testing.T) {
+func TestPoolSpreadsWorkAcrossWorkers(t *testing.T) {
 	const workers, jobs = 4, 64
 	var seen sync.Map
-	var stolen atomic.Int64
-	p := newPool(workers, jobs, func(workerID int, j *job, wasStolen bool) {
+	p := newPool(workers, jobs, newScheduler(nil, false), func(workerID int, j *job) {
 		// Long enough that one worker cannot drain the pile before the
-		// others are scheduled, so stealing demonstrably spreads work.
+		// others are scheduled, so the pull model demonstrably spreads
+		// work.
 		time.Sleep(time.Millisecond)
 		seen.Store(j.id, workerID)
-		if wasStolen {
-			stolen.Add(1)
-		}
 	})
-	// Pile every job onto shard 0 before starting the workers: workers
-	// 1..3 can only make progress by stealing.
+	// Pile every job up before starting the workers.
 	for i := 0; i < jobs; i++ {
-		if err := p.submit(testJob(string(rune('A'+i))), 0); err != nil {
+		if err := p.submit(testJob(string(rune('A' + i)))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -83,9 +82,6 @@ func TestPoolRunsAndSteals(t *testing.T) {
 	if count != jobs {
 		t.Fatalf("executed %d jobs, want %d", count, jobs)
 	}
-	if stolen.Load() == 0 {
-		t.Fatal("no job was stolen from the loaded shard")
-	}
 	if len(workersSeen) < 2 {
 		t.Fatalf("only %d workers participated", len(workersSeen))
 	}
@@ -93,11 +89,11 @@ func TestPoolRunsAndSteals(t *testing.T) {
 }
 
 func TestPoolSubmitAfterStartWakesIdleWorkers(t *testing.T) {
-	p, seen, _ := collectPool(3, 16)
+	p, seen := collectPool(3, 16)
 	p.start()
 	time.Sleep(10 * time.Millisecond) // let the workers block idle
 	for i := 0; i < 8; i++ {
-		if err := p.submit(testJob(string(rune('a'+i))), uint64(i)); err != nil {
+		if err := p.submit(testJob(string(rune('a' + i)))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -118,9 +114,9 @@ func TestPoolSubmitAfterStartWakesIdleWorkers(t *testing.T) {
 
 func TestPoolDrainTimesOut(t *testing.T) {
 	block := make(chan struct{})
-	p := newPool(1, 4, func(int, *job, bool) { <-block })
+	p := newPool(1, 4, newScheduler(nil, false), func(int, *job) { <-block })
 	p.start()
-	if err := p.submit(testJob("x"), 0); err != nil {
+	if err := p.submit(testJob("x")); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)

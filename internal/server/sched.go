@@ -1,0 +1,159 @@
+// The weighted-fair scheduler: deficit round-robin (DRR) over
+// per-tenant sub-queues, replacing the single global FIFO. Each tenant
+// with pending jobs owns a slot in the active ring; a pop visits
+// tenants in ring order, crediting each visit with quantum × weight
+// cost units and serving the tenant's head job once its accumulated
+// deficit covers the job's cost. Served cost per tenant is therefore
+// proportional to its weight over any busy interval — the classic DRR
+// guarantee — while a single-tenant server degenerates to plain FIFO.
+//
+// This mirrors the paper's fairness-without-starvation goal one layer
+// up: stations sharing one channel become tenants sharing one worker
+// pool, and DRR plays the role the adaptive transmission probabilities
+// play on the channel — every backlogged participant gets a bounded
+// share, none can be starved by a burst from another.
+//
+// Within a tenant, the optional priority lane (Config.PriorityLane)
+// serves interactive jobs — cost-classified by the spec layer — before
+// batch jobs, so a tenant's own small queries are not stuck behind its
+// own sweeps. The lane never affects cross-tenant shares: a job's cost
+// is charged against the deficit regardless of lane.
+
+package server
+
+import "sync"
+
+// maxCostUnits caps one job's DRR cost so a pop needs at most this many
+// ring passes; beyond the cap a huge sweep is "only" 64× a small query,
+// which is plenty of skew for fairness accounting.
+const maxCostUnits = 64
+
+// costUnits converts a spec-layer cost estimate into DRR units:
+// interactive-scale jobs cost 1, larger jobs proportionally more,
+// capped at maxCostUnits. unit is the interactive threshold.
+func costUnits(estimated, unit int64) int64 {
+	if unit <= 0 {
+		unit = 1
+	}
+	u := 1 + estimated/unit
+	if u > maxCostUnits {
+		u = maxCostUnits
+	}
+	return u
+}
+
+// scheduler is the DRR queue set. All methods are safe for concurrent
+// use; the mutex spans whole pop decisions, which is fine at job
+// granularity (jobs are milliseconds of simulation, not packets).
+type scheduler struct {
+	priority bool
+	weights  map[string]int // tenant → weight; unlisted = 1
+
+	mu      sync.Mutex
+	tenants map[string]*tenantQueue
+	ring    []*tenantQueue // tenants with pending jobs, round-robin order
+	cursor  int
+}
+
+// tenantQueue is one tenant's sub-queue: two FIFO lanes (interactive,
+// batch) and the DRR deficit counter.
+type tenantQueue struct {
+	name    string
+	weight  int64
+	deficit int64
+	lanes   [2][]*job // 0 = interactive (priority lane), 1 = batch
+}
+
+func newScheduler(weights map[string]int, priority bool) *scheduler {
+	return &scheduler{
+		priority: priority,
+		weights:  weights,
+		tenants:  make(map[string]*tenantQueue),
+	}
+}
+
+// push enqueues a job under its tenant, activating the sub-queue at the
+// back of the ring if it was idle.
+func (s *scheduler) push(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tq, ok := s.tenants[j.tenant]
+	if !ok {
+		w := int64(s.weights[j.tenant])
+		if w < 1 {
+			w = 1
+		}
+		tq = &tenantQueue{name: j.tenant, weight: w}
+		s.tenants[j.tenant] = tq
+	}
+	lane := 1
+	if s.priority && j.interactive {
+		lane = 0
+	}
+	if tq.empty() {
+		s.ring = append(s.ring, tq)
+	}
+	tq.lanes[lane] = append(tq.lanes[lane], j)
+}
+
+// pop dequeues the next job by deficit round-robin, or nil when every
+// sub-queue is empty. Each full ring pass credits every active tenant
+// weight cost units (quantum 1), so the loop terminates within
+// maxCostUnits passes.
+func (s *scheduler) pop() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.ring) > 0 {
+		if s.cursor >= len(s.ring) {
+			s.cursor = 0
+		}
+		tq := s.ring[s.cursor]
+		j := tq.head()
+		if tq.deficit < j.cost {
+			tq.deficit += tq.weight
+			s.cursor++
+			continue
+		}
+		tq.deficit -= j.cost
+		tq.popHead()
+		if tq.empty() {
+			// An idle tenant keeps no credit: deficits only accumulate
+			// while backlogged, the standard DRR anti-hoarding rule.
+			tq.deficit = 0
+			s.ring = append(s.ring[:s.cursor], s.ring[s.cursor+1:]...)
+		}
+		return j
+	}
+	return nil
+}
+
+// depth reports jobs pending for one tenant (both lanes).
+func (s *scheduler) depth(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tq, ok := s.tenants[tenant]
+	if !ok {
+		return 0
+	}
+	return len(tq.lanes[0]) + len(tq.lanes[1])
+}
+
+func (t *tenantQueue) empty() bool { return len(t.lanes[0]) == 0 && len(t.lanes[1]) == 0 }
+
+// head returns the next job without removing it: interactive lane
+// first. Caller guarantees the queue is non-empty.
+func (t *tenantQueue) head() *job {
+	if len(t.lanes[0]) > 0 {
+		return t.lanes[0][0]
+	}
+	return t.lanes[1][0]
+}
+
+func (t *tenantQueue) popHead() {
+	lane := 1
+	if len(t.lanes[0]) > 0 {
+		lane = 0
+	}
+	t.lanes[lane][0] = nil
+	t.lanes[lane] = t.lanes[lane][1:]
+}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// popOrder drains the scheduler and returns the tenants served in
+// order.
+func popOrder(s *scheduler) []string {
+	var order []string
+	for {
+		j := s.pop()
+		if j == nil {
+			return order
+		}
+		order = append(order, j.tenant)
+	}
+}
+
+func TestSchedulerSingleTenantIsFIFO(t *testing.T) {
+	s := newScheduler(nil, false)
+	for i := 0; i < 5; i++ {
+		s.push(tenantJob(fmt.Sprintf("j%d", i), "default", 1, false))
+	}
+	for i := 0; i < 5; i++ {
+		j := s.pop()
+		if j == nil || j.id != fmt.Sprintf("j%d", i) {
+			t.Fatalf("pop %d = %v, want j%d in FIFO order", i, j, i)
+		}
+	}
+	if s.pop() != nil {
+		t.Fatal("empty scheduler returned a job")
+	}
+}
+
+func TestSchedulerWeightedShares(t *testing.T) {
+	// Weights A=2, B=1 with unit-cost jobs: over any backlogged window A
+	// is served twice per B. With both queues full from the start the
+	// deterministic DRR trace is A,A,B repeating.
+	s := newScheduler(map[string]int{"A": 2, "B": 1}, false)
+	for i := 0; i < 6; i++ {
+		s.push(tenantJob(fmt.Sprintf("a%d", i), "A", 1, false))
+		s.push(tenantJob(fmt.Sprintf("b%d", i), "B", 1, false))
+	}
+	got := popOrder(s)[:9]
+	want := []string{"A", "A", "B", "A", "A", "B", "A", "A", "B"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("serve order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulerEqualWeightsAlternate(t *testing.T) {
+	s := newScheduler(nil, false)
+	for i := 0; i < 4; i++ {
+		s.push(tenantJob(fmt.Sprintf("a%d", i), "A", 1, false))
+		s.push(tenantJob(fmt.Sprintf("b%d", i), "B", 1, false))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 8; i++ {
+		counts[s.pop().tenant]++
+	}
+	if counts["A"] != 4 || counts["B"] != 4 {
+		t.Fatalf("served %v, want 4 each", counts)
+	}
+}
+
+func TestSchedulerCostProportionalService(t *testing.T) {
+	// A's jobs cost 4 units, B's cost 1; equal weights. Served *cost*
+	// must balance, so B gets ~4 jobs per A job.
+	s := newScheduler(nil, false)
+	for i := 0; i < 4; i++ {
+		s.push(tenantJob(fmt.Sprintf("a%d", i), "A", 4, false))
+	}
+	for i := 0; i < 16; i++ {
+		s.push(tenantJob(fmt.Sprintf("b%d", i), "B", 1, false))
+	}
+	servedCost := map[string]int64{}
+	for i := 0; i < 10; i++ {
+		j := s.pop()
+		servedCost[j.tenant] += j.cost
+	}
+	a, b := servedCost["A"], servedCost["B"]
+	if a == 0 || b == 0 {
+		t.Fatalf("one tenant starved: cost served %v", servedCost)
+	}
+	if diff := a - b; diff > 4 || diff < -4 {
+		t.Fatalf("served cost skew %d (A=%d B=%d), want within one max job", diff, a, b)
+	}
+}
+
+func TestSchedulerPriorityLane(t *testing.T) {
+	s := newScheduler(nil, true)
+	s.push(tenantJob("batch1", "A", 1, false))
+	s.push(tenantJob("batch2", "A", 1, false))
+	s.push(tenantJob("small", "A", 1, true))
+	if j := s.pop(); j.id != "small" {
+		t.Fatalf("first pop = %s, want the interactive job", j.id)
+	}
+	if j := s.pop(); j.id != "batch1" {
+		t.Fatalf("second pop = %s, want batch1", j.id)
+	}
+	// Lane disabled: strict FIFO regardless of classification.
+	s2 := newScheduler(nil, false)
+	s2.push(tenantJob("batch", "A", 1, false))
+	s2.push(tenantJob("small", "A", 1, true))
+	if j := s2.pop(); j.id != "batch" {
+		t.Fatalf("without the lane, first pop = %s, want batch", j.id)
+	}
+}
+
+func TestSchedulerIdleTenantForfeitsDeficit(t *testing.T) {
+	s := newScheduler(nil, false)
+	s.push(tenantJob("a0", "A", 1, false))
+	if s.pop() == nil {
+		t.Fatal("pop returned nil with a queued job")
+	}
+	// A went idle; its deficit must be zeroed so it cannot hoard credit.
+	s.mu.Lock()
+	d := s.tenants["A"].deficit
+	s.mu.Unlock()
+	if d != 0 {
+		t.Fatalf("idle tenant kept deficit %d, want 0", d)
+	}
+}
+
+func TestCostUnits(t *testing.T) {
+	unit := int64(1 << 16)
+	for _, tc := range []struct {
+		est, want int64
+	}{
+		{0, 1},
+		{unit - 1, 1},
+		{unit, 2},
+		{50 * unit, 51},
+		{1 << 40, maxCostUnits},
+	} {
+		if got := costUnits(tc.est, unit); got != tc.want {
+			t.Errorf("costUnits(%d) = %d, want %d", tc.est, got, tc.want)
+		}
+	}
+	if got := costUnits(100, 0); got != maxCostUnits {
+		t.Errorf("costUnits with unit 0 = %d, want clamp to %d", got, maxCostUnits)
+	}
+}
+
+func TestBucketRefillUnderFakeClock(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := newBucket(TenantLimits{Rate: 2, Burst: 2}, clock)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("take %d within burst denied", i)
+		}
+	}
+	ok, retry := b.take()
+	if ok {
+		t.Fatal("take beyond burst admitted")
+	}
+	// Rate 2/s with an empty bucket: next token in 500ms.
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, 500ms]", retry)
+	}
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := b.take(); !ok {
+		t.Fatal("take after refill interval denied")
+	}
+	// Refill never exceeds burst.
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("take %d after long idle denied", i)
+		}
+	}
+	if ok, _ := b.take(); ok {
+		t.Fatal("bucket overfilled beyond burst after long idle")
+	}
+}
+
+func TestBucketDefaults(t *testing.T) {
+	if b := newBucket(TenantLimits{Rate: 0}, time.Now); b != nil {
+		t.Fatal("zero rate should mean no bucket")
+	}
+	if b := newBucket(TenantLimits{Rate: 2.5}, time.Now); b.burst != 3 {
+		t.Fatalf("default burst = %v, want ceil(rate) = 3", b.burst)
+	}
+	if b := newBucket(TenantLimits{Rate: 0.1}, time.Now); b.burst != 1 {
+		t.Fatalf("default burst = %v, want floor of 1", b.burst)
+	}
+}
+
+func TestRetryAfterHeader(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{200 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{3 * time.Second, "3"},
+	} {
+		if got := retryAfterHeader(tc.d); got != tc.want {
+			t.Errorf("retryAfterHeader(%v) = %s, want %s", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestTenantForValidation(t *testing.T) {
+	s := New(Config{DefaultTenant: "home"})
+	defer s.Close()
+	req := httptest.NewRequest("POST", "/v1/solve", nil)
+	if name, err := s.tenantFor(req); err != nil || name != "home" {
+		t.Fatalf("absent header → (%q, %v), want (home, nil)", name, err)
+	}
+	req.Header.Set("X-Tenant", "team-a.prod_1")
+	if name, err := s.tenantFor(req); err != nil || name != "team-a.prod_1" {
+		t.Fatalf("valid header → (%q, %v)", name, err)
+	}
+	for _, bad := range []string{"has space", "semi;colon", "ünïcode", string(make([]byte, 65))} {
+		req.Header.Set("X-Tenant", bad)
+		if _, err := s.tenantFor(req); err == nil {
+			t.Errorf("tenant %q accepted, want error", bad)
+		}
+	}
+}
+
+func TestTenantOverflowCollapses(t *testing.T) {
+	ts := newTenants(nil, time.Now)
+	for i := 0; i < maxTenantStates; i++ {
+		ts.get(fmt.Sprintf("t%04d", i))
+	}
+	over := ts.get("one-too-many")
+	if over.name != overflowTenant {
+		t.Fatalf("overflow tenant scheduled as %q, want %q", over.name, overflowTenant)
+	}
+	if again := ts.get("another"); again != over {
+		t.Fatal("overflow names should share one state")
+	}
+	// Already-known names still resolve to their own state.
+	if known := ts.get("t0000"); known.name != "t0000" {
+		t.Fatalf("known tenant collapsed to %q", known.name)
+	}
+}
+
+func TestTenantWildcardLimits(t *testing.T) {
+	ts := newTenants(map[string]TenantLimits{
+		"vip": {Rate: 100},
+		"*":   {Rate: 1, Burst: 1},
+	}, time.Now)
+	if ts.get("vip").bucket.rate != 100 {
+		t.Fatal("explicit limit not applied")
+	}
+	if b := ts.get("stranger").bucket; b == nil || b.rate != 1 {
+		t.Fatal("wildcard limit not applied to unlisted tenant")
+	}
+}

@@ -11,10 +11,11 @@
 //     and answer from the sharded LRU result cache when possible —
 //     every simulation is deterministic in (endpoint, params, seed), so
 //     repeated queries cost zero simulation time.
-//   - Cache misses become jobs on a bounded queue feeding a sharded
-//     worker pool (one shard per GOMAXPROCS slice, work stealing
-//     between shards). A full queue answers 429 with Retry-After —
-//     backpressure instead of collapse.
+//   - Cache misses become jobs on per-tenant sub-queues (identity from
+//     the X-Tenant header) scheduled by deficit round-robin into a
+//     worker pool; token buckets, per-tenant queue shares and the
+//     global bound answer 429 with Retry-After — backpressure instead
+//     of collapse. See docs/tenancy.md.
 //   - Duplicate requests already in flight are coalesced onto the
 //     existing job (singleflight) instead of simulating twice.
 //   - Jobs are polled at GET /v1/jobs/{id} and streamed as NDJSON
@@ -74,6 +75,33 @@ type Config struct {
 	Limits Limits
 	// Version is reported by /healthz and the Server header.
 	Version string
+
+	// Tenancy (docs/tenancy.md). Tenant identity comes from the
+	// X-Tenant header; requests without one belong to DefaultTenant.
+
+	// Tenants configures per-tenant token-bucket admission; the key "*"
+	// sets the bucket for tenants not listed explicitly. Unlisted
+	// tenants without a "*" entry are unlimited.
+	Tenants map[string]TenantLimits
+	// DefaultTenant is the identity assumed when X-Tenant is absent
+	// (default "default").
+	DefaultTenant string
+	// FairnessWeights sets each tenant's deficit-round-robin weight;
+	// unlisted tenants weigh 1. Served simulation cost per tenant is
+	// proportional to weight over any backlogged interval.
+	FairnessWeights map[string]int
+	// PriorityLane, when true, serves a tenant's interactive jobs
+	// (cost-classified via Limits.InteractiveCost) before its batch
+	// jobs. Cross-tenant shares are unaffected.
+	PriorityLane bool
+	// TenantQueueDepth bounds the jobs one tenant may have queued
+	// (answering 429 beyond it), so a single tenant cannot occupy the
+	// whole global queue. 0 means no per-tenant bound.
+	TenantQueueDepth int
+
+	// now is the clock the token buckets read; the tests override it.
+	// Nil means time.Now.
+	now func() time.Time
 }
 
 // withDefaults fills zero fields.
@@ -102,6 +130,15 @@ func (c Config) withDefaults() Config {
 	if c.Version == "" {
 		c.Version = "dev"
 	}
+	if c.DefaultTenant == "" {
+		c.DefaultTenant = "default"
+	}
+	if c.TenantQueueDepth > c.QueueDepth {
+		c.TenantQueueDepth = c.QueueDepth
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
 	c.Limits = limitsWithDefaults(c.Limits)
 	return c
 }
@@ -113,6 +150,7 @@ type Server struct {
 	cache   *cache
 	pool    *pool
 	reg     *registry
+	tenants *tenants
 	metrics metrics
 	mux     *http.ServeMux
 
@@ -135,10 +173,12 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		cache:    newCache(cfg.CacheEntries),
 		reg:      newRegistry(cfg.JobsRetained),
+		tenants:  newTenants(cfg.Tenants, cfg.now),
 		inflight: make(map[string]*job),
 	}
 	s.metrics.started = time.Now()
-	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execute)
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth,
+		newScheduler(cfg.FairnessWeights, cfg.PriorityLane), s.execute)
 	s.pool.start()
 	s.buildMux()
 	return s
@@ -245,13 +285,20 @@ type submitResponse struct {
 	Cached bool `json:"cached"`
 }
 
-// handleSubmit is the shared submit path: decode into a spec of the
-// endpoint's kind → validate → hash → cache → coalesce → enqueue, with
-// backpressure.
+// handleSubmit is the shared submit path: resolve the tenant → decode
+// into a spec of the endpoint's kind → validate → hash → cache →
+// coalesce → admit (token bucket, per-tenant and global queue bounds)
+// → enqueue. Cache hits and coalesced duplicates cost the tenant
+// nothing — admission controls new simulation work only.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind spec.ExperimentKind) {
 	if s.draining.Load() {
 		s.metrics.refused.Add(1)
 		s.writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
+		return
+	}
+	tenant, err := s.tenantFor(r)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
 	es, err := decodeExperiment(kind, r)
@@ -307,14 +354,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind spec.
 		s.writeJSON(w, http.StatusAccepted, submitResponse{jobView: existing.view()})
 		return
 	}
-	j := newJob(fmt.Sprintf("%s-%d", key[:12], s.seq.Add(1)), es, key)
-	if err := s.pool.submit(j, affinity(key)); err != nil {
+
+	// Admission: the tenant's token bucket first (429 with a bucket-
+	// derived Retry-After), then its queue share, then the global bound.
+	ts := s.tenants.get(tenant)
+	if ts.bucket != nil {
+		if ok, retry := ts.bucket.take(); !ok {
+			s.mu.Unlock()
+			ts.rejected.Add(1)
+			s.reject429(w, ts, retry, fmt.Sprintf("tenant %q over admission rate", ts.name))
+			return
+		}
+	}
+	if lim := s.cfg.TenantQueueDepth; lim > 0 && ts.queued.Load() >= int64(lim) {
 		s.mu.Unlock()
-		s.metrics.rejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		s.writeJSON(w, http.StatusTooManyRequests, apiError{Error: errQueueFull.Error()})
+		s.reject429(w, ts, s.cfg.RetryAfter, fmt.Sprintf("tenant %q queue share full", ts.name))
 		return
 	}
+	j := newJob(fmt.Sprintf("%s-%d", key[:12], s.seq.Add(1)), es, key)
+	j.tenant = ts.name
+	j.cost = costUnits(es.EstimatedCost(), int64(s.cfg.Limits.InteractiveThreshold()))
+	j.interactive = es.Interactive(s.cfg.Limits)
+	if err := s.pool.submit(j); err != nil {
+		s.mu.Unlock()
+		s.metrics.rejected.Add(1)
+		s.reject429(w, ts, s.cfg.RetryAfter, err.Error())
+		return
+	}
+	ts.queued.Add(1)
+	ts.admitted.Add(1)
 	s.inflight[key] = j
 	s.reg.add(j)
 	s.mu.Unlock()
@@ -324,21 +392,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind spec.
 	s.writeJSON(w, http.StatusAccepted, submitResponse{jobView: j.view()})
 }
 
-// affinity maps a canonical key to its queue shard.
-func affinity(key string) uint64 { return fnv64(key) }
+// reject429 answers a submit with backpressure: 429, a Retry-After
+// hint (whole seconds, rounded up), and the tenant's 429 accounting.
+func (s *Server) reject429(w http.ResponseWriter, ts *tenantState, retry time.Duration, msg string) {
+	ts.status429.Add(1)
+	w.Header().Set("Retry-After", retryAfterHeader(retry))
+	s.writeJSON(w, http.StatusTooManyRequests, apiError{Error: msg})
+}
 
 // execute runs one job on a pool worker: dispatch the spec with the
 // job's context, relay the execution's event stream into the job (and
 // from there to any NDJSON streamer), publish the result to the cache,
 // retire the in-flight entry. A job canceled while queued never starts
 // simulating.
-func (s *Server) execute(workerID int, j *job, stolen bool) {
+func (s *Server) execute(workerID int, j *job) {
 	if s.testGate != nil {
 		<-s.testGate
 	}
-	if stolen {
-		s.metrics.steals.Add(1)
-	}
+	ts := s.tenants.get(j.tenant)
+	ts.queued.Add(-1)
 	j.setRunning()
 	result, err := s.runJob(j)
 	var data json.RawMessage
@@ -351,6 +423,7 @@ func (s *Server) execute(workerID int, j *job, stolen bool) {
 		// an identical request always sees one of the two.
 		s.cache.put(j.key, data)
 		s.metrics.jobsDone.Add(1)
+		ts.served.Add(1)
 	case errors.Is(err, context.Canceled):
 		s.metrics.jobsCanceled.Add(1)
 	default:
@@ -514,6 +587,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"macsimd_jobs_running":   float64(s.pool.running.Load()),
 		"macsimd_cache_entries":  float64(s.cache.len()),
 	}))
+	_, _ = io.WriteString(w, renderTenants(s.tenants.snapshot()))
 }
 
 // handleHealthz serves GET /healthz.

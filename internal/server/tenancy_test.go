@@ -1,0 +1,266 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postAs submits body for a tenant (empty = no X-Tenant header).
+func postAs(t *testing.T, url, tenant, body string) (*http.Response, submitResponse) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sub submitResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, sub
+}
+
+// labeledMetric extracts one {tenant="..."} sample from /metrics.
+func labeledMetric(t *testing.T, base, name, tenant string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	prefix := fmt.Sprintf("%s{tenant=%q} ", name, tenant)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), prefix); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", sc.Text(), err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s for tenant %q not found", name, tenant)
+	return 0
+}
+
+// TestTenantBucket429 drives a tenant into its token bucket under a
+// fake clock: admissions past the burst answer 429 with a bucket-derived
+// Retry-After, while cache hits stay free and other tenants are
+// untouched.
+func TestTenantBucket429(t *testing.T) {
+	now := time.Unix(1000, 0)
+	_, ts, _ := newTestServer(t, Config{
+		Tenants: map[string]TenantLimits{"metered": {Rate: 0.5, Burst: 2}},
+		now:     func() time.Time { return now },
+	}, false)
+
+	// Two fresh submits fit the burst.
+	for i := 0; i < 2; i++ {
+		resp, sub := postAs(t, ts.URL+"/v1/solve", "metered", fmt.Sprintf(`{"k":%d,"seed":1}`, 100+i))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d = %d, want 202", i, resp.StatusCode)
+		}
+		waitDone(t, ts.URL, sub.ID)
+	}
+	// The third is denied: rate 0.5/s with an empty bucket → next token
+	// in 2s, surfaced as Retry-After.
+	resp, _ := postAs(t, ts.URL+"/v1/solve", "metered", `{"k":102,"seed":1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate submit = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want 2 (empty bucket at 0.5 tokens/s)", ra)
+	}
+	// A cache hit costs no token: the empty bucket must not block it.
+	resp, _ = postAs(t, ts.URL+"/v1/solve", "metered", `{"k":100,"seed":1}`)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("cache hit while bucket empty = %d %q, want 200 hit",
+			resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	// Unlisted tenants have no bucket.
+	if resp, _ := postAs(t, ts.URL+"/v1/solve", "free", `{"k":103,"seed":1}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("unlimited tenant = %d, want 202", resp.StatusCode)
+	}
+	// Advancing the clock refills the bucket.
+	now = now.Add(2 * time.Second)
+	if resp, _ := postAs(t, ts.URL+"/v1/solve", "metered", `{"k":104,"seed":1}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after refill = %d, want 202", resp.StatusCode)
+	}
+
+	if v := labeledMetric(t, ts.URL, "macsimd_tenant_admitted_total", "metered"); v != 3 {
+		t.Fatalf("admitted = %v, want 3", v)
+	}
+	if v := labeledMetric(t, ts.URL, "macsimd_tenant_rejected_total", "metered"); v != 1 {
+		t.Fatalf("rejected = %v, want 1", v)
+	}
+	if v := labeledMetric(t, ts.URL, "macsimd_tenant_429_total", "metered"); v != 1 {
+		t.Fatalf("429 total = %v, want 1", v)
+	}
+	if v := labeledMetric(t, ts.URL, "macsimd_tenant_429_total", "free"); v != 0 {
+		t.Fatalf("free tenant 429 total = %v, want 0", v)
+	}
+}
+
+// TestTenantQueueShare429 pins TenantQueueDepth: one tenant at its
+// share answers 429 while another tenant still enqueues freely.
+func TestTenantQueueShare429(t *testing.T) {
+	_, ts, gate := newTestServer(t, Config{Workers: 1, QueueDepth: 16, TenantQueueDepth: 2}, true)
+	defer close(gate)
+
+	// Hog's first job is dequeued by the single worker and blocks on the
+	// gate (it stays counted in the tenant's share until it executes);
+	// one more fills the share of 2.
+	postAs(t, ts.URL+"/v1/solve", "hog", `{"k":100,"seed":1}`)
+	postAs(t, ts.URL+"/v1/solve", "hog", `{"k":101,"seed":1}`)
+	deadline := time.Now().Add(5 * time.Second)
+	for labeledMetric(t, ts.URL, "macsimd_tenant_queued", "hog") != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("hog jobs never reached the queue")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, _ := postAs(t, ts.URL+"/v1/solve", "hog", `{"k":102,"seed":1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-share submit = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// The global queue has room: another tenant is unaffected.
+	if resp, _ := postAs(t, ts.URL+"/v1/solve", "quiet", `{"k":103,"seed":1}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other tenant while hog is bounded = %d, want 202", resp.StatusCode)
+	}
+	if v := labeledMetric(t, ts.URL, "macsimd_tenant_429_total", "hog"); v != 1 {
+		t.Fatalf("hog 429 total = %v, want 1", v)
+	}
+	// Share rejections are not bucket rejections.
+	if v := labeledMetric(t, ts.URL, "macsimd_tenant_rejected_total", "hog"); v != 0 {
+		t.Fatalf("hog bucket-rejected = %v, want 0", v)
+	}
+}
+
+// TestTrickleTenantNotStarved is the fairness acceptance test at the
+// scheduling layer: with tenant A's backlog deep and tenant B
+// submitting one job, DRR serves B within two job completions — not
+// after A's entire backlog.
+func TestTrickleTenantNotStarved(t *testing.T) {
+	s, ts, gate := newTestServer(t, Config{Workers: 1, QueueDepth: 64}, true)
+
+	// A's first job occupies the worker (blocked on the gate); five more
+	// pile up in A's sub-queue. Then B submits one job.
+	const heavyBacklog = 5
+	postAs(t, ts.URL+"/v1/solve", "heavy", `{"k":100,"seed":1}`)
+	for i := 0; i < heavyBacklog; i++ {
+		resp, _ := postAs(t, ts.URL+"/v1/solve", "heavy", fmt.Sprintf(`{"k":%d,"seed":1}`, 101+i))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("heavy submit %d = %d", i, resp.StatusCode)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.depth() != heavyBacklog {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth = %d, want %d", s.pool.depth(), heavyBacklog)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_, subB := postAs(t, ts.URL+"/v1/solve", "small", `{"k":50,"seed":1}`)
+
+	// Release exactly three jobs: the blocked heavy job, then — by the
+	// equal-weight DRR alternation — at most one more heavy job before
+	// B's. A FIFO would need heavyBacklog+1 releases.
+	for i := 0; i < 3; i++ {
+		gate <- struct{}{}
+	}
+	if v := waitDone(t, ts.URL, subB.ID); v.Status != StatusDone {
+		t.Fatalf("small tenant's job: %s (%s)", v.Status, v.Error)
+	}
+	if d := s.pool.sched.depth("heavy"); d < heavyBacklog-2 {
+		t.Fatalf("heavy backlog = %d after 3 releases, want ≥ %d still queued", d, heavyBacklog-2)
+	}
+	close(gate)
+}
+
+// TestPriorityLaneWithinTenant: with the lane on, a tenant's
+// interactive job overtakes its own earlier batch jobs.
+func TestPriorityLaneWithinTenant(t *testing.T) {
+	s, ts, gate := newTestServer(t, Config{Workers: 1, QueueDepth: 64, PriorityLane: true}, true)
+
+	// The first batch job occupies the worker; a second waits in the
+	// batch lane. The evaluate sweep is far over the default interactive
+	// threshold; the k=50 solve is far under it.
+	const batch = `{"protocols":["one-fail"],"ks":[10000],"runs":3,"seed":%d}`
+	postAs(t, ts.URL+"/v1/evaluate", "team", fmt.Sprintf(batch, 1))
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.running.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the first batch job")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_, subBatch := postAs(t, ts.URL+"/v1/evaluate", "team", fmt.Sprintf(batch, 2))
+	_, subSmall := postAs(t, ts.URL+"/v1/solve", "team", `{"k":50,"seed":1}`)
+
+	// Two releases: the running batch job, then the next pop — which
+	// must be the interactive job, queued later or not.
+	gate <- struct{}{}
+	gate <- struct{}{}
+	if v := waitDone(t, ts.URL, subSmall.ID); v.Status != StatusDone {
+		t.Fatalf("interactive job: %s (%s)", v.Status, v.Error)
+	}
+	if j, ok := s.reg.get(subBatch.ID); !ok {
+		t.Fatal("batch job missing from registry")
+	} else if _, _, status := j.snapshot(0); status != StatusQueued {
+		t.Fatalf("batch job status = %s, want still queued behind the lane", status)
+	}
+	close(gate)
+	waitDone(t, ts.URL, subBatch.ID)
+}
+
+// TestTenantHeaderValidation: malformed identities are 400s before any
+// work happens.
+func TestTenantHeaderValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, false)
+	for _, bad := range []string{"bad tenant", "a/b", strings.Repeat("x", 65)} {
+		resp, _ := postAs(t, ts.URL+"/v1/solve", bad, `{"k":100,"seed":1}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("X-Tenant %q = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestDefaultTenantUnchanged: without tenancy config or X-Tenant
+// headers, responses and metrics look exactly like the single-tenant
+// server, with the default tenant carrying all accounting.
+func TestDefaultTenantUnchanged(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, false)
+	resp, sub := post(t, ts.URL+"/v1/solve", `{"k":80,"seed":2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	waitDone(t, ts.URL, sub.ID)
+	if v := labeledMetric(t, ts.URL, "macsimd_tenant_admitted_total", "default"); v != 1 {
+		t.Fatalf("default tenant admitted = %v, want 1", v)
+	}
+	if v := labeledMetric(t, ts.URL, "macsimd_tenant_served_total", "default"); v != 1 {
+		t.Fatalf("default tenant served = %v, want 1", v)
+	}
+	if v := labeledMetric(t, ts.URL, "macsimd_tenant_queued", "default"); v != 0 {
+		t.Fatalf("default tenant queued = %v, want 0", v)
+	}
+}

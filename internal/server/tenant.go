@@ -1,0 +1,181 @@
+// The tenancy layer: who a request belongs to, whether that tenant may
+// enqueue more work right now, and the per-tenant accounting /metrics
+// exposes. Identity comes from the X-Tenant header (absent means
+// Config.DefaultTenant); admission is a per-tenant token bucket sized
+// by Config.Tenants; scheduling fairness between the tenants' sub-
+// queues lives in sched.go. The full operator guide is docs/tenancy.md.
+
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TenantLimits configures one tenant's token-bucket admission control:
+// how many fresh jobs per second the tenant may enqueue, and how large
+// a burst the bucket absorbs. Cache hits and coalesced duplicates are
+// never charged — admission controls new simulation work only.
+type TenantLimits struct {
+	// Rate is the sustained admission rate in jobs/second; 0 means
+	// unlimited (no bucket at all).
+	Rate float64
+	// Burst is the bucket capacity in jobs; 0 defaults to
+	// max(1, ceil(Rate)).
+	Burst int
+}
+
+// maxTenantStates bounds the distinct tenant identities the server
+// tracks; beyond it, new names share the overflowTenant state (and its
+// scheduler sub-queue) so an attacker cycling X-Tenant values cannot
+// grow memory or metric cardinality without bound.
+const maxTenantStates = 1024
+
+// overflowTenant is the shared identity for tenants beyond the bound.
+const overflowTenant = "~other"
+
+// tenantFor extracts and validates the request's tenant identity.
+func (s *Server) tenantFor(r *http.Request) (string, error) {
+	name := r.Header.Get("X-Tenant")
+	if name == "" {
+		return s.cfg.DefaultTenant, nil
+	}
+	if len(name) > 64 {
+		return "", fmt.Errorf("X-Tenant longer than 64 bytes")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return "", fmt.Errorf("X-Tenant %q: only [A-Za-z0-9._-] allowed", name)
+		}
+	}
+	return name, nil
+}
+
+// tenantState is one tenant's admission bucket and counters. States are
+// created lazily on first sight and never removed (bounded by
+// maxTenantStates).
+type tenantState struct {
+	name   string
+	bucket *bucket // nil = unlimited
+
+	admitted  atomic.Int64 // fresh jobs that entered the queue
+	rejected  atomic.Int64 // admissions denied by the token bucket
+	status429 atomic.Int64 // all 429 responses (bucket + queue bounds)
+	served    atomic.Int64 // jobs that finished successfully
+	queued    atomic.Int64 // jobs currently waiting in the sub-queue
+}
+
+// tenants is the lazily-populated name → *tenantState index.
+type tenants struct {
+	mu     sync.Mutex
+	byName map[string]*tenantState
+	limits map[string]TenantLimits // from Config; "*" is the unlisted-tenant default
+	now    func() time.Time
+}
+
+func newTenants(limits map[string]TenantLimits, now func() time.Time) *tenants {
+	return &tenants{byName: make(map[string]*tenantState), limits: limits, now: now}
+}
+
+// get returns the tenant's state, creating it on first sight. Past the
+// cardinality bound, unseen names collapse onto the overflow state; the
+// returned state's name is therefore the one to schedule under.
+func (t *tenants) get(name string) *tenantState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ts, ok := t.byName[name]; ok {
+		return ts
+	}
+	if len(t.byName) >= maxTenantStates {
+		name = overflowTenant
+		if ts, ok := t.byName[name]; ok {
+			return ts
+		}
+	}
+	ts := &tenantState{name: name}
+	if lim, ok := t.limits[name]; ok {
+		ts.bucket = newBucket(lim, t.now)
+	} else if lim, ok := t.limits["*"]; ok {
+		ts.bucket = newBucket(lim, t.now)
+	}
+	t.byName[name] = ts
+	return ts
+}
+
+// snapshot returns the states sorted by name, for deterministic metric
+// rendering.
+func (t *tenants) snapshot() []*tenantState {
+	t.mu.Lock()
+	out := make([]*tenantState, 0, len(t.byName))
+	for _, ts := range t.byName {
+		out = append(out, ts)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// bucket is a token bucket: capacity `burst`, refilled continuously at
+// `rate` tokens/second. take spends one token or reports how long until
+// one is available.
+type bucket struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// newBucket builds the tenant's bucket; a non-positive rate means
+// unlimited and returns nil.
+func newBucket(lim TenantLimits, now func() time.Time) *bucket {
+	if lim.Rate <= 0 {
+		return nil
+	}
+	burst := float64(lim.Burst)
+	if burst <= 0 {
+		burst = math.Ceil(lim.Rate)
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: lim.Rate, burst: burst, now: now, tokens: burst}
+}
+
+// take spends one token. When the bucket is empty it reports how long
+// until the next token accrues — the per-tenant Retry-After hint.
+func (b *bucket) take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// retryAfterHeader renders a Retry-After duration as whole seconds,
+// rounded up with a floor of 1 (a 0 would tell clients to hammer).
+func retryAfterHeader(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprint(secs)
+}

@@ -1,0 +1,120 @@
+// Cost classification: a rough, deterministic estimate of how much
+// simulation work a validated spec will cost, and the interactive/batch
+// split the serving subsystem's priority lane is built on. The estimate
+// is in "estimated channel slots" — the unit every simulator already
+// accounts in — and only has to be right to an order of magnitude: it
+// ranks requests against each other and against the interactive
+// threshold, it never budgets them (Limits does that).
+
+package spec
+
+import "repro/internal/throughput"
+
+// defaultInteractiveCost is the interactive/batch boundary when
+// Limits.InteractiveCost is unset: about 2^16 estimated slots, a few
+// milliseconds of simulation with the event-skip kernel. A default
+// solve (k=1000) sits far below it; the default evaluate sweep and
+// anything sized for Table 1 sits far above.
+const defaultInteractiveCost = 1 << 16
+
+// costCeiling caps EstimatedCost so arithmetic on estimates (deficit
+// accounting, cost-unit division) can never overflow.
+const costCeiling = int64(1) << 40
+
+// slotsPerK is the linear proxy for the slots one static execution of
+// size k costs: the paper's protocols finish in Θ(k) slots with small
+// constants (Table 1's best column is 2.72k).
+const slotsPerK = 3
+
+// EstimatedCost returns the spec's rough simulation cost in estimated
+// channel slots. Call it on a validated spec — defaults are assumed
+// filled in; unvalidated zero fields are treated as their minimum so
+// the estimate degrades toward "cheap", never toward a panic.
+func (s ExperimentSpec) EstimatedCost() int64 {
+	sub, err := s.active()
+	if err != nil {
+		return 0
+	}
+	var cost int64
+	switch v := sub.(type) {
+	case *SolveSpec:
+		cost = slotsPerK * int64(max(v.K, 1))
+	case *EvaluateSpec:
+		lineup := len(v.Protocols)
+		if len(v.Systems) > 0 {
+			lineup = len(v.Systems)
+		}
+		if lineup == 0 {
+			lineup = 5 // the paper's five-row default lineup
+		}
+		var grid int64
+		if len(v.Ks) > 0 {
+			for _, k := range v.Ks {
+				grid += int64(max(k, 1))
+			}
+		} else {
+			// Sizes 10, 100, …, 10^maxExp: the sum is dominated by the
+			// largest term.
+			k := int64(1)
+			for e := 0; e < max(v.MaxExp, 1) && k < costCeiling/10; e++ {
+				k *= 10
+				grid += k
+			}
+		}
+		cost = mulCapped(mulCapped(int64(lineup), repsBound(v.Runs, v.Precision)), slotsPerK*grid)
+	case *ThroughputSpec:
+		lineup := len(v.Lineup)
+		if lineup == 0 {
+			lineup = len(throughput.DefaultProtocols())
+		}
+		// Delivering m messages at offered load λ needs ≈ m/λ slots at
+		// stability, more at saturation; the smallest λ dominates.
+		var slots int64
+		for _, lambda := range v.Lambdas {
+			if lambda > 0 {
+				slots += int64(float64(max(v.Messages, 1)) / lambda)
+			}
+		}
+		if slots == 0 {
+			slots = int64(max(v.Messages, 1))
+		}
+		cost = mulCapped(mulCapped(int64(lineup), repsBound(v.Runs, v.Precision)), slots)
+	}
+	return min(max(cost, 1), costCeiling)
+}
+
+// Interactive reports whether the spec is small enough for the serving
+// subsystem's priority lane: its estimated cost is at or below the
+// interactive threshold (Limits.InteractiveCost, defaulting to
+// defaultInteractiveCost when zero).
+func (s ExperimentSpec) Interactive(l Limits) bool {
+	return s.EstimatedCost() <= l.InteractiveThreshold()
+}
+
+// InteractiveThreshold resolves the interactive/batch boundary.
+func (l Limits) InteractiveThreshold() int64 {
+	if l.InteractiveCost > 0 {
+		return int64(l.InteractiveCost)
+	}
+	return defaultInteractiveCost
+}
+
+// repsBound returns the replication bound per point: the fixed runs
+// count, or the adaptive cap when precision replaces it.
+func repsBound(runs int, p *PrecisionSpec) int64 {
+	if p != nil && p.MaxReps > 0 {
+		return int64(p.MaxReps)
+	}
+	return int64(max(runs, 1))
+}
+
+// mulCapped multiplies non-negative factors, saturating at costCeiling.
+func mulCapped(a, b int64) int64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if a > costCeiling/b {
+		return costCeiling
+	}
+	return a * b
+}

@@ -1,0 +1,91 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/throughput"
+)
+
+func TestEstimatedCostSolve(t *testing.T) {
+	if got := ForSolve(SolveSpec{K: 1000}).EstimatedCost(); got != 3000 {
+		t.Fatalf("solve k=1000 cost = %d, want 3000", got)
+	}
+	// Unvalidated zero fields degrade toward cheap, never panic.
+	if got := ForSolve(SolveSpec{}).EstimatedCost(); got < 1 {
+		t.Fatalf("zero solve cost = %d, want ≥ 1", got)
+	}
+}
+
+func TestEstimatedCostEvaluate(t *testing.T) {
+	// 2 protocols × 4 runs × 3·(100+200) slots.
+	es := ForEvaluate(EvaluateSpec{
+		Protocols: []ProtocolSpec{{Name: "one-fail"}, {Name: "exp-bb"}},
+		Ks:        []int{100, 200},
+		Runs:      4,
+	})
+	if got := es.EstimatedCost(); got != 2*4*3*300 {
+		t.Fatalf("evaluate cost = %d, want %d", got, 2*4*3*300)
+	}
+	// Precision replaces runs with its MaxReps bound.
+	es = ForEvaluate(EvaluateSpec{
+		Protocols: []ProtocolSpec{{Name: "one-fail"}},
+		Ks:        []int{100},
+		Runs:      4,
+		Precision: &PrecisionSpec{Epsilon: 0.1, MaxReps: 10},
+	})
+	if got := es.EstimatedCost(); got != 1*10*3*100 {
+		t.Fatalf("precision evaluate cost = %d, want %d", got, 1*10*3*100)
+	}
+	// Default lineup (5 rows) and exponent grid dominate-by-largest.
+	if got := ForEvaluate(EvaluateSpec{MaxExp: 2, Runs: 1}).EstimatedCost(); got != 5*1*3*110 {
+		t.Fatalf("default-lineup cost = %d, want %d", got, 5*3*110)
+	}
+}
+
+func TestEstimatedCostThroughput(t *testing.T) {
+	// default lineup × 2 runs × (1000/0.1) slots.
+	es := ForThroughput(ThroughputSpec{
+		Shape:    "poisson",
+		Lambdas:  []float64{0.1},
+		Messages: 1000,
+		Runs:     2,
+	})
+	want := int64(len(throughput.DefaultProtocols())) * 2 * 10000
+	if got := es.EstimatedCost(); got != want {
+		t.Fatalf("throughput cost = %d, want %d", got, want)
+	}
+}
+
+func TestEstimatedCostSaturates(t *testing.T) {
+	es := ForEvaluate(EvaluateSpec{MaxExp: 18, Runs: 1 << 30})
+	if got := es.EstimatedCost(); got != costCeiling {
+		t.Fatalf("huge sweep cost = %d, want ceiling %d", got, costCeiling)
+	}
+}
+
+func TestInteractiveClassification(t *testing.T) {
+	small := ForSolve(SolveSpec{K: 500})
+	big := ForEvaluate(EvaluateSpec{Protocols: []ProtocolSpec{{Name: "one-fail"}}, Ks: []int{100000}, Runs: 3})
+	if !small.Interactive(Limits{}) {
+		t.Fatal("k=500 solve should be interactive at the default threshold")
+	}
+	if big.Interactive(Limits{}) {
+		t.Fatal("a 900k-slot sweep should be batch at the default threshold")
+	}
+	// A custom threshold moves the boundary.
+	if small.Interactive(Limits{InteractiveCost: 100}) {
+		t.Fatal("k=500 solve should be batch under a 100-slot threshold")
+	}
+	if !big.Interactive(Limits{InteractiveCost: 1 << 30}) {
+		t.Fatal("the sweep should be interactive under a 2^30 threshold")
+	}
+}
+
+func TestInteractiveThreshold(t *testing.T) {
+	if got := (Limits{}).InteractiveThreshold(); got != defaultInteractiveCost {
+		t.Fatalf("default threshold = %d, want %d", got, defaultInteractiveCost)
+	}
+	if got := (Limits{InteractiveCost: 42}).InteractiveThreshold(); got != 42 {
+		t.Fatalf("explicit threshold = %d, want 42", got)
+	}
+}

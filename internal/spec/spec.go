@@ -110,6 +110,11 @@ type Limits struct {
 	MaxLambdas int
 	// MaxKs bounds the evaluate ks grid length.
 	MaxKs int
+	// InteractiveCost is the interactive/batch boundary (in estimated
+	// slots, see EstimatedCost) used by the serving subsystem's priority
+	// lane; 0 selects the built-in default (2^16). Unlike the Max*
+	// fields it classifies requests rather than rejecting them.
+	InteractiveCost int
 }
 
 // ProtocolSpec selects a protocol configuration from the

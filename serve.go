@@ -8,20 +8,26 @@ import (
 )
 
 // ServerConfig parameterizes the simulation-serving subsystem
-// (internal/server): listen address, worker shards, queue bound, result
-// cache size, per-request limits. The zero value serves on
-// 127.0.0.1:8080 with sensible defaults.
+// (internal/server): listen address, workers, queue bound, result
+// cache size, per-request limits, and the tenancy layer (per-tenant
+// admission buckets via Tenants, deficit-round-robin FairnessWeights,
+// the interactive PriorityLane; see docs/tenancy.md). The zero value
+// serves on 127.0.0.1:8080 with sensible single-tenant defaults.
 type ServerConfig = server.Config
 
 // ServerLimits bounds what one API request may ask of the simulators.
 type ServerLimits = server.Limits
 
+// TenantLimits configures one tenant's token-bucket admission control
+// in ServerConfig.Tenants: sustained jobs/second and burst capacity.
+type TenantLimits = server.TenantLimits
+
 // Server is the running simulation-serving subsystem: an HTTP API over
-// this package's simulators with a bounded job queue, a sharded
-// work-stealing worker pool, a canonical-request-hash result cache with
-// duplicate-request coalescing, NDJSON result streaming, and /metrics.
-// See cmd/macsimd for the daemon and examples/macservice for a client
-// walkthrough.
+// this package's simulators with per-tenant admission control and
+// weighted-fair scheduling into a worker pool, a
+// canonical-request-hash result cache with duplicate-request
+// coalescing, NDJSON result streaming, and /metrics. See cmd/macsimd
+// for the daemon and examples/macservice for a client walkthrough.
 type Server = server.Server
 
 // NewServer builds a Server and starts its worker pool. Expose

@@ -12,6 +12,11 @@
 //	macload [-url http://127.0.0.1:8080] [-endpoint evaluate] [-body JSON]
 //	        [-c 32] [-duration 5s] [-warm] [-bench] [-min-rate 0]
 //
+// -url accepts a comma-separated list of base URLs; workers spread
+// requests across them round-robin, so a multi-node macsimd fleet
+// (-peers) is loaded through every front end at once. Fairness mode
+// (-tenants) drives the first URL only.
+//
 // With -bench the summary is followed by a `go test -bench`-format
 // result line, so CI can append it to the benchmark stream that
 // cmd/benchjson converts into BENCH_PR.json:
@@ -56,6 +61,7 @@ var defaultBodies = map[string]string{
 
 type options struct {
 	url      string
+	urls     []string // url split on commas, trimmed
 	endpoint string
 	body     string
 	workers  int
@@ -74,7 +80,7 @@ type options struct {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("macload", flag.ContinueOnError)
 	var opts options
-	fs.StringVar(&opts.url, "url", "http://127.0.0.1:8080", "macsimd base URL")
+	fs.StringVar(&opts.url, "url", "http://127.0.0.1:8080", "macsimd base URL, or a comma-separated list to round-robin a fleet")
 	fs.StringVar(&opts.endpoint, "endpoint", "evaluate", "submit endpoint: solve, evaluate, throughput, scenario")
 	fs.StringVar(&opts.body, "body", "", "request body (default: a small canonical query per endpoint)")
 	fs.IntVar(&opts.workers, "c", 32, "concurrent closed-loop workers")
@@ -91,6 +97,16 @@ func run(args []string, stdout io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %q", fs.Args())
 	}
+	for _, u := range strings.Split(opts.url, ",") {
+		if u = strings.TrimSpace(strings.TrimRight(u, "/")); u != "" {
+			opts.urls = append(opts.urls, u)
+		}
+	}
+	if len(opts.urls) == 0 {
+		return fmt.Errorf("-url %q holds no base URL", opts.url)
+	}
+	// Fairness mode and the metric scrapes address one node.
+	opts.url = opts.urls[0]
 	if opts.tenants != 0 {
 		if opts.tenants < 2 {
 			return fmt.Errorf("-tenants must be ≥ 2 (one saturating + at least one small), got %d", opts.tenants)
@@ -128,7 +144,10 @@ type workerResult struct {
 }
 
 func drive(opts options, stdout io.Writer) error {
-	submitURL := strings.TrimRight(opts.url, "/") + "/v1/" + opts.endpoint
+	submitURLs := make([]string, len(opts.urls))
+	for i, base := range opts.urls {
+		submitURLs[i] = base + "/v1/" + opts.endpoint
+	}
 	// The default transport keeps only two idle connections per host;
 	// a closed loop with dozens of workers would churn through TCP
 	// handshakes and measure the dialer instead of the server.
@@ -142,8 +161,13 @@ func drive(opts options, stdout io.Writer) error {
 	}
 
 	if opts.warm {
-		if err := warm(client, opts.url, submitURL, opts.body); err != nil {
-			return fmt.Errorf("warming %s: %w", submitURL, err)
+		// Warm through each front end: in a fleet, the first submit lands
+		// the result on the key's owner and the rest confirm every node
+		// serves it (by proxy or read-through) before measurement starts.
+		for i, base := range opts.urls {
+			if err := warm(client, base, submitURLs[i], opts.body); err != nil {
+				return fmt.Errorf("warming %s: %w", submitURLs[i], err)
+			}
 		}
 	}
 
@@ -154,9 +178,14 @@ func drive(opts options, stdout io.Writer) error {
 	time.AfterFunc(opts.duration, func() { stop.Store(true) })
 	for w := 0; w < opts.workers; w++ {
 		wg.Add(1)
-		go func(res *workerResult) {
+		go func(w int, res *workerResult) {
 			defer wg.Done()
+			// Round-robin across the fleet, each worker starting at its own
+			// offset so the bases stay evenly loaded at any worker count.
+			next := w
 			for !stop.Load() {
+				submitURL := submitURLs[next%len(submitURLs)]
+				next++
 				t0 := time.Now()
 				resp, err := client.Post(submitURL, "application/json", strings.NewReader(opts.body))
 				if err != nil {
@@ -175,7 +204,7 @@ func drive(opts options, stdout io.Writer) error {
 					res.rejected++
 				}
 			}
-		}(&results[w])
+		}(w, &results[w])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -195,13 +224,15 @@ func drive(opts options, stdout io.Writer) error {
 	hitRate := float64(total.hits) / float64(total.requests)
 
 	fmt.Fprintf(stdout, "macload: %d requests in %.2fs from %d workers against %s → %.0f req/s\n",
-		total.requests, elapsed.Seconds(), opts.workers, submitURL, rate)
+		total.requests, elapsed.Seconds(), opts.workers, strings.Join(submitURLs, ","), rate)
 	fmt.Fprintf(stdout, "latency: p50 %.2fms  p99 %.2fms  max %.2fms\n",
 		total.latency.Quantile(0.5)/1e6, total.latency.Quantile(0.99)/1e6, total.latency.Max()/1e6)
 	fmt.Fprintf(stdout, "cache: %.4f hit rate client-side (%d hits, %d queued, %d rejected)\n",
 		hitRate, total.hits, total.queued, total.rejected)
-	if line, err := scrapeServer(client, opts.url); err == nil {
-		fmt.Fprintf(stdout, "server: %s\n", line)
+	for _, base := range opts.urls {
+		if line, err := scrapeServer(client, base); err == nil {
+			fmt.Fprintf(stdout, "server %s: %s\n", base, line)
+		}
 	}
 	if opts.bench {
 		// The standard benchmark line format, parseable by cmd/benchjson:

@@ -13,7 +13,10 @@ import (
 // startServer boots a real serving subsystem behind httptest.
 func startServer(t *testing.T) string {
 	t.Helper()
-	s := server.New(server.Config{})
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -38,6 +41,38 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"stray"}, &out); err == nil {
 		t.Fatal("stray argument accepted")
+	}
+	if err := run([]string{"-url", " , "}, &out); err == nil {
+		t.Fatal("empty URL list accepted")
+	}
+}
+
+func TestMultiURLRoundRobin(t *testing.T) {
+	// Two independent servers behind one comma-separated -url: the
+	// closed loop must spread requests across both and report per-node
+	// scrape lines for each.
+	url1, url2 := startServer(t), startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", url1 + "," + url2,
+		"-endpoint", "solve",
+		"-body", `{"k":250,"seed":6}`,
+		"-c", "4",
+		"-duration", "300ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, base := range []string{url1, url2} {
+		if !strings.Contains(text, "server "+base+":") {
+			t.Fatalf("report missing scrape for %s:\n%s", base, text)
+		}
+	}
+	// Warm ran against both nodes, so nearly every measured request is a
+	// hit; an even spread with no misses means both nodes served.
+	if !strings.Contains(text, url1+"/v1/solve,"+url2+"/v1/solve") {
+		t.Fatalf("report does not show both submit URLs:\n%s", text)
 	}
 }
 
@@ -92,14 +127,17 @@ var fairnessBenchLine = regexp.MustCompile(`^BenchmarkMacloadFairness/tenants=3 
 // against a DRR-scheduled server: both phases must complete, the report
 // must carry the slowdown metric, and the bench line must parse.
 func TestFairnessModeAgainstLiveServer(t *testing.T) {
-	s := server.New(server.Config{Workers: 2, QueueDepth: 64, TenantQueueDepth: 32, PriorityLane: true})
+	s, err := server.New(server.Config{Workers: 2, QueueDepth: 64, TenantQueueDepth: 32, PriorityLane: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		s.Close()
 	})
 	var out bytes.Buffer
-	err := run([]string{
+	err = run([]string{
 		"-url", ts.URL,
 		"-tenants", "3",
 		"-zipf", "1.0",

@@ -11,7 +11,23 @@
 //	        [-default-tenant default] [-tenant name=rate[:burst]]...
 //	        [-tenant-weight name=w]... [-tenant-queue N] [-priority-lane]
 //	        [-interactive-cost N]
+//	        [-data-dir DIR] [-lease 15s] [-max-retries 3]
+//	        [-peers a:8080,b:8080] [-self a:8080]
 //	macsimd -version
+//
+// Durability (docs/durability.md): -data-dir persists job records and
+// content-addressed result documents under DIR, so accepted work
+// survives restarts — a daemon killed mid-job requeues and finishes it
+// on the next boot. -lease bounds how long a crashed worker's job stays
+// unclaimed; -max-retries bounds how often a lease-expired job is
+// requeued before it is failed. Without -data-dir, job state lives in
+// memory exactly as before.
+//
+// Clustering: -peers lists the static fleet (comma-separated host:port
+// advertise addresses) and -self names this node's own entry (default
+// -addr). Each canonical request key has one owner on a consistent-hash
+// ring; a non-owner proxies submits — and polls, cancels and streams by
+// job id — a single hop to the owner.
 //
 // Tenancy (docs/tenancy.md): requests carry an X-Tenant header (absent
 // means -default-tenant). -tenant caps a tenant's fresh-job admission
@@ -83,6 +99,8 @@ func runCtx(ctx context.Context, args []string, ready chan<- string) error {
 		showVersion  bool
 		retryAfter   time.Duration
 		drainTimeout time.Duration
+		dataDir      string
+		peers        string
 	)
 	fs.StringVar(&cfg.Addr, "addr", "127.0.0.1:8080", "listen address")
 	fs.IntVar(&cfg.Workers, "workers", 0, "worker shards (default GOMAXPROCS)")
@@ -119,6 +137,11 @@ func runCtx(ctx context.Context, args []string, ready chan<- string) error {
 		cfg.FairnessWeights[name] = w
 		return nil
 	})
+	fs.StringVar(&dataDir, "data-dir", "", "persist job records and results under this directory (empty = in-memory)")
+	fs.DurationVar(&cfg.LeaseDuration, "lease", 0, "how long a worker owns a running job before recovery may requeue it (default 15s)")
+	fs.IntVar(&cfg.MaxRetries, "max-retries", 0, "lease-expired requeues before a job is failed (default 3; negative = never requeue)")
+	fs.StringVar(&peers, "peers", "", "static cluster membership: comma-separated host:port advertise addresses")
+	fs.StringVar(&cfg.SelfAddr, "self", "", "this node's advertise address in -peers (default -addr)")
 	fs.BoolVar(&showVersion, "version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -133,6 +156,20 @@ func runCtx(ctx context.Context, args []string, ready chan<- string) error {
 	cfg.RetryAfter = retryAfter
 	cfg.DrainTimeout = drainTimeout
 	cfg.Version = version
+	if dataDir != "" {
+		st, err := mac.NewFileStore(dataDir)
+		if err != nil {
+			return fmt.Errorf("-data-dir %s: %w", dataDir, err)
+		}
+		cfg.Store = st
+	}
+	if peers != "" {
+		for _, p := range strings.Split(peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+	}
 
 	workers := cfg.Workers
 	if workers <= 0 {

@@ -1,0 +1,109 @@
+// Package cluster routes the canonical spec-hash keyspace across a
+// static set of macsimd nodes: a consistent-hash ring with virtual
+// nodes, so N peers split the keys near-evenly and adding or removing
+// one peer moves only ~1/N of the keyspace. The spec layer guarantees
+// byte-identical canonical hashes across front ends, so ownership is a
+// pure function of the request — any node can compute the owner of any
+// submit (or of any job id, whose prefix is the key's first twelve hex
+// characters) and proxy a single hop. Membership is configuration
+// (-peers), not gossip: the arena this repo serves is a fleet of
+// identical simulators, not a dynamic membership problem.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// vnodes is the number of ring points per peer. 64 keeps the maximum
+// over-assignment under ~20% for small fleets while the ring stays a
+// few-KB sorted slice.
+const vnodes = 64
+
+// Ring assigns keys to peers by consistent hashing. Immutable after
+// New; safe for concurrent use.
+type Ring struct {
+	self   string
+	peers  []string
+	points []point // sorted by hash
+}
+
+type point struct {
+	hash uint64
+	addr string
+}
+
+// New builds a ring over peers (host:port addresses) with self naming
+// this node's own entry. Duplicates are rejected; self must be one of
+// the peers — an advertise address that no peer list contains would
+// silently forward every request. A single-peer list is valid and owns
+// everything.
+func New(self string, peers []string) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	seen := make(map[string]bool, len(peers))
+	selfFound := false
+	r := &Ring{self: self, peers: append([]string(nil), peers...)}
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer address")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		if p == self {
+			selfFound = true
+		}
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", p, v)), addr: p})
+		}
+	}
+	if !selfFound {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", self, peers)
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on address so every node sorts identically even in
+		// the astronomically unlikely event of a vnode hash collision.
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r, nil
+}
+
+// Self returns this node's advertise address.
+func (r *Ring) Self() string { return r.self }
+
+// Peers returns the configured peer list, in configuration order.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Owner returns the peer owning key: the first ring point at or after
+// the key's hash, wrapping around. Every node computes the same owner
+// for the same key — that is the whole contract.
+func (r *Ring) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].addr
+}
+
+// OwnedBySelf reports whether this node owns key.
+func (r *Ring) OwnedBySelf(key string) bool { return r.Owner(key) == r.self }
+
+// hash64 is the first eight bytes of SHA-256: FNV diffuses the short,
+// similar vnode labels ("host:port#0", "host:port#1", …) badly enough
+// to skew ownership 3:1, and ring placement is too rare to need a fast
+// hash. Key lookups pay ~100ns per request — noise next to HTTP.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// keys generates n canonical-key prefixes the way the server derives
+// them: twelve hex characters of a SHA-256.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		out[i] = hex.EncodeToString(sum[:])[:12]
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("a:1", nil); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := New("a:1", []string{"a:1", "a:1"}); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+	if _, err := New("c:3", []string{"a:1", "b:2"}); err == nil {
+		t.Fatal("self outside the peer list accepted")
+	}
+	if _, err := New("a:1", []string{"a:1", ""}); err == nil {
+		t.Fatal("empty peer address accepted")
+	}
+	r, err := New("a:1", []string{"a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OwnedBySelf("anything") {
+		t.Fatal("single-peer ring does not own everything")
+	}
+}
+
+func TestOwnershipAgreesAcrossNodes(t *testing.T) {
+	peers := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080"}
+	rings := make([]*Ring, len(peers))
+	for i, self := range peers {
+		r, err := New(self, peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+	}
+	for _, k := range keys(500) {
+		owner := rings[0].Owner(k)
+		for _, r := range rings[1:] {
+			if got := r.Owner(k); got != owner {
+				t.Fatalf("key %s: node %s says owner %s, node %s says %s",
+					k, rings[0].self, owner, r.self, got)
+			}
+		}
+		if rings[0].OwnedBySelf(k) != (owner == rings[0].self) {
+			t.Fatalf("OwnedBySelf disagrees with Owner for %s", k)
+		}
+	}
+}
+
+func TestOwnershipBalance(t *testing.T) {
+	peers := []string{"a:1", "b:2", "c:3"}
+	r, err := New("a:1", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 3000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / n
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("peer %s owns %.1f%% of the keyspace: %v", p, 100*share, counts)
+		}
+	}
+}
+
+func TestRemovingPeerMovesOnlyItsKeys(t *testing.T) {
+	// The consistent-hashing contract: dropping one of three peers must
+	// not reshuffle keys between the two survivors.
+	full, err := New("a:1", []string{"a:1", "b:2", "c:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := New("a:1", []string{"a:1", "b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(1000) {
+		before := full.Owner(k)
+		after := reduced.Owner(k)
+		if before != "c:3" && after != before {
+			t.Fatalf("key %s moved from surviving peer %s to %s", k, before, after)
+		}
+	}
+}
+
+func TestPeersCopies(t *testing.T) {
+	r, err := New("a:1", []string{"a:1", "b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Peers()
+	got[0] = "mutated"
+	if r.Peers()[0] != "a:1" {
+		t.Fatal("Peers exposed internal state")
+	}
+	if r.Self() != "a:1" {
+		t.Fatalf("Self = %q", r.Self())
+	}
+}

@@ -84,6 +84,65 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 }
 
+func TestCacheEvictionRacesPublish(t *testing.T) {
+	// One entry per shard: every insert of a new key evicts, so the
+	// eviction path runs constantly while a publisher refreshes and
+	// reads one hot key. Under -race this exercises eviction against
+	// concurrent publish; functionally, a read after a publish must
+	// return either the exact published bytes or a clean miss (the
+	// evictor got there first) — never a torn or stale value.
+	c := newCache(cacheShards)
+	stop := make(chan struct{})
+
+	// Evictors: flood unique keys through every shard until told to stop.
+	var evictors sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		evictors.Add(1)
+		go func(w int) {
+			defer evictors.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.put(fmt.Sprintf("churn-%d-%d", w, i), json.RawMessage(`0`))
+			}
+		}(w)
+	}
+	// Publishers: each owns a hot key, republishing a changing value and
+	// checking every read against the last value it published.
+	var publishers sync.WaitGroup
+	errc := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		publishers.Add(1)
+		go func(w int) {
+			defer publishers.Done()
+			key := fmt.Sprintf("hot-%d", w)
+			for i := 0; i < 3000; i++ {
+				want := fmt.Sprintf(`{"v":%d}`, i)
+				c.put(key, json.RawMessage(want))
+				got, ok := c.get(key)
+				if ok && string(got) != want {
+					errc <- fmt.Errorf("key %s: read %s after publishing %s", key, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	publishers.Wait()
+	close(stop)
+	evictors.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if c.len() > cacheShards {
+		t.Fatalf("cache grew past its bound: %d > %d", c.len(), cacheShards)
+	}
+}
+
 func TestCanonicalKeyStability(t *testing.T) {
 	norm := func(t *testing.T, es spec.ExperimentSpec) string {
 		t.Helper()

@@ -1,0 +1,345 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// specParts computes the canonical key and parameter document of a
+// request body exactly as the submit path does — the raw material for
+// hand-crafting store records that simulate a previous daemon's life.
+func specParts(t *testing.T, kind spec.ExperimentKind, body string) (key string, params []byte) {
+	t.Helper()
+	es, err := spec.Decode(kind, []byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Validate(limitsWithDefaults(Limits{})); err != nil {
+		t.Fatal(err)
+	}
+	key, err = es.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err = es.EncodeParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key, params
+}
+
+func TestSubmitPersistsQueuedRecordBeforeResponse(t *testing.T) {
+	st, err := store.OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, gate := newTestServer(t, Config{Store: st, Workers: 1}, true)
+
+	_, sub := post(t, ts.URL+"/v1/solve", `{"k":200,"seed":11}`)
+	// The 202 has been answered; the worker is still held at the gate.
+	// The queued record must already be durable.
+	rec, ok, err := st.GetJob(sub.ID)
+	if err != nil || !ok {
+		t.Fatalf("queued record missing after 202: ok=%v err=%v", ok, err)
+	}
+	if rec.Status != store.StatusQueued || rec.Key != sub.Key || rec.Tenant != "default" {
+		t.Fatalf("queued record = %+v", rec)
+	}
+	close(gate)
+	waitDone(t, ts.URL, sub.ID)
+	rec, ok, _ = st.GetJob(sub.ID)
+	if !ok || rec.Status != store.StatusDone {
+		t.Fatalf("terminal record = %+v (ok=%v)", rec, ok)
+	}
+	if _, ok, _ := st.GetResult(sub.Key); !ok {
+		t.Fatal("result document not persisted")
+	}
+}
+
+func TestRecoveryRequeuesQueuedRecord(t *testing.T) {
+	st, err := store.OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, params := specParts(t, spec.KindSolve, `{"k":300,"seed":9}`)
+	rec := store.JobRecord{
+		ID: key[:ringPrefixLen] + "-1", Kind: "solve", Key: key, Params: params,
+		Tenant: "default", Status: store.StatusQueued, Created: time.Now(),
+	}
+	if err := st.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot a fresh daemon over the store: the accepted-but-unfinished
+	// job must run to completion without any client resubmitting it.
+	_, ts, _ := newTestServer(t, Config{Store: st}, false)
+	if v := waitDone(t, ts.URL, rec.ID); v.Status != StatusDone {
+		t.Fatalf("recovered job = %s (%s)", v.Status, v.Error)
+	}
+	if got := metricValue(t, ts.URL, "macsimd_store_recovered_total"); got != 1 {
+		t.Fatalf("store_recovered_total = %v", got)
+	}
+	if got := metricValue(t, ts.URL, "macsimd_store_requeued_total"); got != 1 {
+		t.Fatalf("store_requeued_total = %v", got)
+	}
+	// The published result serves an identical fresh submit as a hit.
+	resp, _ := post(t, ts.URL+"/v1/solve", `{"k":300,"seed":9}`)
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("post-recovery resubmit X-Cache = %q", resp.Header.Get("X-Cache"))
+	}
+}
+
+func TestRecoveryRequeuesLeaseExpiredRecord(t *testing.T) {
+	st, err := store.OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, params := specParts(t, spec.KindSolve, `{"k":250,"seed":4}`)
+	rec := store.JobRecord{
+		ID: key[:ringPrefixLen] + "-2", Kind: "solve", Key: key, Params: params,
+		Tenant: "default", Status: store.StatusRunning, Created: time.Now(),
+		Started: time.Now(), LeaseUntil: time.Now().Add(-time.Second),
+	}
+	if err := st.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	_, ts, _ := newTestServer(t, Config{Store: st}, false)
+	if v := waitDone(t, ts.URL, rec.ID); v.Status != StatusDone {
+		t.Fatalf("lease-expired job = %s (%s)", v.Status, v.Error)
+	}
+	// The requeue cost one retry, recorded durably.
+	final, ok, _ := st.GetJob(rec.ID)
+	if !ok || final.Status != store.StatusDone || final.Retries != 1 {
+		t.Fatalf("final record = %+v (ok=%v)", final, ok)
+	}
+}
+
+func TestRecoveryFailsBeyondMaxRetries(t *testing.T) {
+	st, err := store.OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, params := specParts(t, spec.KindSolve, `{"k":260,"seed":5}`)
+	rec := store.JobRecord{
+		ID: key[:ringPrefixLen] + "-3", Kind: "solve", Key: key, Params: params,
+		Tenant: "default", Status: store.StatusRunning, Created: time.Now(),
+		Started: time.Now(), LeaseUntil: time.Now().Add(-time.Second),
+		Retries: 2,
+	}
+	if err := st.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	_, ts, _ := newTestServer(t, Config{Store: st, MaxRetries: 2}, false)
+	v := waitDone(t, ts.URL, rec.ID)
+	if v.Status != StatusFailed || v.Error == "" {
+		t.Fatalf("over-retried job = %s (%q), want failed with a give-up error", v.Status, v.Error)
+	}
+	if got := metricValue(t, ts.URL, "macsimd_store_requeued_total"); got != 0 {
+		t.Fatalf("store_requeued_total = %v, want 0", got)
+	}
+}
+
+func TestRecoveryDefersLiveLease(t *testing.T) {
+	st, err := store.OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, params := specParts(t, spec.KindSolve, `{"k":270,"seed":6}`)
+	rec := store.JobRecord{
+		ID: key[:ringPrefixLen] + "-4", Kind: "solve", Key: key, Params: params,
+		Tenant: "default", Status: store.StatusRunning, Created: time.Now(),
+		Started: time.Now(), LeaseUntil: time.Now().Add(250 * time.Millisecond),
+	}
+	if err := st.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	_, ts, _ := newTestServer(t, Config{Store: st}, false)
+	// The previous owner's lease is still live: the job is pollable but
+	// not yet requeued.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deferred job poll = %d", resp.StatusCode)
+	}
+	if got := metricValue(t, ts.URL, "macsimd_store_requeued_total"); got != 0 {
+		t.Fatalf("requeued before the lease expired: %v", got)
+	}
+	// Once the lease lapses, the job requeues (costing a retry) and
+	// completes.
+	if v := waitDone(t, ts.URL, rec.ID); v.Status != StatusDone {
+		t.Fatalf("deferred job = %s (%s)", v.Status, v.Error)
+	}
+	final, ok, _ := st.GetJob(rec.ID)
+	if !ok || final.Retries != 1 {
+		t.Fatalf("final record = %+v (ok=%v)", final, ok)
+	}
+}
+
+func TestDrainedRestartReportsJobsDone(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ts1, _ := newTestServer(t, Config{Store: st}, false)
+	_, sub := post(t, ts1.URL+"/v1/evaluate", `{"protocols":["one-fail"],"ks":[32],"runs":2,"seed":8}`)
+	done := waitDone(t, ts1.URL, sub.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("job = %s (%s)", done.Status, done.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	s1.Close()
+
+	// A fresh daemon over the same data-dir reports the drained job as
+	// done — with its result — instead of losing it.
+	st2, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2, _ := newTestServer(t, Config{Store: st2}, false)
+	v := waitDone(t, ts2.URL, sub.ID)
+	if v.Status != StatusDone || len(v.Result) == 0 {
+		t.Fatalf("restarted daemon reports %s (result %d bytes)", v.Status, len(v.Result))
+	}
+	// And serves the identical submit from the persistent result tier.
+	resp, sub2 := post(t, ts2.URL+"/v1/evaluate", `{"protocols":["one-fail"],"ks":[32],"runs":2,"seed":8}`)
+	if resp.Header.Get("X-Cache") != "hit" || !sub2.Cached {
+		t.Fatalf("restarted daemon missed the persisted result (X-Cache=%q)", resp.Header.Get("X-Cache"))
+	}
+}
+
+func TestCanceledJobIsNotResurrected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ts1, gate := newTestServer(t, Config{Store: st, Workers: 1, QueueDepth: 8}, true)
+
+	// Job A holds the single worker at the gate; job B sits queued and
+	// is canceled.
+	_, subA := post(t, ts1.URL+"/v1/solve", `{"k":120,"seed":1}`)
+	deadline := time.Now().Add(5 * time.Second)
+	for metricValue(t, ts1.URL, "macsimd_queue_depth") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never dequeued job A")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_, subB := post(t, ts1.URL+"/v1/solve", `{"k":130,"seed":2}`)
+	if resp := del(t, ts1.URL, subB.ID); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel = %d", resp.StatusCode)
+	}
+	// The cancellation is already durable — before any drain.
+	recB, ok, _ := st.GetJob(subB.ID)
+	if !ok || recB.Status != store.StatusCanceled {
+		t.Fatalf("canceled record = %+v (ok=%v)", recB, ok)
+	}
+	close(gate)
+	waitDone(t, ts1.URL, subA.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	s1.Close()
+
+	st2, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2, _ := newTestServer(t, Config{Store: st2}, false)
+	if v := waitDone(t, ts2.URL, subB.ID); v.Status != StatusCanceled {
+		t.Fatalf("canceled job after restart = %s", v.Status)
+	}
+	if v := waitDone(t, ts2.URL, subA.ID); v.Status != StatusDone {
+		t.Fatalf("finished job after restart = %s", v.Status)
+	}
+	if got := metricValue(t, ts2.URL, "macsimd_store_requeued_total"); got != 0 {
+		t.Fatalf("restart requeued %v jobs, want 0 — canceled work resurrected", got)
+	}
+}
+
+func TestPersistCanceledOverridesRunningRecord(t *testing.T) {
+	st, err := store.OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, gate := newTestServer(t, Config{Store: st, Workers: 1}, true)
+	key, params := specParts(t, spec.KindSolve, `{"k":140,"seed":3}`)
+	es, _ := spec.Decode(spec.KindSolve, params)
+	j := newJob(key[:ringPrefixLen]+"-9", es, key)
+	j.params = params
+	j.tenant = "default"
+	if !j.markRunning() {
+		t.Fatal("markRunning on a fresh job returned false")
+	}
+	s.putJobRecord(j)
+	if rec, ok, _ := st.GetJob(j.id); !ok || rec.Status != store.StatusRunning || rec.LeaseUntil.IsZero() {
+		t.Fatalf("running record = %+v (ok=%v)", rec, ok)
+	}
+	j.cancel()
+	s.persistCanceled(j)
+	rec, ok, _ := st.GetJob(j.id)
+	if !ok || rec.Status != store.StatusCanceled || !rec.LeaseUntil.IsZero() {
+		t.Fatalf("canceled record = %+v (ok=%v)", rec, ok)
+	}
+	close(gate)
+}
+
+func TestRegistryEvictionDropsStoreRecords(t *testing.T) {
+	st, err := store.OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, _ := newTestServer(t, Config{Store: st, JobsRetained: 2}, false)
+	bodies := []string{`{"k":100,"seed":21}`, `{"k":100,"seed":22}`, `{"k":100,"seed":23}`}
+	ids := make([]string, len(bodies))
+	for i, body := range bodies {
+		_, sub := post(t, ts.URL+"/v1/solve", body)
+		ids[i] = sub.ID
+		waitDone(t, ts.URL, sub.ID)
+	}
+	recs, err := st.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("store holds %d job records after eviction, want 2", len(recs))
+	}
+	// The result documents stay: they are the persistent cache.
+	for i, body := range bodies {
+		resp, _ := post(t, ts.URL+"/v1/solve", body)
+		if resp.Header.Get("X-Cache") != "hit" {
+			t.Fatalf("body %d (%s) missed after eviction", i, body)
+		}
+	}
+}
+
+func TestMaxRetriesNegativeMeansNoRequeue(t *testing.T) {
+	cfg := Config{MaxRetries: -1}.withDefaults()
+	if cfg.MaxRetries != 0 {
+		t.Fatalf("MaxRetries = %d, want 0 (never requeue)", cfg.MaxRetries)
+	}
+	cfg = Config{}.withDefaults()
+	if cfg.MaxRetries != 3 {
+		t.Fatalf("default MaxRetries = %d, want 3", cfg.MaxRetries)
+	}
+	if cfg.LeaseDuration != 15*time.Second {
+		t.Fatalf("default LeaseDuration = %v", cfg.LeaseDuration)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/spec"
+	"repro/internal/store"
 )
 
 // JobStatus is a job's lifecycle state.
@@ -45,8 +46,21 @@ type job struct {
 	cost        int64
 	interactive bool
 
+	// Durability: the canonical parameter document persisted in the
+	// job's store record (spec.Decode(kind, params) rebuilds the
+	// experiment after a restart) and the requeue count recovery has
+	// already spent on it. Set before the job is published; immutable
+	// after, except retries which recovery bumps on requeue.
+	params  json.RawMessage
+	retries int
+
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// storeMu serializes this job's record writes so the store always
+	// ends up holding the latest snapshot (j.mu only covers taking the
+	// snapshot, not the file write behind it).
+	storeMu sync.Mutex
 
 	mu       sync.Mutex
 	status   JobStatus
@@ -81,13 +95,36 @@ func (j *job) broadcast() {
 	j.pulse = make(chan struct{})
 }
 
-// setRunning marks the job started.
-func (j *job) setRunning() {
+// markRunning marks the job started, unless it already reached a
+// terminal state (canceled while still queued) — then the worker must
+// skip it entirely.
+func (j *job) markRunning() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return false
+	}
 	j.status = StatusRunning
 	j.started = time.Now()
 	j.broadcast()
+	return true
+}
+
+// cancelQueued transitions a still-queued job straight to canceled; it
+// never starts simulating. Returns false when the job is already
+// running or terminal (running jobs are canceled through their
+// context and finish() records the terminal state).
+func (j *job) cancelQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusCanceled
+	j.errMsg = context.Canceled.Error()
+	j.finished = time.Now()
+	j.broadcast()
+	return true
 }
 
 // publish appends one progress event (already-marshaled JSON).
@@ -116,6 +153,32 @@ func (j *job) finish(result json.RawMessage, err error) {
 	}
 	j.finished = time.Now()
 	j.broadcast()
+}
+
+// record snapshots the job's persisted form. leaseUntil is stamped
+// only on running records — it is the deadline after which a restart
+// (or a lease sweep) may conclude the owning worker died and requeue
+// the work.
+func (j *job) record(leaseUntil time.Time) store.JobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := store.JobRecord{
+		ID:       j.id,
+		Kind:     j.kind,
+		Key:      j.key,
+		Params:   j.params,
+		Tenant:   j.tenant,
+		Status:   string(j.status),
+		Error:    j.errMsg,
+		Retries:  j.retries,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	if j.status == StatusRunning {
+		rec.LeaseUntil = leaseUntil
+	}
+	return rec
 }
 
 // jobView is the API rendering of a job, returned by submit and poll.
@@ -183,13 +246,15 @@ func newRegistry(cap int) *registry {
 }
 
 // add registers a job, evicting old terminal jobs beyond capacity.
-func (r *registry) add(j *job) {
+// The evicted ids are returned so the server can drop their persisted
+// records too — the poll registry and the job store retire together.
+func (r *registry) add(j *job) (evicted []string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.jobs[j.id] = j
 	r.order = append(r.order, j.id)
 	if len(r.jobs) <= r.cap {
-		return
+		return nil
 	}
 	kept := r.order[:0]
 	for _, id := range r.order {
@@ -203,12 +268,25 @@ func (r *registry) add(j *job) {
 			old.mu.Unlock()
 			if evictable {
 				delete(r.jobs, id)
+				evicted = append(evicted, id)
 				continue
 			}
 		}
 		kept = append(kept, id)
 	}
 	r.order = kept
+	return evicted
+}
+
+// all snapshots every registered job, for the drain-time state flush.
+func (r *registry) all() []*job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		out = append(out, j)
+	}
+	return out
 }
 
 // get looks a job up by id.

@@ -30,6 +30,16 @@ type metrics struct {
 	slotsSimulated atomic.Int64 // channel slots simulated across all jobs
 	repsSaved      atomic.Int64 // replications adaptive precision stopped short of maxReps
 
+	// Durability (internal/store).
+	storeWrites    atomic.Int64 // job records and result documents persisted
+	storeReads     atomic.Int64 // records and results read back from the store
+	storeRecovered atomic.Int64 // job records replayed by the boot recovery pass
+	storeRequeued  atomic.Int64 // recovered jobs put back on the queue
+
+	// Clustering (internal/cluster). Zero on single-node deployments.
+	forwarded atomic.Int64 // submits proxied to the key's owning peer
+	owned     atomic.Int64 // submits this node handled as the key's owner
+
 	// Scrape state for the slots/sec rate: the rate is measured between
 	// consecutive scrapes (the usual counter-delta a scraper would
 	// compute, precomputed for human readers and the load generator).
@@ -92,6 +102,12 @@ func (m *metrics) render(now time.Time, gauges map[string]float64) string {
 	counter("macsimd_jobs_canceled_total", "jobs retired by DELETE /v1/jobs/{id}", m.jobsCanceled.Load())
 	counter("macsimd_slots_simulated_total", "channel slots simulated across all jobs", m.slotsSimulated.Load())
 	counter("macsimd_reps_saved_total", "replications adaptive-precision stopping saved against the maxReps worst case", m.repsSaved.Load())
+	counter("macsimd_store_writes_total", "job records and result documents persisted to the store", m.storeWrites.Load())
+	counter("macsimd_store_reads_total", "records and result documents read back from the store", m.storeReads.Load())
+	counter("macsimd_store_recovered_total", "job records replayed by the boot recovery pass", m.storeRecovered.Load())
+	counter("macsimd_store_requeued_total", "recovered jobs put back on the queue", m.storeRequeued.Load())
+	counter("macsimd_forwarded_total", "submissions proxied to the key's owning peer", m.forwarded.Load())
+	counter("macsimd_owned_total", "submissions this node handled as the key's ring owner", m.owned.Load())
 	gauge("macsimd_cache_hit_rate", "cache hits / (hits + misses)", m.hitRate())
 	gauge("macsimd_slots_simulated_per_second", "slots simulated per second since the previous scrape", m.slotsPerSecond(now))
 	// Deterministic order for the caller-supplied gauges.

@@ -49,14 +49,11 @@ func limitsWithDefaults(l Limits) Limits {
 	return l
 }
 
-// decodeExperiment reads the request body (an empty body selects all
-// defaults) into a spec of the endpoint's kind. Unknown fields are
-// rejected by the spec decoder — a misspelled parameter must not
+// readBody reads a bounded submit body (an empty body selects all
+// defaults). The raw bytes are kept around by the submit path because a
+// clustered node may need to replay them verbatim to the key's owner.
+// spec.Decode rejects unknown fields — a misspelled parameter must not
 // silently hash to a different (default-valued) experiment.
-func decodeExperiment(kind spec.ExperimentKind, r *http.Request) (spec.ExperimentSpec, error) {
-	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
-	if err != nil {
-		return spec.ExperimentSpec{}, err
-	}
-	return spec.Decode(kind, body)
+func readBody(r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
 }

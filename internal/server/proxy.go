@@ -1,0 +1,121 @@
+// Shard routing: with a -peers list configured, the canonical spec-hash
+// keyspace is split across the fleet by internal/cluster's consistent-
+// hash ring, and a node that receives work it does not own proxies the
+// request a single hop to the owner, streaming the response back. The
+// route key is the first twelve hex characters of the canonical key —
+// exactly the prefix every job id carries — so polls, cancels and
+// streams for a foreign job route without any lookup table. The
+// X-Forwarded-Node header marks a request as already forwarded: an
+// owner never forwards again, so a misconfigured ring degrades to
+// serving locally instead of looping.
+
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ringPrefixLen is how many hex characters of the canonical key form
+// the routing key and the job-id prefix.
+const ringPrefixLen = 12
+
+// forwardedHeader marks a proxied request (value: the forwarding node's
+// advertise address) and guards against forwarding loops.
+const forwardedHeader = "X-Forwarded-Node"
+
+// newProxyClient builds the HTTP client that carries forwarded
+// requests: a bounded dial (a dead peer fails fast) but no overall
+// timeout, because proxied NDJSON streams legitimately live as long as
+// the job runs.
+func newProxyClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+			MaxIdleConnsPerHost: 16,
+		},
+	}
+}
+
+// forwardTarget decides whether a submit for key must be proxied,
+// returning the owning peer. Single-node rings and already-forwarded
+// requests always serve locally.
+func (s *Server) forwardTarget(r *http.Request, key string) (string, bool) {
+	if s.ring == nil || r.Header.Get(forwardedHeader) != "" {
+		return "", false
+	}
+	owner := s.ring.Owner(key[:ringPrefixLen])
+	if owner == s.ring.Self() {
+		return "", false
+	}
+	return owner, true
+}
+
+// proxyJobRequest forwards a poll, cancel or stream whose job id this
+// node does not know and does not own. It reports false when the
+// request should be answered locally (404) instead.
+func (s *Server) proxyJobRequest(w http.ResponseWriter, r *http.Request, id string) bool {
+	if s.ring == nil || len(id) < ringPrefixLen || r.Header.Get(forwardedHeader) != "" {
+		return false
+	}
+	owner := s.ring.Owner(id[:ringPrefixLen])
+	if owner == s.ring.Self() {
+		return false
+	}
+	s.proxyTo(w, r, owner, nil)
+	return true
+}
+
+// proxyTo replays the request against the owning peer and streams the
+// response back verbatim — status, headers and body, flushed as it
+// arrives so proxied NDJSON streams stay live. body is the already-read
+// request body (nil for bodyless methods).
+func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, owner string, body []byte) {
+	s.metrics.forwarded.Add(1)
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		"http://"+owner+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		s.writeJSON(w, http.StatusBadGateway, apiError{Error: fmt.Sprintf("forward to %s: %v", owner, err)})
+		return
+	}
+	for _, h := range []string{"Content-Type", "X-Tenant", "Accept"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	req.Header.Set(forwardedHeader, s.ring.Self())
+	resp, err := s.proxyClient.Do(req)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadGateway, apiError{Error: fmt.Sprintf("forward to owner %s failed: %v", owner, err)})
+		return
+	}
+	defer resp.Body.Close()
+	hdr := w.Header()
+	for name, values := range resp.Header {
+		for _, v := range values {
+			hdr.Add(name, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			// io.EOF ends the relay cleanly; anything else means the peer
+			// died mid-stream and there is nothing more to relay either.
+			return
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// startNode boots a Server on a real listener whose address doubles as
+// its ring advertise address, returning the server and its base URL.
+// The listeners must exist before New because ring membership is the
+// set of bound addresses.
+func startNode(t *testing.T, ln net.Listener, cfg Config) (*Server, string) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	t.Cleanup(func() {
+		_ = httpSrv.Close()
+		s.Close()
+	})
+	return s, "http://" + ln.Addr().String()
+}
+
+// twoNodes boots a 2-node fleet over fresh listeners and returns both
+// servers with their base URLs.
+func twoNodes(t *testing.T) (s1, s2 *Server, url1, url2 string) {
+	t.Helper()
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := []string{ln1.Addr().String(), ln2.Addr().String()}
+	s1, url1 = startNode(t, ln1, Config{Peers: peers, SelfAddr: peers[0], Workers: 2})
+	s2, url2 = startNode(t, ln2, Config{Peers: peers, SelfAddr: peers[1], Workers: 2})
+	return s1, s2, url1, url2
+}
+
+// bodyOwnedBy finds a small solve body whose canonical key the given
+// node owns, by walking seeds.
+func bodyOwnedBy(t *testing.T, s *Server, want string) string {
+	t.Helper()
+	for seed := 1; seed < 200; seed++ {
+		body := fmt.Sprintf(`{"k":60,"seed":%d}`, seed)
+		key, _ := specParts(t, spec.KindSolve, body)
+		if s.ring.Owner(key[:ringPrefixLen]) == want {
+			return body
+		}
+	}
+	t.Fatal("no seed landed on the wanted owner in 200 tries")
+	return ""
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"a:1", "b:2"}, SelfAddr: "c:3"}); err == nil {
+		t.Fatal("self outside the peer list accepted")
+	}
+	if _, err := New(Config{Peers: []string{"a:1", "a:1"}, SelfAddr: "a:1"}); err == nil {
+		t.Fatal("duplicate peers accepted")
+	}
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.ring != nil {
+		t.Fatal("peerless config built a ring")
+	}
+}
+
+func TestClusterForwardsSubmitToOwner(t *testing.T) {
+	s1, s2, url1, url2 := twoNodes(t)
+	body := bodyOwnedBy(t, s1, s2.ring.Self())
+
+	// Submitting to the non-owner proxies one hop; the job runs on the
+	// owner and the 202 streams back through the front node.
+	resp, sub := post(t, url1+"/v1/solve", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("forwarded submit = %d", resp.StatusCode)
+	}
+	if got := s1.metrics.forwarded.Load(); got != 1 {
+		t.Fatalf("node1 forwarded = %d, want 1", got)
+	}
+	if got := s2.metrics.owned.Load(); got != 1 {
+		t.Fatalf("node2 owned = %d, want 1", got)
+	}
+	// The job lives on node2 — and polling either node finds it, because
+	// the id's prefix routes to the owner.
+	if v := waitDone(t, url2, sub.ID); v.Status != StatusDone {
+		t.Fatalf("job on owner = %s (%s)", v.Status, v.Error)
+	}
+	if v := waitDone(t, url1, sub.ID); v.Status != StatusDone {
+		t.Fatalf("proxied poll = %s (%s)", v.Status, v.Error)
+	}
+	// A repeat submit through the non-owner is answered from the owner's
+	// cache, hit header intact.
+	resp2, _ := post(t, url1+"/v1/solve", body)
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("forwarded resubmit = %d X-Cache=%q", resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	}
+}
+
+func TestClusterProxiesStreamAndCancel(t *testing.T) {
+	s1, s2, url1, _ := twoNodes(t)
+	_ = s1
+	body := bodyOwnedBy(t, s2, s2.ring.Self())
+	resp, sub := post(t, url1+"/v1/solve", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	// Stream through the non-owner: the NDJSON relay must carry the
+	// terminal record.
+	stream, err := http.Get(url1 + "/v1/jobs/" + sub.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	var final spec.StreamEnd
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &final); err != nil {
+			t.Fatalf("bad proxied NDJSON line %q: %v", sc.Text(), err)
+		}
+	}
+	if final.Event != "done" {
+		t.Fatalf("proxied stream final event = %q", final.Event)
+	}
+	// Cancel of a finished foreign job proxies to a no-op 202.
+	if resp := del(t, url1, sub.ID); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("proxied cancel = %d", resp.StatusCode)
+	}
+	// An id that routes to this very node but is unknown stays a 404 —
+	// no forwarding loop.
+	selfOwned := bodyOwnedBy(t, s1, s1.ring.Self())
+	key, _ := specParts(t, spec.KindSolve, selfOwned)
+	if resp := del(t, url1, key[:ringPrefixLen]+"-999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown self-owned id = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestClusterLoopGuard(t *testing.T) {
+	s1, s2, url1, _ := twoNodes(t)
+	body := bodyOwnedBy(t, s1, s2.ring.Self())
+
+	// A request already marked as forwarded is served locally even by a
+	// non-owner: one hop, never two.
+	req, err := http.NewRequest(http.MethodPost, url1+"/v1/solve", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, s2.ring.Self())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("marked submit = %d, want local 202", resp.StatusCode)
+	}
+	if got := s1.metrics.forwarded.Load(); got != 0 {
+		t.Fatalf("loop guard leaked a forward: %d", got)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	if v := waitDone(t, url1, sub.ID); v.Status != StatusDone {
+		t.Fatalf("locally served job = %s (%s)", v.Status, v.Error)
+	}
+}
+
+func TestClusterForwardsBalance(t *testing.T) {
+	s1, s2, url1, url2 := twoNodes(t)
+	urls := []string{url1, url2}
+	for seed := 1; seed <= 24; seed++ {
+		body := fmt.Sprintf(`{"k":40,"seed":%d}`, seed)
+		resp, sub := post(t, urls[seed%2]+"/v1/solve", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("seed %d: submit = %d", seed, resp.StatusCode)
+		}
+		waitDone(t, urls[seed%2], sub.ID)
+	}
+	// Across an even spray both nodes must own work and both must have
+	// forwarded some — the ring splits the keyspace, not the front ends.
+	f1, f2 := s1.metrics.forwarded.Load(), s2.metrics.forwarded.Load()
+	o1, o2 := s1.metrics.owned.Load(), s2.metrics.owned.Load()
+	if f1 == 0 || f2 == 0 || o1 == 0 || o2 == 0 {
+		t.Fatalf("degenerate routing: forwarded=(%d,%d) owned=(%d,%d)", f1, f2, o1, o2)
+	}
+	if o1+o2 != 24 {
+		t.Fatalf("owned total = %d, want 24", o1+o2)
+	}
+}
+
+func TestProxyDeadPeerAnswers502(t *testing.T) {
+	// A ring whose second peer never listens: forwarding must fail fast
+	// with a 502, not hang.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close() // the port is now unbound
+	peers := []string{ln.Addr().String(), deadAddr}
+	s1, url1 := startNode(t, ln, Config{Peers: peers, SelfAddr: peers[0], Workers: 1})
+	body := bodyOwnedBy(t, s1, deadAddr)
+	start := time.Now()
+	resp, _ := post(t, url1+"/v1/solve", body)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("forward to dead peer = %d, want 502", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("dead-peer forward took %v", elapsed)
+	}
+}

@@ -83,6 +83,19 @@ func (p *pool) submit(j *job) error {
 	return nil
 }
 
+// force enqueues a job without the capacity check: boot recovery must
+// never drop work a previous process already answered 202 for, even if
+// the recovered backlog exceeds the configured bound. Fresh submits
+// still go through submit and see 429 until the backlog drains.
+func (p *pool) force(j *job) {
+	p.queued.Add(1)
+	p.sched.push(j)
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+}
+
 // depth reports jobs waiting in the queue (excluding running jobs).
 func (p *pool) depth() int64 { return p.queued.Load() }
 

@@ -211,7 +211,10 @@ func TestRetryAfterHeader(t *testing.T) {
 }
 
 func TestTenantForValidation(t *testing.T) {
-	s := New(Config{DefaultTenant: "home"})
+	s, err := New(Config{DefaultTenant: "home"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	req := httptest.NewRequest("POST", "/v1/solve", nil)
 	if name, err := s.tenantFor(req); err != nil || name != "home" {

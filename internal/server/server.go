@@ -20,12 +20,21 @@
 //     existing job (singleflight) instead of simulating twice.
 //   - Jobs are polled at GET /v1/jobs/{id} and streamed as NDJSON
 //     progress events plus a terminal record at /v1/jobs/{id}/stream.
+//   - Every job-state transition and every published result writes
+//     through a pluggable store (internal/store); with a file-backed
+//     store a restart recovers accepted-but-unfinished work under a
+//     lease/retry discipline (durability.go, docs/durability.md) and
+//     the LRU cache reads through to the persistent result store.
+//   - With a static -peers list, submits route across a consistent-hash
+//     ring (internal/cluster): a non-owner proxies the request a single
+//     hop to the key's owner and streams the response back (proxy.go).
 //   - GET /metrics exposes slots-simulated/sec, queue depth, cache hit
 //     rate, the replications saved by adaptive-precision stopping
 //     (macsimd_reps_saved_total) and the other counters in Prometheus
 //     text format.
-//   - Drain stops admission (503) and waits for the queue and running
-//     jobs to finish — graceful shutdown on SIGTERM.
+//   - Drain stops admission (503), waits for the queue and running
+//     jobs to finish and flushes final job state to the store —
+//     graceful shutdown on SIGTERM.
 //
 // The full endpoint reference — request schemas, job lifecycle,
 // backpressure semantics, every metric — is docs/http-api.md.
@@ -46,9 +55,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/harness"
 	"repro/internal/scenario"
 	"repro/internal/spec"
+	"repro/internal/store"
 )
 
 // Config parameterizes New. The zero value serves with sensible
@@ -99,6 +110,31 @@ type Config struct {
 	// whole global queue. 0 means no per-tenant bound.
 	TenantQueueDepth int
 
+	// Durability and clustering (docs/durability.md).
+
+	// Store persists job records and result documents. Nil means an
+	// in-memory store: job state dies with the process, exactly the
+	// single-process behavior. Wire a file store (store.OpenFile) and
+	// accepted work survives restarts — including kill -9.
+	Store store.Store
+	// LeaseDuration is how long a worker owns a running job before a
+	// restarted daemon may conclude the worker died and requeue the
+	// work (default 15s).
+	LeaseDuration time.Duration
+	// MaxRetries bounds how many times a lease-expired job is requeued
+	// before recovery fails it instead (default 3; negative means a
+	// lease-expired job is never requeued).
+	MaxRetries int
+	// Peers is the static cluster membership as host:port advertise
+	// addresses. Empty means single-node: no ring, no proxying. With
+	// peers configured, each canonical key has one owner on a
+	// consistent-hash ring and a non-owner proxies the submit a single
+	// hop to the owner.
+	Peers []string
+	// SelfAddr is this node's own advertise address; it must appear in
+	// Peers. Defaults to Addr.
+	SelfAddr string
+
 	// now is the clock the token buckets read; the tests override it.
 	// Nil means time.Now.
 	now func() time.Time
@@ -136,6 +172,24 @@ func (c Config) withDefaults() Config {
 	if c.TenantQueueDepth > c.QueueDepth {
 		c.TenantQueueDepth = c.QueueDepth
 	}
+	if c.Store == nil {
+		// Zero result retention: the server's LRU stays the only
+		// in-memory result tier, so the default configuration costs the
+		// same memory as before the store existed.
+		c.Store = store.Mem(0)
+	}
+	if c.LeaseDuration <= 0 {
+		c.LeaseDuration = 15 * time.Second
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 3
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.SelfAddr == "" {
+		c.SelfAddr = c.Addr
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -148,14 +202,21 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	cache   *cache
+	store   store.Store
 	pool    *pool
 	reg     *registry
 	tenants *tenants
 	metrics metrics
 	mux     *http.ServeMux
 
+	// Clustering: nil ring means single-node. The proxy client carries
+	// forwarded requests to the owning peer (proxy.go).
+	ring        *cluster.Ring
+	proxyClient *http.Client
+
 	mu       sync.Mutex
 	inflight map[string]*job // canonical key → queued/running job
+	timers   []*time.Timer   // lease-deferral timers (durability.go), stopped by Close
 
 	draining atomic.Bool
 	seq      atomic.Int64
@@ -166,33 +227,61 @@ type Server struct {
 	testGate chan struct{}
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server, replays any persisted job records (recovery) and
+// starts its worker pool. It fails only on invalid cluster membership.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
 		cache:    newCache(cfg.CacheEntries),
+		store:    cfg.Store,
 		reg:      newRegistry(cfg.JobsRetained),
 		tenants:  newTenants(cfg.Tenants, cfg.now),
 		inflight: make(map[string]*job),
 	}
+	if len(cfg.Peers) > 0 {
+		ring, err := cluster.New(cfg.SelfAddr, cfg.Peers)
+		if err != nil {
+			return nil, err
+		}
+		s.ring = ring
+		s.proxyClient = newProxyClient()
+	}
 	s.metrics.started = time.Now()
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth,
 		newScheduler(cfg.FairnessWeights, cfg.PriorityLane), s.execute)
+	// Recovery before the workers start and before the mux serves:
+	// requeued jobs line up under normal scheduling, and no fresh submit
+	// can race the sequence-counter reseed.
+	s.recoverJobs()
 	s.pool.start()
 	s.buildMux()
-	return s
+	return s, nil
 }
 
-// Close stops the workers after their current job. Call Drain first for
-// a graceful stop.
-func (s *Server) Close() { s.pool.close() }
+// Close stops the workers after their current job and drops any pending
+// lease-deferral timers. Call Drain first for a graceful stop.
+func (s *Server) Close() {
+	s.mu.Lock()
+	timers := s.timers
+	s.timers = nil
+	s.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+	s.pool.close()
+}
 
 // Drain stops admitting jobs (submits answer 503) and waits until the
-// queue is empty and all running jobs finished, or ctx expires.
+// queue is empty and all running jobs finished, or ctx expires. Either
+// way the final state of every registered job is flushed to the store,
+// so a drained-then-restarted daemon reports finished work as done —
+// and requeues whatever a timed-out drain left behind.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.pool.drain(ctx)
+	err := s.pool.drain(ctx)
+	s.flushJobs()
+	return err
 }
 
 // Draining reports whether the server has stopped admitting jobs.
@@ -217,7 +306,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		// so every job the API answered 202 for actually runs.
 		s.draining.Store(true)
 		stopErr := httpSrv.Shutdown(dctx)
-		shutdownErr <- errors.Join(stopErr, s.pool.drain(dctx))
+		drainErr := s.pool.drain(dctx)
+		s.flushJobs()
+		shutdownErr <- errors.Join(stopErr, drainErr)
 	}()
 	err := httpSrv.Serve(ln)
 	if !errors.Is(err, http.ErrServerClosed) {
@@ -286,10 +377,12 @@ type submitResponse struct {
 }
 
 // handleSubmit is the shared submit path: resolve the tenant → decode
-// into a spec of the endpoint's kind → validate → hash → cache →
-// coalesce → admit (token bucket, per-tenant and global queue bounds)
-// → enqueue. Cache hits and coalesced duplicates cost the tenant
-// nothing — admission controls new simulation work only.
+// into a spec of the endpoint's kind → validate → hash → cache (memory
+// tier, then the persistent result store) → route (proxy to the ring
+// owner when clustered) → coalesce → admit (token bucket, per-tenant
+// and global queue bounds) → enqueue durably. Cache hits and coalesced
+// duplicates cost the tenant nothing — admission controls new
+// simulation work only.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind spec.ExperimentKind) {
 	if s.draining.Load() {
 		s.metrics.refused.Add(1)
@@ -301,7 +394,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind spec.
 		s.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	es, err := decodeExperiment(kind, r)
+	body, err := readBody(r)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	es, err := spec.Decode(kind, body)
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
@@ -316,28 +414,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind spec.
 		return
 	}
 
-	// Cache: repeated queries cost zero simulation time. This is the
-	// serving hot path — the envelope is spliced around the cached bytes
-	// (kind and key are plain tokens) instead of re-encoding them.
+	// Cache: repeated queries cost zero simulation time. Memory tier
+	// first; on a miss, read through to the persistent result store —
+	// results published before a restart keep serving as hits.
 	if result, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
-		var buf bytes.Buffer
-		buf.Grow(len(result) + 96)
-		buf.WriteString(`{"kind":"`)
-		buf.WriteString(string(kind))
-		buf.WriteString(`","key":"`)
-		buf.WriteString(key)
-		buf.WriteString(`","status":"done","cached":true,"result":`)
-		buf.Write(result)
-		buf.WriteString("}\n")
-		h := w.Header()
-		h.Set("Content-Type", "application/json")
-		h.Set("Server", "macsimd/"+s.cfg.Version)
-		h.Set("X-Cache", "hit")
-		h.Set("Content-Length", strconv.Itoa(buf.Len()))
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(buf.Bytes())
+		s.serveCached(w, kind, key, result)
 		return
+	}
+	if result, ok, err := s.store.GetResult(key); err == nil && ok {
+		s.metrics.storeReads.Add(1)
+		s.metrics.cacheHits.Add(1)
+		s.cache.put(key, result)
+		s.serveCached(w, kind, key, result)
+		return
+	}
+
+	// Routing: when clustered, fresh work for a key this node does not
+	// own is proxied one hop to the owner (proxy.go).
+	if owner, ok := s.forwardTarget(r, key); ok {
+		s.proxyTo(w, r, owner, body)
+		return
+	}
+	if s.ring != nil {
+		s.metrics.owned.Add(1)
 	}
 
 	// Coalesce: a duplicate of an in-flight job attaches to it instead
@@ -371,10 +471,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind spec.
 		s.reject429(w, ts, s.cfg.RetryAfter, fmt.Sprintf("tenant %q queue share full", ts.name))
 		return
 	}
-	j := newJob(fmt.Sprintf("%s-%d", key[:12], s.seq.Add(1)), es, key)
+	j := newJob(fmt.Sprintf("%s-%d", key[:ringPrefixLen], s.seq.Add(1)), es, key)
 	j.tenant = ts.name
 	j.cost = costUnits(es.EstimatedCost(), int64(s.cfg.Limits.InteractiveThreshold()))
 	j.interactive = es.Interactive(s.cfg.Limits)
+	// The canonical parameter document rides in the job's store record;
+	// CanonicalKey already proved the spec encodes.
+	j.params, _ = es.EncodeParams()
 	if err := s.pool.submit(j); err != nil {
 		s.mu.Unlock()
 		s.metrics.rejected.Add(1)
@@ -384,12 +487,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind spec.
 	ts.queued.Add(1)
 	ts.admitted.Add(1)
 	s.inflight[key] = j
-	s.reg.add(j)
+	evicted := s.reg.add(j)
 	s.mu.Unlock()
+	s.dropEvicted(evicted)
+	// Durability barrier: the queued record is persisted before the 202
+	// leaves — accepted work is never invisible to recovery.
+	s.putJobRecord(j)
 	s.metrics.enqueued.Add(1)
 	w.Header().Set("X-Cache", "miss")
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	s.writeJSON(w, http.StatusAccepted, submitResponse{jobView: j.view()})
+}
+
+// serveCached answers a submit from a cached result document. This is
+// the serving hot path — the envelope is spliced around the cached
+// bytes (kind and key are plain tokens) instead of re-encoding them,
+// and every tier (memory LRU, persistent store) emits identical bytes.
+func (s *Server) serveCached(w http.ResponseWriter, kind spec.ExperimentKind, key string, result []byte) {
+	var buf bytes.Buffer
+	buf.Grow(len(result) + 96)
+	buf.WriteString(`{"kind":"`)
+	buf.WriteString(string(kind))
+	buf.WriteString(`","key":"`)
+	buf.WriteString(key)
+	buf.WriteString(`","status":"done","cached":true,"result":`)
+	buf.Write(result)
+	buf.WriteString("}\n")
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Server", "macsimd/"+s.cfg.Version)
+	h.Set("X-Cache", "hit")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // reject429 answers a submit with backpressure: 429, a Retry-After
@@ -400,18 +530,24 @@ func (s *Server) reject429(w http.ResponseWriter, ts *tenantState, retry time.Du
 	s.writeJSON(w, http.StatusTooManyRequests, apiError{Error: msg})
 }
 
-// execute runs one job on a pool worker: dispatch the spec with the
-// job's context, relay the execution's event stream into the job (and
-// from there to any NDJSON streamer), publish the result to the cache,
-// retire the in-flight entry. A job canceled while queued never starts
-// simulating.
+// execute runs one job on a pool worker: take the lease (running
+// record in the store), dispatch the spec with the job's context, relay
+// the execution's event stream into the job (and from there to any
+// NDJSON streamer), publish the result durably, persist the terminal
+// record, retire the in-flight entry. A job canceled while queued never
+// starts simulating — handleCancel already persisted its terminal
+// state.
 func (s *Server) execute(workerID int, j *job) {
 	if s.testGate != nil {
 		<-s.testGate
 	}
 	ts := s.tenants.get(j.tenant)
 	ts.queued.Add(-1)
-	j.setRunning()
+	if !j.markRunning() {
+		s.retire(j)
+		return
+	}
+	s.putJobRecord(j) // the lease: running + deadline
 	result, err := s.runJob(j)
 	var data json.RawMessage
 	if err == nil {
@@ -419,9 +555,11 @@ func (s *Server) execute(workerID int, j *job) {
 	}
 	switch {
 	case err == nil:
-		// Publish to the cache before retiring the in-flight entry, so
-		// an identical request always sees one of the two.
-		s.cache.put(j.key, data)
+		// Publish before retiring the in-flight entry, so an identical
+		// request always sees one of the two. The result document lands
+		// in the store before the terminal record below — a crash between
+		// the two re-runs the job into a content-addressed no-op.
+		s.publishResult(j.key, data)
 		s.metrics.jobsDone.Add(1)
 		ts.served.Add(1)
 	case errors.Is(err, context.Canceled):
@@ -430,6 +568,7 @@ func (s *Server) execute(workerID int, j *job) {
 		s.metrics.jobsFailed.Add(1)
 	}
 	j.finish(data, err)
+	s.putJobRecord(j)
 	s.retire(j)
 }
 
@@ -470,27 +609,45 @@ func (s *Server) runJob(j *job) (*spec.Result, error) {
 }
 
 // handleCancel serves DELETE /v1/jobs/{id}: cancel the job's context.
-// A queued job is retired before it starts simulating; a running sweep
-// aborts between executions (one static run is not interruptible, so a
-// lone solve finishes its run first). The job is detached from the
-// in-flight map immediately, so an identical resubmission enqueues
-// fresh work instead of coalescing onto the doomed job. Cancellation is
-// idempotent and has no effect on a job that already finished.
+// A queued job flips straight to canceled and never starts simulating;
+// a running sweep aborts between executions (one static run is not
+// interruptible, so a lone solve finishes its run first). The canceled
+// state is persisted immediately, so a restart does not resurrect
+// canceled work even if the process dies before the worker notices.
+// The job is detached from the in-flight map immediately, so an
+// identical resubmission enqueues fresh work instead of coalescing onto
+// the doomed job. Cancellation is idempotent and has no effect on a job
+// that already finished. An id owned by a peer is proxied one hop.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.reg.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.reg.get(id)
 	if !ok {
+		if s.proxyJobRequest(w, r, id) {
+			return
+		}
 		s.writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job id"})
 		return
 	}
-	j.cancel()
+	if j.cancelQueued() {
+		s.metrics.jobsCanceled.Add(1)
+		s.putJobRecord(j)
+	} else {
+		j.cancel()
+		s.persistCanceled(j)
+	}
 	s.retire(j)
 	s.writeJSON(w, http.StatusAccepted, j.view())
 }
 
-// handlePoll serves GET /v1/jobs/{id}.
+// handlePoll serves GET /v1/jobs/{id}; an id owned by a peer is proxied
+// one hop.
 func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.reg.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.reg.get(id)
 	if !ok {
+		if s.proxyJobRequest(w, r, id) {
+			return
+		}
 		s.writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job id"})
 		return
 	}
@@ -501,8 +658,12 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 // progress events as NDJSON, follows live until the job reaches a
 // terminal state, then emits a "done"/"failed" record with the result.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.reg.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.reg.get(id)
 	if !ok {
+		if s.proxyJobRequest(w, r, id) {
+			return
+		}
 		s.writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job id"})
 		return
 	}

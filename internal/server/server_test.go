@@ -23,7 +23,10 @@ import (
 // backpressure, coalescing and drain tests.
 func newTestServer(t *testing.T, cfg Config, gated bool) (*Server, *httptest.Server, chan struct{}) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var gate chan struct{}
 	if gated {
 		// The gate must exist before any job can execute; New started the
@@ -481,7 +484,10 @@ func TestDiscoveryEndpoints(t *testing.T) {
 }
 
 func TestServeListensAndShutsDown(t *testing.T) {
-	s := New(Config{Addr: "127.0.0.1:0"})
+	s, err := New(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan string, 1)
 	served := make(chan error, 1)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -64,10 +65,22 @@ func labeledMetric(t *testing.T, base, name, tenant string) float64 {
 // Retry-After, while cache hits stay free and other tenants are
 // untouched.
 func TestTenantBucket429(t *testing.T) {
+	// The fake clock is read by worker goroutines too (lease stamping on
+	// job records), so it must be safe against the test's advances.
+	var clockMu sync.Mutex
 	now := time.Unix(1000, 0)
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		now = now.Add(d)
+		clockMu.Unlock()
+	}
 	_, ts, _ := newTestServer(t, Config{
 		Tenants: map[string]TenantLimits{"metered": {Rate: 0.5, Burst: 2}},
-		now:     func() time.Time { return now },
+		now: func() time.Time {
+			clockMu.Lock()
+			defer clockMu.Unlock()
+			return now
+		},
 	}, false)
 
 	// Two fresh submits fit the burst.
@@ -98,7 +111,7 @@ func TestTenantBucket429(t *testing.T) {
 		t.Fatalf("unlimited tenant = %d, want 202", resp.StatusCode)
 	}
 	// Advancing the clock refills the bucket.
-	now = now.Add(2 * time.Second)
+	advance(2 * time.Second)
 	if resp, _ := postAs(t, ts.URL+"/v1/solve", "metered", `{"k":104,"seed":1}`); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit after refill = %d, want 202", resp.StatusCode)
 	}

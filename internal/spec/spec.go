@@ -557,6 +557,32 @@ func (s *ExperimentSpec) Validate(l Limits) error {
 	return nil
 }
 
+// EncodeParams marshals a validated spec's canonical parameter
+// document — the flat JSON body the matching /v1/* endpoint accepts,
+// and the bytes CanonicalKey hashes. Decode(s.Kind, params) followed
+// by Validate reconstructs an equivalent spec with an identical
+// canonical key, which is what makes job records replayable: the
+// serving subsystem persists (kind, params) and recovery rebuilds the
+// exact experiment. Specs using a library-only escape hatch (Systems,
+// Lineup, Config) have no canonical encoding.
+func (s ExperimentSpec) EncodeParams() ([]byte, error) {
+	sub, err := s.active()
+	if err != nil {
+		return nil, err
+	}
+	switch v := sub.(type) {
+	case *EvaluateSpec:
+		if len(v.Systems) > 0 {
+			return nil, fmt.Errorf("spec: custom systems have no canonical encoding")
+		}
+	case *ThroughputSpec:
+		if len(v.Lineup) > 0 || v.Config != nil {
+			return nil, fmt.Errorf("spec: custom lineups and configs have no canonical encoding")
+		}
+	}
+	return json.Marshal(sub)
+}
+
 // CanonicalKey hashes a validated spec into the cache key used by the
 // serving subsystem: SHA-256 over kind and the canonical parameter
 // encoding. Identical experiments — however they were expressed: Go
@@ -565,21 +591,7 @@ func (s *ExperimentSpec) Validate(l Limits) error {
 // using a library-only escape hatch (Systems, Lineup, Config) are not
 // hashable.
 func (s ExperimentSpec) CanonicalKey() (string, error) {
-	sub, err := s.active()
-	if err != nil {
-		return "", err
-	}
-	switch v := sub.(type) {
-	case *EvaluateSpec:
-		if len(v.Systems) > 0 {
-			return "", fmt.Errorf("spec: custom systems have no canonical encoding")
-		}
-	case *ThroughputSpec:
-		if len(v.Lineup) > 0 || v.Config != nil {
-			return "", fmt.Errorf("spec: custom lineups and configs have no canonical encoding")
-		}
-	}
-	params, err := json.Marshal(sub)
+	params, err := s.EncodeParams()
 	if err != nil {
 		return "", err
 	}

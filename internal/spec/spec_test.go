@@ -310,3 +310,51 @@ func TestPrecisionValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEncodeParamsRoundTrip: the persistence contract behind durable
+// job records — EncodeParams of a validated spec decodes back (via the
+// same path the HTTP endpoints use) to a spec with an identical
+// canonical key, for every kind.
+func TestEncodeParamsRoundTrip(t *testing.T) {
+	specs := []ExperimentSpec{
+		ForSolve(SolveSpec{Protocol: ProtocolSpec{Name: "ofa"}, K: 4096, Seed: 9}),
+		ForSolve(SolveSpec{Protocol: ProtocolSpec{Name: "one-fail", Params: map[string]float64{"delta": 2.9}}}),
+		ForEvaluate(EvaluateSpec{Ks: []int{10, 100}, Runs: 2, Seed: 3}),
+		ForEvaluate(EvaluateSpec{MaxExp: 3, Precision: &PrecisionSpec{Epsilon: 0.05}}),
+		ForThroughput(ThroughputSpec{Shape: "burst", Lambdas: []float64{0.1, 0.2}, Messages: 500, Runs: 1}),
+		ForScenario(ThroughputSpec{Scenario: "herd", Lambdas: []float64{0.1}, Messages: 300, Runs: 1}),
+	}
+	for i, es := range specs {
+		if err := es.Validate(Limits{}); err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		key, err := es.CanonicalKey()
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		params, err := es.EncodeParams()
+		if err != nil {
+			t.Fatalf("spec %d: EncodeParams: %v", i, err)
+		}
+		back, err := Decode(es.Kind, params)
+		if err != nil {
+			t.Fatalf("spec %d: Decode(EncodeParams): %v", i, err)
+		}
+		if err := back.Validate(Limits{}); err != nil {
+			t.Fatalf("spec %d: revalidate: %v", i, err)
+		}
+		key2, err := back.CanonicalKey()
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if key2 != key {
+			t.Fatalf("spec %d: round trip changed the canonical key:\n %s\n %s", i, key, key2)
+		}
+	}
+
+	// Library-only escape hatches stay unencodable.
+	es := ForThroughput(ThroughputSpec{Config: &throughput.Config{}})
+	if _, err := es.EncodeParams(); err == nil {
+		t.Fatal("EncodeParams accepted a library-only config")
+	}
+}

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkStorePublish measures the file-backed publish path a worker
+// pays when a job completes: one content-addressed result write plus
+// the terminal job-record write, both with write-to-temp + fsync +
+// atomic rename and a directory sync. This is the durability tax on
+// every completed job under -data-dir; it is pinned in BENCH_BASE.json
+// so a regression (an extra sync, a lost batch) fails the benchjson
+// diff gate.
+func BenchmarkStorePublish(b *testing.B) {
+	s, err := OpenFile(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A representative result document: a small sweep's JSON, ~1 KiB.
+	doc := make([]byte, 0, 1024)
+	doc = append(doc, `{"kind":"evaluate","rows":[`...)
+	for i := 0; len(doc) < 1000; i++ {
+		if i > 0 {
+			doc = append(doc, ',')
+		}
+		doc = fmt.Appendf(doc, `{"k":%d,"slots":%d}`, 10*i, 1234+i)
+	}
+	doc = append(doc, `]}`...)
+	created := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := sha256.Sum256([]byte{byte(i), byte(i >> 8), byte(i >> 16), byte(i >> 24)})
+		key := hex.EncodeToString(sum[:])
+		if err := s.PutResult(key, doc); err != nil {
+			b.Fatal(err)
+		}
+		rec := JobRecord{
+			ID:       key[:12] + "-1",
+			Kind:     "evaluate",
+			Key:      key,
+			Params:   json.RawMessage(`{"ks":[10,100],"runs":3,"seed":1}`),
+			Status:   StatusDone,
+			Created:  created,
+			Finished: created,
+		}
+		if err := s.PutJob(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

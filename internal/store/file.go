@@ -1,0 +1,216 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// fileStore is the file-backed Store: a data directory owned by one
+// macsimd process.
+//
+// Layout:
+//
+//	<dir>/jobs/<id>.json          one record per accepted job
+//	<dir>/results/<kk>/<key>.json content-addressed result documents,
+//	                              fanned out by the first two hex
+//	                              characters of the canonical key
+//
+// Every write goes to a temp file in the destination directory, is
+// fsynced, and is renamed into place — a crash at any instant leaves
+// either the old file or the new one, never a torn record. Result
+// publishes additionally fsync the destination directory, so a result
+// that was acknowledged survives kill -9 of both the process and the
+// page cache's good intentions.
+type fileStore struct {
+	dir     string
+	jobs    string
+	results string
+}
+
+// OpenFile opens (creating if needed) a file-backed store rooted at
+// dir. The directory must be writable and owned by a single serving
+// process; two daemons sharing a data-dir will fight over leases.
+func OpenFile(dir string) (Store, error) {
+	fs := &fileStore{
+		dir:     dir,
+		jobs:    filepath.Join(dir, "jobs"),
+		results: filepath.Join(dir, "results"),
+	}
+	for _, d := range []string{fs.dir, fs.jobs, fs.results} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return fs, nil
+}
+
+// safeName rejects names that could escape the store's directories.
+// Job ids and canonical keys are hex-and-dash tokens; anything else is
+// a caller bug, not a file to create.
+func safeName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return fmt.Errorf("store: unsafe name %q", name)
+	}
+	return nil
+}
+
+// writeAtomic writes data to path via a temp file in the same
+// directory: write, fsync, rename. When syncDir is set the parent
+// directory is fsynced too, making the rename itself durable — the
+// publish barrier.
+func writeAtomic(path string, data []byte, syncDir bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if syncDir {
+		if d, err := os.Open(dir); err == nil {
+			_ = d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}
+
+func (f *fileStore) jobPath(id string) string {
+	return filepath.Join(f.jobs, id+".json")
+}
+
+// resultPath fans results out by the first two characters of the key,
+// so a long-lived store does not accumulate one directory with
+// millions of entries.
+func (f *fileStore) resultPath(key string) (string, error) {
+	if err := safeName(key); err != nil {
+		return "", err
+	}
+	fan := "xx"
+	if len(key) >= 2 {
+		fan = key[:2]
+	}
+	return filepath.Join(f.results, fan, key+".json"), nil
+}
+
+func (f *fileStore) PutJob(rec JobRecord) error {
+	if err := safeName(rec.ID); err != nil {
+		return err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return writeAtomic(f.jobPath(rec.ID), data, true)
+}
+
+func (f *fileStore) GetJob(id string) (JobRecord, bool, error) {
+	if err := safeName(id); err != nil {
+		return JobRecord{}, false, err
+	}
+	data, err := os.ReadFile(f.jobPath(id))
+	if os.IsNotExist(err) {
+		return JobRecord{}, false, nil
+	}
+	if err != nil {
+		return JobRecord{}, false, err
+	}
+	var rec JobRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return JobRecord{}, false, fmt.Errorf("store: corrupt job record %s: %w", id, err)
+	}
+	return rec, true, nil
+}
+
+// Jobs loads every record. A record that fails to parse (a torn write
+// can't happen, but a full disk or an operator's editor can) is
+// renamed aside with a .corrupt suffix and skipped rather than taking
+// recovery down with it.
+func (f *fileStore) Jobs() ([]JobRecord, error) {
+	entries, err := os.ReadDir(f.jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []JobRecord
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		path := filepath.Join(f.jobs, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var rec JobRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			_ = os.Rename(path, path+".corrupt")
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func (f *fileStore) DeleteJob(id string) error {
+	if err := safeName(id); err != nil {
+		return err
+	}
+	err := os.Remove(f.jobPath(id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (f *fileStore) PutResult(key string, doc []byte) error {
+	path, err := f.resultPath(key)
+	if err != nil {
+		return err
+	}
+	// Content-addressed: an existing file already holds these bytes.
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return writeAtomic(path, doc, true)
+}
+
+func (f *fileStore) GetResult(key string) ([]byte, bool, error) {
+	path, err := f.resultPath(key)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}

@@ -1,0 +1,188 @@
+// Package store is the serving subsystem's pluggable persistence
+// layer: job records (what work was accepted, who asked for it, how
+// far it got) and result documents (keyed by the canonical spec hash,
+// so results are content-addressed — the spec layer guarantees
+// byte-identical keys across every front end).
+//
+// Two implementations ship:
+//
+//   - Mem — process memory. Job records live in a map and die with the
+//     process, which is exactly the durability the server had before
+//     this package existed; the in-memory server keeps its behavior
+//     byte for byte. Result retention is optional (see Mem) because
+//     the server already holds results in its bounded LRU cache — a
+//     second unbounded copy would change the memory profile.
+//   - File under OpenFile — one JSON record per job and one
+//     content-addressed result file per canonical key beneath a data
+//     directory, written with write-to-temp + fsync + atomic rename so
+//     a crash never leaves a half-written record, and the directory
+//     fsynced on publish so a completed job survives kill -9.
+//
+// The server writes through this layer on enqueue, start, publish and
+// cancel; a recovery pass on boot replays the records back into the
+// queue (docs/durability.md is the operator guide). The interfaces are
+// deliberately tiny — a future networked store (Redis, SQL, object
+// storage) only has to speak records and bytes.
+package store
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Job lifecycle states as persisted. These mirror the serving layer's
+// states; the store treats them as opaque except for the queued /
+// running / terminal distinction recovery needs.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// TerminalStatus reports whether a persisted status is final — a
+// record recovery must never requeue.
+func TerminalStatus(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCanceled
+}
+
+// JobRecord is the persisted form of one accepted job: enough to
+// answer a poll after a restart (terminal records) or to rebuild and
+// requeue the work (queued and lease-expired running records). Params
+// is the spec layer's canonical parameter document — spec.Decode(Kind,
+// Params) reconstructs the exact experiment, and Key is its canonical
+// hash, which doubles as the result document's content address.
+type JobRecord struct {
+	ID      string          `json:"id"`
+	Kind    string          `json:"kind"`
+	Key     string          `json:"key"`
+	Params  json.RawMessage `json:"params,omitempty"`
+	Tenant  string          `json:"tenant,omitempty"`
+	Status  string          `json:"status"`
+	Error   string          `json:"error,omitempty"`
+	Retries int             `json:"retries,omitempty"`
+
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+
+	// LeaseUntil is the running job's lease deadline: a worker that
+	// takes a job owns it until this instant. A running record whose
+	// lease has expired belongs to a dead process and may be requeued
+	// (Retries+1), bounded by the server's -max-retries.
+	LeaseUntil time.Time `json:"leaseUntil,omitempty"`
+}
+
+// JobStore persists job records by id.
+type JobStore interface {
+	// PutJob creates or replaces the record. Writes are atomic: a
+	// reader (or a recovery pass after a crash) sees the old record or
+	// the new one, never a torn mix.
+	PutJob(rec JobRecord) error
+	// GetJob returns the record for id, if present.
+	GetJob(id string) (JobRecord, bool, error)
+	// Jobs returns every persisted record, in no particular order.
+	Jobs() ([]JobRecord, error)
+	// DeleteJob removes the record; deleting an absent id is not an
+	// error.
+	DeleteJob(id string) error
+}
+
+// ResultStore persists result documents by canonical spec hash. The
+// same key always maps to the same bytes — results are immutable and
+// content-addressed — so PutResult over an existing key is a no-op
+// rewrite, never a conflict.
+type ResultStore interface {
+	// PutResult durably publishes the result document under key.
+	PutResult(key string, doc []byte) error
+	// GetResult returns the document for key, if present. The returned
+	// bytes must not be mutated.
+	GetResult(key string) ([]byte, bool, error)
+}
+
+// Store is a combined job and result store, the unit the server is
+// configured with.
+type Store interface {
+	JobStore
+	ResultStore
+}
+
+// Mem is the in-memory implementation: job records in a map, result
+// documents in a FIFO-bounded map. resultCap bounds retained results;
+// 0 retains none — PutResult discards and GetResult always misses —
+// which is the serving default (the server's LRU cache is the only
+// in-memory result tier, exactly the pre-store behavior and memory
+// footprint). A positive cap makes Mem an honest full store for tests.
+func Mem(resultCap int) Store {
+	return &memStore{
+		jobs:      make(map[string]JobRecord),
+		results:   make(map[string][]byte),
+		resultCap: resultCap,
+	}
+}
+
+type memStore struct {
+	mu        sync.Mutex
+	jobs      map[string]JobRecord
+	results   map[string][]byte
+	order     []string // result insertion order, for FIFO eviction
+	resultCap int
+}
+
+func (m *memStore) PutJob(rec JobRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[rec.ID] = rec
+	return nil
+}
+
+func (m *memStore) GetJob(id string) (JobRecord, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.jobs[id]
+	return rec, ok, nil
+}
+
+func (m *memStore) Jobs() ([]JobRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobRecord, 0, len(m.jobs))
+	for _, rec := range m.jobs {
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func (m *memStore) DeleteJob(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.jobs, id)
+	return nil
+}
+
+func (m *memStore) PutResult(key string, doc []byte) error {
+	if m.resultCap <= 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.results[key]; !ok {
+		m.order = append(m.order, key)
+	}
+	m.results[key] = doc
+	for len(m.results) > m.resultCap {
+		oldest := m.order[0]
+		m.order = m.order[1:]
+		delete(m.results, oldest)
+	}
+	return nil
+}
+
+func (m *memStore) GetResult(key string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	doc, ok := m.results[key]
+	return doc, ok, nil
+}

@@ -1,0 +1,242 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// implementations returns both stores under their contract names. The
+// Mem store gets a working result tier so the shared contract applies
+// to both halves.
+func implementations(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": Mem(64), "file": fs}
+}
+
+func record(id, status string) JobRecord {
+	return JobRecord{
+		ID:      id,
+		Kind:    "solve",
+		Key:     strings.Repeat("ab", 32),
+		Params:  json.RawMessage(`{"protocol":"one-fail","k":1000,"seed":1}`),
+		Tenant:  "default",
+		Status:  status,
+		Created: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestJobStoreContract(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok, err := s.GetJob("missing"); err != nil || ok {
+				t.Fatalf("GetJob(missing) = %v, %v", ok, err)
+			}
+			rec := record("abcdef123456-1", StatusQueued)
+			if err := s.PutJob(rec); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.GetJob(rec.ID)
+			if err != nil || !ok {
+				t.Fatalf("GetJob = %v, %v", ok, err)
+			}
+			if got.ID != rec.ID || got.Status != StatusQueued || got.Tenant != "default" ||
+				!bytes.Equal(got.Params, rec.Params) || !got.Created.Equal(rec.Created) {
+				t.Fatalf("round trip mutated the record: %+v", got)
+			}
+
+			// Replacing a record is a full overwrite.
+			rec.Status = StatusRunning
+			rec.LeaseUntil = rec.Created.Add(30 * time.Second)
+			rec.Retries = 2
+			if err := s.PutJob(rec); err != nil {
+				t.Fatal(err)
+			}
+			got, _, _ = s.GetJob(rec.ID)
+			if got.Status != StatusRunning || got.Retries != 2 || !got.LeaseUntil.Equal(rec.LeaseUntil) {
+				t.Fatalf("overwrite lost fields: %+v", got)
+			}
+
+			// Jobs() lists everything written.
+			if err := s.PutJob(record("abcdef123456-2", StatusDone)); err != nil {
+				t.Fatal(err)
+			}
+			recs, err := s.Jobs()
+			if err != nil || len(recs) != 2 {
+				t.Fatalf("Jobs = %d records, %v", len(recs), err)
+			}
+
+			// Delete is idempotent.
+			if err := s.DeleteJob(rec.ID); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.DeleteJob(rec.ID); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := s.GetJob(rec.ID); ok {
+				t.Fatal("deleted record still present")
+			}
+		})
+	}
+}
+
+func TestResultStoreContract(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			key := strings.Repeat("cd", 32)
+			if _, ok, err := s.GetResult(key); err != nil || ok {
+				t.Fatalf("GetResult(missing) = %v, %v", ok, err)
+			}
+			doc := []byte(`{"kind":"solve","slots":123}`)
+			if err := s.PutResult(key, doc); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.GetResult(key)
+			if err != nil || !ok || !bytes.Equal(got, doc) {
+				t.Fatalf("GetResult = %s, %v, %v", got, ok, err)
+			}
+			// Content-addressed: re-publishing the same key is a no-op,
+			// not an error.
+			if err := s.PutResult(key, doc); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMemResultCapZeroRetainsNothing(t *testing.T) {
+	// The serving default: job records only, the server's LRU stays the
+	// single in-memory result tier.
+	s := Mem(0)
+	if err := s.PutResult("k", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.GetResult("k"); ok {
+		t.Fatal("cap-0 Mem retained a result")
+	}
+}
+
+func TestMemResultFIFOBound(t *testing.T) {
+	s := Mem(2)
+	for i := 0; i < 3; i++ {
+		if err := s.PutResult(fmt.Sprintf("k%d", i), []byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, _ := s.GetResult("k0"); ok {
+		t.Fatal("oldest result survived over-capacity insert")
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if _, ok, _ := s.GetResult(k); !ok {
+			t.Fatalf("%s evicted early", k)
+		}
+	}
+}
+
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := record("deadbeef0123-7", StatusQueued)
+	if err := s1.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ef", 32)
+	if err := s1.PutResult(key, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh handle on the same directory — the restart path — sees
+	// both the record and the result.
+	s2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s2.GetJob(rec.ID)
+	if err != nil || !ok || got.Status != StatusQueued {
+		t.Fatalf("reopened GetJob = %+v, %v, %v", got, ok, err)
+	}
+	if doc, ok, _ := s2.GetResult(key); !ok || string(doc) != `{"ok":true}` {
+		t.Fatalf("reopened GetResult = %s, %v", doc, ok)
+	}
+}
+
+func TestFileStoreSkipsCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutJob(record("good00000000-1", StatusQueued)); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "jobs", "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"id": tru`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Jobs()
+	if err != nil || len(recs) != 1 || recs[0].ID != "good00000000-1" {
+		t.Fatalf("Jobs with corrupt neighbor = %+v, %v", recs, err)
+	}
+	// The corrupt file was set aside, not deleted — an operator can
+	// inspect it — and a second scan no longer trips over it.
+	if _, err := os.Stat(bad + ".corrupt"); err != nil {
+		t.Fatalf("corrupt record not renamed aside: %v", err)
+	}
+	if recs, err := s.Jobs(); err != nil || len(recs) != 1 {
+		t.Fatalf("second Jobs scan = %d records, %v", len(recs), err)
+	}
+}
+
+func TestFileStoreRejectsUnsafeNames(t *testing.T) {
+	s, err := OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "../escape", "a/b", `a\b`} {
+		if err := s.PutJob(JobRecord{ID: name}); err == nil {
+			t.Fatalf("PutJob accepted unsafe id %q", name)
+		}
+		if err := s.PutResult(name, []byte(`1`)); err == nil {
+			t.Fatalf("PutResult accepted unsafe key %q", name)
+		}
+	}
+}
+
+func TestFileStoreConcurrentWriters(t *testing.T) {
+	s, err := OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id := fmt.Sprintf("job%d-%d", w, i)
+				if err := s.PutJob(record(id, StatusQueued)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	recs, err := s.Jobs()
+	if err != nil || len(recs) != 160 {
+		t.Fatalf("Jobs after concurrent writes = %d, %v", len(recs), err)
+	}
+}

@@ -5,15 +5,28 @@ import (
 	"net"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // ServerConfig parameterizes the simulation-serving subsystem
 // (internal/server): listen address, workers, queue bound, result
-// cache size, per-request limits, and the tenancy layer (per-tenant
+// cache size, per-request limits, the tenancy layer (per-tenant
 // admission buckets via Tenants, deficit-round-robin FairnessWeights,
-// the interactive PriorityLane; see docs/tenancy.md). The zero value
-// serves on 127.0.0.1:8080 with sensible single-tenant defaults.
+// the interactive PriorityLane; see docs/tenancy.md), durability
+// (Store, LeaseDuration, MaxRetries; see docs/durability.md) and
+// static cluster membership (Peers, SelfAddr). The zero value serves
+// on 127.0.0.1:8080 with sensible single-node, single-tenant defaults.
 type ServerConfig = server.Config
+
+// ServerStore persists the server's job records and result documents.
+// The default is in-memory; NewFileStore survives restarts.
+type ServerStore = store.Store
+
+// NewFileStore opens (creating if needed) a file-backed ServerStore
+// rooted at dir: one JSON record per job, content-addressed result
+// documents, atomic writes with fsync. See docs/durability.md for the
+// on-disk layout and the recovery semantics it enables.
+func NewFileStore(dir string) (ServerStore, error) { return store.OpenFile(dir) }
 
 // ServerLimits bounds what one API request may ask of the simulators.
 type ServerLimits = server.Limits
@@ -30,10 +43,12 @@ type TenantLimits = server.TenantLimits
 // for the daemon and examples/macservice for a client walkthrough.
 type Server = server.Server
 
-// NewServer builds a Server and starts its worker pool. Expose
-// Server.Handler on any listener (or call Server.ListenAndServe), then
-// Server.Drain + Server.Close to stop gracefully.
-func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+// NewServer builds a Server, recovers any persisted jobs from
+// cfg.Store, and starts the worker pool. It fails only on invalid
+// cluster membership (cfg.Peers/cfg.SelfAddr). Expose Server.Handler
+// on any listener (or call Server.ListenAndServe), then Server.Drain +
+// Server.Close to stop gracefully.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // Serve runs the simulation-serving subsystem on cfg.Addr until ctx is
 // canceled, then drains gracefully: in-flight and queued jobs finish
@@ -42,7 +57,10 @@ func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 // non-nil, receives the bound address once listening (useful with
 // ":0").
 func Serve(ctx context.Context, cfg ServerConfig, ready chan<- string) error {
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 	return srv.ListenAndServe(ctx, ready)
 }
@@ -50,7 +68,10 @@ func Serve(ctx context.Context, cfg ServerConfig, ready chan<- string) error {
 // ServeOn is Serve for an existing listener; the caller keeps control
 // of address selection and socket options.
 func ServeOn(ctx context.Context, cfg ServerConfig, ln net.Listener) error {
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 	return srv.Serve(ctx, ln)
 }

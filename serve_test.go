@@ -15,7 +15,10 @@ import (
 // job must reproduce mac.Protocol.Solve bit for bit — same protocol,
 // same k, same seed, same slot count.
 func TestServerMatchesLibrary(t *testing.T) {
-	srv := NewServer(ServerConfig{})
+	srv, err := NewServer(ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

@@ -14,6 +14,21 @@
 //	macsim -experiment scenario [-scenario all|poisson|bursty|onoff|rho|herd|adaptive|jammed|mixed] [-lambdas 0.1,0.2,0.3] [-out csv|plot]
 //	macsim -experiment cd [-k 10000] — §2 collision-detection comparison
 //	macsim -experiment ablation-ofa|ablation-ebb|ablation-monotone
+//	macsim session [-protocol exp-bb] [-rate 0.1] [-window 64] [-windows N]
+//	               [-pace W] [-buffer 256] [-seed 1]   — live session (NDJSON)
+//	macsim session -replay checkpoint.json             — deterministic replay
+//
+// The session subcommand opens a live session (docs/sessions.md): the
+// dynamic simulation runs window by window on the event-skip kernel,
+// control lines read from stdin ("set-lambda 0.3", "jam on", "jam
+// pattern 8:3", "swap-protocol exp-backoff", "pause", "resume",
+// "checkpoint", "stop") steer it mid-flight, and every event — window
+// aggregates, control acknowledgments, checkpoints, the end record —
+// streams to stdout as NDJSON, byte-identical to the lines GET
+// /v1/sessions/{id}/stream serves. -replay re-executes a saved
+// checkpoint document (the "checkpoint" control's output, or the
+// .checkpoint field of the HTTP session view) and reproduces the
+// original window aggregates bit for bit.
 //
 // The experiment name may also be given as a subcommand:
 //
@@ -43,6 +58,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -77,24 +93,30 @@ func main() {
 }
 
 type options struct {
-	experiment string
-	protocol   string
-	k          int
-	maxExp     int
-	runs       int
-	seed       uint64
-	out        string
-	rate       float64
-	lambdas    string
-	messages   int
-	shape      string
-	scenario   string
-	epsilon    float64
-	confidence float64
-	quiet      bool
-	jsonOut    bool
-	stream     bool
-	version    bool
+	experiment  string
+	protocol    string
+	k           int
+	maxExp      int
+	runs        int
+	seed        uint64
+	out         string
+	rate        float64
+	lambdas     string
+	messages    int
+	shape       string
+	scenario    string
+	epsilon     float64
+	confidence  float64
+	window      int
+	windows     int
+	pace        float64
+	buffer      int
+	replay      string
+	protocolSet bool
+	quiet       bool
+	jsonOut     bool
+	stream      bool
+	version     bool
 }
 
 // precision builds the adaptive-precision request the flags describe;
@@ -128,6 +150,7 @@ var experiments = []struct {
 	{"ablation-ofa", false, runAblationOFA},
 	{"ablation-ebb", false, runAblationEBB},
 	{"ablation-monotone", false, runAblationMonotone},
+	{"session", false, runSession},
 }
 
 func experimentNames() []string {
@@ -181,6 +204,11 @@ func parseOptions(args []string) (options, error) {
 		"sweep experiments: adaptive-precision stopping at this relative precision (e.g. 0.01 = ±1%); 0 keeps the fixed -runs count")
 	fs.Float64Var(&opts.confidence, "confidence", 0.95,
 		"confidence level of the -epsilon stopping rule")
+	fs.IntVar(&opts.window, "window", 0, "session aggregation window in slots (default 64)")
+	fs.IntVar(&opts.windows, "windows", 0, "session window budget; 0 runs until a stop control")
+	fs.Float64Var(&opts.pace, "pace", 0, "session pacing in windows per wall-clock second; 0 runs flat out")
+	fs.IntVar(&opts.buffer, "buffer", 0, "session event buffer before drop-oldest backpressure (default 256)")
+	fs.StringVar(&opts.replay, "replay", "", "replay this session checkpoint file instead of opening a live session")
 	fs.BoolVar(&opts.quiet, "quiet", false, "suppress progress output")
 	fs.BoolVar(&opts.jsonOut, "json", false, "spec-backed experiments: print the result document as JSON (the same codec the HTTP API serves)")
 	fs.BoolVar(&opts.stream, "stream", false, "spec-backed experiments: emit NDJSON progress events plus a terminal result record (as /v1/jobs/{id}/stream)")
@@ -193,8 +221,11 @@ func parseOptions(args []string) (options, error) {
 	}
 	confidenceSet := false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "confidence" {
+		switch f.Name {
+		case "confidence":
 			confidenceSet = true
+		case "protocol":
+			opts.protocolSet = true
 		}
 	})
 	if confidenceSet && opts.epsilon == 0 {
@@ -602,6 +633,80 @@ func runDynamic(opts options) error {
 	report("One-Fail Adaptive", resOFA)
 	report("Exp Back-on/Back-off", resEBB)
 	return nil
+}
+
+// runSession opens a live session (or replays a checkpoint with
+// -replay), streaming every session event to stdout as NDJSON — the
+// same lines GET /v1/sessions/{id}/stream serves — while a reader
+// goroutine turns stdin lines into controls via the one-line grammar.
+// Blank lines and #-comments are skipped; a malformed or rejected
+// control is reported on stderr and the session runs on. The session
+// ends at a "stop" control, the -windows budget, or SIGINT.
+func runSession(opts options) error {
+	var sess *mac.Session
+	if opts.replay != "" {
+		data, err := os.ReadFile(opts.replay)
+		if err != nil {
+			return err
+		}
+		var ck mac.SessionCheckpoint
+		if err := json.Unmarshal(data, &ck); err != nil {
+			return fmt.Errorf("-replay %s: %w", opts.replay, err)
+		}
+		sess, err = mac.ReplaySession(context.Background(), ck)
+		if err != nil {
+			return err
+		}
+	} else {
+		sp := mac.SessionSpec{
+			Lambda:     opts.rate,
+			Seed:       opts.seed,
+			Window:     opts.window,
+			MaxWindows: opts.windows,
+			Buffer:     opts.buffer,
+			Pace:       opts.pace,
+		}
+		// The global -protocol default (one-fail) is a fair protocol;
+		// sessions are windowed-only, so an unset flag defers to the
+		// session spec's own default (exp-bb).
+		if opts.protocolSet {
+			sp.Protocol = mac.ProtocolSpec{Name: opts.protocol}
+		}
+		var err error
+		sess, err = mac.OpenSession(context.Background(), sp)
+		if err != nil {
+			return err
+		}
+		go func() {
+			sc := bufio.NewScanner(os.Stdin)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if line == "" || strings.HasPrefix(line, "#") {
+					continue
+				}
+				msg, err := mac.ParseControl(line)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "macsim: control:", err)
+					continue
+				}
+				if _, err := sess.Control(context.Background(), msg); err != nil {
+					fmt.Fprintln(os.Stderr, "macsim: control:", err)
+				}
+			}
+			// stdin EOF ends the control feed, not the session: it still
+			// runs to its stop control, window budget or interrupt.
+		}()
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for ev, err := range sess.Events() {
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return sess.Wait()
 }
 
 // parseLambdas parses the -lambdas flag (empty means the caller's

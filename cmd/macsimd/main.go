@@ -10,7 +10,7 @@
 //	        [-cache 4096] [-retry-after 1s] [-drain-timeout 30s]
 //	        [-default-tenant default] [-tenant name=rate[:burst]]...
 //	        [-tenant-weight name=w]... [-tenant-queue N] [-priority-lane]
-//	        [-interactive-cost N]
+//	        [-interactive-cost N] [-max-sessions N]
 //	        [-data-dir DIR] [-lease 15s] [-max-retries 3]
 //	        [-peers a:8080,b:8080] [-self a:8080]
 //	macsimd -version
@@ -47,6 +47,8 @@
 //	POST /v1/scenario    {"scenario":"herd","lambdas":[0.1]}
 //	GET  /v1/jobs/{id}           — poll
 //	GET  /v1/jobs/{id}/stream    — NDJSON progress + result
+//	POST /v1/sessions            — open a live session (docs/sessions.md)
+//	GET  /v1/sessions/{id}/stream, POST /v1/sessions/{id}/control
 //	GET  /v1/protocols, /v1/scenarios, /metrics, /healthz
 //
 // Submits answer 200 with the result on a cache hit, 202 with a job to
@@ -115,6 +117,7 @@ func runCtx(ctx context.Context, args []string, ready chan<- string) error {
 	fs.IntVar(&cfg.TenantQueueDepth, "tenant-queue", 0, "queued jobs one tenant may hold before 429 (0 = no per-tenant bound)")
 	fs.BoolVar(&cfg.PriorityLane, "priority-lane", false, "serve small interactive requests before a tenant's batch jobs")
 	fs.IntVar(&cfg.Limits.InteractiveCost, "interactive-cost", 0, "interactive/batch cost boundary in estimated slots (default 2^16)")
+	fs.IntVar(&cfg.MaxSessions, "max-sessions", 0, "live sessions running at once before opens answer 429 (default 64)")
 	fs.Func("tenant", "per-tenant admission `name=rate[:burst]` (repeatable; name \"*\" = unlisted tenants)", func(v string) error {
 		name, lim, err := parseTenantLimit(v)
 		if err != nil {

@@ -30,6 +30,7 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -181,6 +182,7 @@ type config struct {
 	clock    Clock
 	maxSlots uint64
 	jammed   func(slot uint64) bool
+	ctx      context.Context
 }
 
 // Option configures RunFair and RunWindow.
@@ -206,6 +208,16 @@ func WithMaxSlots(n uint64) Option {
 // mask. A nil predicate leaves the channel clean.
 func WithJammer(jammed func(slot uint64) bool) Option {
 	return func(cfg *config) { cfg.jammed = jammed }
+}
+
+// WithContext makes the run cancelable: RunWindowEvent checks ctx
+// periodically (every few hundred events, so the check stays off the
+// hot path) and returns ctx.Err() mid-run instead of simulating to
+// completion. Long-running consumers — internal/session lives on this
+// engine — need teardown that does not wait out a 20-million-slot
+// budget. A nil or background context disables the checks.
+func WithContext(ctx context.Context) Option {
+	return func(cfg *config) { cfg.ctx = ctx }
 }
 
 // wrap applies the configured clock to a station with the given arrival.

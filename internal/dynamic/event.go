@@ -122,7 +122,14 @@ func RunWindowEvent(w Workload, newSched func() (protocol.Schedule, error), src 
 	}
 
 	group := make([]int32, 0, 16)
-	for cal.Len() > 0 {
+	for events := 0; cal.Len() > 0; events++ {
+		// Cancellation check off the hot path: every 256 events is prompt
+		// for interactive teardown yet invisible in the pinned benchmarks.
+		if cfg.ctx != nil && events&255 == 0 {
+			if err := cfg.ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		var slot uint64
 		slot, group = cal.PopGroup(group)
 		if slot > cfg.maxSlots {

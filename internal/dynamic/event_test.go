@@ -1,10 +1,13 @@
 package dynamic
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/protocol"
@@ -236,5 +239,43 @@ func TestEventEngineMillionMessages(t *testing.T) {
 	throughput := float64(n) / float64(res.Completion)
 	if throughput < 0.95*lambda {
 		t.Fatalf("sustained throughput %.3f msgs/slot at offered load %v", throughput, lambda)
+	}
+}
+
+// TestRunWindowEventContextCancel: WithContext makes an unbounded run
+// cancelable mid-flight — the engine must return ctx.Err() promptly
+// instead of simulating out its slot budget. The CI race job runs this
+// package with -race, so the goroutine handoff here is race-checked.
+func TestRunWindowEventContextCancel(t *testing.T) {
+	t.Parallel()
+	// A fully jammed channel on a fixed window never delivers: every
+	// event is a collision that reschedules into the next window, so
+	// events stay dense and the run only ends at the (enormous) slot
+	// budget. Without cancellation this would spin for years.
+	newFixed := func() (protocol.Schedule, error) { return baseline.NewFixedWindow(64) }
+	always := func(uint64) bool { return true }
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunWindowEvent(Batch(64), newFixed, rng.New(50),
+			WithJammer(always), WithMaxSlots(1<<62), WithContext(ctx))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunWindowEvent did not return after cancellation")
+	}
+
+	// A context canceled before the run starts must stop it at the very
+	// first check, before any event is simulated.
+	if _, err := RunWindowEvent(Batch(64), newFixed, rng.New(51),
+		WithJammer(always), WithMaxSlots(1<<62), WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled: err = %v, want context.Canceled", err)
 	}
 }

@@ -101,6 +101,15 @@ func (s *WindowSystem) Name() string { return s.name }
 // AnalysisRatio implements System.
 func (s *WindowSystem) AnalysisRatio(k int) string { return s.analysis(k) }
 
+// NewSchedule builds one fresh private window schedule, sized for k
+// contenders (oblivious protocols such as Exp Back-on/Back-off ignore
+// k; pass 0 when no contender estimate exists, as internal/session
+// does for stations arriving over time). Each schedule is stateful and
+// single-use: one station, one schedule.
+func (s *WindowSystem) NewSchedule(k int) (protocol.Schedule, error) {
+	return s.newSched(k)
+}
+
 // Run implements System.
 func (s *WindowSystem) Run(k int, src *rng.Rand) (uint64, error) {
 	sched, err := s.newSched(k)

@@ -157,6 +157,70 @@ func (c *Calendar) PopGroup(buf []int32) (uint64, []int32) {
 	return 0, nil
 }
 
+// PeekWithin reports the earliest occupied slot if it is at most limit,
+// without removing anything. Crucially for callers that generate work
+// lazily — internal/session schedules each aggregation window's
+// arrivals only when the window opens — the scan position never
+// advances past limit: level-1 buckets are spilled (and the overflow
+// re-based) only when their span begins at or before limit, so after a
+// miss every slot strictly after limit remains schedulable. The wheels
+// are monotone (everything outside the level-0 window lies at higher
+// slots), so inspecting the level-0 bitmap alone decides the answer
+// once the earliest material is spilled in.
+func (c *Calendar) PeekWithin(limit uint64) (uint64, bool) {
+	for c.n > 0 {
+		if c.l1Cur >= 0 {
+			if i := nextBit(c.l0map, c.l0Cur); i >= 0 {
+				slot := c.l0Base + uint64(i)
+				if slot > limit {
+					return 0, false
+				}
+				return slot, true
+			}
+		}
+		if j := nextBit(c.l1map, c.l1Cur+1); j >= 0 {
+			if c.l1Base+uint64(j)<<calL0Bits > limit {
+				return 0, false
+			}
+			c.l1Cur = j
+			c.l0Base = c.l1Base + uint64(j)<<calL0Bits
+			c.l0Cur = 0
+			for _, e := range c.l1[j] {
+				i := int(e.slot - c.l0Base)
+				c.l0[i] = append(c.l0[i], e.id)
+				c.l0map[i>>6] |= 1 << (i & 63)
+			}
+			c.l1[j] = c.l1[j][:0]
+			c.l1map[j>>6] &^= 1 << (j & 63)
+			continue
+		}
+		min := c.over[0].slot
+		for _, e := range c.over[1:] {
+			if e.slot < min {
+				min = e.slot
+			}
+		}
+		if min > limit {
+			return 0, false
+		}
+		c.l1Base = min
+		c.l1Cur = -1
+		c.l0Cur = calL0Len
+		kept := c.over[:0]
+		for _, e := range c.over {
+			if e.slot < c.l1Base+calHorizon {
+				j := int((e.slot - c.l1Base) >> calL0Bits)
+				c.l1[j] = append(c.l1[j], e)
+				c.l1map[j>>6] |= 1 << (j & 63)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		c.over = kept
+	}
+	return 0, false
+}
+
 // nextBit returns the index of the first set bit at or after position
 // from, or -1 if none.
 func nextBit(words []uint64, from int) int {

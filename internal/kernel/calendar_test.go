@@ -122,3 +122,82 @@ func TestCalendarPastSchedulePanics(t *testing.T) {
 	}()
 	c.Schedule(99, 2)
 }
+
+// TestCalendarPeekWithin: the lazy-generation contract of PeekWithin —
+// a miss must leave every slot strictly after the limit schedulable,
+// across level-0, level-1 and overflow material.
+func TestCalendarPeekWithin(t *testing.T) {
+	t.Parallel()
+	c := NewCalendar()
+	if _, ok := c.PeekWithin(1 << 40); ok {
+		t.Fatal("empty calendar peeked an event")
+	}
+
+	// Level-0 material beyond the limit: miss, then schedule behind it.
+	c.Schedule(100, 1)
+	if _, ok := c.PeekWithin(50); ok {
+		t.Fatal("peek(50) saw the event at 100")
+	}
+	c.Schedule(60, 2) // must not panic: 60 > limit 50
+	if slot, ok := c.PeekWithin(60); !ok || slot != 60 {
+		t.Fatalf("peek(60) = %d, %v, want 60, true", slot, ok)
+	}
+	slot, group := c.PopGroup(nil)
+	if slot != 60 || len(group) != 1 || group[0] != 2 {
+		t.Fatalf("pop = %d %v, want 60 [2]", slot, group)
+	}
+
+	// Level-1 material: the far bucket must not be spilled on a miss.
+	c2 := NewCalendar()
+	c2.Schedule(70_000, 3) // beyond the first level-0 window
+	if _, ok := c2.PeekWithin(8_191); ok {
+		t.Fatal("peek(8191) saw the event at 70000")
+	}
+	c2.Schedule(9_000, 4)
+	if slot, ok := c2.PeekWithin(9_000); !ok || slot != 9_000 {
+		t.Fatalf("peek(9000) = %d, %v, want 9000, true", slot, ok)
+	}
+	if slot, _ := c2.PopGroup(nil); slot != 9_000 {
+		t.Fatalf("pop = %d, want 9000", slot)
+	}
+	if slot, ok := c2.PeekWithin(1 << 40); !ok || slot != 70_000 {
+		t.Fatalf("peek(huge) = %d, %v, want 70000, true", slot, ok)
+	}
+
+	// Overflow material: a miss must not re-base the wheel either.
+	c3 := NewCalendar()
+	const far = uint64(calHorizon) + 5
+	c3.Schedule(far, 5)
+	if _, ok := c3.PeekWithin(1000); ok {
+		t.Fatal("peek(1000) saw the overflow event")
+	}
+	c3.Schedule(2000, 6)
+	if slot, ok := c3.PeekWithin(2000); !ok || slot != 2000 {
+		t.Fatalf("peek(2000) = %d, %v, want 2000, true", slot, ok)
+	}
+	if slot, _ := c3.PopGroup(nil); slot != 2000 {
+		t.Fatal("overflow interleave pop mismatch")
+	}
+	if slot, ok := c3.PeekWithin(far); !ok || slot != far {
+		t.Fatalf("peek(far) = %d, %v, want %d, true", slot, ok, far)
+	}
+	if slot, _ := c3.PopGroup(nil); slot != far {
+		t.Fatalf("final pop = %d, want %d", slot, far)
+	}
+	if c3.Len() != 0 {
+		t.Fatalf("len = %d after draining", c3.Len())
+	}
+
+	// Peek never consumes: repeated peeks and the following pop agree.
+	c4 := NewCalendar()
+	c4.Schedule(7, 7)
+	c4.Schedule(7, 8)
+	for i := 0; i < 3; i++ {
+		if slot, ok := c4.PeekWithin(7); !ok || slot != 7 {
+			t.Fatalf("peek #%d = %d, %v", i, slot, ok)
+		}
+	}
+	if slot, group := c4.PopGroup(nil); slot != 7 || len(group) != 2 {
+		t.Fatalf("pop = %d %v, want slot 7 with 2 ids", slot, group)
+	}
+}

@@ -36,6 +36,12 @@ type metrics struct {
 	storeRecovered atomic.Int64 // job records replayed by the boot recovery pass
 	storeRequeued  atomic.Int64 // recovered jobs put back on the queue
 
+	// Live sessions (internal/session).
+	sessionsOpened  atomic.Int64 // sessions accepted by POST /v1/sessions
+	sessionWindows  atomic.Int64 // aggregation windows simulated across all sessions
+	sessionControls atomic.Int64 // control messages accepted and applied
+	sessionDropped  atomic.Int64 // window aggregates dropped by slow-consumer backpressure
+
 	// Clustering (internal/cluster). Zero on single-node deployments.
 	forwarded atomic.Int64 // submits proxied to the key's owning peer
 	owned     atomic.Int64 // submits this node handled as the key's owner
@@ -106,6 +112,10 @@ func (m *metrics) render(now time.Time, gauges map[string]float64) string {
 	counter("macsimd_store_reads_total", "records and result documents read back from the store", m.storeReads.Load())
 	counter("macsimd_store_recovered_total", "job records replayed by the boot recovery pass", m.storeRecovered.Load())
 	counter("macsimd_store_requeued_total", "recovered jobs put back on the queue", m.storeRequeued.Load())
+	counter("macsimd_sessions_opened_total", "live sessions accepted by POST /v1/sessions", m.sessionsOpened.Load())
+	counter("macsimd_sessions_windows_total", "aggregation windows simulated across all live sessions", m.sessionWindows.Load())
+	counter("macsimd_sessions_controls_total", "session control messages accepted and applied", m.sessionControls.Load())
+	counter("macsimd_sessions_dropped_total", "session window aggregates dropped by slow-consumer backpressure", m.sessionDropped.Load())
 	counter("macsimd_forwarded_total", "submissions proxied to the key's owning peer", m.forwarded.Load())
 	counter("macsimd_owned_total", "submissions this node handled as the key's ring owner", m.owned.Load())
 	gauge("macsimd_cache_hit_rate", "cache hits / (hits + misses)", m.hitRate())
@@ -124,12 +134,13 @@ func (m *metrics) render(now time.Time, gauges map[string]float64) string {
 
 // gaugeHelp documents the server-supplied gauges.
 var gaugeHelp = map[string]string{
-	"macsimd_queue_depth":    "jobs waiting across all tenant sub-queues",
-	"macsimd_queue_capacity": "bound on queued jobs before 429",
-	"macsimd_workers":        "pool workers",
-	"macsimd_jobs_inflight":  "jobs queued or running",
-	"macsimd_jobs_running":   "jobs currently executing",
-	"macsimd_cache_entries":  "entries resident in the result cache",
+	"macsimd_queue_depth":     "jobs waiting across all tenant sub-queues",
+	"macsimd_queue_capacity":  "bound on queued jobs before 429",
+	"macsimd_workers":         "pool workers",
+	"macsimd_jobs_inflight":   "jobs queued or running",
+	"macsimd_jobs_running":    "jobs currently executing",
+	"macsimd_cache_entries":   "entries resident in the result cache",
+	"macsimd_sessions_active": "live sessions currently running",
 }
 
 // renderTenants writes the per-tenant metric families, one labeled
@@ -158,6 +169,9 @@ func renderTenants(states []*tenantState) string {
 	family("macsimd_tenant_served_total", "counter",
 		"tenant jobs that finished successfully",
 		func(ts *tenantState) int64 { return ts.served.Load() })
+	family("macsimd_tenant_session_windows_total", "counter",
+		"aggregation windows simulated for the tenant's live sessions",
+		func(ts *tenantState) int64 { return ts.sessionWindows.Load() })
 	family("macsimd_tenant_queued", "gauge",
 		"tenant jobs currently waiting in the sub-queue",
 		func(ts *tenantState) int64 { return ts.queued.Load() })

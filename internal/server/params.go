@@ -46,6 +46,12 @@ func limitsWithDefaults(l Limits) Limits {
 	if l.MaxKs <= 0 {
 		l.MaxKs = 12
 	}
+	if l.MaxWindow <= 0 {
+		l.MaxWindow = 65536
+	}
+	if l.MaxSessionWindows <= 0 {
+		l.MaxSessionWindows = 1_000_000
+	}
 	return l
 }
 

@@ -110,6 +110,11 @@ type Config struct {
 	// whole global queue. 0 means no per-tenant bound.
 	TenantQueueDepth int
 
+	// MaxSessions bounds concurrently running live sessions (POST
+	// /v1/sessions answers 429 beyond it; default 64). Each session is
+	// one goroutine simulating indefinitely, outside the worker pool.
+	MaxSessions int
+
 	// Durability and clustering (docs/durability.md).
 
 	// Store persists job records and result documents. Nil means an
@@ -172,6 +177,9 @@ func (c Config) withDefaults() Config {
 	if c.TenantQueueDepth > c.QueueDepth {
 		c.TenantQueueDepth = c.QueueDepth
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
 	if c.Store == nil {
 		// Zero result retention: the server's LRU stays the only
 		// in-memory result tier, so the default configuration costs the
@@ -200,14 +208,15 @@ func (c Config) withDefaults() Config {
 // Server is the serving subsystem. Create with New, expose with
 // Handler (or ListenAndServe), stop with Drain then Close.
 type Server struct {
-	cfg     Config
-	cache   *cache
-	store   store.Store
-	pool    *pool
-	reg     *registry
-	tenants *tenants
-	metrics metrics
-	mux     *http.ServeMux
+	cfg        Config
+	cache      *cache
+	store      store.Store
+	pool       *pool
+	reg        *registry
+	sessionReg *sessionRegistry
+	tenants    *tenants
+	metrics    metrics
+	mux        *http.ServeMux
 
 	// Clustering: nil ring means single-node. The proxy client carries
 	// forwarded requests to the owning peer (proxy.go).
@@ -232,12 +241,13 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    newCache(cfg.CacheEntries),
-		store:    cfg.Store,
-		reg:      newRegistry(cfg.JobsRetained),
-		tenants:  newTenants(cfg.Tenants, cfg.now),
-		inflight: make(map[string]*job),
+		cfg:        cfg,
+		cache:      newCache(cfg.CacheEntries),
+		store:      cfg.Store,
+		reg:        newRegistry(cfg.JobsRetained),
+		sessionReg: newSessionRegistry(cfg.JobsRetained),
+		tenants:    newTenants(cfg.Tenants, cfg.now),
+		inflight:   make(map[string]*job),
 	}
 	if len(cfg.Peers) > 0 {
 		ring, err := cluster.New(cfg.SelfAddr, cfg.Peers)
@@ -281,6 +291,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	err := s.pool.drain(ctx)
 	s.flushJobs()
+	s.flushSessions()
 	return err
 }
 
@@ -308,6 +319,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		stopErr := httpSrv.Shutdown(dctx)
 		drainErr := s.pool.drain(dctx)
 		s.flushJobs()
+		s.flushSessions()
 		shutdownErr <- errors.Join(stopErr, drainErr)
 	}()
 	err := httpSrv.Serve(ln)
@@ -347,6 +359,11 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handlePoll)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionPoll)
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleSessionStream)
+	mux.HandleFunc("POST /v1/sessions/{id}/control", s.handleSessionControl)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -741,12 +758,13 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = io.WriteString(w, s.metrics.render(time.Now(), map[string]float64{
-		"macsimd_queue_depth":    float64(s.pool.depth()),
-		"macsimd_queue_capacity": float64(s.cfg.QueueDepth),
-		"macsimd_workers":        float64(s.cfg.Workers),
-		"macsimd_jobs_inflight":  float64(s.pool.inflight()),
-		"macsimd_jobs_running":   float64(s.pool.running.Load()),
-		"macsimd_cache_entries":  float64(s.cache.len()),
+		"macsimd_queue_depth":     float64(s.pool.depth()),
+		"macsimd_queue_capacity":  float64(s.cfg.QueueDepth),
+		"macsimd_workers":         float64(s.cfg.Workers),
+		"macsimd_jobs_inflight":   float64(s.pool.inflight()),
+		"macsimd_jobs_running":    float64(s.pool.running.Load()),
+		"macsimd_cache_entries":   float64(s.cache.len()),
+		"macsimd_sessions_active": float64(s.sessionReg.active()),
 	}))
 	_, _ = io.WriteString(w, renderTenants(s.tenants.snapshot()))
 }

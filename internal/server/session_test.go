@@ -1,0 +1,350 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// openSession POSTs a session spec and decodes the created view.
+func openSession(t *testing.T, base, body string) sessionView {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open session: %d %s", resp.StatusCode, data)
+	}
+	var v sessionView
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("decoding session view %s: %v", data, err)
+	}
+	return v
+}
+
+// sendControl POSTs one control (text grammar) and returns the stamped ack.
+func sendControl(t *testing.T, base, id, line string) spec.SessionControl {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sessions/"+id+"/control", "text/plain", strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("control %q: %d %s", line, resp.StatusCode, data)
+	}
+	var ack spec.SessionControl
+	if err := json.Unmarshal(data, &ack); err != nil {
+		t.Fatalf("decoding control ack %s: %v", data, err)
+	}
+	return ack
+}
+
+func getSessionView(t *testing.T, base, id string) (int, sessionView) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var v sessionView
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("decoding session view %s: %v", data, err)
+		}
+	}
+	return resp.StatusCode, v
+}
+
+func TestSessionLifecycleOverHTTP(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, false)
+
+	v := openSession(t, ts.URL, `{"lambda": 0.2, "window": 32, "seed": 5}`)
+	if v.Kind != "session" || v.Status != "running" {
+		t.Fatalf("created view: %+v", v)
+	}
+	if !strings.Contains(v.ID, "-s") || !strings.HasPrefix(v.ID, v.Key[:ringPrefixLen]) {
+		t.Fatalf("session id %q not key-prefixed", v.ID)
+	}
+
+	// Stream concurrently while driving controls.
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + v.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+
+	ack := sendControl(t, ts.URL, v.ID, "set-lambda 0.4")
+	if ack.Event != "control" || ack.Control.Type != "set-lambda" || ack.Control.Slot == 0 {
+		t.Fatalf("ack %+v", ack)
+	}
+	sendControl(t, ts.URL, v.ID, "jam pattern 8:3")
+	sendControl(t, ts.URL, v.ID, "stop")
+
+	// The stream must end with the end record; the control acks ride it.
+	var sawControl, sawWindowOrEnd, sawEnd bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var probe struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("bad stream line %s: %v", sc.Text(), err)
+		}
+		switch probe.Event {
+		case "control":
+			sawControl = true
+		case "window":
+			sawWindowOrEnd = true
+		case "end":
+			sawEnd = true
+		}
+	}
+	if !sawControl || !sawWindowOrEnd || !sawEnd {
+		t.Fatalf("stream missing events: control=%v window=%v end=%v", sawControl, sawWindowOrEnd, sawEnd)
+	}
+
+	// Poll: stopped, with the checkpoint embedding the stamped log.
+	code, got := getSessionView(t, ts.URL, v.ID)
+	if code != http.StatusOK || got.Status != "stopped" {
+		t.Fatalf("poll after stop: %d %+v", code, got)
+	}
+	if len(got.Checkpoint.Log) != 3 || got.Checkpoint.Log[2].Type != "stop" {
+		t.Fatalf("checkpoint log: %+v", got.Checkpoint.Log)
+	}
+	if got.Checkpoint.Session.Lambda != 0.2 || got.Checkpoint.Session.Seed != 5 {
+		t.Fatalf("checkpoint spec: %+v", got.Checkpoint.Session)
+	}
+
+	// Controls after the end conflict.
+	cresp, err := http.Post(ts.URL+"/v1/sessions/"+v.ID+"/control", "text/plain", strings.NewReader("pause"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusConflict {
+		t.Fatalf("control after end: %d", cresp.StatusCode)
+	}
+}
+
+func TestSessionJSONControlAndDelete(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, false)
+	v := openSession(t, ts.URL, `{"window": 16}`)
+
+	// JSON control encoding, client-supplied slot ignored.
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+v.ID+"/control", "application/json",
+		strings.NewReader(`{"type": "jam", "jam": {"mode": "on"}, "slot": 99999}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json control: %d %s", resp.StatusCode, data)
+	}
+
+	// Unknown control: 400.
+	resp, err = http.Post(ts.URL+"/v1/sessions/"+v.ID+"/control", "text/plain", strings.NewReader("warp 9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad control: %d", resp.StatusCode)
+	}
+
+	// DELETE: hard teardown, status canceled.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+v.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("delete: %d %s", dresp.StatusCode, data)
+	}
+	var dv sessionView
+	if err := json.Unmarshal(data, &dv); err != nil {
+		t.Fatal(err)
+	}
+	if dv.Status != "canceled" {
+		t.Fatalf("deleted session status %q", dv.Status)
+	}
+}
+
+func TestSessionCapacityAndValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{MaxSessions: 1}, false)
+
+	v := openSession(t, ts.URL, `{}`)
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(`{"seed": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over capacity: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Bad specs: 400.
+	for _, body := range []string{
+		`{"lambda": -1}`,
+		`{"protocol": "one-fail"}`,
+		`{"unknown": 1}`,
+		`{"window": 1000000}`, // above the serving MaxWindow default
+	} {
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("spec %s: %d", body, resp.StatusCode)
+		}
+	}
+
+	// Ending the session frees the slot.
+	sendControl(t, ts.URL, v.ID, "stop")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(`{"seed": 2}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusCreated {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: %d", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSessionServedSpecIsClamped(t *testing.T) {
+	// A served session must never be unbounded: the serving limits clamp
+	// MaxWindows, and the checkpoint records the clamped spec.
+	_, ts, _ := newTestServer(t, Config{Limits: Limits{MaxSessionWindows: 50}}, false)
+	v := openSession(t, ts.URL, `{"window": 16}`)
+	if v.Checkpoint.Session.MaxWindows != 50 {
+		t.Fatalf("served spec not clamped: %+v", v.Checkpoint.Session)
+	}
+	// With no consumer, the session still ends on its own budget.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, got := getSessionView(t, ts.URL, v.ID)
+		if got.Status == "stopped" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("clamped session never ended: %+v", got)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSessionMetricsAndTenantCharge(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, false)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/sessions", strings.NewReader(`{"window": 16, "maxWindows": 5}`))
+	req.Header.Set("X-Tenant", "team-a")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var v sessionView
+	if err := json.Unmarshal(data, &v); err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open: %d %s", resp.StatusCode, data)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, got := getSessionView(t, ts.URL, v.ID)
+		if got.Status == "stopped" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("budgeted session never ended")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(mdata)
+	for _, want := range []string{
+		"macsimd_sessions_opened_total 1",
+		"macsimd_sessions_windows_total 5",
+		"macsimd_sessions_active 0",
+		`macsimd_tenant_session_windows_total{tenant="team-a"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestSessionRecordPersistsOnDrain(t *testing.T) {
+	st, err := store.OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts, _ := newTestServer(t, Config{Store: st}, false)
+	v := openSession(t, ts.URL, `{"window": 32}`)
+	sendControl(t, ts.URL, v.ID, "set-lambda 0.3")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, err := st.GetSession(v.ID)
+	if err != nil || !ok {
+		t.Fatalf("record not persisted: ok=%v err=%v", ok, err)
+	}
+	if rec.Status != "canceled" || rec.Tenant != "default" || rec.Key != v.Key {
+		t.Fatalf("record %+v", rec)
+	}
+	var log []spec.ControlMessage
+	if err := json.Unmarshal(rec.Log, &log); err != nil || len(log) != 1 || log[0].Type != "set-lambda" {
+		t.Fatalf("persisted log %s: %v", rec.Log, err)
+	}
+	var sp spec.SessionSpec
+	if err := json.Unmarshal(rec.Params, &sp); err != nil || sp.Window != 32 {
+		t.Fatalf("persisted params %s: %v", rec.Params, err)
+	}
+
+	// A restarted daemon answers the poll from the record.
+	s2, ts2, _ := newTestServer(t, Config{Store: st}, false)
+	_ = s2
+	code, got := getSessionView(t, ts2.URL, v.ID)
+	if code != http.StatusOK || got.Status != "canceled" || got.Checkpoint.Session.Window != 32 {
+		t.Fatalf("restart poll: %d %+v", code, got)
+	}
+	if len(got.Checkpoint.Log) != 1 {
+		t.Fatalf("restart checkpoint log: %+v", got.Checkpoint.Log)
+	}
+}

@@ -72,6 +72,8 @@ type tenantState struct {
 	status429 atomic.Int64 // all 429 responses (bucket + queue bounds)
 	served    atomic.Int64 // jobs that finished successfully
 	queued    atomic.Int64 // jobs currently waiting in the sub-queue
+
+	sessionWindows atomic.Int64 // aggregation windows simulated for the tenant's sessions
 }
 
 // tenants is the lazily-populated name → *tenantState index.

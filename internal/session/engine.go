@@ -1,0 +1,250 @@
+// The session engine: an unbounded dynamic simulation advanced one
+// aggregation window at a time on the event-skip kernel.
+//
+// Determinism is the load-bearing property. A session draws from ONE
+// rng stream in a strict order fixed entirely by (seed, validated
+// spec, slot-stamped control log):
+//
+//  1. At each window open, the Poisson arrival count for the window,
+//     then one uniform slot per arrival.
+//  2. Schedule seeding per arrival in ascending arrival-slot order
+//     (ties broken by draw order, which the sort keeps stable).
+//  3. Collision redraws in calendar pop order, which is itself
+//     deterministic.
+//
+// Content controls apply only at window boundaries — the engine stamps
+// each with the first slot of the next unsimulated window — so a
+// control's effect is a pure function of its stamped slot, never of
+// wall-clock arrival time. Pause, resume, checkpoint and pacing
+// consume no randomness and cannot move any stamped slot... except
+// that pausing delays which window the *next* control lands in; that
+// is recorded faithfully by the stamp itself, so replay agrees.
+//
+// The kernel.Calendar is strictly monotone: nothing can be scheduled
+// behind its scan position. Arrivals are generated lazily per window,
+// so the engine must never let the calendar advance past the current
+// window's end — Calendar.PeekWithin exists exactly for this: it
+// answers "is the next event inside this window?" without moving the
+// scan position past the boundary.
+
+package session
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/harness"
+	"repro/internal/kernel"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// station is one backlogged message: its private window schedule
+// position and its arrival slot (for delivery latency).
+type station struct {
+	sched protocol.Schedule
+	// windowEnd is the last slot of the most recently drawn window.
+	windowEnd uint64
+	arrival   uint64
+}
+
+// next draws the station's next transmission slot via the same
+// protocol.DrawWindow primitive the batch engines use.
+func (st *station) next(src *rng.Rand) (uint64, error) {
+	end, chosen, err := protocol.DrawWindow(st.sched, st.windowEnd, src)
+	if err != nil {
+		return 0, err
+	}
+	st.windowEnd = end
+	return chosen, nil
+}
+
+// engine is the deterministic simulation core, shared verbatim by live
+// sessions and replay.
+type engine struct {
+	src      *rng.Rand
+	cal      *kernel.Calendar
+	stations map[int32]*station
+	nextID   int32
+	group    []int32 // reusable PopGroup buffer
+
+	sys    *harness.WindowSystem // current protocol
+	lambda float64
+	jam    func(slot uint64) bool
+	window uint64 // aggregation window length in slots
+
+	next      uint64 // first slot of the next unsimulated window
+	widx      int    // next window index
+	delivered uint64
+}
+
+// newEngine builds the engine for a validated spec.
+func newEngine(sp spec.SessionSpec) (*engine, error) {
+	sys, err := windowSystem(sp.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	return &engine{
+		src:      rng.NewStream(sp.Seed, "session"),
+		cal:      kernel.NewCalendar(),
+		stations: make(map[int32]*station),
+		sys:      sys,
+		lambda:   sp.Lambda,
+		jam:      sp.Jam.Mask(),
+		window:   uint64(sp.Window),
+		next:     1,
+	}, nil
+}
+
+// windowSystem resolves a protocol spec to its windowed system,
+// rejecting fair protocols (spec validation already has; this guards
+// the library path).
+func windowSystem(p spec.ProtocolSpec) (*harness.WindowSystem, error) {
+	sys, err := harness.SystemBySpec(p.Name, p.Params)
+	if err != nil {
+		return nil, err
+	}
+	ws, ok := sys.(*harness.WindowSystem)
+	if !ok {
+		return nil, fmt.Errorf("session: %q is not a windowed protocol", p.Name)
+	}
+	return ws, nil
+}
+
+// apply executes one content control at the current window boundary.
+// It is the single code path live control handling and replay share —
+// which is what makes the stamped log sufficient for bit-identical
+// reproduction.
+func (e *engine) apply(msg spec.ControlMessage) error {
+	switch msg.Type {
+	case spec.ControlSetLambda:
+		e.lambda = msg.Lambda
+	case spec.ControlJam:
+		e.jam = msg.Jam.Mask()
+	case spec.ControlSwapProtocol:
+		sys, err := windowSystem(*msg.Protocol)
+		if err != nil {
+			return err
+		}
+		return e.swap(sys)
+	case spec.ControlStop:
+		// Termination is decided by the caller; nothing to simulate.
+	default:
+		return fmt.Errorf("session: control %q is not a content control", msg.Type)
+	}
+	return nil
+}
+
+// swap hot-swaps the protocol at the window boundary: every backlogged
+// station redraws its schedule under the new protocol from the
+// boundary slot on, in ascending station-id order (the deterministic
+// order), into a fresh calendar (the old one's pending attempts are
+// void, and a timing wheel has no delete).
+func (e *engine) swap(sys *harness.WindowSystem) error {
+	e.sys = sys
+	ids := make([]int32, 0, len(e.stations))
+	for id := range e.stations {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	cal := kernel.NewCalendar()
+	for _, id := range ids {
+		st := e.stations[id]
+		sched, err := sys.NewSchedule(0)
+		if err != nil {
+			return err
+		}
+		st.sched = sched
+		st.windowEnd = e.next - 1
+		slot, err := st.next(e.src)
+		if err != nil {
+			return err
+		}
+		cal.Schedule(slot, id)
+	}
+	e.cal = cal
+	return nil
+}
+
+// simulateWindow advances the session by one aggregation window and
+// returns its aggregate event.
+func (e *engine) simulateWindow() (spec.SessionWindow, error) {
+	start := e.next
+	end := start + e.window - 1
+	agg := spec.SessionWindow{
+		Event:  "window",
+		Window: e.widx,
+		Start:  start,
+		Slots:  int(e.window),
+		Lambda: e.lambda,
+	}
+	var lat stats.Summary
+
+	// Arrivals: the Poisson count for the window, then one uniform slot
+	// each, sorted so station ids and schedule seeding follow arrival
+	// order. Stations run on their local clocks (the default dynamic
+	// deployment): the first window opens at the arrival slot.
+	n := e.src.Poisson(e.lambda * float64(e.window))
+	if n > 0 {
+		slots := make([]uint64, n)
+		for i := range slots {
+			slots[i] = start + e.src.Uint64n(e.window)
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+		for _, arrival := range slots {
+			sched, err := e.sys.NewSchedule(0)
+			if err != nil {
+				return agg, err
+			}
+			id := e.nextID
+			e.nextID++
+			st := &station{sched: sched, windowEnd: arrival - 1, arrival: arrival}
+			slot, err := st.next(e.src)
+			if err != nil {
+				return agg, err
+			}
+			e.stations[id] = st
+			e.cal.Schedule(slot, id)
+		}
+		agg.Arrivals = n
+	}
+
+	// Drain every transmission event inside the window. PeekWithin
+	// keeps the calendar's scan position at or before the boundary, so
+	// the next window's arrivals (slots > end) stay schedulable.
+	for {
+		slot, ok := e.cal.PeekWithin(end)
+		if !ok {
+			break
+		}
+		slot, e.group = e.cal.PopGroup(e.group)
+		if len(e.group) == 1 && !(e.jam != nil && e.jam(slot)) {
+			id := e.group[0]
+			st := e.stations[id]
+			lat.Add(float64(slot - st.arrival + 1))
+			delete(e.stations, id)
+			agg.Delivered++
+			continue
+		}
+		agg.Collisions++
+		for _, id := range e.group {
+			next, err := e.stations[id].next(e.src)
+			if err != nil {
+				return agg, err
+			}
+			e.cal.Schedule(next, id)
+		}
+	}
+
+	e.next = end + 1
+	e.widx++
+	e.delivered += uint64(agg.Delivered)
+	agg.Backlog = len(e.stations)
+	agg.Throughput = float64(agg.Delivered) / float64(e.window)
+	if agg.Delivered > 0 {
+		agg.LatencyP99 = lat.Quantile(0.99)
+	}
+	return agg, nil
+}

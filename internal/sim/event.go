@@ -39,7 +39,7 @@ func runEvent(stations []protocol.Station, src *rng.Rand, cfg *config) (Result, 
 		return Result{}, fmt.Errorf("sim: WithEventDriven is incompatible with WithTrace (silent slots are skipped, not observed)")
 	}
 	if cfg.jammed != nil {
-		return Result{}, fmt.Errorf("sim: WithEventDriven is incompatible with WithJammer (jammed silent slots would go unvisited)")
+		return Result{}, fmt.Errorf("sim: WithEventDriven is incompatible with WithJammer (jammed silent slots would go unvisited); for jammed event-driven runs use dynamic.WithJammer on the windowed path (dynamic.RunWindowEvent), which models jamming exactly without visiting silent slots")
 	}
 	att := make([]protocol.AttemptStation, len(stations))
 	for i, s := range stations {

@@ -140,10 +140,14 @@ func TestEventDrivenRejectsIneligible(t *testing.T) {
 		!strings.Contains(err.Error(), "WithTrace") {
 		t.Errorf("trace: err = %v, want WithTrace incompatibility", err)
 	}
+	// The jammer rejection must point the caller at the supported
+	// alternative: dynamic.WithJammer on the windowed event path.
 	if _, err := sim.Run(ebbStations(t, 2), rng.New(1), sim.WithEventDriven(),
 		sim.WithJammer(func(uint64) bool { return false })); err == nil ||
-		!strings.Contains(err.Error(), "WithJammer") {
-		t.Errorf("jammer: err = %v, want WithJammer incompatibility", err)
+		!strings.Contains(err.Error(), "WithJammer") ||
+		!strings.Contains(err.Error(), "dynamic.WithJammer") ||
+		!strings.Contains(err.Error(), "RunWindowEvent") {
+		t.Errorf("jammer: err = %v, want WithJammer incompatibility naming dynamic.WithJammer/RunWindowEvent", err)
 	}
 }
 

@@ -1,0 +1,525 @@
+// Session specs: the declarative surface of internal/session. A
+// session is a dynamic simulation that runs indefinitely on the
+// event-skip kernel and accepts typed control messages mid-flight;
+// this file defines the session spec, the control-message codec (JSON
+// and the one-line text grammar the CLI and docs share), the windowed
+// aggregate events a session streams, and the checkpoint document
+// whose (seed, initial spec, slot-stamped control log) replays a run
+// bit for bit.
+
+package spec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// KindSession tags session parameter documents in the serving
+// subsystem's store. Sessions are not experiments — they have no
+// Result and never enter the result cache — but they share the
+// canonical-key machinery for ring routing and persistence.
+const KindSession ExperimentKind = "session"
+
+// maxSessionLambda is the absolute offered-load bound for sessions. A
+// load above 1 msg/slot already saturates every protocol in the
+// registry; 64 is generous headroom for overload experiments while
+// keeping one window's arrival count (λ·window) boundable.
+const maxSessionLambda = 64
+
+// JamSpec describes channel impairment for a session: "off" (clean
+// channel), "on" (every slot jammed — nothing ever delivers), or
+// "pattern" (a deterministic duty-cycle jammer that jams the first
+// Burst slots of every Period slots, matching scenario.JamPeriodic).
+type JamSpec struct {
+	// Mode is "off", "on" or "pattern" (default "off").
+	Mode string `json:"mode"`
+	// Period is the pattern cycle length in slots (pattern mode only,
+	// ≥ 2).
+	Period uint64 `json:"period,omitempty"`
+	// Burst is how many slots at each cycle start are jammed (pattern
+	// mode only, 1 ≤ burst < period).
+	Burst uint64 `json:"burst,omitempty"`
+}
+
+// JamOff, JamOn and JamPattern are the JamSpec modes.
+const (
+	JamOff     = "off"
+	JamOn      = "on"
+	JamPattern = "pattern"
+)
+
+// validate normalizes the mode and checks the pattern shape.
+func (j *JamSpec) validate() error {
+	switch j.Mode {
+	case "":
+		j.Mode = JamOff
+		fallthrough
+	case JamOff, JamOn:
+		if j.Period != 0 || j.Burst != 0 {
+			return fmt.Errorf("jam mode %q takes no period/burst", j.Mode)
+		}
+	case JamPattern:
+		if j.Period < 2 || j.Burst < 1 || j.Burst >= j.Period {
+			return fmt.Errorf("jam pattern needs 1 ≤ burst < period and period ≥ 2, got burst %d, period %d", j.Burst, j.Period)
+		}
+	default:
+		return fmt.Errorf("unknown jam mode %q (want %q, %q or %q)", j.Mode, JamOff, JamOn, JamPattern)
+	}
+	return nil
+}
+
+// Mask compiles the spec into the slot predicate the engines consume
+// (dynamic.WithJammer shape). A nil or off spec compiles to nil — a
+// clean channel. Slots are 1-based, so a pattern jams slots s with
+// (s-1) mod period < burst, exactly as scenario.JamPeriodic does.
+func (j *JamSpec) Mask() func(slot uint64) bool {
+	if j == nil {
+		return nil
+	}
+	switch j.Mode {
+	case JamOn:
+		return func(uint64) bool { return true }
+	case JamPattern:
+		period, burst := j.Period, j.Burst
+		return func(slot uint64) bool { return (slot-1)%period < burst }
+	}
+	return nil
+}
+
+// SessionSpec configures one live session (internal/session): a
+// dynamic Poisson workload simulated window by window on the event-skip
+// kernel, indefinitely or up to MaxWindows, under a windowed protocol.
+// Field order fixes the canonical encoding.
+type SessionSpec struct {
+	// Protocol names a *windowed* registry configuration (default
+	// "exp-bb"). Fair full-feedback protocols are rejected: an
+	// unbounded session cannot afford per-slot feedback delivery, and
+	// the event-skip kernel is exact only for feedback-oblivious
+	// windowed schedules.
+	Protocol ProtocolSpec `json:"protocol"`
+	// Lambda is the initial offered load in messages/slot (default
+	// 0.1; bounded by maxSessionLambda). Changeable mid-run via
+	// set-lambda.
+	Lambda float64 `json:"lambda"`
+	// Seed keys all randomness (default 1). Together with the
+	// validated spec and the control log it determines the run
+	// bit for bit.
+	Seed uint64 `json:"seed"`
+	// Window is the aggregation window length in slots (default 64):
+	// one SessionWindow event per window, and the granularity at which
+	// controls take effect.
+	Window int `json:"window"`
+	// MaxWindows ends the session after this many windows; 0 means
+	// run until stopped (clamped to Limits.MaxSessionWindows when
+	// serving).
+	MaxWindows int `json:"maxWindows,omitempty"`
+	// Buffer bounds the in-memory event buffer (default 256 entries,
+	// [16, 65536]). When a slow consumer lets it fill, the oldest
+	// window aggregates are dropped and a gap marker takes their
+	// place; see docs/sessions.md.
+	Buffer int `json:"buffer,omitempty"`
+	// Pace throttles the session to this many windows per wall-clock
+	// second (0 = simulate as fast as possible). Pacing affects only
+	// timing, never simulated content: replay ignores it.
+	Pace float64 `json:"pace,omitempty"`
+	// Jam is the initial channel impairment (default off). Changeable
+	// mid-run via the jam control.
+	Jam *JamSpec `json:"jam,omitempty"`
+}
+
+// Validate normalizes the spec in place — defaults applied, protocol
+// name canonicalized, an explicit off-jammer erased — and checks it
+// against the limits (zero fields of which mean unlimited, except
+// MaxSessionWindows, which clamps). Idempotent; after it json.Marshal
+// is the canonical parameter encoding.
+func (s *SessionSpec) Validate(l Limits) error {
+	if s.Protocol.Name == "" {
+		s.Protocol.Name = "exp-bb"
+	}
+	if err := s.Protocol.validate(); err != nil {
+		return err
+	}
+	if err := requireWindowed(s.Protocol); err != nil {
+		return err
+	}
+	if s.Lambda == 0 {
+		s.Lambda = 0.1
+	}
+	if err := validateSessionLambda(s.Lambda); err != nil {
+		return err
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Window == 0 {
+		s.Window = 64
+	}
+	if s.Window < 1 {
+		return fmt.Errorf("window must be ≥ 1 slot, got %d", s.Window)
+	}
+	if l.MaxWindow > 0 && s.Window > l.MaxWindow {
+		return fmt.Errorf("window must be in [1, %d] slots, got %d", l.MaxWindow, s.Window)
+	}
+	if s.MaxWindows < 0 {
+		return fmt.Errorf("maxWindows must be ≥ 0, got %d", s.MaxWindows)
+	}
+	if l.MaxSessionWindows > 0 && (s.MaxWindows == 0 || s.MaxWindows > l.MaxSessionWindows) {
+		s.MaxWindows = l.MaxSessionWindows
+	}
+	if s.Buffer == 0 {
+		s.Buffer = 256
+	}
+	if s.Buffer < 16 || s.Buffer > 65536 {
+		return fmt.Errorf("buffer must be in [16, 65536] entries, got %d", s.Buffer)
+	}
+	if s.Pace < 0 || math.IsInf(s.Pace, 0) || math.IsNaN(s.Pace) || s.Pace > 1000 {
+		return fmt.Errorf("pace must be in [0, 1000] windows/second, got %v", s.Pace)
+	}
+	if s.Jam != nil {
+		if err := s.Jam.validate(); err != nil {
+			return err
+		}
+		if s.Jam.Mode == JamOff {
+			s.Jam = nil // implicit and explicit clean channels hash alike
+		}
+	}
+	return nil
+}
+
+// requireWindowed checks that a validated protocol spec names a
+// windowed (feedback-oblivious) configuration.
+func requireWindowed(p ProtocolSpec) error {
+	sys, err := harness.SystemBySpec(p.Name, p.Params)
+	if err != nil {
+		return err
+	}
+	if _, ok := sys.(*harness.WindowSystem); !ok {
+		return fmt.Errorf("sessions support only windowed protocols (exp-bb, loglog-iterated, exp-backoff); %q needs per-slot channel feedback, which an unbounded event-skip session never materializes", p.Name)
+	}
+	return nil
+}
+
+// validateSessionLambda applies the shared offered-load rule for
+// session specs and set-lambda controls.
+func validateSessionLambda(lambda float64) error {
+	if !(lambda > 0) || math.IsInf(lambda, 0) || lambda > maxSessionLambda {
+		return fmt.Errorf("lambda must be in (0, %d] messages/slot, got %v", maxSessionLambda, lambda)
+	}
+	return nil
+}
+
+// EncodeParams marshals a validated session spec's canonical parameter
+// document — the body POST /v1/sessions accepts, and the bytes
+// CanonicalKey hashes.
+func (s SessionSpec) EncodeParams() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// CanonicalKey hashes a validated session spec exactly as
+// ExperimentSpec.CanonicalKey hashes experiments. Sessions are not
+// cached or deduplicated — two identical specs open two distinct
+// sessions — but the key routes the session to its shard-ring owner
+// and prefixes its id, so polls, controls and streams forward without
+// a lookup table.
+func (s SessionSpec) CanonicalKey() (string, error) {
+	params, err := s.EncodeParams()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(KindSession))
+	h.Write([]byte{0})
+	h.Write(params)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// DecodeSession parses a session parameter document. An empty body
+// selects all defaults; unknown fields are rejected.
+func DecodeSession(body []byte) (SessionSpec, error) {
+	var s SessionSpec
+	if len(bytes.TrimSpace(body)) == 0 {
+		return s, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return SessionSpec{}, fmt.Errorf("decoding session request: %w", err)
+	}
+	return s, nil
+}
+
+// Control message types. Content controls (set-lambda, jam,
+// swap-protocol, stop) change what the session simulates and are
+// recorded in the control log; pause, resume and checkpoint only
+// steer the live process and replay as no-ops.
+const (
+	ControlSetLambda    = "set-lambda"
+	ControlJam          = "jam"
+	ControlSwapProtocol = "swap-protocol"
+	ControlPause        = "pause"
+	ControlResume       = "resume"
+	ControlCheckpoint   = "checkpoint"
+	ControlStop         = "stop"
+)
+
+// ControlMessage is one typed mid-flight session control. On input
+// (POST /v1/sessions/{id}/control, macsim session stdin) Slot is
+// ignored; the session stamps it with the first slot of the next
+// unsimulated window — the slot at which the control takes effect —
+// before appending the message to the control log. On replay the
+// recorded Slot is authoritative.
+type ControlMessage struct {
+	// Type selects the control (see the Control* constants).
+	Type string `json:"type"`
+	// Lambda is the new offered load (set-lambda only).
+	Lambda float64 `json:"lambda,omitempty"`
+	// Jam is the new channel impairment (jam only).
+	Jam *JamSpec `json:"jam,omitempty"`
+	// Protocol is the windowed configuration to hot-swap to
+	// (swap-protocol only). Backlogged stations redraw their schedules
+	// under the new protocol from the effective slot on.
+	Protocol *ProtocolSpec `json:"protocol,omitempty"`
+	// Slot is the stamped effective slot (output on live sessions,
+	// input on replay).
+	Slot uint64 `json:"slot,omitempty"`
+}
+
+// Validate checks (and normalizes in place) one control message.
+// Limits is accepted for symmetry with the spec types; today only the
+// shared absolute bounds apply.
+func (c *ControlMessage) Validate(l Limits) error {
+	switch c.Type {
+	case ControlSetLambda:
+		if c.Jam != nil || c.Protocol != nil {
+			return fmt.Errorf("control %q takes only a lambda", c.Type)
+		}
+		if err := validateSessionLambda(c.Lambda); err != nil {
+			return err
+		}
+	case ControlJam:
+		if c.Lambda != 0 || c.Protocol != nil {
+			return fmt.Errorf("control %q takes only a jam object", c.Type)
+		}
+		if c.Jam == nil {
+			return fmt.Errorf("control %q needs a jam object (mode %q, %q or %q)", c.Type, JamOff, JamOn, JamPattern)
+		}
+		if err := c.Jam.validate(); err != nil {
+			return err
+		}
+	case ControlSwapProtocol:
+		if c.Lambda != 0 || c.Jam != nil {
+			return fmt.Errorf("control %q takes only a protocol", c.Type)
+		}
+		if c.Protocol == nil {
+			return fmt.Errorf("control %q needs a protocol", c.Type)
+		}
+		if err := c.Protocol.validate(); err != nil {
+			return err
+		}
+		if err := requireWindowed(*c.Protocol); err != nil {
+			return err
+		}
+	case ControlPause, ControlResume, ControlCheckpoint, ControlStop:
+		if c.Lambda != 0 || c.Jam != nil || c.Protocol != nil {
+			return fmt.Errorf("control %q takes no payload", c.Type)
+		}
+	case "":
+		return fmt.Errorf("control needs a type (set-lambda, jam, swap-protocol, pause, resume, checkpoint, stop)")
+	default:
+		return fmt.Errorf("unknown control type %q (want set-lambda, jam, swap-protocol, pause, resume, checkpoint or stop)", c.Type)
+	}
+	return nil
+}
+
+// ParseControl parses the one-line text grammar shared by the macsim
+// session stdin reader and the /control endpoint's text mode:
+//
+//	set-lambda 0.3
+//	jam on | jam off | jam pattern PERIOD:BURST
+//	swap-protocol NAME
+//	pause | resume | checkpoint | stop
+//
+// The result is unvalidated; callers pass it through Validate.
+func ParseControl(line string) (ControlMessage, error) {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return ControlMessage{}, fmt.Errorf("empty control line")
+	}
+	bad := func(format string, args ...any) (ControlMessage, error) {
+		return ControlMessage{}, fmt.Errorf(format, args...)
+	}
+	switch f[0] {
+	case ControlSetLambda:
+		if len(f) != 2 {
+			return bad("set-lambda takes one value, got %q", line)
+		}
+		lambda, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return bad("set-lambda %q: %v", f[1], err)
+		}
+		return ControlMessage{Type: ControlSetLambda, Lambda: lambda}, nil
+	case ControlJam:
+		if len(f) < 2 {
+			return bad("jam takes on, off or pattern PERIOD:BURST, got %q", line)
+		}
+		switch f[1] {
+		case JamOn, JamOff:
+			if len(f) != 2 {
+				return bad("jam %s takes no further arguments, got %q", f[1], line)
+			}
+			return ControlMessage{Type: ControlJam, Jam: &JamSpec{Mode: f[1]}}, nil
+		case JamPattern:
+			if len(f) != 3 {
+				return bad("jam pattern takes PERIOD:BURST, got %q", line)
+			}
+			periodStr, burstStr, ok := strings.Cut(f[2], ":")
+			if !ok {
+				return bad("jam pattern %q: want PERIOD:BURST", f[2])
+			}
+			period, err1 := strconv.ParseUint(periodStr, 10, 64)
+			burst, err2 := strconv.ParseUint(burstStr, 10, 64)
+			if err1 != nil || err2 != nil {
+				return bad("jam pattern %q: want two integers PERIOD:BURST", f[2])
+			}
+			return ControlMessage{Type: ControlJam, Jam: &JamSpec{Mode: JamPattern, Period: period, Burst: burst}}, nil
+		default:
+			return bad("jam mode %q: want on, off or pattern", f[1])
+		}
+	case ControlSwapProtocol:
+		if len(f) != 2 {
+			return bad("swap-protocol takes one registry name, got %q", line)
+		}
+		return ControlMessage{Type: ControlSwapProtocol, Protocol: &ProtocolSpec{Name: f[1]}}, nil
+	case ControlPause, ControlResume, ControlCheckpoint, ControlStop:
+		if len(f) != 1 {
+			return bad("%s takes no arguments, got %q", f[0], line)
+		}
+		return ControlMessage{Type: f[0]}, nil
+	default:
+		return bad("unknown control %q (want set-lambda, jam, swap-protocol, pause, resume, checkpoint or stop)", f[0])
+	}
+}
+
+// SessionWindow is one aggregation window of a live session: the
+// windowed throughput/backlog/collision/latency aggregate the stream
+// carries. Rates derive from the raw counts: throughput is
+// delivered/slots, the collision rate collisions/slots.
+type SessionWindow struct {
+	Event string `json:"event"` // "window"
+	// Window is the 0-based window index.
+	Window int `json:"window"`
+	// Start is the window's first slot (1-based global slot numbers).
+	Start uint64 `json:"start"`
+	// Slots is the window length.
+	Slots int `json:"slots"`
+	// Lambda is the offered load in effect during this window.
+	Lambda float64 `json:"lambda"`
+	// Arrivals, Delivered and Collisions count this window's events.
+	Arrivals   int `json:"arrivals"`
+	Delivered  int `json:"delivered"`
+	Collisions int `json:"collisions"`
+	// Backlog is the number of undelivered messages at window end.
+	Backlog int `json:"backlog"`
+	// Throughput is delivered/slots.
+	Throughput float64 `json:"throughput"`
+	// LatencyP99 is the 99th-percentile delivery latency (slots from
+	// arrival to delivery, inclusive) among this window's deliveries;
+	// 0 when nothing was delivered.
+	LatencyP99 float64 `json:"latencyP99"`
+}
+
+// EventName implements Event.
+func (w SessionWindow) EventName() string { return w.Event }
+
+// SimulatedSlots implements Event.
+func (w SessionWindow) SimulatedSlots() uint64 { return uint64(w.Slots) }
+
+// SessionGap marks windows dropped from the event buffer because a
+// slow consumer let it fill (drop-oldest-aggregate policy): aggregates
+// for windows [From, To] were discarded. The simulation itself never
+// stalls or skips — only the stream has the hole.
+type SessionGap struct {
+	Event string `json:"event"` // "gap"
+	// From and To are the first and last dropped window indices.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Dropped counts the dropped window aggregates (To - From + 1).
+	Dropped int `json:"dropped"`
+}
+
+// EventName implements Event.
+func (g SessionGap) EventName() string { return g.Event }
+
+// SimulatedSlots implements Event. The dropped windows' slots were
+// already accounted by their SessionWindow events at publish time, so
+// a gap accounts for none.
+func (g SessionGap) SimulatedSlots() uint64 { return 0 }
+
+// SessionControl acknowledges an applied control on the stream,
+// carrying the slot-stamped message exactly as the control log records
+// it.
+type SessionControl struct {
+	Event   string         `json:"event"` // "control"
+	Control ControlMessage `json:"control"`
+}
+
+// EventName implements Event.
+func (c SessionControl) EventName() string { return c.Event }
+
+// SimulatedSlots implements Event.
+func (c SessionControl) SimulatedSlots() uint64 { return 0 }
+
+// SessionCheckpoint is the replay document: the initial validated spec
+// (including the seed) plus the slot-stamped control log. Replaying it
+// — session.Replay, macsim session -replay — reproduces every
+// SessionWindow aggregate bit for bit. A checkpoint control publishes
+// one mid-stream; GET /v1/sessions/{id} embeds the current one.
+type SessionCheckpoint struct {
+	Event string `json:"event"` // "checkpoint"
+	// Slot is the next unsimulated slot at checkpoint time.
+	Slot uint64 `json:"slot"`
+	// Window is the next window index at checkpoint time.
+	Window int `json:"window"`
+	// Session is the initial validated spec.
+	Session SessionSpec `json:"session"`
+	// Log is the control log so far, in application order.
+	Log []ControlMessage `json:"log"`
+}
+
+// EventName implements Event.
+func (c SessionCheckpoint) EventName() string { return c.Event }
+
+// SimulatedSlots implements Event.
+func (c SessionCheckpoint) SimulatedSlots() uint64 { return 0 }
+
+// SessionEnd is the terminal event of a session stream.
+type SessionEnd struct {
+	Event string `json:"event"` // "end"
+	// Reason is "stop" (stop control), "maxWindows" (window budget
+	// reached) or "canceled" (context canceled / hard teardown).
+	Reason string `json:"reason"`
+	// Windows and Slots measure the simulated extent.
+	Windows int    `json:"windows"`
+	Slots   uint64 `json:"slots"`
+	// Delivered counts messages delivered over the whole session.
+	Delivered uint64 `json:"delivered"`
+	// Backlog is the undelivered backlog at the end.
+	Backlog int `json:"backlog"`
+	// Dropped counts window aggregates dropped on the event buffer
+	// over the session's lifetime.
+	Dropped uint64 `json:"dropped"`
+}
+
+// EventName implements Event.
+func (e SessionEnd) EventName() string { return e.Event }
+
+// SimulatedSlots implements Event.
+func (e SessionEnd) SimulatedSlots() uint64 { return 0 }

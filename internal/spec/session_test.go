@@ -1,0 +1,267 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSessionSpecValidateDefaults(t *testing.T) {
+	var s SessionSpec
+	if err := s.Validate(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Protocol.Name != "exp-bb" || s.Lambda != 0.1 || s.Seed != 1 || s.Window != 64 || s.Buffer != 256 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if s.MaxWindows != 0 || s.Pace != 0 || s.Jam != nil {
+		t.Fatalf("zero fields should stay zero under empty limits: %+v", s)
+	}
+	// Idempotent: re-validating a validated spec changes nothing, so
+	// the canonical encoding is a fixed point.
+	before, err := s.EncodeParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.EncodeParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("Validate not idempotent: %s vs %s", before, after)
+	}
+}
+
+func TestSessionSpecValidateClampsAndRejects(t *testing.T) {
+	// MaxSessionWindows clamps both unbounded and oversized requests.
+	s := SessionSpec{MaxWindows: 0}
+	if err := s.Validate(Limits{MaxSessionWindows: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxWindows != 500 {
+		t.Fatalf("unbounded session not clamped: %d", s.MaxWindows)
+	}
+	s = SessionSpec{MaxWindows: 900}
+	if err := s.Validate(Limits{MaxSessionWindows: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxWindows != 500 {
+		t.Fatalf("oversized session not clamped: %d", s.MaxWindows)
+	}
+	s = SessionSpec{MaxWindows: 100}
+	if err := s.Validate(Limits{MaxSessionWindows: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxWindows != 100 {
+		t.Fatalf("in-budget request rewritten: %d", s.MaxWindows)
+	}
+
+	// An explicit off-jammer normalizes away so it hashes like none.
+	s = SessionSpec{Jam: &JamSpec{}}
+	if err := s.Validate(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Jam != nil {
+		t.Fatalf("off jam not erased: %+v", s.Jam)
+	}
+
+	bad := []SessionSpec{
+		{Lambda: -1},
+		{Lambda: 100},
+		{Window: -3},
+		{MaxWindows: -1},
+		{Buffer: 4},
+		{Buffer: 1 << 20},
+		{Pace: -1},
+		{Pace: 5000},
+		{Jam: &JamSpec{Mode: "sometimes"}},
+		{Jam: &JamSpec{Mode: JamPattern, Period: 1, Burst: 1}},
+		{Jam: &JamSpec{Mode: JamPattern, Period: 8, Burst: 8}},
+		{Jam: &JamSpec{Mode: JamOn, Period: 4}},
+		{Protocol: ProtocolSpec{Name: "no-such-protocol"}},
+	}
+	for _, b := range bad {
+		if err := b.Validate(Limits{}); err == nil {
+			t.Errorf("spec %+v validated", b)
+		}
+	}
+	if err := (&SessionSpec{Window: 1 << 20}).Validate(Limits{MaxWindow: 4096}); err == nil {
+		t.Error("window above MaxWindow validated")
+	}
+}
+
+func TestSessionSpecRejectsFairProtocols(t *testing.T) {
+	s := SessionSpec{Protocol: ProtocolSpec{Name: "one-fail"}}
+	err := s.Validate(Limits{})
+	if err == nil || !strings.Contains(err.Error(), "windowed protocols") {
+		t.Fatalf("fair protocol accepted for a session: %v", err)
+	}
+}
+
+func TestSessionCanonicalKeyStability(t *testing.T) {
+	// Aliased protocol names canonicalize before hashing, so they route
+	// to the same ring owner.
+	a := SessionSpec{Protocol: ProtocolSpec{Name: "ebb"}}
+	b := SessionSpec{Protocol: ProtocolSpec{Name: "exp-bb"}}
+	for _, s := range []*SessionSpec{&a, &b} {
+		if err := s.Validate(Limits{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ka, err := a.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("aliased specs hash apart: %s vs %s", ka, kb)
+	}
+	c := a
+	c.Seed = 2
+	kc, err := c.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc == ka {
+		t.Fatal("different seeds hash alike")
+	}
+}
+
+func TestDecodeSession(t *testing.T) {
+	s, err := DecodeSession([]byte(`{"lambda": 0.5, "window": 32, "jam": {"mode": "pattern", "period": 8, "burst": 2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lambda != 0.5 || s.Window != 32 || s.Jam == nil || s.Jam.Period != 8 {
+		t.Fatalf("decoded %+v", s)
+	}
+	if _, err := DecodeSession([]byte(`{"lambda": 0.5, "runs": 3}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if s, err := DecodeSession([]byte("  \n")); err != nil || s.Protocol.Name != "" || s.Lambda != 0 {
+		t.Fatalf("empty body: %+v, %v", s, err)
+	}
+}
+
+func TestParseControl(t *testing.T) {
+	good := []struct {
+		line string
+		want ControlMessage
+	}{
+		{"set-lambda 0.3", ControlMessage{Type: ControlSetLambda, Lambda: 0.3}},
+		{"  jam on ", ControlMessage{Type: ControlJam, Jam: &JamSpec{Mode: JamOn}}},
+		{"jam off", ControlMessage{Type: ControlJam, Jam: &JamSpec{Mode: JamOff}}},
+		{"jam pattern 8:3", ControlMessage{Type: ControlJam, Jam: &JamSpec{Mode: JamPattern, Period: 8, Burst: 3}}},
+		{"swap-protocol exp-backoff", ControlMessage{Type: ControlSwapProtocol, Protocol: &ProtocolSpec{Name: "exp-backoff"}}},
+		{"pause", ControlMessage{Type: ControlPause}},
+		{"resume", ControlMessage{Type: ControlResume}},
+		{"checkpoint", ControlMessage{Type: ControlCheckpoint}},
+		{"stop", ControlMessage{Type: ControlStop}},
+	}
+	for _, g := range good {
+		got, err := ParseControl(g.line)
+		if err != nil {
+			t.Errorf("ParseControl(%q): %v", g.line, err)
+			continue
+		}
+		if got.Type != g.want.Type || got.Lambda != g.want.Lambda {
+			t.Errorf("ParseControl(%q) = %+v", g.line, got)
+		}
+		if (got.Jam == nil) != (g.want.Jam == nil) || (got.Jam != nil && *got.Jam != *g.want.Jam) {
+			t.Errorf("ParseControl(%q) jam = %+v", g.line, got.Jam)
+		}
+		if (got.Protocol == nil) != (g.want.Protocol == nil) || (got.Protocol != nil && got.Protocol.Name != g.want.Protocol.Name) {
+			t.Errorf("ParseControl(%q) protocol = %+v", g.line, got.Protocol)
+		}
+		if err := got.Validate(Limits{}); err != nil {
+			t.Errorf("parsed control %q fails validation: %v", g.line, err)
+		}
+	}
+	bad := []string{
+		"",
+		"   ",
+		"set-lambda",
+		"set-lambda fast",
+		"set-lambda 0.1 0.2",
+		"jam",
+		"jam maybe",
+		"jam on hard",
+		"jam pattern",
+		"jam pattern 8",
+		"jam pattern 8:3:1",
+		"jam pattern a:b",
+		"swap-protocol",
+		"swap-protocol a b",
+		"pause now",
+		"warp 9",
+	}
+	for _, line := range bad {
+		if _, err := ParseControl(line); err == nil {
+			t.Errorf("ParseControl(%q) accepted", line)
+		}
+	}
+}
+
+func TestControlMessageValidate(t *testing.T) {
+	bad := []ControlMessage{
+		{},
+		{Type: "warp"},
+		{Type: ControlSetLambda, Lambda: 0},
+		{Type: ControlSetLambda, Lambda: -2},
+		{Type: ControlSetLambda, Lambda: 0.5, Jam: &JamSpec{Mode: JamOn}},
+		{Type: ControlJam},
+		{Type: ControlJam, Jam: &JamSpec{Mode: "x"}},
+		{Type: ControlJam, Jam: &JamSpec{Mode: JamOn}, Lambda: 0.5},
+		{Type: ControlSwapProtocol},
+		{Type: ControlSwapProtocol, Protocol: &ProtocolSpec{Name: "one-fail"}},
+		{Type: ControlSwapProtocol, Protocol: &ProtocolSpec{Name: "exp-bb"}, Lambda: 1},
+		{Type: ControlPause, Lambda: 0.5},
+		{Type: ControlStop, Protocol: &ProtocolSpec{Name: "exp-bb"}},
+	}
+	for _, b := range bad {
+		if err := b.Validate(Limits{}); err == nil {
+			t.Errorf("control %+v validated", b)
+		}
+	}
+	ok := ControlMessage{Type: ControlSwapProtocol, Protocol: &ProtocolSpec{Name: "beb"}}
+	if err := ok.Validate(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Protocol.Name != "exp-backoff" {
+		t.Fatalf("protocol alias not canonicalized: %q", ok.Protocol.Name)
+	}
+}
+
+func TestJamSpecMask(t *testing.T) {
+	var nilJam *JamSpec
+	if nilJam.Mask() != nil {
+		t.Fatal("nil jam should compile to a clean channel")
+	}
+	if (&JamSpec{Mode: JamOff}).Mask() != nil {
+		t.Fatal("off jam should compile to a clean channel")
+	}
+	on := (&JamSpec{Mode: JamOn}).Mask()
+	if !on(1) || !on(1<<40) {
+		t.Fatal("on jam must jam every slot")
+	}
+	// Pattern 5:2 jams slots 1,2, 6,7, 11,12, ... — scenario.JamPeriodic
+	// semantics on 1-based slots.
+	p := (&JamSpec{Mode: JamPattern, Period: 5, Burst: 2}).Mask()
+	jammed := []uint64{1, 2, 6, 7, 11, 12}
+	clean := []uint64{3, 4, 5, 8, 9, 10, 13}
+	for _, s := range jammed {
+		if !p(s) {
+			t.Errorf("slot %d should be jammed", s)
+		}
+	}
+	for _, s := range clean {
+		if p(s) {
+			t.Errorf("slot %d should be clean", s)
+		}
+	}
+}

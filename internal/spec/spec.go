@@ -115,6 +115,14 @@ type Limits struct {
 	// lane; 0 selects the built-in default (2^16). Unlike the Max*
 	// fields it classifies requests rather than rejecting them.
 	InteractiveCost int
+	// MaxWindow bounds a session's aggregation window length in slots.
+	MaxWindow int
+	// MaxSessionWindows bounds how many windows one session may
+	// simulate. Unlike the other Max* fields it clamps rather than
+	// rejects: a session asking for unbounded life (maxWindows 0) is
+	// capped here, so a serving deployment never hosts a truly
+	// immortal simulation.
+	MaxSessionWindows int
 }
 
 // ProtocolSpec selects a protocol configuration from the

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// SessionRecord is the persisted form of one live session: the
+// validated spec document plus the slot-stamped control log — exactly
+// the replay inputs — together with enough bookkeeping to answer a
+// poll after the fact. The server writes it on session end and on
+// drain, so a SIGTERM'd daemon leaves every session's replay document
+// on disk.
+type SessionRecord struct {
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	Tenant string `json:"tenant,omitempty"`
+	// Params is the canonical validated session spec document
+	// (spec.SessionSpec.EncodeParams).
+	Params json.RawMessage `json:"params,omitempty"`
+	// Log is the slot-stamped control log in application order.
+	Log json.RawMessage `json:"log,omitempty"`
+	// Status is "running" (drained mid-flight), "stopped", "canceled"
+	// or "failed".
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Windows and Dropped snapshot the stream counters at write time.
+	Windows int    `json:"windows"`
+	Dropped uint64 `json:"dropped,omitempty"`
+
+	Created time.Time `json:"created"`
+	Stopped time.Time `json:"stopped,omitempty"`
+}
+
+// SessionStore persists session records by id.
+type SessionStore interface {
+	// PutSession creates or replaces the record atomically.
+	PutSession(rec SessionRecord) error
+	// GetSession returns the record for id, if present.
+	GetSession(id string) (SessionRecord, bool, error)
+	// Sessions returns every persisted record, in no particular order.
+	Sessions() ([]SessionRecord, error)
+	// DeleteSession removes the record; deleting an absent id is not an
+	// error.
+	DeleteSession(id string) error
+}
+
+func (m *memStore) PutSession(rec SessionRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sessions == nil {
+		m.sessions = make(map[string]SessionRecord)
+	}
+	m.sessions[rec.ID] = rec
+	return nil
+}
+
+func (m *memStore) GetSession(id string) (SessionRecord, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.sessions[id]
+	return rec, ok, nil
+}
+
+func (m *memStore) Sessions() ([]SessionRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SessionRecord, 0, len(m.sessions))
+	for _, rec := range m.sessions {
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func (m *memStore) DeleteSession(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.sessions, id)
+	return nil
+}
+
+// sessionPath lives beside jobs/ and results/: one JSON record per
+// session under <dir>/sessions/.
+func (f *fileStore) sessionPath(id string) string {
+	return filepath.Join(f.dir, "sessions", id+".json")
+}
+
+func (f *fileStore) PutSession(rec SessionRecord) error {
+	if err := safeName(rec.ID); err != nil {
+		return err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	path := f.sessionPath(rec.ID)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return writeAtomic(path, data, true)
+}
+
+func (f *fileStore) GetSession(id string) (SessionRecord, bool, error) {
+	if err := safeName(id); err != nil {
+		return SessionRecord{}, false, err
+	}
+	data, err := os.ReadFile(f.sessionPath(id))
+	if os.IsNotExist(err) {
+		return SessionRecord{}, false, nil
+	}
+	if err != nil {
+		return SessionRecord{}, false, err
+	}
+	var rec SessionRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return SessionRecord{}, false, err
+	}
+	return rec, true, nil
+}
+
+func (f *fileStore) Sessions() ([]SessionRecord, error) {
+	dir := filepath.Join(f.dir, "sessions")
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []SessionRecord
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var rec SessionRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			_ = os.Rename(path, path+".corrupt")
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func (f *fileStore) DeleteSession(id string) error {
+	if err := safeName(id); err != nil {
+		return err
+	}
+	err := os.Remove(f.sessionPath(id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

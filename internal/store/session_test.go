@@ -1,0 +1,95 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func testSessionStore(t *testing.T, s Store) {
+	t.Helper()
+	if recs, err := s.Sessions(); err != nil || len(recs) != 0 {
+		t.Fatalf("fresh store: %v, %v", recs, err)
+	}
+	if _, ok, err := s.GetSession("nope"); err != nil || ok {
+		t.Fatalf("absent session: ok=%v err=%v", ok, err)
+	}
+	rec := SessionRecord{
+		ID:      "ab12cd34ef56-s1",
+		Key:     "ab12cd34ef56",
+		Tenant:  "team-a",
+		Params:  json.RawMessage(`{"lambda":0.2}`),
+		Log:     json.RawMessage(`[{"type":"stop","slot":65}]`),
+		Status:  "stopped",
+		Windows: 12,
+		Dropped: 3,
+		Created: time.Now().UTC().Truncate(time.Second),
+		Stopped: time.Now().UTC().Truncate(time.Second),
+	}
+	if err := s.PutSession(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.GetSession(rec.ID)
+	if err != nil || !ok {
+		t.Fatalf("GetSession: ok=%v err=%v", ok, err)
+	}
+	if got.Status != "stopped" || got.Windows != 12 || got.Dropped != 3 || string(got.Log) != string(rec.Log) {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+	// Replace in place.
+	rec.Windows = 20
+	if err := s.PutSession(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = s.GetSession(rec.ID)
+	if got.Windows != 20 {
+		t.Fatalf("replace failed: %+v", got)
+	}
+	recs, err := s.Sessions()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("Sessions: %v, %v", recs, err)
+	}
+	if err := s.DeleteSession(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteSession(rec.ID); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, ok, _ := s.GetSession(rec.ID); ok {
+		t.Fatal("session survived delete")
+	}
+}
+
+func TestMemSessionStore(t *testing.T) {
+	testSessionStore(t, Mem(0))
+}
+
+func TestFileSessionStore(t *testing.T) {
+	s, err := OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testSessionStore(t, s)
+	if err := s.PutSession(SessionRecord{ID: "../escape"}); err == nil {
+		t.Fatal("unsafe id accepted")
+	}
+}
+
+func TestFileSessionStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSession(SessionRecord{ID: "k1-s1", Status: "running"}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s2.Sessions()
+	if err != nil || len(recs) != 1 || recs[0].ID != "k1-s1" {
+		t.Fatalf("reopen lost the record: %v, %v", recs, err)
+	}
+}

@@ -102,11 +102,12 @@ type ResultStore interface {
 	GetResult(key string) ([]byte, bool, error)
 }
 
-// Store is a combined job and result store, the unit the server is
-// configured with.
+// Store is a combined job, result and session store, the unit the
+// server is configured with.
 type Store interface {
 	JobStore
 	ResultStore
+	SessionStore
 }
 
 // Mem is the in-memory implementation: job records in a map, result
@@ -126,6 +127,7 @@ func Mem(resultCap int) Store {
 type memStore struct {
 	mu        sync.Mutex
 	jobs      map[string]JobRecord
+	sessions  map[string]SessionRecord
 	results   map[string][]byte
 	order     []string // result insertion order, for FIFO eviction
 	resultCap int

@@ -1,0 +1,84 @@
+package mac
+
+import (
+	"context"
+
+	"repro/internal/session"
+	"repro/internal/spec"
+)
+
+// KindSession tags session parameter documents in the serving
+// subsystem. Sessions are not experiments — they stream windowed
+// aggregates instead of producing a cached Result.
+const KindSession = spec.KindSession
+
+// SessionSpec configures a live session: a dynamic Poisson workload
+// simulated window by window on the event-skip kernel, indefinitely or
+// up to MaxWindows, under a windowed protocol, with typed controls
+// accepted mid-flight. Shared verbatim by OpenSession, the CLI
+// (macsim session) and the HTTP API (POST /v1/sessions).
+type SessionSpec = spec.SessionSpec
+
+// JamSpec describes a session's channel impairment: "off", "on", or a
+// deterministic "pattern" duty cycle (Burst jammed slots per Period).
+type JamSpec = spec.JamSpec
+
+// ControlMessage is one typed mid-flight session control: set-lambda,
+// jam, swap-protocol, pause, resume, checkpoint or stop. The session
+// stamps each accepted control with the slot at which it takes effect.
+type ControlMessage = spec.ControlMessage
+
+// ParseControl parses the one-line control grammar ("set-lambda 0.3",
+// "jam pattern 8:3", "swap-protocol exp-backoff", "pause", "stop").
+func ParseControl(line string) (ControlMessage, error) { return spec.ParseControl(line) }
+
+// SessionWindow is one aggregation window's throughput / backlog /
+// collision / latency aggregate, streamed by Session.Events.
+type SessionWindow = spec.SessionWindow
+
+// SessionGap marks window aggregates dropped by slow-consumer
+// backpressure: the stream has a hole, the simulation does not.
+type SessionGap = spec.SessionGap
+
+// SessionControlEvent acknowledges an applied control on the stream.
+type SessionControlEvent = spec.SessionControl
+
+// SessionCheckpoint is the replay document: the initial validated spec
+// plus the slot-stamped control log. ReplaySession reproduces every
+// window aggregate of the original run bit for bit from it.
+type SessionCheckpoint = spec.SessionCheckpoint
+
+// SessionEnd is the terminal event of a session stream.
+type SessionEnd = spec.SessionEnd
+
+// Session is a live (or finished) session handle: Control to steer,
+// Events to stream, Checkpoint to snapshot the replay document, Stop
+// for hard teardown, Wait for the terminal error.
+type Session = session.Session
+
+// SessionOption configures OpenSession and ReplaySession.
+type SessionOption = session.Option
+
+// SessionObserver receives per-window, per-control and per-drop
+// callbacks from a running session (serving-layer accounting hooks).
+type SessionObserver = session.Observer
+
+// WithSessionObserver attaches observer callbacks to a session.
+func WithSessionObserver(o SessionObserver) SessionOption { return session.WithObserver(o) }
+
+// OpenSession validates sp (in place: defaults applied, names
+// canonicalized) and starts a live session. Canceling ctx tears it
+// down (status "canceled"); a stop control ends it cleanly. The
+// returned handle's Events stream carries SessionWindow aggregates,
+// control acknowledgments, gap markers under backpressure, and a
+// SessionEnd record.
+func OpenSession(ctx context.Context, sp SessionSpec, opts ...SessionOption) (*Session, error) {
+	return session.Open(ctx, sp, opts...)
+}
+
+// ReplaySession re-executes a checkpoint document deterministically:
+// the same (seed, spec, control log) produces byte-identical window
+// aggregates. Replay sessions accept no controls and ignore pacing.
+func ReplaySession(ctx context.Context, ck SessionCheckpoint, opts ...SessionOption) (*Session, error) {
+	return session.Replay(ctx, ck, opts...)
+}

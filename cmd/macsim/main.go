@@ -12,6 +12,7 @@
 //	macsim -experiment dynamic [-k 500] [-rate 0.1]
 //	macsim -experiment throughput [-lambdas 0.05,0.1,0.2] [-messages 2000] [-shape poisson|bursty|onoff] [-out csv|plot]
 //	macsim -experiment scenario [-scenario all|poisson|bursty|onoff|rho|herd|adaptive|jammed|mixed] [-lambdas 0.1,0.2,0.3] [-out csv|plot]
+//	macsim -experiment arena [-protocols one-fail,bk-cascade,...] [-scenarios herd,rho,jammed] [-rate 0.2] [-messages 400] [-runs 3]
 //	macsim -experiment cd [-k 10000] — §2 collision-detection comparison
 //	macsim -experiment ablation-ofa|ablation-ebb|ablation-monotone
 //	macsim session [-protocol exp-bb] [-rate 0.1] [-window 64] [-windows N]
@@ -34,8 +35,14 @@
 //
 //	macsim throughput -lambdas 0.1,0.2 -shape bursty
 //
+// The arena experiment runs every named protocol configuration — by
+// default the full registry, including the no-collision-detection
+// families of the related work — through a gauntlet of adversarial
+// scenarios and prints a robustness ranking with CI95 error bars
+// (docs/arena.md).
+//
 // The spec-backed experiments (solve/run, table1, figure1, paper,
-// throughput, scenario) build a mac.ExperimentSpec and execute it
+// throughput, scenario, arena) build a mac.ExperimentSpec and execute it
 // through mac.Run — the same entry point, validation, canonical cache
 // key and codecs as the library and the macsimd HTTP API. The global
 // -json flag prints the final result document exactly as /v1/* would
@@ -95,6 +102,7 @@ func main() {
 type options struct {
 	experiment  string
 	protocol    string
+	protocols   string
 	k           int
 	maxExp      int
 	runs        int
@@ -105,6 +113,7 @@ type options struct {
 	messages    int
 	shape       string
 	scenario    string
+	scenarios   string
 	epsilon     float64
 	confidence  float64
 	window      int
@@ -113,6 +122,9 @@ type options struct {
 	buffer      int
 	replay      string
 	protocolSet bool
+	rateSet     bool
+	messagesSet bool
+	runsSet     bool
 	quiet       bool
 	jsonOut     bool
 	stream      bool
@@ -146,6 +158,7 @@ var experiments = []struct {
 	{"dynamic", false, runDynamic},
 	{"throughput", true, runThroughput},
 	{"scenario", true, runScenario},
+	{"arena", true, runArena},
 	{"cd", false, runCD},
 	{"ablation-ofa", false, runAblationOFA},
 	{"ablation-ebb", false, runAblationEBB},
@@ -189,17 +202,21 @@ func parseOptions(args []string) (options, error) {
 		"experiment to run: "+strings.Join(experimentNames(), ", "))
 	fs.StringVar(&opts.protocol, "protocol", "one-fail",
 		"protocol for -experiment solve/trace: "+strings.Join(protocolNames(), ", "))
+	fs.StringVar(&opts.protocols, "protocols", "",
+		"comma-separated contestants for -experiment arena (default: every registered protocol)")
 	fs.IntVar(&opts.k, "k", 1000, "number of contenders for solve/trace/dynamic")
 	fs.IntVar(&opts.maxExp, "maxexp", 5, "sweep sizes 10..10^maxexp (paper: 7)")
 	fs.IntVar(&opts.runs, "runs", harness.DefaultRuns, "runs averaged per point")
 	fs.Uint64Var(&opts.seed, "seed", 1, "master seed")
 	fs.StringVar(&opts.out, "out", "text", "output format for sweeps: text, csv (throughput also: plot)")
-	fs.Float64Var(&opts.rate, "rate", 0.1, "arrival rate (messages/slot) for -experiment dynamic")
+	fs.Float64Var(&opts.rate, "rate", 0.1, "arrival rate (messages/slot) for -experiment dynamic; offered load for -experiment arena (default 0.2 there)")
 	fs.StringVar(&opts.lambdas, "lambdas", "", "comma-separated offered loads for -experiment throughput (default 0.02..0.4 grid)")
 	fs.IntVar(&opts.messages, "messages", 2000, "messages per execution for -experiment throughput")
 	fs.StringVar(&opts.shape, "shape", "poisson", "arrival shape for -experiment throughput: poisson, bursty, onoff")
 	fs.StringVar(&opts.scenario, "scenario", "all",
 		"workload for -experiment scenario: all, "+strings.Join(scenario.Names(), ", "))
+	fs.StringVar(&opts.scenarios, "scenarios", "",
+		"comma-separated workloads for -experiment arena (default herd,rho,jammed)")
 	fs.Float64Var(&opts.epsilon, "epsilon", 0,
 		"sweep experiments: adaptive-precision stopping at this relative precision (e.g. 0.01 = ±1%); 0 keeps the fixed -runs count")
 	fs.Float64Var(&opts.confidence, "confidence", 0.95,
@@ -226,6 +243,12 @@ func parseOptions(args []string) (options, error) {
 			confidenceSet = true
 		case "protocol":
 			opts.protocolSet = true
+		case "rate":
+			opts.rateSet = true
+		case "messages":
+			opts.messagesSet = true
+		case "runs":
+			opts.runsSet = true
 		}
 	})
 	if confidenceSet && opts.epsilon == 0 {
@@ -337,6 +360,12 @@ func printProgress(prefix string, ev mac.Event) {
 			status = fmt.Sprintf("saturated (%d delivered)", p.Delivered)
 		}
 		fmt.Fprintf(os.Stderr, "done %s%-28s λ=%-6.3g run=%-3d %s\n", prefix, p.Protocol, p.Lambda, p.Run, status)
+	case mac.ArenaProgress:
+		status := "drained"
+		if !p.Drained {
+			status = fmt.Sprintf("saturated (%d delivered)", p.Delivered)
+		}
+		fmt.Fprintf(os.Stderr, "done %-10s %-28s run=%-3d %s\n", p.Scenario, p.Protocol, p.Run, status)
 	}
 }
 
@@ -499,6 +528,59 @@ func runScenario(opts options) error {
 		}
 	}
 	return nil
+}
+
+// arenaSpec builds the arena experiment the flags describe. Flags whose
+// macsim default differs from the arena's (rate, messages, runs) are
+// forwarded only when explicitly set, so a bare `macsim arena` hashes to
+// the same canonical key as an empty POST /v1/arena body.
+func arenaSpec(opts options) mac.ExperimentSpec {
+	s := mac.ArenaSpec{
+		Scenarios: splitList(opts.scenarios),
+		Seed:      opts.seed,
+		Precision: opts.precision(),
+	}
+	for _, name := range splitList(opts.protocols) {
+		s.Protocols = append(s.Protocols, mac.ProtocolSpec{Name: name})
+	}
+	if opts.rateSet {
+		s.Lambda = opts.rate
+	}
+	if opts.messagesSet {
+		s.Messages = opts.messages
+	}
+	if opts.runsSet {
+		s.Runs = opts.runs
+	}
+	return mac.ArenaExperiment(s)
+}
+
+// runArena ranks protocol configurations by robustness across
+// adversarial scenarios. The rendered table and CSV come verbatim from
+// the result document, so CLI, library and HTTP output are
+// byte-identical.
+func runArena(opts options) error {
+	return runExperiment(opts, arenaSpec(opts), "", func(res *mac.ExperimentResult) error {
+		if opts.out == "csv" {
+			fmt.Print(res.Arena.CSV)
+			return nil
+		}
+		fmt.Print(res.Arena.Table)
+		return nil
+	})
+}
+
+// splitList parses a comma-separated flag into trimmed fields (empty
+// means none given).
+func splitList(flagValue string) []string {
+	if strings.TrimSpace(flagValue) == "" {
+		return nil
+	}
+	var out []string
+	for _, field := range strings.Split(flagValue, ",") {
+		out = append(out, strings.TrimSpace(field))
+	}
+	return out
 }
 
 // --- simulator-level experiments (trace, dynamic, cd, ablations) ---

@@ -53,7 +53,8 @@ func TestRunUnknownProtocol(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown protocol accepted")
 	}
-	for _, want := range []string{"one-fail", "exp-bb", "log-fails-10", "exp-backoff"} {
+	for _, want := range []string{"one-fail", "exp-bb", "log-fails-10", "exp-backoff",
+		"bk-cascade", "cjz-ladder", "jz-robust"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("protocol error does not list %q: %v", want, err)
 		}
@@ -260,6 +261,73 @@ func TestRunThroughputGolden(t *testing.T) {
 	}
 }
 
+// arenaGoldenArgs is a fixed, CI-cheap arena invocation: the full
+// registry (no -protocols filter) over the default adversarial gauntlet
+// at seed 1, as the acceptance bar specifies.
+var arenaGoldenArgs = []string{"arena", "-messages", "120", "-runs", "1", "-seed", "1", "-quiet"}
+
+// TestRunArenaGolden pins `macsim arena -seed 1` output to the
+// checked-in golden file: the ranking must cover the paper's original
+// protocols and all three no-collision-detection families, byte for
+// byte.
+func TestRunArenaGolden(t *testing.T) {
+	out, err := capture(t, func() error { return run(arenaGoldenArgs) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/arena_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatalf("arena output diverges from testdata/arena_golden.txt:\n%s", out)
+	}
+	for _, want := range []string{"one-fail", "exp-bb", "log-fails-2", "log-fails-10", "loglog-iterated",
+		"bk-cascade", "cjz-ladder", "jz-robust", "herd", "rho", "jammed", "±"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("arena golden missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunArenaCSVAndJSON: the CSV and text renderings come verbatim
+// from the result document, so the CLI's bytes are exactly what
+// /v1/arena serves.
+func TestRunArenaCSVAndJSON(t *testing.T) {
+	args := []string{"arena", "-protocols", "exp-bb,cjz-ladder", "-scenarios", "herd",
+		"-messages", "60", "-runs", "1", "-seed", "5", "-quiet"}
+	text, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := capture(t, func() error { return run(append(args, "-out", "csv")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonOut, err := capture(t, func() error { return run(append(args, "-json")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc mac.ArenaResult
+	if err := json.Unmarshal([]byte(jsonOut), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if text != doc.Table {
+		t.Fatalf("text output diverges from the document's table:\n--- text\n%s\n--- document\n%s", text, doc.Table)
+	}
+	if csv != doc.CSV {
+		t.Fatalf("csv output diverges from the document's csv:\n--- csv\n%s\n--- document\n%s", csv, doc.CSV)
+	}
+	if len(doc.Ranking) != 2 || len(doc.Scenarios) != 1 {
+		t.Fatalf("unexpected arena document shape: %d protocols, %d scenarios", len(doc.Ranking), len(doc.Scenarios))
+	}
+	for _, e := range doc.Ranking {
+		if e.Rank < 1 || e.Display == "" || len(e.Scenarios) != 1 {
+			t.Fatalf("malformed ranking entry %+v", e)
+		}
+	}
+}
+
 func TestRunVersionFlag(t *testing.T) {
 	out, err := capture(t, func() error { return run([]string{"-version"}) })
 	if err != nil {
@@ -416,6 +484,8 @@ func TestSpecKeyParityAcrossFrontEnds(t *testing.T) {
 				t.Fatal(err)
 			}
 			return es
+		case "arena":
+			return arenaSpec(opts)
 		}
 		t.Fatalf("experiment %q has no spec", opts.experiment)
 		return mac.ExperimentSpec{}
@@ -454,6 +524,22 @@ func TestSpecKeyParityAcrossFrontEnds(t *testing.T) {
 			library: mac.EvaluateExperiment(mac.EvaluateSpec{MaxExp: 3, Runs: 4, Seed: 2}),
 			kind:    mac.KindEvaluate,
 			http:    `{"maxExp":3,"runs":4,"seed":2}`,
+		},
+		{
+			name:    "arena via aliases and explicit flags",
+			cliArgs: []string{"arena", "-protocols", "ofa,bkc", "-scenarios", "herd", "-rate", "0.20", "-messages", "300", "-runs", "2", "-seed", "9"},
+			library: mac.ArenaExperiment(mac.ArenaSpec{
+				Protocols: []mac.ProtocolSpec{{Name: "one-fail"}, {Name: "bk-cascade"}},
+				Scenarios: []string{"herd"}, Lambda: 0.2, Messages: 300, Runs: 2, Seed: 9}),
+			kind: mac.KindArena,
+			http: `{"protocols":["one-fail","bk-cascade"],"scenarios":["herd"],"lambda":0.2,"messages":300,"runs":2,"seed":9}`,
+		},
+		{
+			name:    "arena all defaults expand to the explicit registry",
+			cliArgs: []string{"arena"},
+			library: mac.ArenaExperiment(mac.ArenaSpec{}),
+			kind:    mac.KindArena,
+			http:    `{}`,
 		},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,178 @@
+package arena_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/dynamic"
+	"repro/internal/harness"
+)
+
+// smallConfig keeps test sweeps fast while still exercising fair,
+// windowed and adversarial paths.
+func smallConfig() arena.Config {
+	return arena.Config{
+		Protocols: []string{"one-fail", "exp-bb", "bk-cascade", "cjz-ladder", "jz-robust"},
+		Scenarios: []string{"herd", "jammed"},
+		Messages:  120,
+		Runs:      2,
+		Seed:      7,
+	}
+}
+
+// TestSeedDeterminism: the rendered ranking must be byte-identical
+// across repeated runs and across different parallelism — the fold
+// order, not the scheduler, determines the result.
+func TestSeedDeterminism(t *testing.T) {
+	t.Parallel()
+	render := func(par int) (string, string) {
+		cfg := smallConfig()
+		cfg.Parallelism = par
+		res, err := arena.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var table, csv bytes.Buffer
+		if err := arena.Table(&table, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := arena.CSV(&csv, res); err != nil {
+			t.Fatal(err)
+		}
+		return table.String(), csv.String()
+	}
+	t1, c1 := render(1)
+	t4, c4 := render(4)
+	if t1 != t4 {
+		t.Errorf("table differs between parallelism 1 and 4:\n--- par=1 ---\n%s\n--- par=4 ---\n%s", t1, t4)
+	}
+	if c1 != c4 {
+		t.Errorf("csv differs between parallelism 1 and 4:\n--- par=1 ---\n%s\n--- par=4 ---\n%s", c1, c4)
+	}
+}
+
+// TestDefaultsCoverRegistry: with no protocol filter the ranking covers
+// every registry entry, so a new protocol joins the arena by
+// registration alone.
+func TestDefaultsCoverRegistry(t *testing.T) {
+	t.Parallel()
+	cfg := arena.Config{
+		Scenarios: []string{"herd"},
+		Messages:  60,
+		Runs:      1,
+		Seed:      3,
+	}
+	res, err := arena.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := harness.SystemNames()
+	if len(res.Ranking) != len(names) {
+		t.Fatalf("ranking has %d entries, want %d (full registry)", len(res.Ranking), len(names))
+	}
+	got := map[string]bool{}
+	for _, e := range res.Ranking {
+		got[e.Protocol] = true
+	}
+	for _, n := range names {
+		if !got[n] {
+			t.Errorf("registry entry %q missing from ranking", n)
+		}
+	}
+}
+
+// TestRankingShape: scores are sane fractions of offered load, CIs are
+// non-negative, the overall column is sorted descending, and every row
+// carries one cell per scenario.
+func TestRankingShape(t *testing.T) {
+	t.Parallel()
+	cfg := smallConfig()
+	res, err := arena.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lambda != arena.DefaultLambda {
+		t.Errorf("Lambda = %v, want default %v", res.Lambda, arena.DefaultLambda)
+	}
+	prev := 2.0
+	for _, e := range res.Ranking {
+		if len(e.Scenarios) != len(res.Scenarios) {
+			t.Fatalf("%s: %d cells, want %d", e.Protocol, len(e.Scenarios), len(res.Scenarios))
+		}
+		if e.Overall > prev {
+			t.Errorf("ranking not sorted: %s overall %v after %v", e.Protocol, e.Overall, prev)
+		}
+		prev = e.Overall
+		if e.Overall < 0 || e.Overall > 1.5 || e.CI95 < 0 {
+			t.Errorf("%s: overall %v ±%v out of range", e.Protocol, e.Overall, e.CI95)
+		}
+		if e.Display == "" {
+			t.Errorf("%s: empty display name", e.Protocol)
+		}
+		for i, s := range e.Scenarios {
+			if s.Scenario != res.Scenarios[i] {
+				t.Errorf("%s cell %d: scenario %q, want %q", e.Protocol, i, s.Scenario, res.Scenarios[i])
+			}
+			if s.Score < 0 || s.Score > 1.5 || s.CI95 < 0 {
+				t.Errorf("%s/%s: score %v ±%v out of range", e.Protocol, s.Scenario, s.Score, s.CI95)
+			}
+			if s.Runs < 1 || s.Completed > s.Runs {
+				t.Errorf("%s/%s: completed %d of %d runs", e.Protocol, s.Scenario, s.Completed, s.Runs)
+			}
+		}
+	}
+}
+
+// TestValidation: unknown protocols and scenarios, duplicates, and bad
+// loads are rejected with the registry listings.
+func TestValidation(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		cfg  arena.Config
+		want string
+	}{
+		{"unknown protocol", arena.Config{Protocols: []string{"no-such"}}, "unknown protocol"},
+		{"duplicate protocol", arena.Config{Protocols: []string{"ofa", "one-fail"}}, "listed twice"},
+		{"unknown scenario", arena.Config{Scenarios: []string{"no-such"}}, "unknown scenario"},
+		{"duplicate scenario", arena.Config{Scenarios: []string{"herd", "herd"}}, "listed twice"},
+		{"bad lambda", arena.Config{Lambda: -1}, "offered load"},
+	}
+	for _, tc := range cases {
+		_, err := arena.Run(tc.cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestProgressCallback: one callback per completed execution, tagged
+// with the requested protocols and scenarios.
+func TestProgressCallback(t *testing.T) {
+	t.Parallel()
+	var mu sync.Mutex
+	counts := map[string]int{}
+	cfg := arena.Config{
+		Protocols: []string{"exp-bb", "cjz-ladder"},
+		Scenarios: []string{"herd"},
+		Messages:  60,
+		Runs:      2,
+		Seed:      5,
+		Progress: func(protocol, scn string, run int, res dynamic.Result) {
+			mu.Lock()
+			counts[protocol+"/"+scn]++
+			mu.Unlock()
+		},
+	}
+	if _, err := arena.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"exp-bb/herd", "cjz-ladder/herd"} {
+		if counts[key] != 2 {
+			t.Errorf("progress calls for %s = %d, want 2", key, counts[key])
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package arena_test
+
+import (
+	"testing"
+
+	"repro/internal/arena"
+)
+
+// BenchmarkArenaSweep pins the cost of a small full-stack arena run —
+// protocol resolution, matched-pairs workload generation, dynamic
+// simulation across fair and windowed engines, and ranking — so
+// regressions in any layer below surface in the benchjson diff.
+func BenchmarkArenaSweep(b *testing.B) {
+	cfg := arena.Config{
+		Protocols:   []string{"one-fail", "exp-bb", "bk-cascade", "cjz-ladder", "jz-robust"},
+		Scenarios:   []string{"herd", "jammed"},
+		Messages:    120,
+		Runs:        2,
+		Seed:        7,
+		Parallelism: 1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := arena.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package arena
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table renders the ranking as an aligned text table: one row per
+// protocol, best first, with the overall robustness score and one
+// column per scenario, each as score ± CI95. Saturated cells (some run
+// hit the slot budget before draining) are marked with '*'. Output is
+// byte-identical for identical results.
+func Table(w io.Writer, res *Result) error {
+	if _, err := fmt.Fprintf(w, "Arena robustness ranking: λ=%v, %d messages, %d runs per cell\n",
+		res.Lambda, res.Messages, res.Runs); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "score = sustained fraction of offered load (1.0 = kept up), ± CI95\n\n"); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "rank\tprotocol\toverall\t")
+	for _, s := range res.Scenarios {
+		fmt.Fprintf(tw, "%s\t", s)
+	}
+	fmt.Fprintln(tw)
+	saturated := false
+	for i := range res.Ranking {
+		e := &res.Ranking[i]
+		fmt.Fprintf(tw, "%d\t%s\t%.4f ±%.4f\t", i+1, e.Protocol, e.Overall, e.CI95)
+		for j := range e.Scenarios {
+			s := &e.Scenarios[j]
+			mark := ""
+			if s.Saturated() {
+				mark = "*"
+				saturated = true
+			}
+			fmt.Fprintf(tw, "%.4f ±%.4f%s\t", s.Score, s.CI95, mark)
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if saturated {
+		if _, err := fmt.Fprintf(w, "\n* some runs hit the slot budget before draining (saturated)\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV renders the ranking as comma-separated values with one header
+// row: rank, protocol, display, overall and its CI, then score and CI
+// per scenario. Output is byte-identical for identical results.
+func CSV(w io.Writer, res *Result) error {
+	cols := []string{"rank", "protocol", "display", "overall", "overall_ci95"}
+	for _, s := range res.Scenarios {
+		cols = append(cols, s, s+"_ci95")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := range res.Ranking {
+		e := &res.Ranking[i]
+		row := []string{
+			fmt.Sprint(i + 1),
+			e.Protocol,
+			fmt.Sprintf("%q", e.Display),
+			fmt.Sprintf("%.6f", e.Overall),
+			fmt.Sprintf("%.6f", e.CI95),
+		}
+		for j := range e.Scenarios {
+			s := &e.Scenarios[j]
+			row = append(row, fmt.Sprintf("%.6f", s.Score), fmt.Sprintf("%.6f", s.CI95))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

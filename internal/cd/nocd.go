@@ -1,0 +1,96 @@
+package cd
+
+import (
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// This file defines the no-collision-detection side of the channel
+// model: the degradation that turns the ternary CD feedback
+// silence/success/collision into the binary bit the paper's model (and
+// the protocols in internal/nocd) runs on, and the stricter ack-only
+// model of the Chen–Jiang–Zheng setting.
+//
+// The plain per-node simulator already implements the binary model —
+// stations that are not sim.CDStation receive received = (outcome ==
+// Success) — so these wrappers exist to make the degradation explicit
+// and testable: a station wrapped in Degrade runs on the CD feedback
+// path yet hears only what a no-CD channel would tell it, and tests can
+// hold the two paths to identical executions.
+
+// BinaryFeedback degrades a ternary slot outcome to the single bit
+// observable on a channel without collision detection: a success is
+// heard (the delivered message is received by every listener); silence
+// and collision are indistinguishable nothing.
+func BinaryFeedback(o sim.Outcome) bool { return o == sim.Success }
+
+// DegradedStation adapts a binary-feedback station to the simulator's
+// collision-detection feedback path, degrading every ternary outcome
+// through BinaryFeedback before the inner station sees it. A station
+// behaves identically whether run plain (binary path) or wrapped
+// (ternary path degraded) — the property the tests in this package pin.
+type DegradedStation struct {
+	inner protocol.Station
+}
+
+// Degrade wraps st so it runs on the ternary feedback path but observes
+// only the no-CD binary bit.
+func Degrade(st protocol.Station) *DegradedStation {
+	return &DegradedStation{inner: st}
+}
+
+// WillTransmit implements protocol.Station.
+func (s *DegradedStation) WillTransmit(slot uint64, src *rng.Rand) bool {
+	return s.inner.WillTransmit(slot, src)
+}
+
+// Feedback implements protocol.Station (binary feedback needs no
+// degradation).
+func (s *DegradedStation) Feedback(slot uint64, transmitted, received bool) {
+	s.inner.Feedback(slot, transmitted, received)
+}
+
+// FeedbackOutcome implements sim.CDStation by degrading the ternary
+// outcome.
+func (s *DegradedStation) FeedbackOutcome(slot uint64, transmitted bool, outcome sim.Outcome) {
+	s.inner.Feedback(slot, transmitted, BinaryFeedback(outcome))
+}
+
+// AckOnlyStation models the strictest feedback setting (the
+// Chen–Jiang–Zheng ack-only channel): a station learns nothing from the
+// channel except the acknowledgement of its own delivery. Overheard
+// receptions are masked. Since the simulator realizes the ack by
+// removing the delivered station, an ack-only station's inner Feedback
+// never reports received = true at all.
+//
+// Windowed protocols (Schedule via protocol.WindowStation) ignore
+// receptions by construction, so they run unchanged under this model;
+// fair protocols (Controller via protocol.FairStation) clock their
+// shared state on overheard successes and are NOT ack-only — wrapping
+// one changes its behavior, which is exactly what the tests demonstrate.
+type AckOnlyStation struct {
+	inner protocol.Station
+}
+
+// AckOnly wraps st so it hears only its own delivery acknowledgement.
+func AckOnly(st protocol.Station) *AckOnlyStation {
+	return &AckOnlyStation{inner: st}
+}
+
+// WillTransmit implements protocol.Station.
+func (s *AckOnlyStation) WillTransmit(slot uint64, src *rng.Rand) bool {
+	return s.inner.WillTransmit(slot, src)
+}
+
+// Feedback implements protocol.Station, masking receptions of other
+// stations' deliveries.
+func (s *AckOnlyStation) Feedback(slot uint64, transmitted, received bool) {
+	s.inner.Feedback(slot, transmitted, transmitted && received)
+}
+
+// Compile-time interface conformance checks.
+var (
+	_ sim.CDStation    = (*DegradedStation)(nil)
+	_ protocol.Station = (*AckOnlyStation)(nil)
+)

@@ -1,0 +1,121 @@
+package cd_test
+
+import (
+	"testing"
+
+	"repro/internal/cd"
+	"repro/internal/nocd"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func repetitionStations(t testing.TB, k int, wrap func(protocol.Station) protocol.Station) []protocol.Station {
+	t.Helper()
+	stations := make([]protocol.Station, k)
+	for i := range stations {
+		sched, err := nocd.NewRepetitionLadder(nocd.DefaultLadderTheta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st protocol.Station = protocol.NewWindowStation(sched)
+		if wrap != nil {
+			st = wrap(st)
+		}
+		stations[i] = st
+	}
+	return stations
+}
+
+func TestBinaryFeedback(t *testing.T) {
+	t.Parallel()
+	if !cd.BinaryFeedback(sim.Success) {
+		t.Error("BinaryFeedback(Success) = false, want true")
+	}
+	if cd.BinaryFeedback(sim.Silence) {
+		t.Error("BinaryFeedback(Silence) = true, want false: silence must be indistinguishable nothing")
+	}
+	if cd.BinaryFeedback(sim.Collision) {
+		t.Error("BinaryFeedback(Collision) = true, want false: no collision signal exists without detection")
+	}
+}
+
+// TestDegradedMatchesBinaryPath: a windowed station run on the ternary
+// feedback path through Degrade must reproduce the plain binary-path
+// execution exactly (same stream, identical results) — the degradation
+// is the binary model.
+func TestDegradedMatchesBinaryPath(t *testing.T) {
+	t.Parallel()
+	const k = 24
+	for seed := uint64(1); seed <= 5; seed++ {
+		plain, err := sim.Run(repetitionStations(t, k, nil), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		degraded, err := sim.Run(
+			repetitionStations(t, k, func(st protocol.Station) protocol.Station { return cd.Degrade(st) }),
+			rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Slots != degraded.Slots || plain.Successes != degraded.Successes ||
+			plain.Collisions != degraded.Collisions || plain.Silences != degraded.Silences ||
+			plain.Delivered != degraded.Delivered {
+			t.Errorf("seed %d: degraded run %+v differs from plain run %+v", seed, degraded, plain)
+		}
+	}
+}
+
+// TestAckOnlyWindowedUnchanged: windowed protocols ignore receptions by
+// construction, so the ack-only degradation must not change their
+// executions at all.
+func TestAckOnlyWindowedUnchanged(t *testing.T) {
+	t.Parallel()
+	const k = 24
+	for seed := uint64(1); seed <= 5; seed++ {
+		plain, err := sim.Run(repetitionStations(t, k, nil), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked, err := sim.Run(
+			repetitionStations(t, k, func(st protocol.Station) protocol.Station { return cd.AckOnly(st) }),
+			rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Slots != acked.Slots || plain.Delivered != acked.Delivered {
+			t.Errorf("seed %d: ack-only run %+v differs from plain run %+v", seed, acked, plain)
+		}
+	}
+}
+
+// TestAckOnlyMasksFairReceptions: fair protocols clock their state on
+// overheard successes, so the ack-only model must change their behavior
+// — a reception that would reset a robust ladder's quiet clock is
+// masked into a quiet slot, stepping the level up instead.
+func TestAckOnlyMasksFairReceptions(t *testing.T) {
+	t.Parallel()
+	heard, err := nocd.NewRobustLadder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, err := nocd.NewRobustLadder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := protocol.NewFairStation(heard)
+	acked := cd.AckOnly(protocol.NewFairStation(masked))
+	// Four slots in which some other station delivers: the plain fair
+	// station hears each success; the ack-only one hears nothing
+	// (patience at level 0 is 4).
+	for slot := uint64(1); slot <= 4; slot++ {
+		plain.Feedback(slot, false, true)
+		acked.Feedback(slot, false, true)
+	}
+	if heard.Level() != 0 {
+		t.Errorf("plain fair station Level = %d, want 0 (receptions reset the quiet clock)", heard.Level())
+	}
+	if masked.Level() != 1 {
+		t.Errorf("ack-only fair station Level = %d, want 1 (receptions masked into quiet slots)", masked.Level())
+	}
+}

@@ -1,5 +1,5 @@
-// Package harness orchestrates the paper's evaluation (§5): it sweeps the
-// five simulated protocol configurations over network sizes
+// Package harness orchestrates the paper's evaluation (§5): it sweeps
+// simulated protocol configurations over network sizes
 // k ∈ {10, 10², …, 10⁷}, averages repeated runs, and renders the results
 // as the paper's Figure 1 (average steps vs k, log-log) and Table 1
 // (steps/nodes ratio vs the analysis constants).
@@ -69,6 +69,17 @@ func (s *FairSystem) Name() string { return s.name }
 
 // AnalysisRatio implements System.
 func (s *FairSystem) AnalysisRatio(k int) string { return s.analysis(k) }
+
+// NewController builds one fresh shared controller state machine, sized
+// for k contenders (protocols that do not derive parameters from k
+// ignore it; pass 0 when no contender estimate exists). Controllers are
+// stateful and single-use. It exposes the constructor behind Run so
+// dynamic drivers (internal/arena, internal/throughput) can run registry
+// systems on the event-driven engines, mirroring
+// WindowSystem.NewSchedule.
+func (s *FairSystem) NewController(k int) (protocol.Controller, error) {
+	return s.newCtrl(k)
+}
 
 // Run implements System.
 func (s *FairSystem) Run(k int, src *rng.Rand) (uint64, error) {

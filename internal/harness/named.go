@@ -8,6 +8,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/nocd"
 	"repro/internal/protocol"
 )
 
@@ -131,40 +132,78 @@ func newExpBackoff(r float64) (System, error) {
 		func(int) (protocol.Schedule, error) { return baseline.NewExponentialBackoff(r) }), nil
 }
 
-// withDelta adapts a δ-parameterized constructor into NewWith.
-func withDelta(build func(float64) (System, error), def float64) func(map[string]float64) (System, error) {
+// newCascade builds the Bender–Kuszmaul-style no-CD probability cascade
+// at base β (see internal/nocd).
+func newCascade(beta float64) (System, error) {
+	if _, err := nocd.NewCascade(beta); err != nil {
+		return nil, err
+	}
+	name := "BK Cascade"
+	if beta != nocd.DefaultCascadeBase {
+		name = fmt.Sprintf("BK Cascade (β=%v)", beta)
+	}
+	return NewFairSystem(name, func(int) string { return "O(log k)" },
+		func(int) (protocol.Controller, error) { return nocd.NewCascade(beta) }), nil
+}
+
+// newRepetitionLadder builds the Chen–Jiang–Zheng-style repetition
+// ladder with trade-off exponent θ (see internal/nocd).
+func newRepetitionLadder(theta float64) (System, error) {
+	if _, err := nocd.NewRepetitionLadder(theta); err != nil {
+		return nil, err
+	}
+	name := "CJZ Repetition Ladder"
+	if theta != nocd.DefaultLadderTheta {
+		name = fmt.Sprintf("CJZ Repetition Ladder (θ=%v)", theta)
+	}
+	return NewWindowSystem(name, func(int) string { return "O(log^θ k)" },
+		func(int) (protocol.Schedule, error) { return nocd.NewRepetitionLadder(theta) }), nil
+}
+
+// newRobustLadder builds the Jiang–Zheng-style success-clocked robust
+// ladder with patience multiplier c (see internal/nocd).
+func newRobustLadder(c float64) (System, error) {
+	if _, err := nocd.NewRobustLadder(c); err != nil {
+		return nil, err
+	}
+	name := "JZ Robust Ladder"
+	if c != nocd.DefaultRobustPatience {
+		name = fmt.Sprintf("JZ Robust Ladder (c=%v)", c)
+	}
+	return NewFairSystem(name, func(int) string { return "O(1) amortized" },
+		func(int) (protocol.Controller, error) { return nocd.NewRobustLadder(c) }), nil
+}
+
+// withParam adapts a single-parameter constructor into NewWith.
+func withParam(build func(float64) (System, error), key string, def float64) func(map[string]float64) (System, error) {
 	return func(params map[string]float64) (System, error) {
-		if err := checkParams(params, "delta"); err != nil {
+		if err := checkParams(params, key); err != nil {
 			return nil, err
 		}
-		return build(param(params, "delta", def))
+		return build(param(params, key, def))
 	}
+}
+
+// withDelta adapts a δ-parameterized constructor into NewWith.
+func withDelta(build func(float64) (System, error), def float64) func(map[string]float64) (System, error) {
+	return withParam(build, "delta", def)
 }
 
 // withR adapts a base-parameterized constructor into NewWith.
 func withR(build func(float64) (System, error), def float64) func(map[string]float64) (System, error) {
-	return func(params map[string]float64) (System, error) {
-		if err := checkParams(params, "r"); err != nil {
-			return nil, err
-		}
-		return build(param(params, "r", def))
-	}
+	return withParam(build, "r", def)
 }
 
 // withXiT adapts the LFA ξt-parameterized constructor into NewWith.
 func withXiT(def float64) func(map[string]float64) (System, error) {
-	return func(params map[string]float64) (System, error) {
-		if err := checkParams(params, "xi_t"); err != nil {
-			return nil, err
-		}
-		return newLogFails(param(params, "xi_t", def))
-	}
+	return withParam(newLogFails, "xi_t", def)
 }
 
 // NamedSystems returns the registry behind SystemByName and
-// SystemBySpec: the five paper configurations plus classic binary
-// exponential back-off. The slice is freshly allocated; callers may
-// reorder it.
+// SystemBySpec: the five paper configurations, classic binary
+// exponential back-off, and the three no-collision-detection protocol
+// families of the related work (internal/nocd). The slice is freshly
+// allocated; callers may reorder it.
 func NamedSystems() []NamedSystem {
 	return []NamedSystem{
 		{Name: "one-fail", Alias: "ofa", New: func() System { return PaperSystems()[2] },
@@ -188,6 +227,24 @@ func NamedSystems() []NamedSystem {
 		},
 			NewWith:  withR(newExpBackoff, 2),
 			Defaults: map[string]float64{"r": 2}},
+		{Name: "bk-cascade", Alias: "bkc", New: func() System {
+			sys, _ := newCascade(nocd.DefaultCascadeBase)
+			return sys
+		},
+			NewWith:  withParam(newCascade, "beta", nocd.DefaultCascadeBase),
+			Defaults: map[string]float64{"beta": nocd.DefaultCascadeBase}},
+		{Name: "cjz-ladder", Alias: "cjz", New: func() System {
+			sys, _ := newRepetitionLadder(nocd.DefaultLadderTheta)
+			return sys
+		},
+			NewWith:  withParam(newRepetitionLadder, "theta", nocd.DefaultLadderTheta),
+			Defaults: map[string]float64{"theta": nocd.DefaultLadderTheta}},
+		{Name: "jz-robust", Alias: "jzr", New: func() System {
+			sys, _ := newRobustLadder(nocd.DefaultRobustPatience)
+			return sys
+		},
+			NewWith:  withParam(newRobustLadder, "c", nocd.DefaultRobustPatience),
+			Defaults: map[string]float64{"c": nocd.DefaultRobustPatience}},
 	}
 }
 

@@ -1,0 +1,133 @@
+package harness_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/rng"
+)
+
+// TestNamedSystemsRegistryProperties holds every registry entry to the
+// full resolution contract, so a new protocol cannot land
+// half-registered: canonical name and alias (in any case) round-trip
+// through CanonicalSystemName and SystemByName, the entry resolves with
+// and without parameters, explicit defaults canonicalize to the plain
+// display name, unknown parameters and names are rejected with listings,
+// and the system actually runs.
+func TestNamedSystemsRegistryProperties(t *testing.T) {
+	t.Parallel()
+	entries := harness.NamedSystems()
+	if len(entries) < 9 {
+		t.Fatalf("registry has %d entries, want at least 9 (paper five + BEB + three no-CD families)", len(entries))
+	}
+
+	seen := map[string]string{}
+	for _, e := range entries {
+		for _, id := range []string{e.Name, e.Alias} {
+			if prev, dup := seen[id]; dup {
+				t.Errorf("identifier %q used by both %q and %q", id, prev, e.Name)
+			}
+			seen[id] = e.Name
+		}
+	}
+
+	names := harness.SystemNames()
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			found := false
+			for _, n := range names {
+				if n == e.Name {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%q missing from SystemNames()", e.Name)
+			}
+
+			// Round-trip: name, alias, and case variants all resolve to the
+			// canonical name.
+			for _, id := range []string{e.Name, e.Alias, strings.ToUpper(e.Name), strings.ToUpper(e.Alias)} {
+				canon, err := harness.CanonicalSystemName(id)
+				if err != nil {
+					t.Fatalf("CanonicalSystemName(%q): %v", id, err)
+				}
+				if canon != e.Name {
+					t.Errorf("CanonicalSystemName(%q) = %q, want %q", id, canon, e.Name)
+				}
+				if _, err := harness.SystemByName(id); err != nil {
+					t.Errorf("SystemByName(%q): %v", id, err)
+				}
+			}
+
+			// Resolution without parameters.
+			sys, err := harness.SystemBySpec(e.Name, nil)
+			if err != nil {
+				t.Fatalf("SystemBySpec(%q, nil): %v", e.Name, err)
+			}
+			if sys.Name() != e.New().Name() {
+				t.Errorf("SystemBySpec name %q != New name %q", sys.Name(), e.New().Name())
+			}
+
+			// Resolution with parameters: explicitly-spelled defaults must
+			// produce the same display name as the default constructor, and
+			// unknown keys must be rejected.
+			if e.NewWith != nil {
+				if len(e.Defaults) == 0 {
+					t.Error("NewWith set but Defaults empty: spec canonicalization cannot drop defaults")
+				}
+				withDefaults, err := harness.SystemBySpec(e.Name, e.Defaults)
+				if err != nil {
+					t.Fatalf("SystemBySpec(%q, defaults): %v", e.Name, err)
+				}
+				if withDefaults.Name() != sys.Name() {
+					t.Errorf("explicit defaults name %q != default name %q", withDefaults.Name(), sys.Name())
+				}
+				if _, err := harness.SystemBySpec(e.Name, map[string]float64{"no-such-param": 1}); err == nil {
+					t.Error("unknown parameter accepted, want error")
+				}
+			}
+
+			// The system must complete a small run under the sweep's stream
+			// discipline.
+			slots, err := sys.Run(4, rng.NewStream(1, sys.Name(), "4", "0"))
+			if err != nil {
+				t.Fatalf("Run(4): %v", err)
+			}
+			if slots == 0 {
+				t.Error("Run(4) = 0 slots, want positive")
+			}
+		})
+	}
+
+	// Unknown names error with a listing naming every canonical entry.
+	_, err := harness.SystemByName("no-such-protocol")
+	if err == nil {
+		t.Fatal("SystemByName(unknown) succeeded, want error")
+	}
+	for _, e := range entries {
+		if !strings.Contains(err.Error(), e.Name) {
+			t.Errorf("unknown-protocol error %q does not list %q", err, e.Name)
+		}
+	}
+}
+
+// TestNamedSystemsDefaultParams pins DefaultParams to the registry
+// entries, aliases included.
+func TestNamedSystemsDefaultParams(t *testing.T) {
+	t.Parallel()
+	for _, e := range harness.NamedSystems() {
+		for _, id := range []string{e.Name, e.Alias} {
+			got := harness.DefaultParams(id)
+			if fmt.Sprint(got) != fmt.Sprint(e.Defaults) {
+				t.Errorf("DefaultParams(%q) = %v, want %v", id, got, e.Defaults)
+			}
+		}
+	}
+	if harness.DefaultParams("no-such-protocol") != nil {
+		t.Error("DefaultParams(unknown) != nil")
+	}
+}

@@ -2,20 +2,25 @@
 // resolution protocol in this repository, and adapters that turn them into
 // per-node automata for the exact channel simulator.
 //
-// The paper's four protocols fall into two families:
+// The paper's four protocols — and every registry addition since, from
+// the monotone back-off baselines (internal/baseline) to the
+// no-collision-detection families of the related work (internal/nocd)
+// — fall into two families:
 //
 //   - Fair probability-based protocols (One-Fail Adaptive, Log-Fails
-//     Adaptive): in every slot, every active station transmits with the
-//     same probability, and the state that determines that probability is
+//     Adaptive, the BK-style Cascade, the JZ-style Robust Ladder): in
+//     every slot, every active station transmits with the same
+//     probability, and the state that determines that probability is
 //     updated only on globally observable events (a reception, i.e. some
 //     other station's successful delivery). Such protocols are modeled by
 //     a Controller.
 //
 //   - Windowed (back-on/back-off) protocols (Exp Back-on/Back-off,
-//     Loglog-Iterated Back-off and the monotone back-off family): time is
-//     partitioned into windows by a deterministic schedule shared by all
-//     stations, and each active station transmits in one uniformly chosen
-//     slot of each window. Such protocols are modeled by a Schedule.
+//     Loglog-Iterated Back-off, the CJZ-style Repetition Ladder and the
+//     monotone back-off family): time is partitioned into windows by a
+//     deterministic schedule shared by all stations, and each active
+//     station transmits in one uniformly chosen slot of each window. Such
+//     protocols are modeled by a Schedule.
 //
 // Because all stations of a fair protocol observe the same events (§2 of
 // the paper: a success is received by every non-transmitting station, and

@@ -351,6 +351,7 @@ func (s *Server) buildMux() {
 		"/v1/evaluate":   spec.KindEvaluate,
 		"/v1/throughput": spec.KindThroughput,
 		"/v1/scenario":   spec.KindScenario,
+		"/v1/arena":      spec.KindArena,
 	} {
 		mux.HandleFunc("POST "+path, func(w http.ResponseWriter, r *http.Request) {
 			s.handleSubmit(w, r, kind)

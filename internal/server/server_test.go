@@ -864,6 +864,85 @@ func TestSubmitKeyMatchesLibraryCanonicalKey(t *testing.T) {
 	}
 }
 
+// TestArenaServing: POST /v1/arena runs the cross-paper robustness
+// arena end to end. The served document — ranking, rendered table and
+// CSV — must be byte-identical to what the library produces for the
+// same spec, and the canonical key must match the library's, so the
+// third front end joins the parity the CLI tests already pin.
+func TestArenaServing(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, false)
+
+	resp, sub := post(t, ts.URL+"/v1/arena",
+		`{"protocols":["exp-bb","bkc","jz-robust"],"scenarios":["herd"],"messages":60,"runs":1,"seed":5}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	v := waitDone(t, ts.URL, sub.ID)
+	if v.Status != StatusDone {
+		t.Fatalf("job status = %s (%s)", v.Status, v.Error)
+	}
+
+	es := spec.ForArena(spec.ArenaSpec{
+		Protocols: []spec.ProtocolSpec{{Name: "exp-bb"}, {Name: "bk-cascade"}, {Name: "jz-robust"}},
+		Scenarios: []string{"herd"},
+		Messages:  60,
+		Runs:      1,
+		Seed:      5,
+	})
+	if err := es.Validate(limitsWithDefaults(Limits{})); err != nil {
+		t.Fatal(err)
+	}
+	key, err := es.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Key != key {
+		t.Fatalf("server key %s != library key %s", sub.Key, key)
+	}
+
+	exec, err := spec.Run(context.Background(), es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res.Document())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Result, want) {
+		t.Fatalf("served arena document diverges from the library's:\nhttp: %s\nlib:  %s", v.Result, want)
+	}
+
+	var doc spec.ArenaResult
+	if err := json.Unmarshal(v.Result, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Ranking) != 3 || len(doc.Scenarios) != 1 || doc.Table == "" || doc.CSV == "" {
+		t.Fatalf("unexpected arena document shape: %+v", doc)
+	}
+	for i, e := range doc.Ranking {
+		if e.Rank != i+1 {
+			t.Fatalf("ranking[%d].Rank = %d, want %d", i, e.Rank, i+1)
+		}
+	}
+
+	// Bad arena requests are rejected at submit time.
+	for _, body := range []string{
+		`{"protocols":["nope"]}`,
+		`{"protocols":[{"name":"one-fail","params":{"delta":2.9}}]}`,
+		`{"scenarios":["nope"]}`,
+		`{"lambda":-1}`,
+	} {
+		resp, _ := post(t, ts.URL+"/v1/arena", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
 // TestAdaptivePrecisionServing submits an adaptive-precision evaluate
 // request end to end: the result document carries per-cell reps and
 // error bars, and the replications the stopping rule saved surface in

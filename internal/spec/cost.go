@@ -79,6 +79,17 @@ func (s ExperimentSpec) EstimatedCost() int64 {
 			slots = int64(max(v.Messages, 1))
 		}
 		cost = mulCapped(mulCapped(int64(lineup), repsBound(v.Runs, v.Precision)), slots)
+	case *ArenaSpec:
+		// One throughput cell per (protocol, scenario) pair at a single
+		// offered load: ≈ messages/λ slots each.
+		lineup := max(len(v.Protocols), 1)
+		scenarios := max(len(v.Scenarios), 1)
+		slots := int64(max(v.Messages, 1))
+		if v.Lambda > 0 {
+			slots = int64(float64(max(v.Messages, 1)) / v.Lambda)
+		}
+		cells := mulCapped(int64(lineup), int64(scenarios))
+		cost = mulCapped(mulCapped(cells, repsBound(v.Runs, v.Precision)), slots)
 	}
 	return min(max(cost, 1), costCeiling)
 }

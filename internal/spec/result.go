@@ -5,6 +5,9 @@
 package spec
 
 import (
+	"strings"
+
+	"repro/internal/arena"
 	"repro/internal/harness"
 	"repro/internal/throughput"
 )
@@ -84,6 +87,42 @@ type ThroughputResult struct {
 	CSV      string             `json:"csv"`
 }
 
+// ArenaCell is one (protocol, scenario) aggregate of an arena result.
+// Score is the sustained fraction of the offered load (mean throughput
+// divided by λ) and CI95 its Student-t 95% half-width across runs.
+type ArenaCell struct {
+	Scenario  string  `json:"scenario"`
+	Score     float64 `json:"score"`
+	CI95      float64 `json:"ci95"`
+	Completed int     `json:"completed"`
+	Runs      int     `json:"runs"`
+	RepsUsed  int     `json:"repsUsed"`
+	Saturated bool    `json:"saturated"`
+}
+
+// ArenaEntry is one protocol's row of the robustness ranking, best
+// overall score first.
+type ArenaEntry struct {
+	Rank      int         `json:"rank"`
+	Protocol  string      `json:"protocol"`
+	Display   string      `json:"display"`
+	Overall   float64     `json:"overall"`
+	CI95      float64     `json:"ci95"`
+	Scenarios []ArenaCell `json:"scenarios"`
+}
+
+// ArenaResult is the result document of an arena experiment.
+type ArenaResult struct {
+	Lambda    float64      `json:"lambda"`
+	Messages  int          `json:"messages"`
+	Runs      int          `json:"runs"`
+	Seed      uint64       `json:"seed"`
+	Scenarios []string     `json:"scenarios"`
+	Ranking   []ArenaEntry `json:"ranking"`
+	Table     string       `json:"table"`
+	CSV       string       `json:"csv"`
+}
+
 // Result is an experiment's typed outcome: exactly one of the kind
 // fields is set, mirroring the spec union.
 type Result struct {
@@ -91,9 +130,11 @@ type Result struct {
 	Solve      *SolveResult
 	Evaluate   *EvaluateResult
 	Throughput *ThroughputResult // kinds "throughput" and "scenario"
+	Arena      *ArenaResult
 
-	sweep   []harness.SeriesResult // raw evaluate series, for renderers
-	dynamic []throughput.Series    // raw throughput series, for renderers
+	sweep     []harness.SeriesResult // raw evaluate series, for renderers
+	dynamic   []throughput.Series    // raw throughput series, for renderers
+	arenaRank *arena.Result          // raw arena ranking, for renderers
 
 	// repsSaved counts replications the adaptive-precision engine did
 	// not need: Σ over points of (maxReps − repsUsed). 0 in fixed-rep
@@ -115,6 +156,8 @@ func (r *Result) Document() any {
 		return r.Solve
 	case KindEvaluate:
 		return r.Evaluate
+	case KindArena:
+		return r.Arena
 	default:
 		return r.Throughput
 	}
@@ -127,6 +170,10 @@ func (r *Result) Sweep() []harness.SeriesResult { return r.sweep }
 // Dynamic returns the raw throughput series for the
 // Table/Plot/CSV renderers; nil for other kinds.
 func (r *Result) Dynamic() []throughput.Series { return r.dynamic }
+
+// ArenaRanking returns the raw arena ranking for the arena.Table/CSV
+// renderers; nil for other kinds.
+func (r *Result) ArenaRanking() *arena.Result { return r.arenaRank }
 
 // evaluateDocument folds raw sweep series into the result document.
 func evaluateDocument(seed uint64, results []harness.SeriesResult) *EvaluateResult {
@@ -151,6 +198,50 @@ func evaluateDocument(seed uint64, results []harness.SeriesResult) *EvaluateResu
 			}
 		}
 		out.Series[i] = s
+	}
+	return out
+}
+
+// arenaDocument folds a raw arena ranking into the result document,
+// embedding the rendered table and CSV so all three front ends serve
+// byte-identical artifacts.
+func arenaDocument(seed uint64, res *arena.Result) *ArenaResult {
+	var table, csv strings.Builder
+	_ = arena.Table(&table, res) // strings.Builder writes cannot fail
+	_ = arena.CSV(&csv, res)
+	out := &ArenaResult{
+		Lambda:    res.Lambda,
+		Messages:  res.Messages,
+		Runs:      res.Runs,
+		Seed:      seed,
+		Scenarios: res.Scenarios,
+		Ranking:   make([]ArenaEntry, len(res.Ranking)),
+		Table:     table.String(),
+		CSV:       csv.String(),
+	}
+	for i := range res.Ranking {
+		e := &res.Ranking[i]
+		entry := ArenaEntry{
+			Rank:      i + 1,
+			Protocol:  e.Protocol,
+			Display:   e.Display,
+			Overall:   e.Overall,
+			CI95:      e.CI95,
+			Scenarios: make([]ArenaCell, len(e.Scenarios)),
+		}
+		for j := range e.Scenarios {
+			c := &e.Scenarios[j]
+			entry.Scenarios[j] = ArenaCell{
+				Scenario:  c.Scenario,
+				Score:     c.Score,
+				CI95:      c.CI95,
+				Completed: c.Completed,
+				Runs:      c.Runs,
+				RepsUsed:  c.Runs,
+				Saturated: c.Saturated(),
+			}
+		}
+		out.Ranking[i] = entry
 	}
 	return out
 }

@@ -12,6 +12,7 @@ import (
 	"iter"
 	"sync"
 
+	"repro/internal/arena"
 	"repro/internal/dynamic"
 	"repro/internal/harness"
 	"repro/internal/rng"
@@ -64,6 +65,25 @@ func (p DynamicProgress) EventName() string { return p.Event }
 
 // SimulatedSlots implements Event.
 func (p DynamicProgress) SimulatedSlots() uint64 { return p.Slots }
+
+// ArenaProgress is one completed execution of an arena experiment's
+// (protocol, scenario) cell. Slots counts the drained run's completion
+// time; saturated runs report 0.
+type ArenaProgress struct {
+	Event     string `json:"event"`
+	Protocol  string `json:"protocol"`
+	Scenario  string `json:"scenario"`
+	Run       int    `json:"run"`
+	Delivered int    `json:"delivered"`
+	Drained   bool   `json:"drained"`
+	Slots     uint64 `json:"slots"`
+}
+
+// EventName implements Event.
+func (p ArenaProgress) EventName() string { return p.Event }
+
+// SimulatedSlots implements Event.
+func (p ArenaProgress) SimulatedSlots() uint64 { return p.Slots }
 
 // StreamEnd is the terminal record of an NDJSON event stream, shared by
 // the HTTP /stream endpoint and the CLI's -stream flag.
@@ -192,6 +212,8 @@ func (e *Execution) run(ctx context.Context, s ExperimentSpec) {
 		res, err = e.runDynamic(ctx, s.Kind, s.Throughput)
 	case KindScenario:
 		res, err = e.runDynamic(ctx, s.Kind, s.Scenario)
+	case KindArena:
+		res, err = e.runArena(ctx, s.Arena)
 	default:
 		err = fmt.Errorf("spec: unknown experiment kind %q", s.Kind)
 	}
@@ -257,6 +279,48 @@ func (e *Execution) runEvaluate(ctx context.Context, s *EvaluateSpec) (*Result, 
 		for _, series := range results {
 			for i := range series.Cells {
 				res.repsSaved += s.Precision.MaxReps - series.Cells[i].Steps.N()
+			}
+		}
+	}
+	return res, nil
+}
+
+// runArena executes the cross-paper robustness arena.
+func (e *Execution) runArena(ctx context.Context, s *ArenaSpec) (*Result, error) {
+	names := make([]string, len(s.Protocols))
+	for i, p := range s.Protocols {
+		names[i] = p.Name
+	}
+	cfg := arena.Config{
+		Protocols: names,
+		Scenarios: s.Scenarios,
+		Lambda:    s.Lambda,
+		Messages:  s.Messages,
+		Runs:      s.Runs,
+		Seed:      s.Seed,
+		Precision: s.Precision.engine(),
+		Progress: func(name, scn string, run int, r dynamic.Result) {
+			var slots uint64
+			if r.Completed {
+				slots = r.Completion
+			}
+			e.publish(ArenaProgress{Event: "progress", Protocol: name, Scenario: scn,
+				Run: run, Delivered: r.Delivered, Drained: r.Completed, Slots: slots})
+		},
+	}
+	ranking, err := arena.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Kind:      KindArena,
+		Arena:     arenaDocument(s.Seed, ranking),
+		arenaRank: ranking,
+	}
+	if s.Precision != nil {
+		for _, entry := range ranking.Ranking {
+			for i := range entry.Scenarios {
+				res.repsSaved += s.Precision.MaxReps - entry.Scenarios[i].Runs
 			}
 		}
 	}

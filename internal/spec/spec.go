@@ -8,8 +8,8 @@
 //
 //	spec → Validate(Limits) → CanonicalKey → Run(ctx) → events → Result
 //
-// An ExperimentSpec is a tagged union over the four experiment kinds
-// (solve, evaluate, throughput, scenario). Validate normalizes it in
+// An ExperimentSpec is a tagged union over the experiment kinds
+// (solve, evaluate, throughput, scenario, arena). Validate normalizes it in
 // place — defaults applied, protocol aliases canonicalized — after
 // which json.Marshal yields the canonical parameter encoding and
 // CanonicalKey the cache key the serving subsystem stores results
@@ -34,13 +34,14 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/arena"
 	"repro/internal/harness"
 	"repro/internal/montecarlo"
 	"repro/internal/scenario"
 	"repro/internal/throughput"
 )
 
-// ExperimentKind names one of the four experiment families.
+// ExperimentKind names one of the experiment families.
 type ExperimentKind string
 
 // Experiment kinds, one per sub-spec (and per /v1/* submit endpoint).
@@ -54,6 +55,9 @@ const (
 	KindThroughput ExperimentKind = "throughput"
 	// KindScenario is the λ-sweep over a catalog workload scenario.
 	KindScenario ExperimentKind = "scenario"
+	// KindArena is the cross-paper robustness arena: every contestant
+	// protocol against every adversarial scenario, ranked.
+	KindArena ExperimentKind = "arena"
 )
 
 // ExperimentSpec is the tagged union: Kind selects which sub-spec is
@@ -65,6 +69,7 @@ type ExperimentSpec struct {
 	Evaluate   *EvaluateSpec   `json:"evaluate,omitempty"`
 	Throughput *ThroughputSpec `json:"throughput,omitempty"`
 	Scenario   *ThroughputSpec `json:"scenario,omitempty"`
+	Arena      *ArenaSpec      `json:"arena,omitempty"`
 }
 
 // ForSolve wraps a SolveSpec into an ExperimentSpec.
@@ -87,6 +92,11 @@ func ForThroughput(s ThroughputSpec) ExperimentSpec {
 // "scenario" (catalog workloads).
 func ForScenario(s ThroughputSpec) ExperimentSpec {
 	return ExperimentSpec{Kind: KindScenario, Scenario: &s}
+}
+
+// ForArena wraps an ArenaSpec into an ExperimentSpec.
+func ForArena(s ArenaSpec) ExperimentSpec {
+	return ExperimentSpec{Kind: KindArena, Arena: &s}
 }
 
 // Limits bound what one experiment may ask of the simulators, so a
@@ -477,6 +487,111 @@ func (s *ThroughputSpec) validate(kind ExperimentKind, l Limits) error {
 	return nil
 }
 
+// ArenaSpec is the cross-paper robustness arena — internal/arena as
+// data: every contestant protocol runs through every adversarial
+// scenario at one fixed offered load, and the result is a ranking with
+// CI95 error bars. Field order fixes the canonical encoding.
+type ArenaSpec struct {
+	// Protocols lists the contestants by registry name; empty means
+	// every registered configuration. Arena contestants are registry
+	// configurations only — parameter overrides are rejected, so the
+	// ranking always compares the named defaults.
+	Protocols []ProtocolSpec `json:"protocols"`
+	// Scenarios lists catalog workloads; empty means the standard
+	// gauntlet (arena.DefaultScenarios). Column order follows this
+	// order.
+	Scenarios []string `json:"scenarios"`
+	// Lambda is the offered load every cell runs at (default
+	// arena.DefaultLambda).
+	Lambda float64 `json:"lambda"`
+	// Messages per execution (default arena.DefaultMessages).
+	Messages int `json:"messages"`
+	// Runs per (protocol, scenario) cell (default arena.DefaultRuns).
+	// It is ignored — and zeroed, for canonical hashing — when
+	// Precision is set.
+	Runs int `json:"runs"`
+	// Seed is the master seed (default 1).
+	Seed uint64 `json:"seed"`
+	// Precision, when set, replaces the fixed runs count with adaptive
+	// stopping at the requested relative precision, per cell.
+	Precision *PrecisionSpec `json:"precision,omitempty"`
+}
+
+// validate normalizes in place. Unlike evaluate, an empty contestant or
+// scenario list is expanded to the explicit registry/gauntlet listing:
+// the canonical key must pin exactly which protocols a cached ranking
+// compared, so a replayed job is not silently re-ranked against a
+// registry that has since grown.
+func (s *ArenaSpec) validate(l Limits) error {
+	if len(s.Protocols) == 0 {
+		names := harness.SystemNames()
+		s.Protocols = make([]ProtocolSpec, len(names))
+		for i, n := range names {
+			s.Protocols[i] = ProtocolSpec{Name: n}
+		}
+	}
+	seen := make(map[string]bool, len(s.Protocols))
+	for i := range s.Protocols {
+		if err := s.Protocols[i].validate(); err != nil {
+			return err
+		}
+		if len(s.Protocols[i].Params) > 0 {
+			return fmt.Errorf("arena contestants take no parameter overrides, got params on %q", s.Protocols[i].Name)
+		}
+		if seen[s.Protocols[i].Name] {
+			return fmt.Errorf("protocol %q listed twice", s.Protocols[i].Name)
+		}
+		seen[s.Protocols[i].Name] = true
+	}
+	if len(s.Scenarios) == 0 {
+		s.Scenarios = arena.DefaultScenarios()
+	}
+	seenScn := make(map[string]bool, len(s.Scenarios))
+	for i, name := range s.Scenarios {
+		w, err := scenario.ByName(name)
+		if err != nil {
+			return err
+		}
+		if seenScn[w.Name] {
+			return fmt.Errorf("scenario %q listed twice", w.Name)
+		}
+		seenScn[w.Name] = true
+		s.Scenarios[i] = w.Name
+	}
+	if s.Lambda == 0 {
+		s.Lambda = arena.DefaultLambda
+	}
+	if !(s.Lambda > 0) || math.IsInf(s.Lambda, 0) {
+		return fmt.Errorf("offered load must be a finite value > 0, got %v", s.Lambda)
+	}
+	if s.Messages == 0 {
+		s.Messages = arena.DefaultMessages
+	}
+	if s.Messages < 1 {
+		return fmt.Errorf("messages must be ≥ 1, got %d", s.Messages)
+	}
+	if l.MaxMessages > 0 && s.Messages > l.MaxMessages {
+		return fmt.Errorf("messages must be in [1, %d], got %d", l.MaxMessages, s.Messages)
+	}
+	if s.Precision != nil {
+		if err := s.Precision.validate(l); err != nil {
+			return err
+		}
+		s.Runs = 0 // ignored in adaptive mode; zeroed so it cannot split cache keys
+	} else {
+		if s.Runs == 0 {
+			s.Runs = arena.DefaultRuns
+		}
+		if err := validateRuns(s.Runs, l); err != nil {
+			return err
+		}
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return nil
+}
+
 // validateRuns applies the shared runs-per-point rules.
 func validateRuns(runs int, l Limits) error {
 	if runs < 1 {
@@ -504,8 +619,11 @@ func (s *ExperimentSpec) active() (any, error) {
 	if s.Scenario != nil {
 		set++
 	}
+	if s.Arena != nil {
+		set++
+	}
 	if set != 1 {
-		return nil, fmt.Errorf("spec: exactly one of solve/evaluate/throughput/scenario must be set, got %d", set)
+		return nil, fmt.Errorf("spec: exactly one of solve/evaluate/throughput/scenario/arena must be set, got %d", set)
 	}
 	if s.Kind == "" {
 		switch {
@@ -517,6 +635,8 @@ func (s *ExperimentSpec) active() (any, error) {
 			s.Kind = KindThroughput
 		case s.Scenario != nil:
 			s.Kind = KindScenario
+		case s.Arena != nil:
+			s.Kind = KindArena
 		}
 	}
 	switch s.Kind {
@@ -540,6 +660,11 @@ func (s *ExperimentSpec) active() (any, error) {
 			return nil, fmt.Errorf("spec: kind %q without a scenario spec", s.Kind)
 		}
 		return s.Scenario, nil
+	case KindArena:
+		if s.Arena == nil {
+			return nil, fmt.Errorf("spec: kind %q without an arena spec", s.Kind)
+		}
+		return s.Arena, nil
 	default:
 		return nil, fmt.Errorf("spec: unknown experiment kind %q", s.Kind)
 	}
@@ -561,6 +686,8 @@ func (s *ExperimentSpec) Validate(l Limits) error {
 		return v.validate(l)
 	case *ThroughputSpec:
 		return v.validate(s.Kind, l)
+	case *ArenaSpec:
+		return v.validate(l)
 	}
 	return nil
 }
@@ -631,6 +758,9 @@ func Decode(kind ExperimentKind, body []byte) (ExperimentSpec, error) {
 	case KindScenario:
 		s.Scenario = &ThroughputSpec{}
 		sub = s.Scenario
+	case KindArena:
+		s.Arena = &ArenaSpec{}
+		sub = s.Arena
 	default:
 		return ExperimentSpec{}, fmt.Errorf("spec: unknown experiment kind %q", kind)
 	}

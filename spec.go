@@ -6,7 +6,7 @@ import (
 	"repro/internal/spec"
 )
 
-// ExperimentKind names one of the four experiment families an
+// ExperimentKind names one of the experiment families an
 // ExperimentSpec can describe.
 type ExperimentKind = spec.ExperimentKind
 
@@ -22,6 +22,9 @@ const (
 	KindThroughput = spec.KindThroughput
 	// KindScenario is the λ-sweep over a catalog workload scenario.
 	KindScenario = spec.KindScenario
+	// KindArena is the cross-paper robustness arena: every registered
+	// protocol configuration against every adversarial scenario, ranked.
+	KindArena = spec.KindArena
 )
 
 // ExperimentSpec is the declarative experiment description shared by
@@ -44,6 +47,14 @@ type EvaluateSpec = spec.EvaluateSpec
 // benign arrival shape (KindThroughput) or a catalog workload scenario
 // (KindScenario).
 type ThroughputSpec = spec.ThroughputSpec
+
+// ArenaSpec describes the cross-paper robustness arena: every listed
+// protocol configuration (default: the full registry) runs through
+// every listed adversarial scenario (default: thundering herd,
+// ρ-bounded adversary, jammed channel) at one fixed offered load, and
+// the result ranks protocols by the fraction of that load they
+// sustained, with CI95 error bars.
+type ArenaSpec = spec.ArenaSpec
 
 // ProtocolSpec selects a protocol configuration by registry name with
 // optional parameter overrides (e.g. {"delta": 2.9} on "one-fail"). In
@@ -84,6 +95,9 @@ func ThroughputExperiment(s ThroughputSpec) ExperimentSpec { return spec.ForThro
 // KindScenario.
 func ScenarioExperiment(s ThroughputSpec) ExperimentSpec { return spec.ForScenario(s) }
 
+// ArenaExperiment wraps an ArenaSpec into an ExperimentSpec.
+func ArenaExperiment(s ArenaSpec) ExperimentSpec { return spec.ForArena(s) }
+
 // DecodeExperiment parses an experiment's flat JSON parameter document
 // — the exact body the /v1/* submit endpoints accept — into a spec of
 // the given kind. An empty body selects all defaults; unknown fields
@@ -106,6 +120,10 @@ type SweepProgress = spec.SweepProgress
 // scenario experiment.
 type DynamicProgress = spec.DynamicProgress
 
+// ArenaProgress is one completed execution of an arena experiment's
+// (protocol, scenario) cell.
+type ArenaProgress = spec.ArenaProgress
+
 // StreamEnd is the terminal record of an NDJSON event stream, shared by
 // the HTTP /stream endpoint and `macsim -stream`.
 type StreamEnd = spec.StreamEnd
@@ -124,6 +142,10 @@ type EvaluateResult = spec.EvaluateResult
 // ThroughputResult is the result document of a throughput or scenario
 // experiment.
 type ThroughputResult = spec.ThroughputResult
+
+// ArenaResult is the result document of an arena experiment: the
+// robustness ranking plus its rendered table and CSV.
+type ArenaResult = spec.ArenaResult
 
 // Execution is one running (or finished) experiment: an
 // iter.Seq2[Event, error] stream of progress events (Events) plus the
